@@ -1,0 +1,117 @@
+// Ablation: subpage-region writing-policy knobs that DESIGN.md calls out.
+//
+//   (a) advance_max_valid_fraction -- when a sealed block is too valid to
+//       advance cheaply, GC takes it instead. 0 disables level reuse
+//       entirely (every block erased after level 0, like a plain SLC-style
+//       log); 1.0 reproduces the paper's unconditional advance-first
+//       policy, which forwards pathologically at high region occupancy.
+//   (b) gc_free_target -- erased blocks reclaimed per GC episode.
+//
+// Run on a Sysbench-like stream at moderate region occupancy, where the
+// trade-offs are visible in both directions.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "ftl/sub_ftl.h"
+#include "util/table_printer.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace esp;
+
+struct Outcome {
+  double mbps;
+  std::uint64_t forwards;
+  std::uint64_t erases;
+  std::uint64_t evictions;
+};
+
+// The knobs live below SsdConfig, so this bench builds the FTL directly.
+Outcome run_one(double advance_fraction, std::uint32_t gc_free_target) {
+  nand::NandDevice dev(bench::scaled_geometry());
+  const auto base = bench::scaled_config(core::FtlKind::kSub);
+
+  ftl::SubFtl::Config cfg;
+  cfg.logical_sectors = base.logical_sectors();
+  cfg.subpage_region_fraction = base.subpage_region_fraction;
+  cfg.gc_reserve_blocks = base.gc_reserve_blocks;
+  cfg.buffer_sectors = base.buffer_sectors;
+  cfg.advance_max_valid_fraction = advance_fraction;
+  cfg.gc_free_target = gc_free_target;
+  ftl::SubFtl ftl(dev, cfg);
+  sim::Driver driver(ftl, dev, base.queue_depth);
+
+  // Precondition + sysbench-like stream at ~45% region occupancy.
+  auto params = workload::benchmark_profile(workload::Benchmark::kSysbench,
+                                            0, 0, 4, 2017);
+  params.footprint_sectors =
+      static_cast<std::uint64_t>(0.78 * ftl.logical_sectors()) / 4 * 4;
+  params.small_footprint_fraction = 0.036;  // ~45% of region valid capacity
+  params.request_count = 260000;
+  for (std::uint64_t s = 0; s < params.footprint_sectors; s += 32)
+    driver.submit({workload::Request::Type::kWrite, s,
+                   static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                       32, params.footprint_sectors - s)),
+                   false, 0.0},
+                  false);
+  driver.flush();
+
+  workload::SyntheticWorkload stream(params);
+  driver.run(stream, false, 200000);  // warmup
+  const auto before = ftl.stats();
+  const auto erases_before = dev.counters().erases;
+  const SimTime t0 = driver.now();
+  const auto metrics = driver.run(stream, false);
+  const auto window = ftl::stats_delta(metrics.ftl_stats, before);
+
+  Outcome outcome;
+  const double host_bytes = static_cast<double>(
+      (window.host_write_sectors + window.host_read_sectors) * 4096);
+  outcome.mbps = host_bytes / (1024.0 * 1024.0) /
+                 sim_time::to_seconds(metrics.end_us - t0);
+  outcome.forwards = window.forward_migrations;
+  outcome.erases = dev.counters().erases - erases_before;
+  outcome.evictions = window.cold_evictions + window.retention_evictions;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation -- ESP writing-policy knobs (advance threshold, GC batch)");
+
+  std::printf("\n(a) advance_max_valid_fraction (gc_free_target = 2)\n\n");
+  util::TablePrinter ta({"threshold", "MB/s", "forwards", "erases",
+                         "evictions"});
+  for (const double fraction : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    const auto o = run_one(fraction, 2);
+    ta.add_row({util::TablePrinter::num(fraction, 3),
+                util::TablePrinter::num(o.mbps, 1),
+                std::to_string(o.forwards), std::to_string(o.erases),
+                std::to_string(o.evictions)});
+  }
+  ta.print(std::cout);
+
+  std::printf("\n(b) gc_free_target (threshold = 0.25)\n\n");
+  util::TablePrinter tb({"free target", "MB/s", "forwards", "erases",
+                         "evictions"});
+  for (const std::uint32_t target : {1u, 2u, 4u, 8u}) {
+    const auto o = run_one(0.25, target);
+    tb.add_row({std::to_string(target), util::TablePrinter::num(o.mbps, 1),
+                std::to_string(o.forwards), std::to_string(o.erases),
+                std::to_string(o.evictions)});
+  }
+  tb.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: threshold 0 burns erases and evicts constantly (no\n"
+      "level reuse), 1.0 (the paper's unconditional advance-first policy)\n"
+      "forwards heavily at this occupancy; intermediate values balance\n"
+      "both. gc_free_target only matters when per-chip reclamation cannot\n"
+      "keep write points alive; when chip-preferred GC suffices (as here)\n"
+      "the curves coincide.\n");
+  return 0;
+}

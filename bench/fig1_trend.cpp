@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 1: the historical trend of NAND page size and
+// per-die capacity across technology nodes (intro motivation figure).
+//
+// This is published industry data (ISSCC/flash-memory-summit datasheets),
+// not simulation output; the bench prints the series the figure plots and
+// derives the observation the paper builds on: page size grew 64x while
+// the host's dominant small-write unit stayed at 4 KB.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table_printer.h"
+
+namespace {
+
+struct NodePoint {
+  const char* node;      // technology node label
+  const char* year;      // approximate volume year
+  double capacity_gbit;  // per-die capacity
+  double page_kb;        // physical page size
+};
+
+// Series digitized from the paper's Fig. 1 (SLC/MLC/TLC mainstream parts).
+const std::vector<NodePoint> kTrend = {
+    {"300nm", "~2000", 0.25, 0.25}, {"200nm", "~2002", 0.5, 0.5},
+    {"130nm", "~2004", 1, 2},       {"70nm", "~2006", 8, 4},
+    {"60nm", "~2007", 16, 4},       {"50nm", "~2008", 32, 8},
+    {"4Xnm", "~2009", 64, 8},       {"3Xnm", "~2010", 128, 8},
+    {"2Xnm", "~2012", 128, 16},     {"2Ynm", "~2013", 256, 16},
+    {"1Xnm", "~2015", 384, 16},     {"1Ynm", "~2016", 512, 16},
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 1 -- Trend of the NAND page size and capacity\n"
+      "(industry data as digitized from the paper's figure)\n\n");
+  esp::util::TablePrinter t(
+      {"node", "year", "capacity (Gbit)", "page size (KB)",
+       "4-KB writes per page"});
+  for (const auto& p : kTrend)
+    t.add_row({p.node, p.year, esp::util::TablePrinter::num(p.capacity_gbit, 2),
+               esp::util::TablePrinter::num(p.page_kb, 2),
+               esp::util::TablePrinter::num(p.page_kb / 4.0, 2)});
+  t.print(std::cout);
+
+  const auto& first = kTrend.front();
+  const auto& last = kTrend.back();
+  std::printf(
+      "\nPage size grew %.0fx (%.2f KB -> %.0f KB) while capacity grew "
+      "%.0fx;\na 4-KB host write now fills only 1/%.0f of a physical page "
+      "-- the\nlarge-page problem the ESP scheme addresses.\n",
+      last.page_kb / first.page_kb, first.page_kb, last.page_kb,
+      last.capacity_gbit / first.capacity_gbit, last.page_kb / 4.0);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Fig. 4: the effect of subpage programming on NAND
+// reliability, using the Monte-Carlo cell model.
+//
+// Two subpages sp1, sp2 on one word line:
+//   (a) after programming sp1 alone, both behave normally;
+//   (b) after the subsequent sp2 program WITHOUT an intervening erase,
+//       sp1's data is corrupted beyond the ECC limit ("uncorrectable
+//       failure") while sp2 stores data within the limit ("constrained
+//       normal program") -- the asymmetry that makes ESP viable.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "ecc/ecc_model.h"
+#include "nand/cell_model.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace esp;
+
+  constexpr std::uint32_t kCellsPerSubpage = 4096 * 8 / 3 + 1;  // ~4KB data
+  constexpr int kWordLines = 40;  // Monte-Carlo population
+
+  const ecc::EccModel ecc;
+  const double ecc_limit_ber = ecc.spec().max_raw_ber();
+
+  util::RunningStats sp1_alone, sp2_after, sp1_after;
+  for (int wl_idx = 0; wl_idx < kWordLines; ++wl_idx) {
+    nand::WordLine wl(2, kCellsPerSubpage, nand::CellModelParams{},
+                      util::Xoshiro256(1000 + wl_idx));
+    wl.program_subpage_random(0);         // sp1 @ t1
+    sp1_alone.add(wl.raw_ber(0, 0.0));    // Fig. 4(a): normal program
+    wl.program_subpage_random(1);         // sp2 @ t1 + dt, no erase
+    sp1_after.add(wl.raw_ber(0, 0.0));    // Fig. 4(b): destroyed
+    sp2_after.add(wl.raw_ber(1, 0.0));    // Fig. 4(b): constrained normal
+  }
+
+  std::printf(
+      "Fig. 4 -- Effect of subpage programming on NAND reliability\n"
+      "(%d word lines x %u cells/subpage, TLC cell model; "
+      "ECC limit = %.2e raw BER)\n\n",
+      kWordLines, kCellsPerSubpage, ecc_limit_ber);
+
+  util::TablePrinter t({"state", "raw BER (mean)", "vs ECC limit", "verdict"});
+  auto verdict = [&](double ber) {
+    return ber <= ecc_limit_ber ? std::string("correctable")
+                                : std::string("UNCORRECTABLE");
+  };
+  auto row = [&](const char* label, const util::RunningStats& s) {
+    t.add_row({label, util::TablePrinter::num(s.mean(), 6),
+               util::TablePrinter::num(s.mean() / ecc_limit_ber, 2) + "x",
+               verdict(s.mean())});
+  };
+  row("(a) sp1 after its own program (normal)", sp1_alone);
+  row("(b) sp1 after sp2's program (destroyed)", sp1_after);
+  row("(b) sp2 after its program (constrained)", sp2_after);
+  t.print(std::cout);
+
+  std::printf(
+      "\nExpected shape (paper): sp1's BER explodes past the ECC limit once "
+      "sp2 is\nprogrammed (coupling + program disturbance), while sp2 -- "
+      "inhibited during\nsp1's program -- stores data within the limit, at "
+      "a reduced retention budget.\n");
+
+  const bool ok = sp1_alone.mean() <= ecc_limit_ber &&
+                  sp1_after.mean() > ecc_limit_ber &&
+                  sp2_after.mean() <= ecc_limit_ber;
+  std::printf("\nshape check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark micro-benchmarks of the simulator's hot paths: these
+// bound the wall-clock cost of the figure-reproduction benches and catch
+// accidental complexity regressions in the FTL data structures.
+#include <benchmark/benchmark.h>
+
+#include "core/ssd.h"
+#include "ftl/write_buffer.h"
+#include "nand/cell_model.h"
+#include "nand/device.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace esp;
+
+void BM_RngDraw(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_RngDraw);
+
+void BM_ZipfSample(benchmark::State& state) {
+  util::ScatteredZipf zipf(1 << 20, 0.9);
+  util::Xoshiro256 rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_WorkloadNext(benchmark::State& state) {
+  workload::SyntheticParams params;
+  params.footprint_sectors = 1 << 20;
+  params.request_count = ~0ull >> 1;
+  params.r_small = 0.8;
+  params.read_fraction = 0.3;
+  workload::SyntheticWorkload stream(params);
+  for (auto _ : state) benchmark::DoNotOptimize(stream.next());
+}
+BENCHMARK(BM_WorkloadNext);
+
+void BM_WriteBufferInsertExtract(benchmark::State& state) {
+  ftl::WriteBuffer buffer(4096);
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const std::uint64_t sector = rng.below(1 << 16);
+    buffer.insert(sector, sector + 1, true);
+    if (buffer.size() > 2048)
+      benchmark::DoNotOptimize(buffer.extract_oldest_page_group(4));
+  }
+}
+BENCHMARK(BM_WriteBufferInsertExtract);
+
+void BM_DeviceSubpageProgram(benchmark::State& state) {
+  nand::Geometry geo;
+  geo.channels = 8;
+  geo.chips_per_channel = 4;
+  geo.blocks_per_chip = 8;
+  geo.pages_per_block = 128;
+  nand::NandDevice dev(geo);
+  SimTime now = 0.0;
+  std::uint64_t i = 0;
+  const std::uint64_t slots = geo.total_subpages();
+  for (auto _ : state) {
+    if (i >= slots) {  // wrap: erase everything and restart
+      state.PauseTiming();
+      for (std::uint32_t c = 0; c < geo.total_chips(); ++c)
+        for (std::uint32_t b = 0; b < geo.blocks_per_chip; ++b)
+          dev.erase_block(c, b, now);
+      i = 0;
+      state.ResumeTiming();
+    }
+    const nand::AddressCodec codec(geo);
+    const auto addr = codec.decode_subpage(i++);
+    now = dev.program_subpage(addr, i, now).done;
+  }
+}
+BENCHMARK(BM_DeviceSubpageProgram);
+
+void BM_SsdSyncSmallWrite(benchmark::State& state) {
+  core::SsdConfig cfg;
+  nand::Geometry geo;
+  geo.channels = 4;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 32;
+  geo.pages_per_block = 64;
+  cfg.geometry = geo;
+  cfg.ftl = core::FtlKind::kSub;
+  cfg.logical_fraction = 0.6;
+  core::Ssd ssd(cfg);
+  ssd.precondition(0.5);
+  util::Xoshiro256 rng(4);
+  const std::uint64_t sectors = ssd.logical_sectors() / 8;
+  for (auto _ : state) {
+    const std::uint64_t sector = rng.below(sectors);
+    ssd.driver().submit(
+        {workload::Request::Type::kWrite, sector, 1, true, 0.0}, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdSyncSmallWrite);
+
+void BM_CellModelProgram(benchmark::State& state) {
+  nand::WordLine wl(4, 8192, nand::CellModelParams{}, util::Xoshiro256(5));
+  for (auto _ : state) {
+    if (wl.slots_programmed() == 4) wl.erase();
+    wl.program_subpage_random(wl.slots_programmed());
+  }
+}
+BENCHMARK(BM_CellModelProgram);
+
+}  // namespace
+
+BENCHMARK_MAIN();

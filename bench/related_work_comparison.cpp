@@ -1,0 +1,82 @@
+// Related-work comparison (paper Sec. 6): subFTL vs the sector-log hybrid
+// of Jin et al. [9], plus the two Sec. 2 baselines.
+//
+// The paper's claim: sector-log shares subFTL's hybrid structure but
+// "supports subpage programming at the logical level ... its performance
+// suffers when synchronous small writes occur fairly frequently". Running
+// all four FTLs on the sync-heavy and DB profiles isolates how much of
+// subFTL's win comes from the hybrid STRUCTURE (sector-log has it) versus
+// the ESP programming scheme (only subFTL has it).
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace esp;
+
+double run_one(workload::Benchmark bench, core::FtlKind kind) {
+  core::ExperimentSpec spec;
+  spec.ssd = bench::scaled_config(kind);
+  auto params = workload::benchmark_profile(
+      bench, 0, 0, spec.ssd.geometry.subpages_per_page, 2017);
+  const double write_fraction = 1.0 - params.read_fraction;
+  const double avg_large =
+      0.5 * (params.large_pages_min + params.large_pages_max) *
+      params.sectors_per_page;
+  const double avg_small =
+      0.5 * (params.small_sectors_min + params.small_sectors_max);
+  const double avg_write =
+      params.r_small * avg_small + (1.0 - params.r_small) * avg_large;
+  const auto reqs = [&](double budget) {
+    return static_cast<std::uint64_t>(budget / (write_fraction * avg_write));
+  };
+  spec.warmup_requests = reqs(120000);
+  params.request_count = spec.warmup_requests + reqs(60000);
+  spec.workload = params;
+  const auto result = core::run_experiment(spec);
+  if (result.verify_failures)
+    std::fprintf(stderr, "WARNING: verify failures (%s)\n",
+                 result.ftl_name.c_str());
+  return result.host_mb_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Related work -- sector-log hybrid [Jin+] vs subFTL (Sec. 6)");
+
+  const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
+                      core::FtlKind::kSectorLog, core::FtlKind::kSub};
+  util::TablePrinter t({"benchmark", "cgmFTL", "fgmFTL", "sectorLogFTL",
+                        "subFTL", "sub vs sectorLog"});
+  for (const auto bench :
+       {workload::Benchmark::kSysbench, workload::Benchmark::kVarmail,
+        workload::Benchmark::kPostmark, workload::Benchmark::kTpcc}) {
+    std::map<core::FtlKind, double> mbps;
+    for (const auto kind : kinds) mbps[kind] = run_one(bench, kind);
+    const double base = mbps[core::FtlKind::kCgm];
+    t.add_row({workload::benchmark_name(bench),
+               util::TablePrinter::num(1.0, 2),
+               util::TablePrinter::num(mbps[core::FtlKind::kFgm] / base, 2),
+               util::TablePrinter::num(
+                   mbps[core::FtlKind::kSectorLog] / base, 2),
+               util::TablePrinter::num(mbps[core::FtlKind::kSub] / base, 2),
+               util::TablePrinter::pct(
+                   mbps[core::FtlKind::kSub] /
+                           mbps[core::FtlKind::kSectorLog] -
+                       1.0,
+                   1)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper Sec. 6): on sync-small-heavy workloads the\n"
+      "sector-log hybrid performs like fgmFTL (each sync append still burns\n"
+      "a padded full page) while subFTL's erase-free subpage programs pull\n"
+      "ahead -- the gain isolates the ESP scheme itself.\n");
+  return 0;
+}

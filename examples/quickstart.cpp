@@ -1,0 +1,78 @@
+// Quickstart: build an ESP-enabled SSD with subFTL, write and read data,
+// and inspect what the FTL did.
+//
+//   $ ./quickstart
+//
+// Walks through the public API top to bottom: SsdConfig -> Ssd -> Driver
+// (host interface with data verification) -> FtlStats/device counters.
+#include <cstdio>
+
+#include "core/ssd.h"
+#include "workload/request.h"
+
+int main() {
+  using namespace esp;
+  using workload::Request;
+
+  // 1. Configure a small SSD: 4 channels x 2 chips, 16-KB pages split into
+  //    four 4-KB ESP subpages (the default geometry is the paper's 16-GiB
+  //    platform; this one keeps the example instant).
+  core::SsdConfig config;
+  config.geometry.channels = 4;
+  config.geometry.chips_per_channel = 2;
+  config.geometry.blocks_per_chip = 32;
+  config.geometry.pages_per_block = 64;
+  config.ftl = core::FtlKind::kSub;  // the paper's ESP-aware FTL
+  core::Ssd ssd(config);
+  std::printf("device : %s\n", config.geometry.describe().c_str());
+  std::printf("ftl    : %s, %llu logical 4-KB sectors\n\n",
+              ssd.ftl().name().c_str(),
+              static_cast<unsigned long long>(ssd.logical_sectors()));
+
+  auto& driver = ssd.driver();
+
+  // 2. A large aligned write: goes to the full-page region as one 16-KB
+  //    program.
+  driver.submit({Request::Type::kWrite, /*sector=*/0, /*count=*/4,
+                 /*sync=*/false, /*think_us=*/0.0});
+  driver.flush();
+
+  // 3. A small synchronous write (a 4-KB fsync): with ESP this is ONE
+  //    subpage program into the subpage region -- no read-modify-write, no
+  //    internal fragmentation.
+  driver.submit({Request::Type::kWrite, 1, 1, true, 0.0});
+
+  // 4. Read everything back; the driver verifies content tokens
+  //    end-to-end (any FTL bug would show up as a verify failure).
+  driver.submit({Request::Type::kRead, 0, 4, false, 0.0});
+
+  const auto& stats = ssd.ftl().stats();
+  const auto& dev = ssd.device().counters();
+  std::printf("after 2 writes + 1 read:\n");
+  std::printf("  full-page programs : %llu (the 16-KB write)\n",
+              static_cast<unsigned long long>(stats.flash_prog_full));
+  std::printf("  subpage programs   : %llu (the 4-KB sync write, ESP)\n",
+              static_cast<unsigned long long>(stats.flash_prog_sub));
+  std::printf("  read-modify-writes : %llu\n",
+              static_cast<unsigned long long>(stats.rmw_ops));
+  std::printf("  flash reads        : %llu\n",
+              static_cast<unsigned long long>(dev.reads_full +
+                                              dev.reads_sub));
+  std::printf("  verify failures    : %llu\n",
+              static_cast<unsigned long long>(driver.verify_failures()));
+  std::printf("  simulated time     : %.1f us\n", driver.now());
+
+  // 5. The same small write under a conventional page-mapped FTL costs a
+  //    full read-modify-write -- run the comparison yourself:
+  core::SsdConfig cgm_config = config;
+  cgm_config.ftl = core::FtlKind::kCgm;
+  core::Ssd cgm(cgm_config);
+  cgm.driver().submit({Request::Type::kWrite, 0, 4, false, 0.0});
+  cgm.driver().submit({Request::Type::kWrite, 1, 1, true, 0.0});
+  std::printf("\ncgmFTL servicing the same 4-KB update: %llu RMW, "
+              "%llu full-page programs\n",
+              static_cast<unsigned long long>(cgm.ftl().stats().rmw_ops),
+              static_cast<unsigned long long>(
+                  cgm.ftl().stats().flash_prog_full));
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Retention explorer: interactively probe the two NAND reliability models
+// (the Monte-Carlo cell model and the behavioral RetentionModel) the way
+// the paper's characterization study does.
+//
+//   $ ./retention_explorer [pe_cycles] [months...]
+//
+// Prints the normalized retention-BER surface for every Npp type at the
+// given wear and retention times, plus the derived safe horizons the FTL
+// uses (including the conservative 1-month bound of Sec. 3.3).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "nand/cell_model.h"
+#include "nand/retention_model.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace esp;
+
+  const auto pe = argc > 1
+                      ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                      : 1000u;
+  std::vector<double> months = {0.0, 0.5, 1.0, 2.0};
+  if (argc > 2) {
+    months.clear();
+    for (int i = 2; i < argc; ++i) months.push_back(std::atof(argv[i]));
+  }
+
+  const nand::RetentionModel model;
+  std::printf("Behavioral retention model @ %u P/E cycles "
+              "(normalized BER; ECC limit = %.2f)\n\n",
+              pe, model.params().ecc_limit);
+  {
+    util::TablePrinter t([&] {
+      std::vector<std::string> h = {"type"};
+      for (const double m : months)
+        h.push_back(util::TablePrinter::num(m, 1) + " mo");
+      h.push_back("safe horizon (days)");
+      return h;
+    }());
+    for (std::uint32_t k = 0; k <= 3; ++k) {
+      std::vector<std::string> row = {"Npp^" + std::to_string(k)};
+      for (const double m : months) {
+        const double ber = model.subpage_ber(k, m, pe);
+        row.push_back(util::TablePrinter::num(ber, 2) +
+                      (model.correctable(ber) ? "" : " !"));
+      }
+      row.push_back(util::TablePrinter::num(
+          sim_time::to_days(model.subpage_horizon(k, pe)), 0));
+      t.add_row(row);
+    }
+    std::vector<std::string> full_row = {"full-page"};
+    for (const double m : months) {
+      const double ber = model.fullpage_ber(m, pe);
+      full_row.push_back(util::TablePrinter::num(ber, 2) +
+                         (model.correctable(ber) ? "" : " !"));
+    }
+    full_row.push_back(util::TablePrinter::num(
+        sim_time::to_days(model.fullpage_horizon(pe)), 0));
+    t.add_row(full_row);
+    t.print(std::cout);
+  }
+  std::printf("\nFTL-facing conservative subpage horizon: %.0f days "
+              "(paper: 'one month only')\n",
+              sim_time::to_days(model.conservative_subpage_horizon()));
+
+  // Cross-check against the Monte-Carlo cell model at the same wear.
+  std::printf("\nMonte-Carlo cell model cross-check (raw BER, 8 word "
+              "lines x 8192 cells):\n\n");
+  util::TablePrinter t([&] {
+    std::vector<std::string> h = {"type"};
+    for (const double m : months)
+      h.push_back(util::TablePrinter::num(m, 1) + " mo");
+    return h;
+  }());
+  for (std::uint32_t k = 0; k <= 3; ++k) {
+    std::vector<std::string> row = {"Npp^" + std::to_string(k)};
+    for (const double m : months) {
+      util::RunningStats stats;
+      for (int wl_idx = 0; wl_idx < 8; ++wl_idx) {
+        nand::WordLine wl(4, 8192, nand::CellModelParams{},
+                          util::Xoshiro256(31 * k + wl_idx));
+        wl.set_pe_cycles(pe);
+        for (std::uint32_t s = 0; s <= k; ++s) wl.program_subpage_random(s);
+        stats.add(wl.raw_ber(k, m));
+      }
+      row.push_back(util::TablePrinter::num(stats.mean() * 1000.0, 3) +
+                    "e-3");
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment runner: precondition + workload + metrics, one call.
+//
+// All bench binaries are thin wrappers around this: build an SsdConfig per
+// FTL, run the same request stream through each, compare RunResults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ssd.h"
+#include "workload/synthetic.h"
+
+namespace esp::core {
+
+struct RunResult {
+  std::string ftl_name;
+  double iops = 0.0;
+  /// Host data rate (reads + writes) over the measured window, MB/s. The
+  /// paper's "normalized IOPS" compares runs of equal host data volume, so
+  /// this is the quantity its Figs. 2(a)/8(a) normalize.
+  double host_mb_per_sec = 0.0;
+  double overall_waf = 1.0;
+  double small_request_waf = 1.0;
+  std::uint64_t gc_invocations = 0;
+  std::uint64_t erases = 0;  ///< during the measured run (lifetime proxy)
+  std::uint64_t rmw_ops = 0;
+  std::uint64_t verify_failures = 0;
+  std::uint64_t mapping_bytes = 0;
+  sim::RunMetrics raw;
+};
+
+struct ExperimentSpec {
+  SsdConfig ssd;
+  workload::SyntheticParams workload;
+  /// Fraction of logical space filled before measuring. The default
+  /// reproduces the paper's methodology: 10 GB of data on the 16-GB
+  /// device: 62.5% of physical = 0.78 of the 80% logical space.
+  double precondition_fraction = 0.78;
+  /// Requests run unmeasured after preconditioning so GC reaches steady
+  /// state before the measured window starts.
+  std::uint64_t warmup_requests = 0;
+  bool verify = true;
+};
+
+/// Builds the SSD, preconditions it, runs the workload, returns metrics.
+RunResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace esp::core

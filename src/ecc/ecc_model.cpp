@@ -1,0 +1,39 @@
+#include "ecc/ecc_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esp::ecc {
+
+EccModel::EccModel(const EccSpec& spec) : spec_(spec) {
+  if (spec_.codeword_bytes == 0)
+    throw std::invalid_argument("EccModel: codeword_bytes must be > 0");
+}
+
+double EccModel::uncorrectable_probability(double raw_ber) const {
+  if (raw_ber <= 0.0) return 0.0;
+  if (raw_ber >= 1.0) return 1.0;
+  const std::uint32_t n = spec_.codeword_bits();
+  const std::uint32_t t = spec_.correctable_bits;
+  if (t >= n) return 0.0;
+  // P(X > t), X ~ Binomial(n, p): accumulate P(X <= t) in log space via the
+  // recurrence P(k+1)/P(k) = (n-k)/(k+1) * p/(1-p).
+  const double log_p = std::log(raw_ber);
+  const double log_q = std::log1p(-raw_ber);
+  double log_pk = n * log_q;  // P(X = 0)
+  double cdf = std::exp(log_pk);
+  for (std::uint32_t k = 0; k < t; ++k) {
+    log_pk += std::log(static_cast<double>(n - k)) -
+              std::log(static_cast<double>(k + 1)) + log_p - log_q;
+    cdf += std::exp(log_pk);
+  }
+  if (cdf >= 1.0) return 0.0;
+  return 1.0 - cdf;
+}
+
+std::uint32_t EccModel::codewords_for(std::uint64_t bytes) const {
+  return static_cast<std::uint32_t>(
+      (bytes + spec_.codeword_bytes - 1) / spec_.codeword_bytes);
+}
+
+}  // namespace esp::ecc

@@ -1,0 +1,54 @@
+// ECC capability model.
+//
+// Large-page NAND protects each 1-KB or 2-KB chunk with its own BCH/LDPC
+// codeword (the "ECC0..ECC7" units in the paper's Fig. 3), which is what
+// makes subpage-granularity writes self-contained: a 4-KB subpage owns a
+// whole number of codewords. This model answers two questions:
+//   * given a raw bit-error count in one codeword, is it correctable?
+//   * given a raw BER, what is the probability a codeword is uncorrectable?
+#pragma once
+
+#include <cstdint>
+
+namespace esp::ecc {
+
+struct EccSpec {
+  std::uint32_t codeword_bytes = 1024;  ///< protected payload per codeword
+  std::uint32_t correctable_bits = 40;  ///< BCH t: max correctable errors
+
+  std::uint32_t codeword_bits() const { return codeword_bytes * 8; }
+
+  /// Highest raw BER at which the *expected* error count still fits within
+  /// the correction capability (deterministic threshold used by the
+  /// behavioral simulator).
+  double max_raw_ber() const {
+    return static_cast<double>(correctable_bits) / codeword_bits();
+  }
+};
+
+class EccModel {
+ public:
+  EccModel() : EccModel(EccSpec{}) {}
+  explicit EccModel(const EccSpec& spec);
+
+  const EccSpec& spec() const { return spec_; }
+
+  /// Deterministic verdict on an observed per-codeword error count.
+  bool can_correct(std::uint32_t bit_errors) const {
+    return bit_errors <= spec_.correctable_bits;
+  }
+
+  /// P(codeword uncorrectable) for i.i.d. bit errors at the given raw BER.
+  /// Exact binomial tail computed in log space (stable for n = 8192,
+  /// p ~ 1e-3); used by the Monte-Carlo cell benches for smooth curves.
+  double uncorrectable_probability(double raw_ber) const;
+
+  /// Number of codewords covering a region of the given byte size
+  /// (rounds up; partial codewords are padded on real devices).
+  std::uint32_t codewords_for(std::uint64_t bytes) const;
+
+ private:
+  EccSpec spec_;
+};
+
+}  // namespace esp::ecc

@@ -1,0 +1,41 @@
+#include "ftl/block_allocator.h"
+
+#include <stdexcept>
+
+namespace esp::ftl {
+
+BlockAllocator::BlockAllocator(const nand::Geometry& geo)
+    : per_chip_(geo.total_chips()) {
+  for (std::uint32_t chip = 0; chip < geo.total_chips(); ++chip)
+    for (std::uint32_t blk = 0; blk < geo.blocks_per_chip; ++blk)
+      per_chip_[chip].push(Entry{0, blk});
+  total_free_ = static_cast<std::size_t>(geo.total_chips()) *
+                geo.blocks_per_chip;
+}
+
+std::optional<std::uint32_t> BlockAllocator::alloc(std::uint32_t chip) {
+  if (chip >= per_chip_.size())
+    throw std::out_of_range("BlockAllocator::alloc: chip out of range");
+  auto& heap = per_chip_[chip];
+  if (heap.empty()) return std::nullopt;
+  const std::uint32_t block = heap.top().block;
+  heap.pop();
+  --total_free_;
+  return block;
+}
+
+void BlockAllocator::release(std::uint32_t chip, std::uint32_t block,
+                             std::uint32_t pe_cycles) {
+  if (chip >= per_chip_.size())
+    throw std::out_of_range("BlockAllocator::release: chip out of range");
+  per_chip_[chip].push(Entry{pe_cycles, block});
+  ++total_free_;
+}
+
+std::size_t BlockAllocator::free_on_chip(std::uint32_t chip) const {
+  if (chip >= per_chip_.size())
+    throw std::out_of_range("BlockAllocator::free_on_chip: chip out of range");
+  return per_chip_[chip].size();
+}
+
+}  // namespace esp::ftl

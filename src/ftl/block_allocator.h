@@ -1,0 +1,54 @@
+// Free-block management shared by all regions of an FTL.
+//
+// All erased blocks of every chip live here. Allocation picks the
+// lowest-P/E free block of the requested chip (dynamic wear leveling), and
+// because the pool is shared between the subpage and full-page regions, a
+// block's *type* is decided at program time -- the paper's block-type
+// conversion falls out of the allocator for free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "nand/geometry.h"
+
+namespace esp::ftl {
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(const nand::Geometry& geo);
+
+  /// Takes the lowest-P/E free block of `chip`; nullopt when the chip has
+  /// no free blocks.
+  std::optional<std::uint32_t> alloc(std::uint32_t chip);
+
+  /// Returns an erased block to the free pool. `pe_cycles` keys the
+  /// wear-leveling priority (callers pass the block's post-erase count).
+  void release(std::uint32_t chip, std::uint32_t block,
+               std::uint32_t pe_cycles);
+
+  std::size_t free_on_chip(std::uint32_t chip) const;
+  std::size_t total_free() const { return total_free_; }
+
+  std::uint32_t chips() const {
+    return static_cast<std::uint32_t>(per_chip_.size());
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t pe;
+    std::uint32_t block;
+    bool operator>(const Entry& other) const {
+      return pe != other.pe ? pe > other.pe : block > other.block;
+    }
+  };
+  using MinHeap =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>;
+
+  std::vector<MinHeap> per_chip_;
+  std::size_t total_free_ = 0;
+};
+
+}  // namespace esp::ftl

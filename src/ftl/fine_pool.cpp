@@ -1,0 +1,241 @@
+#include "ftl/fine_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp::ftl {
+
+FinePool::FinePool(nand::NandDevice& dev, BlockAllocator& allocator,
+                   const Config& config, FtlStats& stats, PlaceFn place,
+                   EvictFn evict_on_gc)
+    : dev_(dev),
+      allocator_(allocator),
+      config_(config),
+      stats_(stats),
+      place_(std::move(place)),
+      evict_on_gc_(std::move(evict_on_gc)),
+      geo_(dev.geometry()),
+      codec_(geo_),
+      meta_(geo_.total_blocks()),
+      active_block_(geo_.total_chips()) {
+  if (!place_) throw std::invalid_argument("FinePool: place callback required");
+}
+
+bool FinePool::space_pressure() const {
+  return allocator_.total_free() <= config_.reserve_free_blocks ||
+         blocks_in_use_ >= config_.quota_blocks;
+}
+
+bool FinePool::ensure_active(std::uint32_t* chip_out) {
+  for (std::uint32_t attempt = 0; attempt < geo_.total_chips(); ++attempt) {
+    const std::uint32_t chip = (rr_chip_ + attempt) % geo_.total_chips();
+    auto& active = active_block_[chip];
+    if (active) {
+      BlockMeta& m = meta_[block_index(chip, *active)];
+      if (m.next_page < geo_.pages_per_block) {
+        *chip_out = chip;
+        rr_chip_ = (chip + 1) % geo_.total_chips();
+        return true;
+      }
+      m.active = false;
+      push_victim_candidate(block_index(chip, *active));
+      active.reset();
+    }
+    const auto blk = allocator_.alloc(chip);
+    if (!blk) continue;
+    BlockMeta& m = meta_[block_index(chip, *blk)];
+    m.owned = true;
+    m.active = true;
+    m.next_page = 0;
+    m.valid_count = 0;
+    const std::size_t slots =
+        static_cast<std::size_t>(geo_.pages_per_block) * geo_.subpages_per_page;
+    m.sector_of_slot.assign(slots, nand::kUnmapped);
+    m.valid.assign(slots, false);
+    active = *blk;
+    ++blocks_in_use_;
+    *chip_out = chip;
+    rr_chip_ = (chip + 1) % geo_.total_chips();
+    return true;
+  }
+  return false;
+}
+
+SimTime FinePool::write_group(std::span<const SectorWrite> group, SimTime now) {
+  if (group.empty() || group.size() > geo_.subpages_per_page)
+    throw std::logic_error("FinePool::write_group: bad group size");
+  if (!in_gc_) now = maybe_gc(now);
+  std::uint32_t chip = 0;
+  if (!ensure_active(&chip))
+    throw std::runtime_error(
+        "FinePool: out of physical blocks (over-provisioning exhausted)");
+  const std::uint32_t blk = *active_block_[chip];
+  BlockMeta& m = meta_[block_index(chip, blk)];
+  const std::uint32_t page = m.next_page++;
+
+  std::vector<std::uint64_t> tokens(geo_.subpages_per_page, 0);
+  for (std::size_t i = 0; i < group.size(); ++i) tokens[i] = group[i].token;
+
+  const nand::PageAddr addr{chip, blk, page};
+  const auto ack = dev_.program_full(addr, tokens, now);
+  ++stats_.flash_prog_full;
+
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const auto slot_idx =
+        static_cast<std::size_t>(page) * geo_.subpages_per_page + i;
+    m.sector_of_slot[slot_idx] = group[i].sector;
+    m.valid[slot_idx] = true;
+    ++m.valid_count;
+    ++valid_sectors_;
+    const std::uint64_t sub_lin = codec_.encode_subpage(
+        nand::SubpageAddr{addr, static_cast<std::uint32_t>(i)});
+    place_(group[i].sector, sub_lin);
+  }
+  return ack.done;
+}
+
+void FinePool::invalidate(std::uint64_t sub_lin) {
+  const nand::SubpageAddr addr = codec_.decode_subpage(sub_lin);
+  BlockMeta& m = meta_[block_index(addr.page.chip, addr.page.block)];
+  const auto slot_idx =
+      static_cast<std::size_t>(addr.page.page) * geo_.subpages_per_page +
+      addr.slot;
+  if (!m.owned || !m.valid[slot_idx])
+    throw std::logic_error("FinePool::invalidate: sector not valid");
+  m.valid[slot_idx] = false;
+  m.sector_of_slot[slot_idx] = nand::kUnmapped;
+  --m.valid_count;
+  --valid_sectors_;
+  if (!m.active && m.next_page == geo_.pages_per_block)
+    push_victim_candidate(
+        block_index(addr.page.chip, addr.page.block));
+}
+
+void FinePool::push_victim_candidate(std::size_t idx) {
+  victim_heap_.emplace(meta_[idx].valid_count, idx);
+}
+
+std::optional<std::size_t> FinePool::pop_victim() {
+  while (!victim_heap_.empty()) {
+    const auto [count, idx] = victim_heap_.top();
+    victim_heap_.pop();
+    const BlockMeta& m = meta_[idx];
+    if (m.owned && !m.active && m.next_page == geo_.pages_per_block &&
+        m.valid_count == count)
+      return idx;
+  }
+  return std::nullopt;
+}
+
+SimTime FinePool::maybe_gc(SimTime now) {
+  while (space_pressure() && blocks_in_use_ > 0) {
+    const SimTime after = collect(now);
+    if (after == now && space_pressure()) break;
+    now = after;
+  }
+  return now;
+}
+
+SimTime FinePool::collect(SimTime now) {
+  const auto victim_idx = pop_victim();
+  if (!victim_idx) return now;
+  if (meta_[*victim_idx].valid_count ==
+      static_cast<std::uint32_t>(geo_.pages_per_block) *
+          geo_.subpages_per_page) {
+    // Nothing reclaimable: decline (see FullPagePool::collect).
+    return now;
+  }
+  ++stats_.gc_invocations;
+  return collect_block(*victim_idx, now, /*for_wear_leveling=*/false);
+}
+
+SimTime FinePool::collect_block(std::size_t idx, SimTime now,
+                                bool for_wear_leveling) {
+  const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
+  const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+  BlockMeta& victim = meta_[idx];
+  const std::uint32_t subs = geo_.subpages_per_page;
+  in_gc_ = true;
+
+  // Gather live sectors page by page (one flash read per page that still
+  // holds anything live), then repack them densely into full pages.
+  std::vector<SectorWrite> live;
+  live.reserve(victim.valid_count);
+  SimTime t = now;
+  for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
+    bool any = false;
+    for (std::uint32_t s = 0; s < subs; ++s)
+      any |= victim.valid[static_cast<std::size_t>(page) * subs + s];
+    if (!any) continue;
+    const auto read = dev_.read_page(nand::PageAddr{chip, blk, page}, now);
+    ++stats_.flash_reads;
+    t = std::max(t, read.done);
+    for (std::uint32_t s = 0; s < subs; ++s) {
+      const auto slot_idx = static_cast<std::size_t>(page) * subs + s;
+      if (!victim.valid[slot_idx]) continue;
+      if (read.status[s] == nand::ReadStatus::kCorrupted ||
+          read.status[s] == nand::ReadStatus::kUncorrectable)
+        ++stats_.read_failures;
+      live.push_back(SectorWrite{victim.sector_of_slot[slot_idx],
+                                 read.token[s]});
+      victim.valid[slot_idx] = false;
+      victim.sector_of_slot[slot_idx] = nand::kUnmapped;
+      --victim.valid_count;
+      --valid_sectors_;
+    }
+  }
+  if (evict_on_gc_ && !for_wear_leveling) {
+    // Log-region cleaning: merge every live sector out of this pool.
+    if (!live.empty()) {
+      stats_.cold_evictions += live.size();
+      t = evict_on_gc_(live, t);
+    }
+  } else {
+    for (std::size_t i = 0; i < live.size(); i += subs) {
+      const std::size_t n = std::min<std::size_t>(subs, live.size() - i);
+      t = write_group(std::span<const SectorWrite>(&live[i], n), t);
+      if (for_wear_leveling)
+        stats_.wear_level_relocations += n;
+      else
+        stats_.gc_copy_sectors += n;
+    }
+  }
+  in_gc_ = false;
+
+  const auto ack = dev_.erase_block(chip, blk, t);
+  ++stats_.flash_erases;
+  victim.owned = false;
+  victim.sector_of_slot.clear();
+  victim.sector_of_slot.shrink_to_fit();
+  victim.valid.clear();
+  victim.valid.shrink_to_fit();
+  --blocks_in_use_;
+  allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
+  return ack.done;
+}
+
+SimTime FinePool::static_wear_level(SimTime now,
+                                    std::uint32_t pe_threshold) {
+  std::optional<std::size_t> coldest;
+  std::uint32_t coldest_pe = ~0u;
+  std::uint32_t max_pe = 0;
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk) {
+      const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
+      max_pe = std::max(max_pe, pe);
+      const std::size_t idx = block_index(chip, blk);
+      const BlockMeta& m = meta_[idx];
+      if (!m.owned || m.active || m.next_page < geo_.pages_per_block)
+        continue;
+      if (pe < coldest_pe) {
+        coldest_pe = pe;
+        coldest = idx;
+      }
+    }
+  }
+  if (!coldest || max_pe - coldest_pe <= pe_threshold) return now;
+  if (allocator_.total_free() == 0) return now;
+  return collect_block(*coldest, now, /*for_wear_leveling=*/true);
+}
+
+}  // namespace esp::ftl

@@ -1,0 +1,108 @@
+// Fine-grained (sector-mapped) storage pool -- the FGM scheme's physical
+// layer (paper Sec. 2).
+//
+// Flash programs are always full-page operations, but validity and mapping
+// are tracked per 4-KB sector: a page program carries 1..Nsub live sectors
+// and padding for the rest. When the write buffer manages to merge Nsub
+// sectors, space efficiency is perfect; a lone synchronous 4-KB write burns
+// a full page for one live sector -- the internal fragmentation that
+// drives FGM's GC overhead on sync-heavy workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ftl/block_allocator.h"
+#include "ftl/types.h"
+#include "nand/address.h"
+#include "nand/device.h"
+
+namespace esp::ftl {
+
+class FinePool {
+ public:
+  struct Config {
+    std::uint64_t quota_blocks = ~0ull;
+    std::size_t reserve_free_blocks = 8;
+  };
+
+  /// Invoked whenever a sector lands on flash (initial write and GC moves):
+  /// (sector, new linear subpage address).
+  using PlaceFn =
+      std::function<void(std::uint64_t sector, std::uint64_t new_sub_lin)>;
+  /// Optional log-region mode: when set, GC hands every live sector of the
+  /// victim to this callback (merge into another region) instead of
+  /// repacking within the pool -- the cleaning policy of sector-log-style
+  /// hybrid FTLs. Returns the completion time.
+  using EvictFn = std::function<SimTime(std::span<const SectorWrite> batch,
+                                        SimTime now)>;
+
+  FinePool(nand::NandDevice& dev, BlockAllocator& allocator,
+           const Config& config, FtlStats& stats, PlaceFn place,
+           EvictFn evict_on_gc = nullptr);
+
+  /// Programs ONE full page carrying the given 1..Nsub sectors (padding
+  /// elsewhere); invokes the place callback per sector. Returns completion.
+  SimTime write_group(std::span<const SectorWrite> group, SimTime now);
+
+  /// Marks the sector at the given linear subpage address stale.
+  void invalidate(std::uint64_t sub_lin);
+
+  /// Runs GC while space pressure persists.
+  SimTime maybe_gc(SimTime now);
+
+  /// Static wear leveling: relocate the least-worn sealed block's live
+  /// sectors when it lags the device's most-worn block by more than
+  /// `pe_threshold` erase cycles (see FullPagePool::static_wear_level).
+  SimTime static_wear_level(SimTime now, std::uint32_t pe_threshold);
+
+  std::uint64_t blocks_in_use() const { return blocks_in_use_; }
+  std::uint64_t valid_sectors() const { return valid_sectors_; }
+
+ private:
+  struct BlockMeta {
+    bool owned = false;
+    bool active = false;
+    std::uint32_t next_page = 0;
+    std::uint32_t valid_count = 0;                ///< live sectors
+    std::vector<std::uint64_t> sector_of_slot;    ///< reverse map per slot
+    std::vector<bool> valid;                      ///< per slot
+  };
+
+  std::size_t block_index(std::uint32_t chip, std::uint32_t block) const {
+    return static_cast<std::size_t>(chip) * geo_.blocks_per_chip + block;
+  }
+  bool space_pressure() const;
+  bool ensure_active(std::uint32_t* chip_out);
+  SimTime collect(SimTime now);
+  SimTime collect_block(std::size_t idx, SimTime now, bool for_wear_leveling);
+  void push_victim_candidate(std::size_t idx);
+  std::optional<std::size_t> pop_victim();
+
+  nand::NandDevice& dev_;
+  BlockAllocator& allocator_;
+  Config config_;
+  FtlStats& stats_;
+  PlaceFn place_;
+  EvictFn evict_on_gc_;
+  nand::Geometry geo_;
+  nand::AddressCodec codec_;
+
+  std::vector<BlockMeta> meta_;
+  std::vector<std::optional<std::uint32_t>> active_block_;
+  std::uint32_t rr_chip_ = 0;
+  std::uint64_t blocks_in_use_ = 0;
+  std::uint64_t valid_sectors_ = 0;
+  bool in_gc_ = false;
+  std::priority_queue<std::pair<std::uint32_t, std::size_t>,
+                      std::vector<std::pair<std::uint32_t, std::size_t>>,
+                      std::greater<>>
+      victim_heap_;
+};
+
+}  // namespace esp::ftl

@@ -1,0 +1,55 @@
+// Abstract FTL interface shared by cgmFTL, fgmFTL and subFTL.
+//
+// The host interface is sector-granular (4-KB Ssub units): a request is
+// (first sector, sector count, sync flag). Simulated time flows through
+// explicitly: the driver passes `now`, the FTL returns the completion time
+// after all flash operations (including any GC it had to run inline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/types.h"
+#include "util/sim_time.h"
+
+namespace esp::ftl {
+
+class Ftl {
+ public:
+  virtual ~Ftl() = default;
+
+  /// Writes `count` sectors starting at `sector`. `sync` requests must be
+  /// durable on flash at completion (no write-buffer residency).
+  virtual IoResult write(std::uint64_t sector, std::uint32_t count, bool sync,
+                         SimTime now) = 0;
+
+  /// Reads `count` sectors. When `tokens` is non-null it is filled with one
+  /// payload token per sector (0 for never-written sectors); the driver
+  /// verifies these against its shadow map.
+  virtual IoResult read(std::uint64_t sector, std::uint32_t count,
+                        SimTime now, std::vector<std::uint64_t>* tokens) = 0;
+
+  /// Drains any volatile write buffer to flash.
+  virtual IoResult flush(SimTime now) = 0;
+
+  /// Invalidates the mapping of the given sectors (discard/TRIM).
+  virtual void trim(std::uint64_t sector, std::uint32_t count) = 0;
+
+  /// Periodic background hook (retention scanning). Called by the driver
+  /// with the current simulated time; cheap when nothing is due.
+  virtual SimTime tick(SimTime now) { return now; }
+
+  /// Number of host-visible sectors.
+  virtual std::uint64_t logical_sectors() const = 0;
+
+  virtual const FtlStats& stats() const = 0;
+
+  /// Modeled DRAM footprint of all logical-to-physical mapping structures,
+  /// for the paper's memory-overhead comparison.
+  virtual std::uint64_t mapping_memory_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace esp::ftl

@@ -1,0 +1,251 @@
+#include "ftl/fullpage_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp::ftl {
+
+FullPagePool::FullPagePool(nand::NandDevice& dev, BlockAllocator& allocator,
+                           const Config& config, FtlStats& stats,
+                           RelocateFn relocate)
+    : dev_(dev),
+      allocator_(allocator),
+      config_(config),
+      stats_(stats),
+      relocate_(std::move(relocate)),
+      geo_(dev.geometry()),
+      codec_(geo_),
+      meta_(geo_.total_blocks()),
+      active_block_(geo_.total_chips()) {
+  if (!relocate_)
+    throw std::invalid_argument("FullPagePool: relocate callback required");
+}
+
+bool FullPagePool::space_pressure() const {
+  return allocator_.total_free() <= config_.reserve_free_blocks ||
+         blocks_in_use_ >= config_.quota_blocks;
+}
+
+bool FullPagePool::ensure_active_on(std::uint32_t chip) {
+  auto& active = active_block_[chip];
+  if (active) {
+    BlockMeta& m = meta_[block_index(chip, *active)];
+    if (m.next_page < geo_.pages_per_block) return true;
+    m.active = false;  // full: retire from active duty, becomes collectable
+    push_victim_candidate(block_index(chip, *active));
+    active.reset();
+  }
+  const auto blk = allocator_.alloc(chip);
+  if (!blk) return false;
+  BlockMeta& m = meta_[block_index(chip, *blk)];
+  m.owned = true;
+  m.active = true;
+  m.next_page = 0;
+  m.valid_count = 0;
+  m.lpn_of_page.assign(geo_.pages_per_block, nand::kUnmapped);
+  m.valid.assign(geo_.pages_per_block, false);
+  active = *blk;
+  ++blocks_in_use_;
+  return true;
+}
+
+bool FullPagePool::ensure_active(std::uint32_t* chip_out) {
+  // Round-robin over chips; open a fresh block when a chip's active block
+  // is full or missing. Falls through to any chip with free blocks.
+  for (std::uint32_t attempt = 0; attempt < geo_.total_chips(); ++attempt) {
+    const std::uint32_t chip = (rr_chip_ + attempt) % geo_.total_chips();
+    if (ensure_active_on(chip)) {
+      *chip_out = chip;
+      rr_chip_ = (chip + 1) % geo_.total_chips();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::pair<std::uint64_t, SimTime> FullPagePool::write_page(
+    std::uint64_t lpn, std::span<const std::uint64_t> tokens, SimTime now) {
+  if (!in_gc_) now = maybe_gc(now);
+  std::uint32_t chip = 0;
+  if (!ensure_active(&chip))
+    throw std::runtime_error(
+        "FullPagePool: out of physical blocks (over-provisioning exhausted)");
+  const std::uint32_t blk = *active_block_[chip];
+  BlockMeta& m = meta_[block_index(chip, blk)];
+  const std::uint32_t page = m.next_page++;
+
+  const nand::PageAddr addr{chip, blk, page};
+  const auto ack = dev_.program_full(addr, tokens, now);
+  ++stats_.flash_prog_full;
+
+  m.lpn_of_page[page] = lpn;
+  m.valid[page] = true;
+  ++m.valid_count;
+  ++valid_pages_;
+  return {codec_.encode_page(addr), ack.done};
+}
+
+void FullPagePool::invalidate(std::uint64_t page_lin) {
+  const nand::PageAddr addr = codec_.decode_page(page_lin);
+  BlockMeta& m = meta_[block_index(addr.chip, addr.block)];
+  if (!m.owned || !m.valid[addr.page])
+    throw std::logic_error("FullPagePool::invalidate: page not valid");
+  m.valid[addr.page] = false;
+  m.lpn_of_page[addr.page] = nand::kUnmapped;
+  --m.valid_count;
+  --valid_pages_;
+  if (!m.active && m.next_page == geo_.pages_per_block)
+    push_victim_candidate(block_index(addr.chip, addr.block));
+}
+
+void FullPagePool::push_victim_candidate(std::size_t idx) {
+  victim_heap_.emplace(meta_[idx].valid_count, idx);
+}
+
+std::optional<std::size_t> FullPagePool::pop_victim() {
+  while (!victim_heap_.empty()) {
+    const auto [count, idx] = victim_heap_.top();
+    victim_heap_.pop();
+    const BlockMeta& m = meta_[idx];
+    // Skip stale entries: block re-erased / re-opened / count changed
+    // (a fresher entry with the smaller count is still in the heap).
+    if (m.owned && !m.active && m.next_page == geo_.pages_per_block &&
+        m.valid_count == count)
+      return idx;
+  }
+  return std::nullopt;
+}
+
+SimTime FullPagePool::maybe_gc(SimTime now) {
+  while (space_pressure() && blocks_in_use_ > 0) {
+    const SimTime after = collect(now);
+    if (after == now && space_pressure()) break;  // no reclaimable victim
+    now = after;
+  }
+  return now;
+}
+
+SimTime FullPagePool::collect(SimTime now) {
+  // Greedy victim: fully written, non-active block with fewest valid pages.
+  const auto victim_idx = pop_victim();
+  if (!victim_idx) return now;  // nothing collectable yet
+  const std::uint32_t best_valid = meta_[*victim_idx].valid_count;
+  if (best_valid == geo_.pages_per_block) {
+    // Erasing a fully-valid block reclaims nothing: decline and let writes
+    // consume the reserve until overwrites create a real victim (any
+    // invalidation re-queues the block).
+    return now;
+  }
+
+  ++stats_.gc_invocations;
+  return collect_block(*victim_idx, now, /*for_wear_leveling=*/false);
+}
+
+SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
+                                    bool for_wear_leveling) {
+  const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
+  const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+  in_gc_ = true;
+  BlockMeta& victim = meta_[idx];
+  for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
+    if (!victim.valid[page]) continue;
+    const std::uint64_t lpn = victim.lpn_of_page[page];
+    const nand::PageAddr src{chip, blk, page};
+
+    if (config_.use_copyback && ensure_active_on(chip) &&
+        active_block_[chip] != blk) {
+      // On-chip copy: no channel transfers in either direction.
+      const std::uint32_t dst_blk = *active_block_[chip];
+      BlockMeta& dst = meta_[block_index(chip, dst_blk)];
+      const std::uint32_t dst_page = dst.next_page++;
+      const nand::PageAddr dst_addr{chip, dst_blk, dst_page};
+      const auto ack = dev_.copyback(src, dst_addr, now);
+      ++stats_.flash_reads;
+      ++stats_.flash_prog_full;
+      victim.valid[page] = false;
+      victim.lpn_of_page[page] = nand::kUnmapped;
+      --victim.valid_count;
+      dst.lpn_of_page[dst_page] = lpn;
+      dst.valid[dst_page] = true;
+      ++dst.valid_count;
+      if (for_wear_leveling)
+        stats_.wear_level_relocations += geo_.subpages_per_page;
+      else
+        stats_.gc_copy_sectors += geo_.subpages_per_page;
+      relocate_(lpn, codec_.encode_page(dst_addr));
+      now = ack.done;
+      continue;
+    }
+
+    const auto read = dev_.read_page(src, now);
+    ++stats_.flash_reads;
+    std::vector<std::uint64_t> tokens(geo_.subpages_per_page);
+    for (std::uint32_t s = 0; s < geo_.subpages_per_page; ++s) {
+      tokens[s] = read.token[s];
+      if (read.status[s] == nand::ReadStatus::kCorrupted ||
+          read.status[s] == nand::ReadStatus::kUncorrectable)
+        ++stats_.read_failures;
+    }
+    // Invalidate before rewriting so the copy's accounting stays balanced.
+    victim.valid[page] = false;
+    victim.lpn_of_page[page] = nand::kUnmapped;
+    --victim.valid_count;
+    --valid_pages_;
+    const auto [new_lin, done] = write_page(lpn, tokens, read.done);
+    if (for_wear_leveling)
+      stats_.wear_level_relocations += geo_.subpages_per_page;
+    else
+      stats_.gc_copy_sectors += geo_.subpages_per_page;
+    relocate_(lpn, new_lin);
+    now = done;
+  }
+  in_gc_ = false;
+
+  const auto ack = dev_.erase_block(chip, blk, now);
+  ++stats_.flash_erases;
+  victim.owned = false;
+  victim.lpn_of_page.clear();
+  victim.lpn_of_page.shrink_to_fit();
+  victim.valid.clear();
+  victim.valid.shrink_to_fit();
+  --blocks_in_use_;
+  allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
+  return ack.done;
+}
+
+SimTime FullPagePool::static_wear_level(SimTime now,
+                                        std::uint32_t pe_threshold) {
+  // Least-worn sealed block owned by this pool vs. the most-worn block on
+  // the device: a big gap means this block pins cold data on young flash.
+  std::optional<std::size_t> coldest;
+  std::uint32_t coldest_pe = ~0u;
+  std::uint32_t max_pe = 0;
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk) {
+      const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
+      max_pe = std::max(max_pe, pe);
+      const std::size_t idx = block_index(chip, blk);
+      const BlockMeta& m = meta_[idx];
+      if (!m.owned || m.active || m.next_page < geo_.pages_per_block)
+        continue;
+      if (pe < coldest_pe) {
+        coldest_pe = pe;
+        coldest = idx;
+      }
+    }
+  }
+  if (!coldest || max_pe - coldest_pe <= pe_threshold) return now;
+  if (allocator_.total_free() == 0) return now;  // no room to relocate into
+  return collect_block(*coldest, now, /*for_wear_leveling=*/true);
+}
+
+std::vector<std::uint32_t> FullPagePool::owned_pe_cycles() const {
+  std::vector<std::uint32_t> pes;
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip)
+    for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk)
+      if (meta_[block_index(chip, blk)].owned)
+        pes.push_back(dev_.block(chip, blk).pe_cycles());
+  return pes;
+}
+
+}  // namespace esp::ftl

@@ -1,0 +1,121 @@
+// Coarse-grained (full-page) storage pool.
+//
+// Implements the CGM scheme's physical layer, shared by cgmFTL (as its only
+// pool) and subFTL (as its full-page region): out-of-place full-page
+// writes striped round-robin across chips, per-page validity tracking,
+// greedy garbage collection (victim = fewest valid pages), and dynamic
+// wear leveling via the shared low-P/E-first BlockAllocator.
+//
+// Mapping tables stay in the owning FTL; the pool reports relocations
+// through a callback so the FTL can patch its L2P entries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "ftl/block_allocator.h"
+#include "ftl/types.h"
+#include "nand/address.h"
+#include "nand/device.h"
+
+namespace esp::ftl {
+
+class FullPagePool {
+ public:
+  struct Config {
+    /// Max blocks this pool may hold simultaneously (region quota).
+    std::uint64_t quota_blocks = ~0ull;
+    /// GC starts when the shared allocator drops to this many free blocks.
+    std::size_t reserve_free_blocks = 8;
+    /// Use the NAND copy-back command for GC page moves whose destination
+    /// can stay on the source chip: saves both channel transfers per copy.
+    bool use_copyback = false;
+  };
+
+  /// Invoked when GC moves a logical page: (lpn, new linear page address).
+  using RelocateFn =
+      std::function<void(std::uint64_t lpn, std::uint64_t new_page_lin)>;
+
+  FullPagePool(nand::NandDevice& dev, BlockAllocator& allocator,
+               const Config& config, FtlStats& stats, RelocateFn relocate);
+
+  /// Programs one full page of tokens for `lpn`; runs GC first if space is
+  /// tight. Returns the linear page address and the completion time.
+  std::pair<std::uint64_t, SimTime> write_page(
+      std::uint64_t lpn, std::span<const std::uint64_t> tokens, SimTime now);
+
+  /// Marks a previously written page stale.
+  void invalidate(std::uint64_t page_lin);
+
+  /// Runs one GC pass if the pool is over quota or the allocator is below
+  /// reserve; returns the (possibly advanced) time.
+  SimTime maybe_gc(SimTime now);
+
+  /// Static wear leveling (paper Sec. 4.2): when this pool's least-worn
+  /// sealed block lags the device's most-worn block by more than
+  /// `pe_threshold` cycles, relocate its (typically cold) contents and
+  /// erase it so it rejoins the low-P/E-first hot rotation. Returns the
+  /// possibly advanced time; cheap no-op when wear is balanced.
+  SimTime static_wear_level(SimTime now, std::uint32_t pe_threshold);
+
+  std::uint64_t blocks_in_use() const { return blocks_in_use_; }
+  std::uint64_t valid_pages() const { return valid_pages_; }
+  const Config& config() const { return config_; }
+
+  /// For wear metrics: P/E counts of blocks currently owned by this pool.
+  std::vector<std::uint32_t> owned_pe_cycles() const;
+
+ private:
+  struct BlockMeta {
+    bool owned = false;
+    bool active = false;              ///< currently receiving writes
+    std::uint32_t next_page = 0;      ///< program cursor
+    std::uint32_t valid_count = 0;
+    std::vector<std::uint64_t> lpn_of_page;  ///< reverse map
+    std::vector<bool> valid;
+  };
+
+  std::size_t block_index(std::uint32_t chip, std::uint32_t block) const {
+    return static_cast<std::size_t>(chip) * geo_.blocks_per_chip + block;
+  }
+  bool space_pressure() const;
+  SimTime collect(SimTime now);  ///< one greedy GC pass
+  /// Relocates every valid page of the given sealed block, erases it, and
+  /// returns it to the allocator (shared by GC and static wear leveling).
+  SimTime collect_block(std::size_t idx, SimTime now, bool for_wear_leveling);
+  void push_victim_candidate(std::size_t idx);
+  /// Pops the current min-valid collectable block; nullopt when none.
+  std::optional<std::size_t> pop_victim();
+  /// Picks/opens the active block on the next chip; returns false when no
+  /// block is available anywhere.
+  bool ensure_active(std::uint32_t* chip_out);
+  /// Same, pinned to one chip (used by the copyback GC path).
+  bool ensure_active_on(std::uint32_t chip);
+
+  nand::NandDevice& dev_;
+  BlockAllocator& allocator_;
+  Config config_;
+  FtlStats& stats_;
+  RelocateFn relocate_;
+  nand::Geometry geo_;
+  nand::AddressCodec codec_;
+
+  std::vector<BlockMeta> meta_;  ///< indexed by chip*blocks_per_chip+block
+  std::vector<std::optional<std::uint32_t>> active_block_;  ///< per chip
+  /// Lazy min-heap of GC candidates: (valid_count at push, block index).
+  /// Stale entries (count changed, block re-erased, ...) are skipped at pop.
+  std::priority_queue<std::pair<std::uint32_t, std::size_t>,
+                      std::vector<std::pair<std::uint32_t, std::size_t>>,
+                      std::greater<>>
+      victim_heap_;
+  std::uint32_t rr_chip_ = 0;
+  std::uint64_t blocks_in_use_ = 0;
+  std::uint64_t valid_pages_ = 0;
+  bool in_gc_ = false;
+};
+
+}  // namespace esp::ftl

@@ -1,0 +1,46 @@
+#include "ftl/mapping_cache.h"
+
+#include <stdexcept>
+
+namespace esp::ftl {
+
+MappingCache::MappingCache(std::size_t capacity_pages,
+                           std::uint32_t entries_per_page)
+    : capacity_(capacity_pages), entries_per_page_(entries_per_page) {
+  if (capacity_ == 0 || entries_per_page_ == 0)
+    throw std::invalid_argument("MappingCache: zero capacity or page size");
+}
+
+MappingCache::Access MappingCache::access(std::uint64_t entry_index,
+                                          bool dirty) {
+  const std::uint64_t page = entry_index / entries_per_page_;
+  Access result;
+  if (const auto it = index_.find(page); it != index_.end()) {
+    result.hit = true;
+    ++hits_;
+    it->second->dirty |= dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return result;
+  }
+  ++misses_;
+  if (lru_.size() >= capacity_) {
+    const Line& victim = lru_.back();
+    if (victim.dirty) {
+      result.writeback = true;
+      ++writebacks_;
+    }
+    index_.erase(victim.page);
+    lru_.pop_back();
+  }
+  lru_.push_front(Line{page, dirty});
+  index_[page] = lru_.begin();
+  return result;
+}
+
+void MappingCache::reset_counters() {
+  hits_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+}
+
+}  // namespace esp::ftl

@@ -1,0 +1,65 @@
+// DFTL-style mapping cache model.
+//
+// The paper's case for hybrid mapping is DRAM cost: a fine-grained (4-KB)
+// L2P table is Nsub times the coarse one (Sec. 1/4). Real controllers with
+// insufficient DRAM keep the table on flash and cache translation pages on
+// demand (DFTL, Gupta et al., ASPLOS'09); then the cost shows up as TIME --
+// every cache miss is a flash read, every dirty eviction a flash program.
+//
+// This model is deliberately standalone (it does not hook into the FTL
+// hot paths): benches replay a workload's translation-entry access stream
+// through it and convert miss/writeback counts into per-request overhead,
+// which is how the mapping-memory ablation turns bytes into microseconds.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace esp::ftl {
+
+class MappingCache {
+ public:
+  /// @param capacity_pages     translation pages that fit in DRAM
+  /// @param entries_per_page   L2P entries per translation page
+  ///                           (16-KB page / 4-B entry = 4096)
+  MappingCache(std::size_t capacity_pages, std::uint32_t entries_per_page);
+
+  struct Access {
+    bool hit = false;        ///< translation page was cached
+    bool writeback = false;  ///< a dirty page was evicted to make room
+  };
+
+  /// Touches the translation entry; `dirty` marks the mapping page
+  /// modified (a write updating the L2P entry).
+  Access access(std::uint64_t entry_index, bool dirty);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  std::size_t resident_pages() const { return lru_.size(); }
+  std::size_t capacity_pages() const { return capacity_; }
+
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / total : 1.0;
+  }
+
+  void reset_counters();
+
+ private:
+  struct Line {
+    std::uint64_t page;
+    bool dirty;
+  };
+
+  std::size_t capacity_;
+  std::uint32_t entries_per_page_;
+  std::list<Line> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::list<Line>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace esp::ftl

@@ -1,0 +1,36 @@
+#include "ftl/types.h"
+
+namespace esp::ftl {
+
+FtlStats stats_delta(const FtlStats& after, const FtlStats& before) {
+  FtlStats d;
+  d.host_write_requests = after.host_write_requests - before.host_write_requests;
+  d.host_read_requests = after.host_read_requests - before.host_read_requests;
+  d.host_write_sectors = after.host_write_sectors - before.host_write_sectors;
+  d.host_read_sectors = after.host_read_sectors - before.host_read_sectors;
+  d.flash_prog_full = after.flash_prog_full - before.flash_prog_full;
+  d.flash_prog_sub = after.flash_prog_sub - before.flash_prog_sub;
+  d.flash_reads = after.flash_reads - before.flash_reads;
+  d.flash_erases = after.flash_erases - before.flash_erases;
+  d.rmw_ops = after.rmw_ops - before.rmw_ops;
+  d.gc_invocations = after.gc_invocations - before.gc_invocations;
+  d.gc_copy_sectors = after.gc_copy_sectors - before.gc_copy_sectors;
+  d.forward_migrations = after.forward_migrations - before.forward_migrations;
+  d.cold_evictions = after.cold_evictions - before.cold_evictions;
+  d.retention_evictions =
+      after.retention_evictions - before.retention_evictions;
+  d.wear_level_relocations =
+      after.wear_level_relocations - before.wear_level_relocations;
+  d.buffer_hits = after.buffer_hits - before.buffer_hits;
+  d.read_failures = after.read_failures - before.read_failures;
+  d.small_write_requests =
+      after.small_write_requests - before.small_write_requests;
+  d.small_write_bytes = after.small_write_bytes - before.small_write_bytes;
+  d.small_service_flash_bytes =
+      after.small_service_flash_bytes - before.small_service_flash_bytes;
+  d.small_extra_flash_bytes =
+      after.small_extra_flash_bytes - before.small_extra_flash_bytes;
+  return d;
+}
+
+}  // namespace esp::ftl

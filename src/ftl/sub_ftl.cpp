@@ -1,0 +1,409 @@
+#include "ftl/sub_ftl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logger.h"
+
+namespace esp::ftl {
+namespace {
+
+std::uint64_t subpage_quota(const nand::Geometry& geo, double fraction) {
+  const auto quota = static_cast<std::uint64_t>(
+      std::llround(fraction * static_cast<double>(geo.total_blocks())));
+  return std::max<std::uint64_t>(quota, geo.total_chips());
+}
+
+}  // namespace
+
+SubFtl::SubFtl(nand::NandDevice& dev, const Config& config)
+    : dev_(dev),
+      config_(config),
+      geo_(dev.geometry()),
+      codec_(geo_),
+      allocator_(geo_),
+      // No static quota on the full-page region: block types are decided
+      // at program time (paper Sec. 4.2), so blocks the subpage region is
+      // not actually using remain available here. Space pressure is
+      // governed by the shared allocator's reserve floor.
+      pool_full_(dev, allocator_,
+                 FullPagePool::Config{/*quota_blocks=*/~0ull,
+                                      config.gc_reserve_blocks,
+                                      config.use_copyback},
+                 stats_,
+                 [this](std::uint64_t lpn, std::uint64_t new_lin) {
+                   l2p_[lpn] = new_lin;
+                 }),
+      pool_sub_(dev, allocator_,
+                SubpagePool::Config{
+                    .quota_blocks =
+                        subpage_quota(geo_, config.subpage_region_fraction),
+                    .reserve_free_blocks = config.gc_reserve_blocks,
+                    .expand_reserve_blocks =
+                        config.gc_reserve_blocks +
+                        std::max<std::size_t>(geo_.total_blocks() / 32,
+                                              geo_.total_chips()),
+                    .retention_evict_age = config.retention_evict_age,
+                    .gc_free_target = config.gc_free_target,
+                    .advance_max_valid_fraction =
+                        config.advance_max_valid_fraction},
+                stats_,
+                [this](std::uint64_t sector, std::uint64_t new_lin) {
+                  sub_map_[sector].sub_lin = new_lin;
+                },
+                [this](std::span<const SectorWrite> batch, SimTime now,
+                       bool retention) {
+                  return evict_batch(batch, now, retention);
+                },
+                [this](std::uint64_t sector) {
+                  const auto it = sub_map_.find(sector);
+                  return it != sub_map_.end() && it->second.hot;
+                },
+                [this](std::uint64_t sector) {
+                  const auto it = sub_map_.find(sector);
+                  if (it != sub_map_.end()) it->second.hot = false;
+                }),
+      buffer_(config.buffer_sectors) {
+  if (config_.logical_sectors == 0)
+    throw std::invalid_argument("SubFtl: logical_sectors must be > 0");
+  if (config_.subpage_region_fraction <= 0.0 ||
+      config_.subpage_region_fraction >= 1.0)
+    throw std::invalid_argument(
+        "SubFtl: subpage_region_fraction must be in (0, 1)");
+  const std::uint32_t subs = geo_.subpages_per_page;
+  const std::uint64_t lpns = (config_.logical_sectors + subs - 1) / subs;
+  // Hard feasibility, worst case: every logical page valid and cold in the
+  // full-page region while the subpage region sits at its quota. Configs
+  // near this bound still work -- the region stops expanding under space
+  // pressure and GC falls back gracefully -- but beyond it the data
+  // literally cannot fit.
+  const std::uint64_t region_pages =
+      pool_sub_.config().quota_blocks * geo_.pages_per_block;
+  if (lpns + region_pages > geo_.total_pages())
+    throw std::invalid_argument(
+        "SubFtl: logical space plus subpage-region quota exceeds physical "
+        "capacity; reduce logical_sectors or subpage_region_fraction");
+  l2p_.assign(lpns, nand::kUnmapped);
+  version_.assign(config_.logical_sectors, 0);
+}
+
+void SubFtl::check_range(std::uint64_t sector, std::uint32_t count) const {
+  if (count == 0 || sector + count > config_.logical_sectors)
+    throw std::out_of_range("SubFtl: sector range outside logical space");
+}
+
+void SubFtl::drop_subpage_copy(std::uint64_t sector) {
+  const auto it = sub_map_.find(sector);
+  if (it == sub_map_.end()) return;
+  pool_sub_.invalidate(it->second.sub_lin);
+  sub_map_.erase(it);
+}
+
+SimTime SubFtl::write_full_lpn(std::uint64_t lpn, const BufferedSector* group,
+                               SimTime now) {
+  const std::uint32_t subs = geo_.subpages_per_page;
+  std::vector<std::uint64_t> tokens(subs);
+  std::uint64_t small_sectors = 0;
+  for (std::uint32_t s = 0; s < subs; ++s) {
+    // The fresh full page supersedes any subpage-region copy.
+    drop_subpage_copy(group[s].sector);
+    tokens[s] = group[s].token;
+    if (group[s].small) ++small_sectors;
+  }
+  if (l2p_[lpn] != nand::kUnmapped) {
+    pool_full_.invalidate(l2p_[lpn]);
+    l2p_[lpn] = nand::kUnmapped;
+  }
+  const auto [new_lin, done] = pool_full_.write_page(lpn, tokens, now);
+  l2p_[lpn] = new_lin;
+  // Small writes that merged into a full page pay exactly their own bytes.
+  stats_.small_service_flash_bytes += small_sectors * geo_.subpage_bytes();
+  return done;
+}
+
+SimTime SubFtl::write_small_sector(const BufferedSector& bs, SimTime now) {
+  const auto it = sub_map_.find(bs.sector);
+  if (it != sub_map_.end()) {
+    // Re-update of a region-resident sector: the old subpage goes stale and
+    // the sector is proven hot.
+    pool_sub_.invalidate(it->second.sub_lin);
+    it->second.sub_lin = nand::kUnmapped;
+    it->second.hot = true;
+  }
+  if (const auto placed = pool_sub_.try_write_sector(bs.sector, bs.token,
+                                                     now)) {
+    if (bs.small) stats_.small_service_flash_bytes += geo_.subpage_bytes();
+    return placed->second;
+  }
+  // Overflow valve: the region cannot take another subpage right now
+  // (extreme space pressure). Service the write the CGM way instead of
+  // failing -- correctness first, the request WAF of this write is 4.
+  sub_map_.erase(bs.sector);
+  const SimTime done = rmw_into_fullpage(bs.sector, bs.token, now);
+  if (bs.small) stats_.small_service_flash_bytes += geo_.page_bytes;
+  return done;
+}
+
+SimTime SubFtl::flush_run(const std::vector<BufferedSector>& run,
+                          SimTime now) {
+  // Data placement (Sec. 4.1): a COMPLETE logical page inside the flush
+  // group goes to the full-page region; incomplete pages are small writes
+  // for the subpage region. (`run` is sorted; split at page boundaries.)
+  const std::uint32_t subs = geo_.subpages_per_page;
+  SimTime done = now;
+  std::size_t i = 0;
+  while (i < run.size()) {
+    const std::uint64_t lpn = run[i].sector / subs;
+    std::size_t j = i;
+    while (j < run.size() && run[j].sector / subs == lpn) ++j;
+    if (j - i == subs) {
+      done = std::max(done, write_full_lpn(lpn, &run[i], now));
+    } else {
+      for (std::size_t k = i; k < j; ++k)
+        done = std::max(done, write_small_sector(run[k], now));
+    }
+    i = j;
+  }
+  return done;
+}
+
+SimTime SubFtl::rmw_into_fullpage(std::uint64_t sector, std::uint64_t token,
+                                  SimTime now) {
+  const std::uint32_t subs = geo_.subpages_per_page;
+  const std::uint64_t lpn = sector / subs;
+  std::vector<std::uint64_t> tokens(subs, 0);
+  SimTime t = now;
+  if (l2p_[lpn] != nand::kUnmapped) {
+    const auto read = dev_.read_page(codec_.decode_page(l2p_[lpn]), t);
+    ++stats_.flash_reads;
+    ++stats_.rmw_ops;
+    for (std::uint32_t s = 0; s < subs; ++s) {
+      tokens[s] = read.token[s];
+      if (read.status[s] == nand::ReadStatus::kCorrupted ||
+          read.status[s] == nand::ReadStatus::kUncorrectable)
+        ++stats_.read_failures;
+    }
+    t = read.done;
+    pool_full_.invalidate(l2p_[lpn]);
+    l2p_[lpn] = nand::kUnmapped;
+  }
+  tokens[sector % subs] = token;
+  const auto [new_lin, done] = pool_full_.write_page(lpn, tokens, t);
+  l2p_[lpn] = new_lin;
+  return done;
+}
+
+SimTime SubFtl::evict_batch(std::span<const SectorWrite> batch, SimTime now,
+                            bool /*retention*/) {
+  // The pool has already dropped its bookkeeping for these subpages;
+  // forget the hash entries, then merge the sectors into their logical
+  // pages in the full-page region -- ONE read-modify-write per logical
+  // page, however many of its sectors the batch carries (sequential small
+  // writes evict together, so this merge matters).
+  std::vector<SectorWrite> sorted(batch.begin(), batch.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SectorWrite& a, const SectorWrite& b) {
+              return a.sector < b.sector;
+            });
+  const std::uint32_t subs = geo_.subpages_per_page;
+  SimTime done = now;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const std::uint64_t lpn = sorted[i].sector / subs;
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].sector / subs == lpn) ++j;
+
+    std::vector<std::uint64_t> tokens(subs, 0);
+    SimTime t = now;
+    if (l2p_[lpn] != nand::kUnmapped) {
+      const auto read = dev_.read_page(codec_.decode_page(l2p_[lpn]), t);
+      ++stats_.flash_reads;
+      ++stats_.rmw_ops;
+      for (std::uint32_t s = 0; s < subs; ++s) {
+        tokens[s] = read.token[s];
+        if (read.status[s] == nand::ReadStatus::kCorrupted ||
+            read.status[s] == nand::ReadStatus::kUncorrectable)
+          ++stats_.read_failures;
+      }
+      t = read.done;
+      pool_full_.invalidate(l2p_[lpn]);
+      l2p_[lpn] = nand::kUnmapped;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      sub_map_.erase(sorted[k].sector);
+      tokens[sorted[k].sector % subs] = sorted[k].token;
+    }
+    const auto [new_lin, page_done] = pool_full_.write_page(lpn, tokens, t);
+    l2p_[lpn] = new_lin;
+    stats_.small_extra_flash_bytes += geo_.page_bytes;
+    done = std::max(done, page_done);
+    i = j;
+  }
+  return done;
+}
+
+IoResult SubFtl::write(std::uint64_t sector, std::uint32_t count, bool sync,
+                       SimTime now) {
+  check_range(sector, count);
+  // Block-type conversion back to the shared pool: when free blocks run
+  // low, garbage-only subpage-region blocks are returned so they can serve
+  // the full-page region (their type is re-decided at next program).
+  if (allocator_.total_free() <=
+      config_.gc_reserve_blocks + geo_.total_chips())
+    now = pool_sub_.release_idle_blocks(now);
+  if (config_.wl_check_interval > 0 &&
+      ++writes_since_wl_ >= config_.wl_check_interval) {
+    writes_since_wl_ = 0;
+    wl_toggle_ = !wl_toggle_;
+    now = wl_toggle_
+              ? pool_full_.static_wear_level(now, config_.wl_pe_threshold)
+              : pool_sub_.static_wear_level(now, config_.wl_pe_threshold);
+  }
+  ++stats_.host_write_requests;
+  stats_.host_write_sectors += count;
+  const bool small = count < geo_.subpages_per_page;
+  if (small) {
+    ++stats_.small_write_requests;
+    stats_.small_write_bytes +=
+        static_cast<std::uint64_t>(count) * geo_.subpage_bytes();
+  }
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t s = sector + i;
+    if (buffer_.insert(s, make_token(s, ++version_[s]), small))
+      ++stats_.buffer_hits;
+  }
+
+  SimTime done = now + config_.buffer_insert_us;
+  if (sync) {
+    const auto run = buffer_.extract_page_group(sector, geo_.subpages_per_page);
+    done = std::max(done, flush_run(run, now));
+  }
+  while (buffer_.over_capacity()) {
+    const auto victim = buffer_.extract_oldest_page_group(geo_.subpages_per_page);
+    if (victim.empty()) break;
+    done = std::max(done, flush_run(victim, now));
+  }
+  return IoResult{done, true};
+}
+
+IoResult SubFtl::read(std::uint64_t sector, std::uint32_t count, SimTime now,
+                      std::vector<std::uint64_t>* tokens) {
+  check_range(sector, count);
+  ++stats_.host_read_requests;
+  stats_.host_read_sectors += count;
+  if (tokens) tokens->assign(count, 0);
+
+  SimTime done = now;
+  bool ok = true;
+  // Resolve per sector: write buffer -> subpage hash -> coarse L2P. Full
+  // pages are read at most once per logical page per request.
+  std::uint32_t i = 0;
+  while (i < count) {
+    const std::uint64_t s = sector + i;
+    std::uint64_t token = 0;
+    if (buffer_.lookup(s, &token)) {
+      ++stats_.buffer_hits;
+      if (tokens) (*tokens)[i] = token;
+      ++i;
+      continue;
+    }
+    if (const auto it = sub_map_.find(s); it != sub_map_.end()) {
+      const auto ack =
+          dev_.read_subpage(codec_.decode_subpage(it->second.sub_lin), now);
+      ++stats_.flash_reads;
+      if (ack.status != nand::ReadStatus::kOk) {
+        ok = false;
+        ++stats_.read_failures;
+      }
+      if (tokens) (*tokens)[i] = ack.token;
+      done = std::max(done, ack.done);
+      ++i;
+      continue;
+    }
+    // Fall back to the full-page region: serve every remaining sector of
+    // this logical page (that is not shadowed) from one page read.
+    const std::uint32_t subs = geo_.subpages_per_page;
+    const std::uint64_t lpn = s / subs;
+    if (l2p_[lpn] == nand::kUnmapped) {
+      ++i;  // never written: token stays 0
+      continue;
+    }
+    const auto read = dev_.read_page(codec_.decode_page(l2p_[lpn]), now);
+    ++stats_.flash_reads;
+    done = std::max(done, read.done);
+    while (i < count) {
+      const std::uint64_t cur = sector + i;
+      if (cur / subs != lpn) break;
+      if (buffer_.lookup(cur, &token)) {
+        ++stats_.buffer_hits;
+        if (tokens) (*tokens)[i] = token;
+      } else if (const auto it = sub_map_.find(cur); it != sub_map_.end()) {
+        const auto ack =
+            dev_.read_subpage(codec_.decode_subpage(it->second.sub_lin), now);
+        ++stats_.flash_reads;
+        if (ack.status != nand::ReadStatus::kOk) {
+          ok = false;
+          ++stats_.read_failures;
+        }
+        if (tokens) (*tokens)[i] = ack.token;
+        done = std::max(done, ack.done);
+      } else {
+        const auto slot = static_cast<std::uint32_t>(cur % subs);
+        if (read.status[slot] == nand::ReadStatus::kCorrupted ||
+            read.status[slot] == nand::ReadStatus::kUncorrectable) {
+          ok = false;
+          ++stats_.read_failures;
+        }
+        if (tokens) (*tokens)[i] = read.token[slot];
+      }
+      ++i;
+    }
+  }
+  return IoResult{done, ok};
+}
+
+IoResult SubFtl::flush(SimTime now) {
+  SimTime done = now;
+  while (!buffer_.empty()) {
+    const auto run = buffer_.extract_oldest_page_group(geo_.subpages_per_page);
+    if (run.empty()) break;
+    done = std::max(done, flush_run(run, now));
+  }
+  return IoResult{done, true};
+}
+
+void SubFtl::trim(std::uint64_t sector, std::uint32_t count) {
+  check_range(sector, count);
+  const std::uint32_t subs = geo_.subpages_per_page;
+  for (std::uint32_t i = 0; i < count; ++i) buffer_.erase(sector + i);
+  // Whole logical pages can be fully unmapped; partial edges keep their
+  // stale data (same semantics as cgmFTL).
+  const std::uint64_t first_lpn = (sector + subs - 1) / subs;
+  const std::uint64_t end_lpn = (sector + count) / subs;
+  for (std::uint64_t lpn = first_lpn; lpn < end_lpn; ++lpn) {
+    for (std::uint32_t s = 0; s < subs; ++s)
+      drop_subpage_copy(lpn * subs + s);
+    if (l2p_[lpn] != nand::kUnmapped) {
+      pool_full_.invalidate(l2p_[lpn]);
+      l2p_[lpn] = nand::kUnmapped;
+    }
+  }
+}
+
+SimTime SubFtl::tick(SimTime now) {
+  if (now - last_retention_scan_ < config_.retention_scan_interval)
+    return now;
+  last_retention_scan_ = now;
+  return pool_sub_.retention_scan(now);
+}
+
+std::uint64_t SubFtl::mapping_memory_bytes() const {
+  // Coarse table: 32-bit PPA per logical page. Hash table: modeled 16 bytes
+  // per entry (sector key + sub-PPA + flags); bounded by one valid subpage
+  // per physical page of the subpage region.
+  return l2p_.size() * sizeof(std::uint32_t) + sub_map_.size() * 16;
+}
+
+}  // namespace esp::ftl

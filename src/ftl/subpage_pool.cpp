@@ -1,0 +1,402 @@
+#include "ftl/subpage_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp::ftl {
+
+SubpagePool::SubpagePool(nand::NandDevice& dev, BlockAllocator& allocator,
+                         const Config& config, FtlStats& stats, PlaceFn place,
+                         EvictFn evict, HotFn hot, KeptFn kept)
+    : dev_(dev),
+      allocator_(allocator),
+      config_(config),
+      stats_(stats),
+      place_(std::move(place)),
+      evict_(std::move(evict)),
+      hot_(std::move(hot)),
+      kept_(std::move(kept)),
+      geo_(dev.geometry()),
+      codec_(geo_),
+      meta_(geo_.total_blocks()),
+      active_block_(geo_.total_chips()) {
+  if (!place_ || !evict_ || !hot_ || !kept_)
+    throw std::invalid_argument("SubpagePool: all callbacks required");
+  if (config_.quota_blocks == 0)
+    throw std::invalid_argument("SubpagePool: quota_blocks must be > 0");
+}
+
+bool SubpagePool::can_alloc_fresh() const {
+  // During GC the destination block is the paper's "free block reserved for
+  // garbage collection": ONE extra block per pass, beyond quota if needed
+  // (the victim's erase at the end of the pass restores the balance). It
+  // may dip halfway into the allocator reserve -- the other half stays
+  // available for the full-page region's own GC, which the eviction
+  // fallback depends on.
+  if (in_gc_)
+    return gc_dest_allocs_ < 1 &&
+           allocator_.total_free() > config_.reserve_free_blocks / 2;
+  return blocks_in_use_ < config_.quota_blocks &&
+         allocator_.total_free() >
+             std::max(config_.reserve_free_blocks,
+                      config_.expand_reserve_blocks);
+}
+
+SimTime SubpagePool::forward_page(std::uint32_t chip, std::uint32_t blk,
+                                  std::uint32_t page, std::uint32_t to_slot,
+                                  SimTime now) {
+  BlockMeta& m = meta_[block_index(chip, blk)];
+  const nand::PageAddr pa{chip, blk, page};
+  // The live data sits in the page's latest programmed slot.
+  const auto from_slot = to_slot - 1;
+  const auto read = dev_.read_subpage(nand::SubpageAddr{pa, from_slot}, now);
+  ++stats_.flash_reads;
+  if (read.status != nand::ReadStatus::kOk) ++stats_.read_failures;
+  const auto ack =
+      dev_.program_subpage(nand::SubpageAddr{pa, to_slot}, read.token,
+                           read.done);
+  ++stats_.flash_prog_sub;
+  ++stats_.forward_migrations;
+  stats_.small_extra_flash_bytes += geo_.subpage_bytes();
+  m.written_at[page] = read.done;
+  place_(m.sector_of_page[page],
+         codec_.encode_subpage(nand::SubpageAddr{pa, to_slot}));
+  return ack.done;
+}
+
+bool SubpagePool::acquire_slot(std::uint32_t chip, SimTime& t,
+                               std::uint32_t* blk, std::uint32_t* page,
+                               std::uint32_t* slot) {
+  for (;;) {
+    auto& active = active_block_[chip];
+    if (active) {
+      BlockMeta& m = meta_[block_index(chip, *active)];
+      while (m.cursor < geo_.pages_per_block) {
+        const std::uint32_t p = m.cursor;
+        if (m.valid[p]) {
+          // Valid data in the way: forward it into this level's slot and
+          // keep walking (the paper's Fig. 7(c) migration).
+          t = forward_page(chip, *active, p, m.level, t);
+          ++m.cursor;
+          continue;
+        }
+        *blk = *active;
+        *page = p;
+        *slot = m.level;
+        ++m.cursor;
+        return true;
+      }
+      m.active = false;  // sealed at this level
+      active.reset();
+    }
+    // Prefer opening a fresh block (keeps every block's 0th subpages in
+    // play before any 1st subpage is written).
+    if (can_alloc_fresh()) {
+      if (const auto fresh = allocator_.alloc(chip)) {
+        if (in_gc_) ++gc_dest_allocs_;
+        BlockMeta& m = meta_[block_index(chip, *fresh)];
+        m.owned = true;
+        m.active = true;
+        m.level = 0;
+        m.cursor = 0;
+        m.valid_count = 0;
+        m.sector_of_page.assign(geo_.pages_per_block, nand::kUnmapped);
+        m.valid.assign(geo_.pages_per_block, false);
+        m.written_at.assign(geo_.pages_per_block, 0.0);
+        active = *fresh;
+        ++blocks_in_use_;
+        continue;
+      }
+    }
+    // Advance the best sealed block on this chip to its next level:
+    // a block with no valid subpages first, otherwise fewest valid. Blocks
+    // denser than the advance threshold are left for GC -- forwarding
+    // nearly-full blocks costs a subpage write per page for almost no free
+    // slots, while GC's hot/cold filter can demote the data instead.
+    const auto advance_limit = static_cast<std::uint32_t>(
+        config_.advance_max_valid_fraction * geo_.pages_per_block);
+    std::optional<std::uint32_t> best;
+    std::uint32_t best_valid = ~0u;
+    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+      const BlockMeta& m = meta_[block_index(chip, b)];
+      if (!m.owned || m.active) continue;
+      if (m.level + 1u >= geo_.subpages_per_page) continue;  // maxed out
+      if (m.valid_count > advance_limit) continue;           // too dense
+      if (m.valid_count < best_valid) {
+        best_valid = m.valid_count;
+        best = b;
+        if (best_valid == 0) break;
+      }
+    }
+    if (!best) return false;  // chip exhausted at every level
+    BlockMeta& m = meta_[block_index(chip, *best)];
+    ++m.level;
+    m.cursor = 0;
+    m.active = true;
+    active = *best;
+  }
+}
+
+std::pair<std::uint64_t, SimTime> SubpagePool::write_sector(
+    std::uint64_t sector, std::uint64_t token, SimTime now) {
+  if (auto placed = try_write_sector(sector, token, now)) return *placed;
+  throw std::runtime_error(
+      "SubpagePool: no free subpage slot available after GC");
+}
+
+std::optional<std::pair<std::uint64_t, SimTime>> SubpagePool::try_write_sector(
+    std::uint64_t sector, std::uint64_t token, SimTime now) {
+  auto program_at = [&](std::uint32_t chip, std::uint32_t blk,
+                        std::uint32_t page, std::uint32_t slot, SimTime t)
+      -> std::pair<std::uint64_t, SimTime> {
+    rr_chip_ = (chip + 1) % geo_.total_chips();
+    const nand::PageAddr pa{chip, blk, page};
+    const auto ack = dev_.program_subpage(nand::SubpageAddr{pa, slot}, token, t);
+    ++stats_.flash_prog_sub;
+    BlockMeta& m = meta_[block_index(chip, blk)];
+    m.sector_of_page[page] = sector;
+    m.valid[page] = true;
+    m.written_at[page] = t;
+    ++m.valid_count;
+    ++valid_sectors_;
+    const std::uint64_t sub_lin =
+        codec_.encode_subpage(nand::SubpageAddr{pa, slot});
+    place_(sector, sub_lin);
+    return {sub_lin, ack.done};
+  };
+
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t attempt = 0; attempt < geo_.total_chips(); ++attempt) {
+      const std::uint32_t chip = (rr_chip_ + attempt) % geo_.total_chips();
+      SimTime t = now;
+      std::uint32_t blk = 0, page = 0, slot = 0;
+      if (acquire_slot(chip, t, &blk, &page, &slot))
+        return program_at(chip, blk, page, slot, t);
+      // The rotation's primary chip is exhausted: reclaim on THAT chip so
+      // writes keep striping over every channel instead of piling onto the
+      // survivors (per-chip write points are the parallelism the paper's
+      // multi-channel design depends on).
+      if (!in_gc_ && round == 0 && attempt == 0) {
+        const SimTime after = collect(now, chip);
+        if (after != now) {
+          now = after;
+          t = now;
+          if (acquire_slot(chip, t, &blk, &page, &slot))
+            return program_at(chip, blk, page, slot, t);
+        }
+      }
+    }
+    if (round == 0 && !in_gc_) {
+      // Every chip is exhausted: reclaim a small pool of erased blocks so
+      // subsequent writes spread across fresh level-0 slots.
+      for (std::uint32_t i = 0; i < std::max(1u, config_.gc_free_target);
+           ++i) {
+        const SimTime after = collect(now);
+        if (after == now) break;  // no more victims
+        now = after;
+      }
+    } else {
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+void SubpagePool::invalidate(std::uint64_t sub_lin) {
+  const nand::SubpageAddr addr = codec_.decode_subpage(sub_lin);
+  BlockMeta& m = meta_[block_index(addr.page.chip, addr.page.block)];
+  if (!m.owned || !m.valid[addr.page.page])
+    throw std::logic_error("SubpagePool::invalidate: page not valid");
+  // Guard against stale pointers: the live copy must be the page's latest
+  // programmed slot.
+  const auto programmed =
+      dev_.block(addr.page.chip, addr.page.block)
+          .slots_programmed(addr.page.page);
+  if (addr.slot + 1 != programmed)
+    throw std::logic_error(
+        "SubpagePool::invalidate: address does not match live slot");
+  m.valid[addr.page.page] = false;
+  m.sector_of_page[addr.page.page] = nand::kUnmapped;
+  --m.valid_count;
+  --valid_sectors_;
+}
+
+SimTime SubpagePool::collect(SimTime now,
+                             std::optional<std::uint32_t> prefer_chip) {
+  // Victim: owned, non-active block with the fewest valid subpages,
+  // restricted to prefer_chip when it has any candidate.
+  std::optional<std::size_t> victim_idx;
+  std::uint32_t best_valid = ~0u;
+  auto scan_chip = [&](std::uint32_t chip) {
+    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+      const std::size_t idx = block_index(chip, b);
+      const BlockMeta& m = meta_[idx];
+      if (!m.owned || m.active) continue;
+      if (m.valid_count < best_valid) {
+        best_valid = m.valid_count;
+        victim_idx = idx;
+      }
+    }
+  };
+  if (prefer_chip) scan_chip(*prefer_chip);
+  if (!victim_idx)
+    for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip)
+      scan_chip(chip);
+  if (!victim_idx) return now;
+  ++stats_.gc_invocations;
+  return collect_block(*victim_idx, now, /*for_wear_leveling=*/false);
+}
+
+SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
+                                   bool for_wear_leveling) {
+  in_gc_ = true;
+  gc_dest_allocs_ = 0;
+
+  const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
+  const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+  BlockMeta& victim = meta_[idx];
+  // Lock the victim so the hot-rewrite path below can neither advance it
+  // nor write into it -- its erase is already committed.
+  victim.active = true;
+  SimTime t = now;
+  std::vector<SectorWrite> evictions;
+  for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
+    if (!victim.valid[page]) continue;
+    const std::uint64_t sector = victim.sector_of_page[page];
+    const auto live_slot = dev_.block(chip, blk).slots_programmed(page) - 1;
+    const auto read = dev_.read_subpage(
+        nand::SubpageAddr{nand::PageAddr{chip, blk, page}, live_slot}, t);
+    ++stats_.flash_reads;
+    if (read.status != nand::ReadStatus::kOk) ++stats_.read_failures;
+    victim.valid[page] = false;
+    victim.sector_of_page[page] = nand::kUnmapped;
+    --victim.valid_count;
+    --valid_sectors_;
+    if (hot_(sector)) {
+      // Updated since entering the region: likely to be updated again --
+      // keep it close (rewrite into the region). If the region is too
+      // tight to accept it, demote it to the full-page region instead.
+      if (const auto placed =
+              try_write_sector(sector, read.token, read.done)) {
+        if (for_wear_leveling)
+          ++stats_.wear_level_relocations;
+        else
+          ++stats_.gc_copy_sectors;
+        stats_.small_extra_flash_bytes += geo_.subpage_bytes();
+        kept_(sector);  // must be updated again to stay hot next time
+        t = placed->second;
+        continue;
+      }
+    }
+    // Never updated here (or region full): cold -- batch for eviction to
+    // the full-page region, merged per logical page by the receiver.
+    ++stats_.cold_evictions;
+    evictions.push_back(SectorWrite{sector, read.token});
+    t = std::max(t, read.done);
+  }
+  if (!evictions.empty()) t = evict_(evictions, t, /*retention=*/false);
+
+  const auto ack = dev_.erase_block(chip, blk, t);
+  ++stats_.flash_erases;
+  victim.owned = false;
+  victim.active = false;
+  victim.sector_of_page.clear();
+  victim.sector_of_page.shrink_to_fit();
+  victim.valid.clear();
+  victim.valid.shrink_to_fit();
+  victim.written_at.clear();
+  victim.written_at.shrink_to_fit();
+  --blocks_in_use_;
+  allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
+  in_gc_ = false;
+  return ack.done;
+}
+
+SimTime SubpagePool::release_idle_blocks(SimTime now) {
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+      BlockMeta& m = meta_[block_index(chip, b)];
+      if (!m.owned || m.active || m.valid_count != 0) continue;
+      // Keep pristine never-programmed blocks? They do not exist here: a
+      // block is only owned once it has received writes.
+      ++stats_.gc_invocations;  // garbage-only collection, zero copies
+      const auto ack = dev_.erase_block(chip, b, now);
+      ++stats_.flash_erases;
+      now = ack.done;
+      m.owned = false;
+      m.sector_of_page.clear();
+      m.sector_of_page.shrink_to_fit();
+      m.valid.clear();
+      m.valid.shrink_to_fit();
+      m.written_at.clear();
+      m.written_at.shrink_to_fit();
+      --blocks_in_use_;
+      allocator_.release(chip, b, dev_.block(chip, b).pe_cycles());
+    }
+  }
+  return now;
+}
+
+SimTime SubpagePool::static_wear_level(SimTime now,
+                                       std::uint32_t pe_threshold) {
+  std::optional<std::size_t> coldest;
+  std::uint32_t coldest_pe = ~0u;
+  std::uint32_t max_pe = 0;
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+      const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
+      max_pe = std::max(max_pe, pe);
+      const std::size_t idx = block_index(chip, b);
+      const BlockMeta& m = meta_[idx];
+      if (!m.owned || m.active) continue;
+      if (pe < coldest_pe) {
+        coldest_pe = pe;
+        coldest = idx;
+      }
+    }
+  }
+  if (!coldest || max_pe - coldest_pe <= pe_threshold) return now;
+  if (allocator_.total_free() == 0) return now;
+  return collect_block(*coldest, now, /*for_wear_leveling=*/true);
+}
+
+SimTime SubpagePool::retention_scan(SimTime now) {
+  SimTime t = now;
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+      BlockMeta& m = meta_[block_index(chip, b)];
+      if (!m.owned || m.valid_count == 0) continue;
+      std::vector<SectorWrite> evictions;
+      for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
+        if (!m.valid[page]) continue;
+        if (now - m.written_at[page] <= config_.retention_evict_age) continue;
+        const std::uint64_t sector = m.sector_of_page[page];
+        const auto live_slot = dev_.block(chip, b).slots_programmed(page) - 1;
+        const auto read = dev_.read_subpage(
+            nand::SubpageAddr{nand::PageAddr{chip, b, page}, live_slot}, t);
+        ++stats_.flash_reads;
+        if (read.status != nand::ReadStatus::kOk) ++stats_.read_failures;
+        m.valid[page] = false;
+        m.sector_of_page[page] = nand::kUnmapped;
+        --m.valid_count;
+        --valid_sectors_;
+        ++stats_.retention_evictions;
+        evictions.push_back(SectorWrite{sector, read.token});
+        t = std::max(t, read.done);
+      }
+      if (!evictions.empty()) t = evict_(evictions, t, /*retention=*/true);
+    }
+  }
+  return t;
+}
+
+std::vector<std::uint32_t> SubpagePool::owned_pe_cycles() const {
+  std::vector<std::uint32_t> pes;
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip)
+    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b)
+      if (meta_[block_index(chip, b)].owned)
+        pes.push_back(dev_.block(chip, b).pe_cycles());
+  return pes;
+}
+
+}  // namespace esp::ftl

@@ -1,0 +1,173 @@
+// Subpage region management: erase-free subpage programming (paper Sec. 4.2).
+//
+// Blocks in this pool are written one 4-KB subpage at a time using ESP.
+// The writing policy follows the paper's Fig. 7:
+//
+//   * within each chip, one block is "active"; its pages are consumed
+//     sequentially at the block's current *level* (slot index), so the 0th
+//     subpages of every page fill up before any 1st subpage is touched --
+//     maximizing the time for data to become obsolete before its page's
+//     word line is re-programmed;
+//   * when every block is sealed at its level, the block with the fewest
+//     valid subpages advances to the next level; pages that still hold
+//     valid data FORWARD it into the page's next slot (one subpage program,
+//     no data loss -- the spX(0,0) -> spX(0,1) move of Fig. 7(c));
+//   * a page never holds more than one valid subpage (the latest slot), so
+//     the owning FTL's hash mapping stays small;
+//   * when all levels of all blocks are exhausted, GC picks the block with
+//     the fewest valid subpages: subpages that were updated at least once
+//     since entering the region (hot) are rewritten into the region, the
+//     rest are evicted to the full-page region (cold);
+//   * a retention scan evicts subpages older than the configured age to
+//     the full-page region before they outlive the reduced ESP retention
+//     horizon (paper Sec. 4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ftl/block_allocator.h"
+#include "ftl/types.h"
+#include "nand/address.h"
+#include "nand/device.h"
+
+namespace esp::ftl {
+
+class SubpagePool {
+ public:
+  struct Config {
+    std::uint64_t quota_blocks = 0;     ///< region size (paper: 20 % of flash)
+    std::size_t reserve_free_blocks = 8;
+    /// Floor of free blocks below which the region stops EXPANDING (taking
+    /// fresh blocks) and recycles its own instead. Higher than the plain
+    /// reserve so an eagerly-growing region does not consume the
+    /// over-provisioning the full-page region's GC efficiency depends on.
+    std::size_t expand_reserve_blocks = 16;
+    SimTime retention_evict_age = 15 * sim_time::kDay;  ///< paper Sec. 4.3
+    /// Blocks reclaimed per GC episode. Reclaiming several at once keeps a
+    /// pool of erased blocks so the live hot set spreads across fresh
+    /// level-0 slots instead of being forwarded through every level of a
+    /// single block (the paper reclaims "free blocks", plural).
+    std::uint32_t gc_free_target = 2;
+    /// A sealed block only advances to its next level when at most this
+    /// fraction of its pages holds valid data; advancing a mostly-valid
+    /// block would forward nearly every page for almost no free slots.
+    /// Denser blocks go to GC instead, whose hot/cold filter can actually
+    /// shed load to the full-page region. Swept by bench/ablation_policy.
+    double advance_max_valid_fraction = 0.25;
+  };
+
+  /// Mapping update: (sector, new linear subpage address).
+  using PlaceFn =
+      std::function<void(std::uint64_t sector, std::uint64_t new_sub_lin)>;
+  /// Batched eviction to the full-page region; returns the completion
+  /// time. The batch is everything one GC pass (or one retention-scanned
+  /// block) sheds, so the receiver can merge sectors of the same logical
+  /// page into a single read-modify-write. `retention` distinguishes
+  /// age-triggered from GC cold eviction.
+  using EvictFn = std::function<SimTime(std::span<const SectorWrite> batch,
+                                        SimTime now, bool retention)>;
+  /// Hotness query: has this sector been updated since entering the region?
+  using HotFn = std::function<bool(std::uint64_t sector)>;
+  /// Notification that GC kept a hot sector in the region (rewrote it).
+  /// The owner resets its hot flag: the GC rewrite counts as the sector's
+  /// (re-)entry into the region, so it must be updated again to stay hot.
+  using KeptFn = std::function<void(std::uint64_t sector)>;
+
+  SubpagePool(nand::NandDevice& dev, BlockAllocator& allocator,
+              const Config& config, FtlStats& stats, PlaceFn place,
+              EvictFn evict, HotFn hot, KeptFn kept);
+
+  /// Stores one sector via an ESP subpage program (forwarding/advancing/
+  /// collecting as needed). Returns (linear subpage address, completion).
+  /// Throws std::runtime_error when the region is truly out of slots.
+  std::pair<std::uint64_t, SimTime> write_sector(std::uint64_t sector,
+                                                 std::uint64_t token,
+                                                 SimTime now);
+
+  /// Non-throwing variant used by GC's hot-rewrite path: nullopt when no
+  /// slot is available (caller falls back to eviction).
+  std::optional<std::pair<std::uint64_t, SimTime>> try_write_sector(
+      std::uint64_t sector, std::uint64_t token, SimTime now);
+
+  /// Marks the subpage at the given linear address stale.
+  void invalidate(std::uint64_t sub_lin);
+
+  /// Evicts subpages older than config().retention_evict_age.
+  SimTime retention_scan(SimTime now);
+
+  /// Erases and releases region blocks that hold no valid data (block-type
+  /// conversion back to the shared pool). Called by the owner when the
+  /// allocator runs low so an idle region does not tax the full-page
+  /// region's over-provisioning.
+  SimTime release_idle_blocks(SimTime now);
+
+  /// Static wear leveling over the region's blocks (see
+  /// FullPagePool::static_wear_level).
+  SimTime static_wear_level(SimTime now, std::uint32_t pe_threshold);
+
+  std::uint64_t blocks_in_use() const { return blocks_in_use_; }
+  std::uint64_t valid_sectors() const { return valid_sectors_; }
+  const Config& config() const { return config_; }
+
+  /// For wear metrics: P/E counts of blocks currently owned by this pool.
+  std::vector<std::uint32_t> owned_pe_cycles() const;
+
+ private:
+  struct BlockMeta {
+    bool owned = false;
+    bool active = false;
+    std::uint8_t level = 0;        ///< slot index currently being filled
+    std::uint32_t cursor = 0;      ///< next page to consider at this level
+    std::uint32_t valid_count = 0;
+    std::vector<std::uint64_t> sector_of_page;  ///< live sector per page
+    std::vector<bool> valid;
+    std::vector<SimTime> written_at;  ///< program time of the live subpage
+  };
+
+  std::size_t block_index(std::uint32_t chip, std::uint32_t block) const {
+    return static_cast<std::size_t>(chip) * geo_.blocks_per_chip + block;
+  }
+  /// Finds (possibly creating/advancing) a free slot on `chip` and returns
+  /// it; forwards valid data encountered on the way. Returns false when the
+  /// chip has no capacity left at any level.
+  bool acquire_slot(std::uint32_t chip, SimTime& t, std::uint32_t* blk,
+                    std::uint32_t* page, std::uint32_t* slot);
+  /// Forwards the valid subpage of (chip, blk, page) into the next slot.
+  SimTime forward_page(std::uint32_t chip, std::uint32_t blk,
+                       std::uint32_t page, std::uint32_t to_slot, SimTime now);
+  /// One GC pass. With `prefer_chip` set, the victim is chosen on that
+  /// chip when it owns any collectable block (keeps per-chip write points
+  /// alive so the multi-channel pipeline stays balanced); otherwise the
+  /// region-wide minimum-valid block is collected.
+  SimTime collect(SimTime now,
+                  std::optional<std::uint32_t> prefer_chip = std::nullopt);
+  /// Relocates/evicts every valid subpage of the block, erases it, and
+  /// returns it to the allocator (shared by GC and static wear leveling).
+  SimTime collect_block(std::size_t idx, SimTime now, bool for_wear_leveling);
+  bool can_alloc_fresh() const;
+
+  nand::NandDevice& dev_;
+  BlockAllocator& allocator_;
+  Config config_;
+  FtlStats& stats_;
+  PlaceFn place_;
+  EvictFn evict_;
+  HotFn hot_;
+  KeptFn kept_;
+  nand::Geometry geo_;
+  nand::AddressCodec codec_;
+
+  std::vector<BlockMeta> meta_;
+  std::vector<std::optional<std::uint32_t>> active_block_;  ///< per chip
+  std::uint32_t rr_chip_ = 0;
+  std::uint64_t blocks_in_use_ = 0;
+  std::uint64_t valid_sectors_ = 0;
+  bool in_gc_ = false;
+  std::uint32_t gc_dest_allocs_ = 0;  ///< fresh blocks opened by this GC pass
+};
+
+}  // namespace esp::ftl

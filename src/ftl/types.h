@@ -1,0 +1,103 @@
+// Common FTL-level types: sector tokens, I/O results, statistics.
+//
+// The host address space is a flat array of 4-KB *sectors* (the subpage
+// unit Ssub). A *logical page* (lpn) groups Geometry::subpages_per_page
+// consecutive sectors and matches the 16-KB physical page Sfull.
+//
+// Every sector stored on flash carries a 64-bit token encoding
+// (sector, version). The simulation driver keeps a shadow copy of the
+// expected version per sector, so any FTL mapping bug, illegal ESP program
+// or retention violation is caught as a token mismatch on read -- the
+// simulator's equivalent of end-to-end data-path CRC.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.h"
+
+namespace esp::ftl {
+
+/// Sector payload token. Token 0 is reserved for "no data" (padding slots).
+constexpr std::uint64_t make_token(std::uint64_t sector,
+                                   std::uint64_t version) {
+  return ((version & 0xFFFFFF) << 40) | (sector + 1);
+}
+constexpr bool token_empty(std::uint64_t token) { return token == 0; }
+constexpr std::uint64_t token_sector(std::uint64_t token) {
+  return (token & ((1ull << 40) - 1)) - 1;
+}
+constexpr std::uint64_t token_version(std::uint64_t token) {
+  return token >> 40;
+}
+
+/// One live sector to be placed on flash (used by pools and batch APIs).
+struct SectorWrite {
+  std::uint64_t sector = 0;
+  std::uint64_t token = 0;
+};
+
+/// Completion of one host request.
+struct IoResult {
+  SimTime done = 0.0;  ///< simulated completion time
+  bool ok = true;      ///< false on read of corrupted/expired data
+};
+
+/// Monotonic per-FTL counters. All byte quantities are raw flash bytes.
+struct FtlStats {
+  // Host-visible traffic.
+  std::uint64_t host_write_requests = 0;
+  std::uint64_t host_read_requests = 0;
+  std::uint64_t host_write_sectors = 0;
+  std::uint64_t host_read_sectors = 0;
+
+  // Flash operations issued (programs also tracked by the device; kept
+  // here per-FTL so multiple FTL instances can share comparisons).
+  std::uint64_t flash_prog_full = 0;
+  std::uint64_t flash_prog_sub = 0;
+  std::uint64_t flash_reads = 0;
+  std::uint64_t flash_erases = 0;
+
+  // Mechanism counters.
+  std::uint64_t rmw_ops = 0;             ///< read-modify-write services
+  std::uint64_t gc_invocations = 0;
+  std::uint64_t gc_copy_sectors = 0;     ///< sectors relocated by GC
+  std::uint64_t forward_migrations = 0;  ///< ESP in-page valid forwarding
+  std::uint64_t cold_evictions = 0;      ///< subpage -> full-page (GC)
+  std::uint64_t retention_evictions = 0; ///< subpage -> full-page (age)
+  std::uint64_t wear_level_relocations = 0;  ///< sectors moved by static WL
+  std::uint64_t buffer_hits = 0;         ///< reads served from write buffer
+  std::uint64_t read_failures = 0;       ///< uncorrectable/corrupt reads
+
+  // Small-write accounting for the paper's request-WAF metric (Table 1).
+  // "Small" = host write request shorter than one full page.
+  std::uint64_t small_write_requests = 0;
+  std::uint64_t small_write_bytes = 0;          ///< host bytes of small reqs
+  std::uint64_t small_service_flash_bytes = 0;  ///< flash bytes to service them
+  std::uint64_t small_extra_flash_bytes = 0;    ///< migrations + evictions
+
+  /// Average request WAF of small writes (paper Table 1): flash bytes
+  /// consumed on behalf of small writes / host bytes of small writes.
+  double avg_small_request_waf() const {
+    if (small_write_bytes == 0) return 1.0;
+    return static_cast<double>(small_service_flash_bytes +
+                               small_extra_flash_bytes) /
+           static_cast<double>(small_write_bytes);
+  }
+
+  /// Overall write amplification given flash program byte counts.
+  double overall_waf(std::uint64_t page_bytes,
+                     std::uint64_t subpage_bytes) const {
+    const std::uint64_t host = host_write_sectors * subpage_bytes;
+    if (host == 0) return 1.0;
+    return static_cast<double>(flash_prog_full * page_bytes +
+                               flash_prog_sub * subpage_bytes) /
+           static_cast<double>(host);
+  }
+};
+
+/// Counter-wise difference (after - before): stats for a measured window
+/// of a longer run. Requires `after` to be a later snapshot of the same
+/// FTL than `before`.
+FtlStats stats_delta(const FtlStats& after, const FtlStats& before);
+
+}  // namespace esp::ftl

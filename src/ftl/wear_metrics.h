@@ -1,0 +1,40 @@
+// Wear-leveling metrics (paper Sec. 4.2: "this unbalanced wearing problem
+// is solved by using existing wear-leveling algorithms" with block types
+// decided at program time).
+//
+// In this implementation wear leveling is dynamic -- the shared
+// BlockAllocator always hands out the lowest-P/E free block, and blocks
+// convert freely between subpage and full-page duty -- so the check that
+// it WORKS is a measurement: the P/E spread across the device must stay
+// tight even when one region's blocks wear much faster. These helpers
+// compute that summary for tests, benches, and reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nand/device.h"
+
+namespace esp::ftl {
+
+struct WearSummary {
+  std::uint32_t min_pe = 0;
+  std::uint32_t max_pe = 0;
+  double mean_pe = 0.0;
+  double stddev_pe = 0.0;
+  std::uint64_t total_erases = 0;
+
+  /// Absolute spread between the most- and least-worn block.
+  std::uint32_t spread() const { return max_pe - min_pe; }
+  /// Coefficient of variation; 0 = perfectly even wear.
+  double imbalance() const {
+    return mean_pe > 0.0 ? stddev_pe / mean_pe : 0.0;
+  }
+
+  std::string describe() const;
+};
+
+/// Scans every block of the device.
+WearSummary measure_wear(const nand::NandDevice& dev);
+
+}  // namespace esp::ftl

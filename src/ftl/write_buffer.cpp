@@ -1,0 +1,111 @@
+#include "ftl/write_buffer.h"
+
+#include <algorithm>
+
+namespace esp::ftl {
+
+WriteBuffer::WriteBuffer(std::size_t capacity_sectors)
+    : capacity_(capacity_sectors) {}
+
+bool WriteBuffer::insert(std::uint64_t sector, std::uint64_t token,
+                         bool small) {
+  const std::uint64_t seq = next_seq_++;
+  auto [it, fresh] = entries_.try_emplace(sector, Entry{token, seq, small});
+  if (!fresh) {
+    it->second.token = token;
+    it->second.seq = seq;
+    it->second.small = small;
+  }
+  age_log_.emplace_back(seq, sector);
+  return !fresh;
+}
+
+bool WriteBuffer::lookup(std::uint64_t sector, std::uint64_t* token) const {
+  const auto it = entries_.find(sector);
+  if (it == entries_.end()) return false;
+  if (token) *token = it->second.token;
+  return true;
+}
+
+bool WriteBuffer::erase(std::uint64_t sector) {
+  return entries_.erase(sector) > 0;
+}
+
+std::vector<BufferedSector> WriteBuffer::extract_run(std::uint64_t sector) {
+  std::vector<BufferedSector> run;
+  if (!entries_.contains(sector)) return run;
+  // Walk down to the start of the contiguous run, then sweep upward.
+  std::uint64_t lo = sector;
+  while (lo > 0 && entries_.contains(lo - 1)) --lo;
+  for (std::uint64_t s = lo; ; ++s) {
+    const auto it = entries_.find(s);
+    if (it == entries_.end()) break;
+    run.push_back(BufferedSector{s, it->second.token, it->second.small});
+    entries_.erase(it);
+  }
+  return run;
+}
+
+std::vector<BufferedSector> WriteBuffer::extract_oldest_run() {
+  while (!age_log_.empty()) {
+    const auto [seq, sector] = age_log_.front();
+    const auto it = entries_.find(sector);
+    if (it == entries_.end() || it->second.seq != seq) {
+      age_log_.pop_front();  // stale: overwritten or already extracted
+      continue;
+    }
+    return extract_run(sector);
+  }
+  return {};
+}
+
+std::vector<BufferedSector> WriteBuffer::extract_page_group(
+    std::uint64_t sector, std::uint32_t sectors_per_page) {
+  std::vector<BufferedSector> group;
+  if (!entries_.contains(sector)) return group;
+  const auto page_has = [this, sectors_per_page](std::uint64_t lpn) {
+    for (std::uint32_t s = 0; s < sectors_per_page; ++s)
+      if (entries_.contains(lpn * sectors_per_page + s)) return true;
+    return false;
+  };
+  std::uint64_t lo = sector / sectors_per_page;
+  while (lo > 0 && page_has(lo - 1)) --lo;
+  std::uint64_t hi = sector / sectors_per_page;
+  while (page_has(hi + 1)) ++hi;
+  for (std::uint64_t lpn = lo; lpn <= hi; ++lpn) {
+    for (std::uint32_t s = 0; s < sectors_per_page; ++s) {
+      const std::uint64_t cur = lpn * sectors_per_page + s;
+      const auto it = entries_.find(cur);
+      if (it == entries_.end()) continue;
+      group.push_back(BufferedSector{cur, it->second.token, it->second.small});
+      entries_.erase(it);
+    }
+  }
+  return group;
+}
+
+std::vector<BufferedSector> WriteBuffer::extract_oldest_page_group(
+    std::uint32_t sectors_per_page) {
+  while (!age_log_.empty()) {
+    const auto [seq, sector] = age_log_.front();
+    const auto it = entries_.find(sector);
+    if (it == entries_.end() || it->second.seq != seq) {
+      age_log_.pop_front();
+      continue;
+    }
+    return extract_page_group(sector, sectors_per_page);
+  }
+  return {};
+}
+
+std::vector<BufferedSector> WriteBuffer::drain() {
+  std::vector<BufferedSector> all;
+  while (!entries_.empty()) {
+    auto run = extract_oldest_run();
+    all.insert(all.end(), run.begin(), run.end());
+  }
+  age_log_.clear();
+  return all;
+}
+
+}  // namespace esp::ftl

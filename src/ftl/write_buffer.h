@@ -1,0 +1,85 @@
+// Host write buffer (fgmFTL and subFTL front end).
+//
+// Buffers dirty 4-KB sectors so that small *asynchronous* writes can be
+// merged into full-page programs before reaching flash. Synchronous writes
+// pass through: the FTL extracts them (plus any contiguous buffered
+// neighbors -- a free merge) immediately, which is exactly why sync-heavy
+// workloads defeat the FGM scheme (paper Sec. 2).
+//
+// The buffer only stores tokens; flush policy lives in the owning FTL.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace esp::ftl {
+
+struct BufferedSector {
+  std::uint64_t sector = 0;
+  std::uint64_t token = 0;
+  bool small = false;  ///< originated from a small host request
+};
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(std::size_t capacity_sectors);
+
+  /// Inserts or overwrites a dirty sector. Returns true when the sector was
+  /// already buffered (write hit).
+  bool insert(std::uint64_t sector, std::uint64_t token, bool small);
+
+  /// Read hit: fills `token` and returns true when the sector is buffered.
+  bool lookup(std::uint64_t sector, std::uint64_t* token) const;
+
+  /// Drops a sector (TRIM). Returns true when it was present.
+  bool erase(std::uint64_t sector);
+
+  /// Removes and returns the maximal run of buffered sectors contiguous
+  /// with (and including) `sector`, sorted ascending. Empty when `sector`
+  /// is not buffered.
+  std::vector<BufferedSector> extract_run(std::uint64_t sector);
+
+  /// Removes and returns the least-recently-written sector's contiguous
+  /// run (capacity eviction). Empty when the buffer is empty.
+  std::vector<BufferedSector> extract_oldest_run();
+
+  /// Page-granular merge unit: removes and returns every buffered sector
+  /// belonging to the maximal chain of consecutive logical pages (of
+  /// `sectors_per_page` sectors) that each hold at least one buffered
+  /// sector, containing `sector`'s page. Sorted ascending. This is the
+  /// "merge small writes with consecutive logical block addresses" unit of
+  /// the paper's buffered FTLs: sectors of the same page always flush into
+  /// the same physical page.
+  std::vector<BufferedSector> extract_page_group(std::uint64_t sector,
+                                                 std::uint32_t sectors_per_page);
+
+  /// Removes and returns the least-recently-written sector's page group.
+  std::vector<BufferedSector> extract_oldest_page_group(
+      std::uint32_t sectors_per_page);
+
+  /// Removes and returns everything, ordered by write age (oldest first,
+  /// each entry expanded to its contiguous run).
+  std::vector<BufferedSector> drain();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool over_capacity() const { return entries_.size() > capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::uint64_t token;
+    std::uint64_t seq;
+    bool small;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  /// Insertion log for LRU eviction; stale entries skipped lazily.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> age_log_;  // (seq, sector)
+};
+
+}  // namespace esp::ftl

@@ -1,0 +1,73 @@
+// Physical addressing: strongly-typed page and subpage addresses.
+//
+// FTLs store *linear* sub-PPAs (one uint32/uint64 per mapping entry) and
+// decode on demand; the device API takes structured addresses so bugs in
+// arithmetic fail loudly at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "nand/geometry.h"
+
+namespace esp::nand {
+
+/// Address of one physical full page (a word line's worth of data).
+struct PageAddr {
+  std::uint32_t chip = 0;
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;
+
+  bool operator==(const PageAddr&) const = default;
+};
+
+/// Address of one subpage slot within a physical page.
+struct SubpageAddr {
+  PageAddr page;
+  std::uint32_t slot = 0;
+
+  bool operator==(const SubpageAddr&) const = default;
+};
+
+/// Linear encodings. A linear sub-PPA enumerates subpages chip-major:
+///   ((chip * blocks + block) * pages + page) * subs + slot
+/// so that consecutive slots of a page are adjacent.
+class AddressCodec {
+ public:
+  explicit AddressCodec(const Geometry& geo) : geo_(geo) {}
+
+  std::uint64_t encode_page(const PageAddr& a) const {
+    return (static_cast<std::uint64_t>(a.chip) * geo_.blocks_per_chip +
+            a.block) * geo_.pages_per_block + a.page;
+  }
+
+  PageAddr decode_page(std::uint64_t lin) const {
+    PageAddr a;
+    a.page = static_cast<std::uint32_t>(lin % geo_.pages_per_block);
+    lin /= geo_.pages_per_block;
+    a.block = static_cast<std::uint32_t>(lin % geo_.blocks_per_chip);
+    a.chip = static_cast<std::uint32_t>(lin / geo_.blocks_per_chip);
+    return a;
+  }
+
+  std::uint64_t encode_subpage(const SubpageAddr& a) const {
+    return encode_page(a.page) * geo_.subpages_per_page + a.slot;
+  }
+
+  SubpageAddr decode_subpage(std::uint64_t lin) const {
+    SubpageAddr a;
+    a.slot = static_cast<std::uint32_t>(lin % geo_.subpages_per_page);
+    a.page = decode_page(lin / geo_.subpages_per_page);
+    return a;
+  }
+
+  const Geometry& geometry() const { return geo_; }
+
+ private:
+  Geometry geo_;
+};
+
+/// Sentinel for "unmapped" entries in FTL tables.
+inline constexpr std::uint64_t kUnmapped = ~0ull;
+
+}  // namespace esp::nand

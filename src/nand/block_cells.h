@@ -1,0 +1,69 @@
+// Multi-word-line cell model: a block's worth of WordLines with
+// inter-word-line coupling.
+//
+// The paper's Fig. 4 attributes subpage-program damage to "cell-to-cell
+// coupling effect from neighboring cells and program disturbance". The
+// WordLine model covers the within-WL part (inhibited cells of the SAME
+// word line); this model adds the across-WL part: programming word line k
+// up-shifts cells of word lines k-1 and k+1 (floating-gate capacitive
+// coupling), which is why real NAND mandates sequential page programming
+// within a block and why ESP's extra program pulses also tax neighbors.
+//
+// Used by characterization tests/benches; the behavioral simulator's
+// retention model already absorbs the aggregate effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/cell_model.h"
+
+namespace esp::nand {
+
+struct BlockCellParams {
+  CellModelParams cell;          ///< per-WL physics
+  /// Mean/std of the Vth up-shift a programmed neighbor cell receives per
+  /// program operation on an adjacent word line (the residual after the
+  /// controller's read-reference compensation). Small relative to the
+  /// within-WL disturb: one neighbor program is budgeted-for by the ECC
+  /// margin; ESP's repeated programs consume more of it.
+  double neighbor_shift_mean = 0.008;
+  double neighbor_shift_sigma = 0.008;
+};
+
+/// A column of word lines with adjacent-WL coupling on every program.
+class BlockCells {
+ public:
+  BlockCells(std::uint32_t wordlines, std::uint32_t subpages,
+             std::uint32_t cells_per_subpage, const BlockCellParams& params,
+             util::Xoshiro256 rng);
+
+  /// Programs the next subpage slot of word line `wl` with random data and
+  /// applies coupling to the adjacent word lines.
+  void program_subpage_random(std::uint32_t wl);
+
+  /// Programs all slots of word line `wl` (a full-page program).
+  void program_full_random(std::uint32_t wl);
+
+  /// Raw BER of (wl, slot) after `months` of retention.
+  double raw_ber(std::uint32_t wl, std::uint32_t slot, double months);
+
+  std::uint32_t wordlines() const {
+    return static_cast<std::uint32_t>(wls_.size());
+  }
+  std::uint32_t slots_programmed(std::uint32_t wl) const {
+    return wls_.at(wl).slots_programmed();
+  }
+  double mean_vth(std::uint32_t wl, std::uint32_t slot) const {
+    return wls_.at(wl).mean_vth(slot);
+  }
+
+ private:
+  void couple_neighbors(std::uint32_t wl);
+
+  BlockCellParams params_;
+  util::Xoshiro256 rng_;
+  std::vector<WordLine> wls_;
+};
+
+}  // namespace esp::nand

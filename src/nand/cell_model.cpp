@@ -1,0 +1,181 @@
+#include "nand/cell_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace esp::nand {
+namespace {
+
+// Gray code: adjacent TLC levels differ in exactly one bit, so a one-level
+// misread costs one bit error.
+std::uint32_t to_gray(std::uint32_t v) { return v ^ (v >> 1); }
+
+}  // namespace
+
+WordLine::WordLine(std::uint32_t subpages, std::uint32_t cells_per_subpage,
+                   const CellModelParams& params, util::Xoshiro256 rng)
+    : subpages_(subpages),
+      cells_(cells_per_subpage),
+      bits_per_cell_(std::bit_width(params.levels) - 1),
+      params_(params),
+      rng_(rng),
+      pe_cycles_(params.rated_pe_cycles),
+      wl_(static_cast<std::size_t>(subpages) * cells_per_subpage) {
+  if (subpages == 0 || cells_per_subpage == 0)
+    throw std::invalid_argument("WordLine: empty geometry");
+  if (params.levels < 2 || (params.levels & (params.levels - 1)) != 0)
+    throw std::invalid_argument("WordLine: levels must be a power of two >= 2");
+  erase();
+}
+
+void WordLine::set_pe_cycles(std::uint32_t pe) { pe_cycles_ = pe; }
+
+void WordLine::erase() {
+  programmed_ = 0;
+  for (auto& cell : wl_) {
+    cell.vth = rng_.gaussian(params_.erased_mean, params_.erased_sigma);
+    cell.target = 0;
+    cell.programmed = false;
+    cell.npp = 0;
+  }
+}
+
+double WordLine::level_mean(std::uint32_t level) const {
+  // Level 0 is the erased state; program levels sit at 0, step, 2*step, ...
+  if (level == 0) return params_.erased_mean;
+  return static_cast<double>(level - 1) * params_.level_step;
+}
+
+std::uint32_t WordLine::read_level(double vth) const {
+  // Read thresholds at midpoints between adjacent level means.
+  std::uint32_t level = 0;
+  for (std::uint32_t l = 0; l + 1 < params_.levels; ++l) {
+    const double boundary = 0.5 * (level_mean(l) + level_mean(l + 1));
+    if (vth > boundary) level = l + 1;
+  }
+  return level;
+}
+
+std::uint32_t WordLine::gray_distance_bits(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::uint32_t>(std::popcount(to_gray(a) ^ to_gray(b)));
+}
+
+void WordLine::program_subpage(std::uint32_t slot,
+                               std::span<const std::uint8_t> levels) {
+  if (slot >= subpages_)
+    throw std::out_of_range("WordLine::program_subpage: slot out of range");
+  if (slot != programmed_)
+    throw std::logic_error(
+        "WordLine::program_subpage: slots must be programmed sequentially");
+  if (levels.size() != cells_)
+    throw std::logic_error("WordLine::program_subpage: level count mismatch");
+
+  const double wear_ratio = static_cast<double>(pe_cycles_) /
+                            static_cast<double>(params_.rated_pe_cycles);
+  const double sigma_wear =
+      params_.pgm_sigma *
+      (1.0 + params_.wear_sigma_slope * std::max(0.0, wear_ratio - 1.0));
+
+  // The cells being programmed absorbed `programmed_` prior high-Vpgm
+  // operations while inhibited; that stress widens their final placement.
+  const double sigma = std::hypot(
+      sigma_wear, params_.stress_sigma_per_npp * static_cast<double>(programmed_));
+
+  // 1. Disturb every *other* cell on the word line (they are inhibited
+  //    while this subpage's ISPP pulses run).
+  for (std::uint32_t sp = 0; sp < subpages_; ++sp) {
+    if (sp == slot) continue;
+    for (std::uint32_t i = 0; i < cells_; ++i) {
+      Cell& cell = wl_[static_cast<std::size_t>(sp) * cells_ + i];
+      const double shift =
+          cell.programmed
+              ? rng_.gaussian(params_.disturb_programmed_mean,
+                              params_.disturb_programmed_sigma)
+              : rng_.gaussian(params_.disturb_erased_mean,
+                              params_.disturb_erased_sigma);
+      cell.vth += std::max(0.0, shift);
+    }
+  }
+
+  // 2. Program the target cells. Cells whose target is the erased level
+  //    stay inhibited (they keep their current, possibly soft-programmed,
+  //    Vth) -- the SBPI scheme of Fig. 3.
+  for (std::uint32_t i = 0; i < cells_; ++i) {
+    Cell& cell = wl_[static_cast<std::size_t>(slot) * cells_ + i];
+    cell.target = levels[i];
+    cell.programmed = true;
+    cell.npp = static_cast<std::uint8_t>(programmed_);
+    if (levels[i] != 0)
+      cell.vth = rng_.gaussian(level_mean(levels[i]), sigma);
+  }
+  ++programmed_;
+}
+
+void WordLine::program_subpage_random(std::uint32_t slot) {
+  std::vector<std::uint8_t> levels(cells_);
+  for (auto& level : levels)
+    level = static_cast<std::uint8_t>(rng_.below(params_.levels));
+  program_subpage(slot, levels);
+}
+
+void WordLine::disturb_all(double shift_mean, double shift_sigma) {
+  for (auto& cell : wl_)
+    cell.vth += std::max(0.0, rng_.gaussian(shift_mean, shift_sigma));
+}
+
+std::uint64_t WordLine::count_bit_errors(std::uint32_t slot, double months) {
+  if (slot >= subpages_)
+    throw std::out_of_range("WordLine::count_bit_errors: slot out of range");
+  const double wear_ratio = static_cast<double>(pe_cycles_) /
+                            static_cast<double>(params_.rated_pe_cycles);
+  const double wear =
+      1.0 + params_.wear_retention_slope * std::max(0.0, wear_ratio - 1.0);
+
+  std::uint64_t errors = 0;
+  for (std::uint32_t i = 0; i < cells_; ++i) {
+    const Cell& cell = wl_[static_cast<std::size_t>(slot) * cells_ + i];
+    if (!cell.programmed) continue;
+    double vth = cell.vth;
+    // Retention drift: charge loss pulls programmed (non-erased) cells
+    // down; stress absorbed while inhibited accelerates detrapping.
+    if (cell.target != 0 && months > 0.0) {
+      const double mu =
+          params_.retention_rate *
+          (1.0 + params_.retention_kappa * static_cast<double>(cell.npp)) *
+          wear * std::log1p(months / params_.retention_tau_months);
+      const double drift =
+          rng_.gaussian(mu, params_.retention_noise_frac * mu);
+      vth -= std::max(0.0, drift);
+    }
+    errors += gray_distance_bits(read_level(vth), cell.target);
+  }
+  return errors;
+}
+
+double WordLine::raw_ber(std::uint32_t slot, double months) {
+  const auto errors = count_bit_errors(slot, months);
+  return static_cast<double>(errors) /
+         (static_cast<double>(cells_) * bits_per_cell_);
+}
+
+double WordLine::mean_vth(std::uint32_t slot) const {
+  if (slot >= subpages_)
+    throw std::out_of_range("WordLine::mean_vth: slot out of range");
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < cells_; ++i)
+    sum += wl_[static_cast<std::size_t>(slot) * cells_ + i].vth;
+  return sum / cells_;
+}
+
+std::uint32_t WordLine::npp_of(std::uint32_t slot) const {
+  if (slot >= subpages_)
+    throw std::out_of_range("WordLine::npp_of: slot out of range");
+  const Cell& cell = wl_[static_cast<std::size_t>(slot) * cells_];
+  if (!cell.programmed)
+    throw std::logic_error("WordLine::npp_of: slot not programmed");
+  return cell.npp;
+}
+
+}  // namespace esp::nand

@@ -1,0 +1,188 @@
+#include "nand/device.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp::nand {
+
+NandDevice::NandDevice(const Geometry& geo, const TimingSpec& timing,
+                       const RetentionModel& retention)
+    : geo_(geo),
+      timing_(timing),
+      retention_(retention),
+      channel_busy_until_(geo.channels, 0.0),
+      chip_busy_until_(geo.total_chips(), 0.0),
+      chip_busy_accum_(geo.total_chips(), 0.0) {
+  geo_.validate();
+  blocks_.reserve(static_cast<std::size_t>(geo_.total_chips()) *
+                  geo_.blocks_per_chip);
+  for (std::uint32_t c = 0; c < geo_.total_chips(); ++c)
+    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b)
+      blocks_.emplace_back(geo_.pages_per_block, geo_.subpages_per_page);
+}
+
+Block& NandDevice::block_ref(std::uint32_t chip, std::uint32_t blk) {
+  if (chip >= geo_.total_chips() || blk >= geo_.blocks_per_chip)
+    throw std::out_of_range("NandDevice: chip/block out of range");
+  return blocks_[static_cast<std::size_t>(chip) * geo_.blocks_per_chip + blk];
+}
+
+const Block& NandDevice::block(std::uint32_t chip, std::uint32_t blk) const {
+  if (chip >= geo_.total_chips() || blk >= geo_.blocks_per_chip)
+    throw std::out_of_range("NandDevice: chip/block out of range");
+  return blocks_[static_cast<std::size_t>(chip) * geo_.blocks_per_chip + blk];
+}
+
+SimTime NandDevice::schedule(std::uint32_t chip, SimTime array_us,
+                             std::uint64_t xfer_bytes, bool transfer_first,
+                             SimTime now) {
+  const std::uint32_t ch = geo_.channel_of_chip(chip);
+  const SimTime xfer = xfer_bytes ? timing_.transfer_us(xfer_bytes)
+                                  : timing_.cmd_overhead_us;
+  const SimTime start =
+      std::max({now, channel_busy_until_[ch], chip_busy_until_[chip]});
+  SimTime done;
+  if (transfer_first) {
+    // Write path: data moves over the channel, then the array programs.
+    channel_busy_until_[ch] = start + xfer;
+    done = start + xfer + array_us;
+  } else {
+    // Read path: array senses first, then data moves over the channel.
+    channel_busy_until_[ch] = start + array_us + xfer;
+    done = start + array_us + xfer;
+  }
+  chip_busy_until_[chip] = done;
+  chip_busy_accum_[chip] += done - start;
+  return done;
+}
+
+OpAck NandDevice::program_full(const PageAddr& addr,
+                               std::span<const std::uint64_t> tokens,
+                               SimTime now) {
+  Block& blk = block_ref(addr.chip, addr.block);
+  blk.program_full(addr.page, tokens, now);
+  ++counters_.progs_full;
+  return OpAck{schedule(addr.chip, timing_.prog_full_us, geo_.page_bytes,
+                        /*transfer_first=*/true, now)};
+}
+
+OpAck NandDevice::program_subpage(const SubpageAddr& addr, std::uint64_t token,
+                                  SimTime now) {
+  Block& blk = block_ref(addr.page.chip, addr.page.block);
+  blk.program_subpage(addr.page.page, addr.slot, token, now);
+  ++counters_.progs_sub;
+  return OpAck{schedule(addr.page.chip, timing_.prog_sub_us,
+                        geo_.subpage_bytes(), /*transfer_first=*/true, now)};
+}
+
+ReadStatus NandDevice::verdict(const Block& blk, std::uint32_t page,
+                               std::uint32_t slot, SimTime now) {
+  const SlotView view = blk.slot(page, slot);
+  switch (view.state) {
+    case SlotState::kEmpty:
+      return ReadStatus::kEmpty;
+    case SlotState::kCorrupted:
+      ++counters_.corrupted_reads;
+      return ReadStatus::kCorrupted;
+    case SlotState::kStored:
+      break;
+  }
+  const SimTime age = now - view.written_at;
+  if (reliability_mode_ == ReliabilityMode::kDeterministic) {
+    const SimTime horizon =
+        blk.page_mode(page) == PageMode::kFull
+            ? retention_.fullpage_horizon(blk.pe_cycles())
+            : retention_.subpage_horizon(view.npp, blk.pe_cycles());
+    if (age > horizon) {
+      ++counters_.uncorrectable_reads;
+      return ReadStatus::kUncorrectable;
+    }
+  } else {
+    // Probabilistic: map the normalized model BER to a raw BER such that
+    // the normalized ECC limit coincides with the code's capability, then
+    // draw each of the subpage's codewords from the binomial tail.
+    const double months = age / sim_time::kMonth;
+    const double norm_ber =
+        blk.page_mode(page) == PageMode::kFull
+            ? retention_.fullpage_ber(months, blk.pe_cycles())
+            : retention_.subpage_ber(view.npp, months, blk.pe_cycles());
+    const double raw_ber = norm_ber * ecc_.spec().max_raw_ber() /
+                           retention_.params().ecc_limit;
+    const double p_codeword = ecc_.uncorrectable_probability(raw_ber);
+    const auto codewords = ecc_.codewords_for(geo_.subpage_bytes());
+    double p_ok = 1.0;
+    for (std::uint32_t i = 0; i < codewords; ++i) p_ok *= 1.0 - p_codeword;
+    if (fault_rng_.chance(1.0 - p_ok)) {
+      ++counters_.uncorrectable_reads;
+      return ReadStatus::kUncorrectable;
+    }
+  }
+  if (fault_prob_ > 0.0 && fault_rng_.chance(fault_prob_)) {
+    ++counters_.uncorrectable_reads;
+    return ReadStatus::kUncorrectable;
+  }
+  return ReadStatus::kOk;
+}
+
+ReadAck NandDevice::read_subpage(const SubpageAddr& addr, SimTime now) {
+  const Block& blk = block(addr.page.chip, addr.page.block);
+  ReadAck ack;
+  ack.status = verdict(blk, addr.page.page, addr.slot, now);
+  ack.token = blk.slot(addr.page.page, addr.slot).token;
+  ++counters_.reads_sub;
+  ack.done = schedule(addr.page.chip, timing_.read_sub_us,
+                      geo_.subpage_bytes(), /*transfer_first=*/false, now);
+  return ack;
+}
+
+PageReadAck NandDevice::read_page(const PageAddr& addr, SimTime now) {
+  const Block& blk = block(addr.chip, addr.block);
+  PageReadAck ack;
+  for (std::uint32_t s = 0; s < geo_.subpages_per_page; ++s) {
+    ack.status[s] = verdict(blk, addr.page, s, now);
+    ack.token[s] = blk.slot(addr.page, s).token;
+  }
+  ++counters_.reads_full;
+  ack.done = schedule(addr.chip, timing_.read_full_us, geo_.page_bytes,
+                      /*transfer_first=*/false, now);
+  return ack;
+}
+
+OpAck NandDevice::copyback(const PageAddr& src, const PageAddr& dst,
+                           SimTime now) {
+  if (src.chip != dst.chip)
+    throw std::logic_error("NandDevice::copyback: pages must share a chip");
+  const Block& src_blk = block(src.chip, src.block);
+  std::vector<std::uint64_t> tokens(geo_.subpages_per_page);
+  for (std::uint32_t s = 0; s < geo_.subpages_per_page; ++s)
+    tokens[s] = src_blk.slot(src.page, s).token;
+  Block& dst_blk = block_ref(dst.chip, dst.block);
+  dst_blk.program_full(dst.page, tokens, now);
+  ++counters_.reads_full;
+  ++counters_.progs_full;
+  // Chip busy for sense + program; only command overhead on the channel.
+  return OpAck{schedule(src.chip, timing_.read_full_us + timing_.prog_full_us,
+                        /*xfer_bytes=*/0, /*transfer_first=*/true, now)};
+}
+
+OpAck NandDevice::erase_block(std::uint32_t chip, std::uint32_t block,
+                              SimTime now) {
+  block_ref(chip, block).erase();
+  ++counters_.erases;
+  return OpAck{schedule(chip, timing_.erase_us, /*xfer_bytes=*/0,
+                        /*transfer_first=*/true, now)};
+}
+
+void NandDevice::set_read_fault_injection(double probability,
+                                          std::uint64_t seed) {
+  fault_prob_ = std::clamp(probability, 0.0, 1.0);
+  fault_rng_ = util::Xoshiro256(seed);
+}
+
+void NandDevice::set_reliability_mode(ReliabilityMode mode,
+                                      std::uint64_t seed) {
+  reliability_mode_ = mode;
+  fault_rng_ = util::Xoshiro256(seed);
+}
+
+}  // namespace esp::nand

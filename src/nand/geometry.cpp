@@ -1,0 +1,35 @@
+#include "nand/geometry.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace esp::nand {
+
+void Geometry::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("Geometry: ") + what);
+  };
+  require(channels > 0, "channels must be > 0");
+  require(chips_per_channel > 0, "chips_per_channel must be > 0");
+  require(blocks_per_chip > 0, "blocks_per_chip must be > 0");
+  require(pages_per_block > 0, "pages_per_block must be > 0");
+  require(page_bytes > 0, "page_bytes must be > 0");
+  require(subpages_per_page > 0, "subpages_per_page must be > 0");
+  require(subpages_per_page <= kMaxSubpagesPerPage,
+          "subpages_per_page exceeds kMaxSubpagesPerPage");
+  require(page_bytes % subpages_per_page == 0,
+          "page_bytes must be divisible by subpages_per_page");
+}
+
+std::string Geometry::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%uch x %uchip, %u blk/chip, %u pg/blk, %u KiB page, "
+                "%u subpages, %.1f GiB",
+                channels, chips_per_channel, blocks_per_chip, pages_per_block,
+                page_bytes / 1024, subpages_per_page,
+                static_cast<double>(capacity_bytes()) / (1024.0 * 1024 * 1024));
+  return buf;
+}
+
+}  // namespace esp::nand

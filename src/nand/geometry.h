@@ -1,0 +1,63 @@
+// Physical organization of the simulated NAND subsystem.
+//
+// Mirrors the paper's evaluation platform: 8 channels x 4 TLC chips,
+// 16-KB physical pages split into four 4-KB subpages. All counts are
+// configurable; Geometry::validate() rejects inconsistent setups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esp::nand {
+
+/// Static shape of the flash array. Plain aggregate: no invariant beyond
+/// what validate() checks, so members are public (CG C.2).
+struct Geometry {
+  std::uint32_t channels = 8;
+  std::uint32_t chips_per_channel = 4;
+  std::uint32_t blocks_per_chip = 128;
+  std::uint32_t pages_per_block = 256;
+  std::uint32_t page_bytes = 16 * 1024;
+  std::uint32_t subpages_per_page = 4;
+
+  // ---- derived quantities ----
+  std::uint32_t total_chips() const { return channels * chips_per_channel; }
+  std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(total_chips()) * blocks_per_chip;
+  }
+  std::uint64_t pages_per_chip() const {
+    return static_cast<std::uint64_t>(blocks_per_chip) * pages_per_block;
+  }
+  std::uint64_t total_pages() const {
+    return total_blocks() * pages_per_block;
+  }
+  std::uint64_t total_subpages() const {
+    return total_pages() * subpages_per_page;
+  }
+  std::uint32_t subpage_bytes() const { return page_bytes / subpages_per_page; }
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(pages_per_block) * page_bytes;
+  }
+  std::uint64_t capacity_bytes() const {
+    return total_blocks() * block_bytes();
+  }
+
+  std::uint32_t channel_of_chip(std::uint32_t chip) const {
+    return chip / chips_per_channel;
+  }
+
+  /// Throws std::invalid_argument on zero counts, page size not divisible
+  /// by subpage count, or more than kMaxSubpagesPerPage subpages.
+  void validate() const;
+
+  /// Human-readable one-liner ("8ch x 4chip, 128 blk/chip, ... 16 GiB").
+  std::string describe() const;
+
+  bool operator==(const Geometry&) const = default;
+};
+
+/// Upper bound baked into per-slot state arrays. Real large-page devices
+/// top out at 16-KB pages / 4-KB ECC chunks; 8 leaves headroom.
+inline constexpr std::uint32_t kMaxSubpagesPerPage = 8;
+
+}  // namespace esp::nand

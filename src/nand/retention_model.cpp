@@ -1,0 +1,75 @@
+#include "nand/retention_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esp::nand {
+
+namespace {
+// Npp types beyond this are not characterized by the paper (4 subpages per
+// page -> at most 3 prior programs); the model extrapolates linearly but the
+// conservative horizon only considers characterized types.
+constexpr std::uint32_t kCharacterizedMaxNpp = 3;
+}  // namespace
+
+RetentionModel::RetentionModel(const RetentionModelParams& params)
+    : params_(params), max_npp_(kCharacterizedMaxNpp) {
+  if (params_.ecc_limit <= 1.0)
+    throw std::invalid_argument(
+        "RetentionModel: ecc_limit must exceed the endurance BER (1.0)");
+  if (params_.rated_pe_cycles == 0)
+    throw std::invalid_argument("RetentionModel: rated_pe_cycles must be > 0");
+  // Full-page slope calibrated so rated-wear data hits the ECC limit exactly
+  // at the JEDEC horizon: wear(rated)=1, base=1.
+  fullpage_time_slope_ =
+      (params_.ecc_limit - 1.0) / params_.fullpage_rated_months;
+}
+
+double RetentionModel::wear_factor(std::uint32_t pe_cycles) const {
+  if (pe_cycles <= params_.rated_pe_cycles) return 1.0;
+  const double excess = static_cast<double>(pe_cycles -
+                                            params_.rated_pe_cycles) /
+                        static_cast<double>(params_.rated_pe_cycles);
+  return 1.0 + params_.overwear_slope * std::pow(excess, params_.wear_exponent);
+}
+
+double RetentionModel::subpage_ber(std::uint32_t npp, double months,
+                                   std::uint32_t pe_cycles) const {
+  const double base = 1.0 + params_.npp_base_slope * npp;
+  const double growth =
+      params_.time_slope * (1.0 + params_.npp_time_factor * npp) * months;
+  return wear_factor(pe_cycles) * (base + growth);
+}
+
+double RetentionModel::fullpage_ber(double months,
+                                    std::uint32_t pe_cycles) const {
+  return wear_factor(pe_cycles) * (1.0 + fullpage_time_slope_ * months);
+}
+
+SimTime RetentionModel::subpage_horizon(std::uint32_t npp,
+                                        std::uint32_t pe_cycles) const {
+  const double wear = wear_factor(pe_cycles);
+  const double base = 1.0 + params_.npp_base_slope * npp;
+  const double headroom = params_.ecc_limit / wear - base;
+  if (headroom <= 0.0) return 0.0;
+  const double months =
+      headroom / (params_.time_slope * (1.0 + params_.npp_time_factor * npp));
+  return sim_time::from_months(months);
+}
+
+SimTime RetentionModel::fullpage_horizon(std::uint32_t pe_cycles) const {
+  const double headroom = params_.ecc_limit / wear_factor(pe_cycles) - 1.0;
+  if (headroom <= 0.0) return 0.0;
+  return sim_time::from_months(headroom / fullpage_time_slope_);
+}
+
+SimTime RetentionModel::conservative_subpage_horizon() const {
+  SimTime worst = subpage_horizon(0, params_.rated_pe_cycles);
+  for (std::uint32_t k = 1; k <= max_npp_; ++k)
+    worst = std::min(worst, subpage_horizon(k, params_.rated_pe_cycles));
+  // The paper rounds its measured worst case down to exactly one month.
+  return std::min(worst, sim_time::from_months(1.0));
+}
+
+}  // namespace esp::nand

@@ -1,0 +1,80 @@
+// Subpage-aware NAND retention model (paper Sec. 3.3, Fig. 5).
+//
+// The paper characterizes 2x-nm TLC chips and finds that the retention BER
+// of a subpage grows with (a) the number k of program operations the word
+// line saw *before* this subpage was programmed (its Npp^k type), (b) the
+// elapsed retention time, and (c) accumulated P/E wear. This behavioral
+// model reproduces the published calibration points:
+//
+//   * BER(Npp^3) / BER(Npp^0) = 1.41 right after 1K P/E cycles (t = 0)
+//   * every Npp type satisfies a 1-month retention requirement
+//   * Npp^3 exceeds the ECC limit before 2 months
+//   * normal full-page data meets the JEDEC 1-year requirement
+//
+// All BER values are *normalized to the endurance BER* (the BER of an
+// Npp^0 subpage right after the rated 1K P/E cycles), matching Fig. 5's
+// y-axis, so the ECC limit is likewise a normalized ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.h"
+
+namespace esp::nand {
+
+struct RetentionModelParams {
+  double npp_base_slope = 0.1367;   ///< base(k) = 1 + slope*k  (k=3 -> 1.41)
+  double time_slope = 0.18;         ///< per-month growth scale
+  double npp_time_factor = 1.0;     ///< growth multiplier = 1 + factor*k ... see ber()
+  double ecc_limit = 2.4;           ///< normalized max correctable BER (Fig. 5 line)
+  std::uint32_t rated_pe_cycles = 1000;  ///< TLC endurance requirement
+  /// Retention specs are qualified AT rated endurance (JEDEC style): the
+  /// BER surface is flat in wear up to rated_pe_cycles and degrades beyond.
+  double overwear_slope = 1.0;
+  double wear_exponent = 0.85;
+  double fullpage_rated_months = 12.0;   ///< JEDEC commercial requirement
+};
+
+/// Deterministic retention-BER surface + derived safety horizons.
+class RetentionModel {
+ public:
+  RetentionModel() : RetentionModel(RetentionModelParams{}) {}
+  explicit RetentionModel(const RetentionModelParams& params);
+
+  /// Normalized retention BER of an Npp^k subpage after `months` of
+  /// retention with `pe_cycles` of prior wear.
+  double subpage_ber(std::uint32_t npp, double months,
+                     std::uint32_t pe_cycles) const;
+
+  /// Normalized retention BER of full-page-programmed data. Calibrated so
+  /// the rated-P/E page hits the ECC limit exactly at the JEDEC horizon.
+  double fullpage_ber(double months, std::uint32_t pe_cycles) const;
+
+  /// True when data with the given BER is still ECC-correctable.
+  bool correctable(double normalized_ber) const {
+    return normalized_ber <= params_.ecc_limit;
+  }
+
+  /// Longest retention (simulated time) an Npp^k subpage can guarantee at
+  /// the given wear. Solves subpage_ber == ecc_limit.
+  SimTime subpage_horizon(std::uint32_t npp, std::uint32_t pe_cycles) const;
+
+  /// Longest retention for full-page data at the given wear.
+  SimTime fullpage_horizon(std::uint32_t pe_cycles) const;
+
+  /// The paper's conservative FTL-facing bound: "each subpage can hold its
+  /// data properly for one month only" -- the horizon of the worst Npp type
+  /// at rated wear, floored at one month.
+  SimTime conservative_subpage_horizon() const;
+
+  const RetentionModelParams& params() const { return params_; }
+
+ private:
+  double wear_factor(std::uint32_t pe_cycles) const;
+
+  RetentionModelParams params_;
+  std::uint32_t max_npp_;
+  double fullpage_time_slope_;
+};
+
+}  // namespace esp::nand

@@ -1,0 +1,125 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+
+#include "ftl/types.h"
+#include "util/logger.h"
+
+namespace esp::sim {
+
+Driver::Driver(ftl::Ftl& ftl, nand::NandDevice& dev,
+               std::uint32_t queue_depth)
+    : ftl_(ftl),
+      dev_(dev),
+      queue_depth_(queue_depth == 0 ? 1 : queue_depth),
+      shadow_version_(ftl.logical_sectors(), 0),
+      shadow_trimmed_(ftl.logical_sectors(), false) {}
+
+SimTime Driver::next_issue_slot() {
+  if (inflight_.size() < queue_depth_) return arrival_;
+  const SimTime slot = inflight_.top();
+  inflight_.pop();
+  return std::max(arrival_, slot);
+}
+
+std::uint64_t Driver::expected_token(std::uint64_t sector) const {
+  if (shadow_trimmed_.at(sector)) return 0;
+  const std::uint32_t version = shadow_version_.at(sector);
+  return version == 0 ? 0 : ftl::make_token(sector, version);
+}
+
+void Driver::advance_to(SimTime t) {
+  // Manual idle advance: the host is also idle, so future requests arrive
+  // no earlier than t.
+  now_ = std::max(now_, t);
+  arrival_ = std::max(arrival_, t);
+}
+
+ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
+  using workload::Request;
+  arrival_ += request.think_us;
+  const SimTime issue = next_issue_slot();
+  ftl::IoResult result{issue, true};
+  switch (request.type) {
+    case Request::Type::kWrite:
+      for (std::uint32_t i = 0; i < request.count; ++i) {
+        ++shadow_version_[request.sector + i];
+        shadow_trimmed_[request.sector + i] = false;
+      }
+      result = ftl_.write(request.sector, request.count, request.sync, issue);
+      break;
+    case Request::Type::kRead: {
+      result = ftl_.read(request.sector, request.count, issue,
+                         verify ? &read_tokens_ : nullptr);
+      if (!result.ok) ++io_errors_;
+      if (verify) {
+        for (std::uint32_t i = 0; i < request.count; ++i) {
+          const std::uint64_t want = expected_token(request.sector + i);
+          if (read_tokens_[i] != want) {
+            ++verify_failures_;
+            ESP_LOG_ERROR(
+                "verify failure: sector=%llu got=%llx want=%llx",
+                static_cast<unsigned long long>(request.sector + i),
+                static_cast<unsigned long long>(read_tokens_[i]),
+                static_cast<unsigned long long>(want));
+          }
+        }
+      }
+      break;
+    }
+    case Request::Type::kTrim: {
+      ftl_.trim(request.sector, request.count);
+      // Mirror the FTLs' semantics: only whole logical pages inside the
+      // range are actually discarded.
+      const std::uint32_t subs = dev_.geometry().subpages_per_page;
+      const std::uint64_t first_lpn = (request.sector + subs - 1) / subs;
+      const std::uint64_t end_lpn = (request.sector + request.count) / subs;
+      for (std::uint64_t lpn = first_lpn; lpn < end_lpn; ++lpn)
+        for (std::uint32_t i = 0; i < subs; ++i)
+          shadow_trimmed_[lpn * subs + i] = true;
+      break;
+    }
+    case Request::Type::kFlush:
+      result = ftl_.flush(issue);
+      break;
+  }
+  latency_.add(result.done - issue);
+  inflight_.push(result.done);
+  now_ = std::max(now_, result.done);
+  now_ = std::max(now_, ftl_.tick(now_));
+  return result;
+}
+
+void Driver::flush() { now_ = std::max(now_, ftl_.flush(now_).done); }
+
+RunMetrics Driver::run(workload::RequestSource& source, bool verify,
+                       std::uint64_t max_requests) {
+  RunMetrics metrics;
+  metrics.start_us = now_;
+  const std::uint64_t failures_before = verify_failures_;
+  const std::uint64_t io_errors_before = io_errors_;
+  const std::uint64_t erases_before = dev_.counters().erases;
+
+  while (max_requests == 0 || metrics.requests < max_requests) {
+    const auto request = source.next();
+    if (!request) break;
+    ++metrics.requests;
+    if (request->type == workload::Request::Type::kWrite)
+      ++metrics.write_requests;
+    else if (request->type == workload::Request::Type::kRead)
+      ++metrics.read_requests;
+    submit(*request, verify);
+  }
+
+  metrics.end_us = now_;
+  metrics.latency_p50_us = latency_.percentile(0.50);
+  metrics.latency_p99_us = latency_.percentile(0.99);
+  metrics.verify_failures = verify_failures_ - failures_before;
+  metrics.io_errors = io_errors_ - io_errors_before;
+  metrics.ftl_stats = ftl_.stats();
+  metrics.device_erases = dev_.counters().erases;
+  metrics.erases_during_run = metrics.device_erases - erases_before;
+  return metrics;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,104 @@
+// Closed-loop host driver: feeds a request stream into an FTL, carries the
+// simulated clock, and verifies end-to-end data integrity.
+//
+// Verification: the driver mirrors the FTL's deterministic token rule
+// (token = make_token(sector, nth-write-of-sector)), so every read can be
+// checked against the expected latest version. A mapping bug, an ESP
+// corruption or a retention violation all surface as verify_failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "ftl/ftl.h"
+#include "nand/device.h"
+#include "util/histogram.h"
+#include "workload/request.h"
+
+namespace esp::sim {
+
+/// Outcome of one driven run.
+struct RunMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t write_requests = 0;
+  std::uint64_t read_requests = 0;
+  SimTime start_us = 0.0;
+  SimTime end_us = 0.0;
+  std::uint64_t verify_failures = 0;    ///< token mismatches on reads
+  std::uint64_t io_errors = 0;          ///< reads reporting !ok
+  double latency_p50_us = 0.0;          ///< request service-time percentiles
+  double latency_p99_us = 0.0;
+  ftl::FtlStats ftl_stats;              ///< snapshot at end of run
+  std::uint64_t device_erases = 0;      ///< snapshot of device counter
+  std::uint64_t erases_during_run = 0;  ///< erases attributable to this run
+
+  SimTime elapsed_us() const { return end_us - start_us; }
+  double iops() const {
+    const double secs = sim_time::to_seconds(elapsed_us());
+    return secs > 0.0 ? static_cast<double>(requests) / secs : 0.0;
+  }
+};
+
+class Driver {
+ public:
+  /// The driver's shadow state sizes itself to ftl.logical_sectors().
+  ///
+  /// `queue_depth` models host-side concurrency: up to that many requests
+  /// are in flight, so independent chips/channels overlap (the paper's
+  /// platform runs multi-threaded benchmarks against 8 channels). The
+  /// next request issues when the oldest outstanding slot completes.
+  Driver(ftl::Ftl& ftl, nand::NandDevice& dev, std::uint32_t queue_depth = 32);
+
+  /// Runs the stream starting at the current clock; returns metrics for
+  /// this run only (FTL stats are cumulative snapshots).
+  /// @param verify        check every read's tokens against the shadow map
+  /// @param max_requests  stop after this many requests (0 = to exhaustion);
+  ///                      lets callers split one stream into warmup+measure
+  RunMetrics run(workload::RequestSource& source, bool verify = true,
+                 std::uint64_t max_requests = 0);
+
+  /// Issues one request; advances the internal clock to its completion.
+  ftl::IoResult submit(const workload::Request& request, bool verify = true);
+
+  /// Drains the FTL's write buffer (advances the clock).
+  void flush();
+
+  SimTime now() const { return now_; }
+  /// Advances the clock (idle time); never moves backwards.
+  void advance_to(SimTime t);
+
+  std::uint64_t verify_failures() const { return verify_failures_; }
+
+  /// Expected token of a sector's latest version (0 = never written).
+  std::uint64_t expected_token(std::uint64_t sector) const;
+
+  /// Service-time distribution (issue -> completion) of all requests
+  /// submitted so far.
+  const util::Histogram& latency_histogram() const { return latency_; }
+
+ private:
+  /// Issue time for the next request under the queue-depth window.
+  SimTime next_issue_slot();
+
+  ftl::Ftl& ftl_;
+  nand::NandDevice& dev_;
+  std::uint32_t queue_depth_;
+  SimTime now_ = 0.0;      ///< latest completion seen (clock high-water mark)
+  SimTime arrival_ = 0.0;  ///< host-side arrival time (think-time driven)
+  /// Completion times of in-flight requests (min-heap, size <= QD).
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>>
+      inflight_;
+  std::vector<std::uint32_t> shadow_version_;
+  /// Sectors whose latest state is "discarded" (set by whole-page trims,
+  /// cleared by rewrites) -- mirrors the FTLs' page-aligned trim semantics.
+  std::vector<bool> shadow_trimmed_;
+  std::uint64_t verify_failures_ = 0;
+  std::uint64_t io_errors_ = 0;
+  /// 0..200 ms in 2000 buckets: covers buffered hits through GC stalls.
+  util::Histogram latency_{0.0, 200000.0, 2000};
+  std::vector<std::uint64_t> read_tokens_;  // scratch
+};
+
+}  // namespace esp::sim

@@ -1,0 +1,61 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace esp::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::percentile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cum + counts_[i] > target) {
+      const double frac =
+          static_cast<double>(target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum += counts_[i];
+  }
+  return hi_;
+}
+
+std::string Histogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%llu p50=%.3g p95=%.3g p99=%.3g",
+                static_cast<unsigned long long>(total_), percentile(0.50),
+                percentile(0.95), percentile(0.99));
+  return buf;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace esp::util

@@ -1,0 +1,49 @@
+// Fixed-bucket histogram with percentile queries.
+//
+// Used for latency distributions (per-request service time) and for the
+// cell model's bit-error-count distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esp::util {
+
+/// Linear-bucket histogram over [lo, hi); out-of-range samples clamp into
+/// the first/last bucket so totals are never lost.
+class Histogram {
+ public:
+  /// @param lo       lower bound of the first bucket
+  /// @param hi       upper bound of the last bucket (must be > lo)
+  /// @param buckets  number of buckets (must be > 0)
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Value at the given quantile q in [0, 1] (bucket lower edge +
+  /// within-bucket linear interpolation). Returns lo() for an empty
+  /// histogram.
+  double percentile(double q) const noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+
+  /// Compact one-line rendering ("p50=... p99=... max-bucket=[a,b)").
+  std::string summary() const;
+
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace esp::util

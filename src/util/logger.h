@@ -1,0 +1,34 @@
+// Minimal leveled logging.
+//
+// The simulator is a library first: logging defaults to Warn so that tests
+// and benches stay quiet, and callers (examples, debugging sessions) can
+// raise verbosity globally.
+#pragma once
+
+#include <cstdarg>
+
+namespace esp::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// printf-style log emission to stderr; filtered by the global level.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace esp::util
+
+// Convenience macros: compile to a level check + call.
+#define ESP_LOG_TRACE(...) \
+  ::esp::util::logf(::esp::util::LogLevel::kTrace, __VA_ARGS__)
+#define ESP_LOG_DEBUG(...) \
+  ::esp::util::logf(::esp::util::LogLevel::kDebug, __VA_ARGS__)
+#define ESP_LOG_INFO(...) \
+  ::esp::util::logf(::esp::util::LogLevel::kInfo, __VA_ARGS__)
+#define ESP_LOG_WARN(...) \
+  ::esp::util::logf(::esp::util::LogLevel::kWarn, __VA_ARGS__)
+#define ESP_LOG_ERROR(...) \
+  ::esp::util::logf(::esp::util::LogLevel::kError, __VA_ARGS__)

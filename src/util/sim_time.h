@@ -1,0 +1,29 @@
+// Simulated-time representation shared by every layer.
+//
+// SimTime is a double count of simulated *microseconds* since simulation
+// start. A double keeps exact integer microsecond arithmetic up to 2^53 us
+// (~285 simulated years), far beyond the 15-day retention horizons the FTL
+// reasons about, while staying trivially convertible to latencies.
+#pragma once
+
+namespace esp {
+
+using SimTime = double;  ///< microseconds of simulated time
+
+namespace sim_time {
+
+constexpr SimTime kMicrosecond = 1.0;
+constexpr SimTime kMillisecond = 1e3;
+constexpr SimTime kSecond = 1e6;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+constexpr SimTime kMonth = 30 * kDay;  ///< paper uses 1 month = 30 days
+
+constexpr double to_seconds(SimTime t) { return t / kSecond; }
+constexpr double to_days(SimTime t) { return t / kDay; }
+constexpr SimTime from_days(double days) { return days * kDay; }
+constexpr SimTime from_months(double months) { return months * kMonth; }
+
+}  // namespace sim_time
+}  // namespace esp

@@ -1,0 +1,36 @@
+// Streaming statistics accumulators used by the metrics layer and benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace esp::util {
+
+/// Welford-style running mean / variance / min / max accumulator.
+/// O(1) memory, numerically stable, mergeable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace esp::util

@@ -1,0 +1,38 @@
+// Aligned-column table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces; this helper keeps that output uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esp::util {
+
+/// Collects rows of string cells and renders them with padded columns.
+///
+///   TablePrinter t({"benchmark", "IOPS", "WAF"});
+///   t.add_row({"varmail", "1234", "1.007"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Formats as percent ("12.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace esp::util

@@ -1,0 +1,34 @@
+// Named benchmark profiles matched to the paper's five evaluation
+// workloads (Sec. 5, Table 1).
+//
+// We do not run the original applications; instead each profile is a
+// SyntheticParams preset whose *reported characteristics* match the paper:
+// the fraction of small (< Sfull) writes -- Table 1 row 1 -- and the
+// sync-heaviness the paper cites ("more than 95%" sync small writes for
+// Sysbench/Varmail/Postmark, large sequential flushes for YCSB/Cassandra
+// and TPC-C). See DESIGN.md "Substitutions".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.h"
+
+namespace esp::workload {
+
+enum class Benchmark { kSysbench, kVarmail, kPostmark, kYcsb, kTpcc };
+
+/// All five paper benchmarks, in the order of Fig. 8 / Table 1.
+const std::vector<Benchmark>& all_benchmarks();
+
+std::string benchmark_name(Benchmark bench);
+
+/// Builds the profile scaled to a device: `footprint_sectors` bounds the
+/// touched LBA range and `request_count` the stream length.
+SyntheticParams benchmark_profile(Benchmark bench,
+                                  std::uint64_t footprint_sectors,
+                                  std::uint64_t request_count,
+                                  std::uint32_t sectors_per_page,
+                                  std::uint64_t seed = 42);
+
+}  // namespace esp::workload

@@ -1,0 +1,33 @@
+// Host request model shared by workload generators, traces and the driver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/sim_time.h"
+
+namespace esp::workload {
+
+struct Request {
+  enum class Type : std::uint8_t { kWrite, kRead, kTrim, kFlush };
+
+  Type type = Type::kWrite;
+  std::uint64_t sector = 0;  ///< first 4-KB sector
+  std::uint32_t count = 0;   ///< sectors (0 allowed only for kFlush)
+  bool sync = false;         ///< writes: must be durable at completion
+  SimTime think_us = 0.0;    ///< host think time before issuing this request
+
+  std::uint64_t bytes(std::uint32_t sector_bytes) const {
+    return static_cast<std::uint64_t>(count) * sector_bytes;
+  }
+};
+
+/// Pull-based request source consumed by the closed-loop driver.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  /// Next request, or nullopt at end of stream.
+  virtual std::optional<Request> next() = 0;
+};
+
+}  // namespace esp::workload

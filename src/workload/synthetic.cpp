@@ -1,0 +1,155 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp::workload {
+
+void SyntheticParams::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok)
+      throw std::invalid_argument(std::string("SyntheticParams: ") + what);
+  };
+  require(footprint_sectors >= sectors_per_page,
+          "footprint smaller than one page");
+  require(request_count > 0, "request_count must be > 0");
+  require(sectors_per_page > 0, "sectors_per_page must be > 0");
+  require(r_small >= 0.0 && r_small <= 1.0, "r_small out of [0,1]");
+  require(r_synch >= 0.0 && r_synch <= 1.0, "r_synch out of [0,1]");
+  require(read_fraction >= 0.0 && read_fraction < 1.0,
+          "read_fraction out of [0,1)");
+  require(trim_fraction >= 0.0 && trim_fraction + read_fraction < 1.0,
+          "trim_fraction + read_fraction must stay below 1");
+  require(small_sectors_min >= 1 && small_sectors_min <= small_sectors_max,
+          "bad small size range");
+  require(small_sectors_max < sectors_per_page,
+          "small requests must be shorter than a page");
+  require(large_pages_min >= 1 && large_pages_min <= large_pages_max,
+          "bad large size range");
+  require(large_align_prob >= 0.0 && large_align_prob <= 1.0,
+          "large_align_prob out of [0,1]");
+  require(small_footprint_fraction > 0.0 && small_footprint_fraction <= 1.0,
+          "small_footprint_fraction out of (0,1]");
+}
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticParams& params)
+    : params_(params),
+      rng_(params.seed),
+      small_picker_(
+          std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(
+                     params.small_footprint_fraction *
+                     static_cast<double>(params.footprint_sectors /
+                                         params.sectors_per_page))),
+          params.small_zipf_theta),
+      large_picker_(params.footprint_sectors / params.sectors_per_page,
+                    params.large_zipf_theta),
+      read_picker_(params.footprint_sectors / params.sectors_per_page,
+                   params.read_zipf_theta) {
+  params_.validate();
+}
+
+void SyntheticWorkload::reset() {
+  rng_ = util::Xoshiro256(params_.seed);
+  emitted_ = 0;
+}
+
+Request SyntheticWorkload::make_small_write() {
+  Request req;
+  req.type = Request::Type::kWrite;
+  req.sync = rng_.chance(params_.r_synch);
+  req.count = static_cast<std::uint32_t>(
+      rng_.range(params_.small_sectors_min, params_.small_sectors_max));
+  // The picker draws within the (possibly reduced) small-write working
+  // set; a multiplicative hash scatters that set across the whole device.
+  const std::uint64_t total_lpns =
+      params_.footprint_sectors / params_.sectors_per_page;
+  std::uint64_t lpn = small_picker_.sample(rng_);
+  if (params_.small_footprint_fraction < 1.0)
+    lpn = (lpn * (0xd1b54a32d192ed03ull | 1ull)) % total_lpns;
+  // Offset within the page, aligned to the request size: filesystems
+  // allocate small-file extents on natural boundaries, so an 8-KB append
+  // lands on an 8-KB boundary rather than straddling two older writes.
+  const std::uint32_t max_offset = params_.sectors_per_page - req.count;
+  auto offset = static_cast<std::uint32_t>(rng_.below(max_offset + 1));
+  offset = offset / req.count * req.count;
+  req.sector = lpn * params_.sectors_per_page + offset;
+  return req;
+}
+
+Request SyntheticWorkload::make_large_write() {
+  Request req;
+  req.type = Request::Type::kWrite;
+  req.sync = params_.large_sync;
+  const auto pages = static_cast<std::uint32_t>(
+      rng_.range(params_.large_pages_min, params_.large_pages_max));
+  req.count = pages * params_.sectors_per_page;
+  const std::uint64_t total_lpns =
+      params_.footprint_sectors / params_.sectors_per_page;
+  std::uint64_t lpn = large_picker_.sample(rng_);
+  lpn = std::min(lpn, total_lpns - pages);  // keep the request in range
+  req.sector = lpn * params_.sectors_per_page;
+  if (!rng_.chance(params_.large_align_prob)) {
+    // Misaligned large write (footnote 1): shift by a sub-page offset; the
+    // CGM scheme must split it into two partial-page services.
+    const std::uint64_t limit = params_.footprint_sectors - req.count;
+    const auto shift = 1 + rng_.below(params_.sectors_per_page - 1);
+    req.sector = std::min(req.sector + shift, limit);
+  }
+  return req;
+}
+
+Request SyntheticWorkload::make_read() {
+  Request req;
+  req.type = Request::Type::kRead;
+  req.count = 1 + static_cast<std::uint32_t>(
+                      rng_.below(params_.sectors_per_page));
+  const std::uint64_t total_lpns =
+      params_.footprint_sectors / params_.sectors_per_page;
+  std::uint64_t lpn;
+  if (params_.reads_follow_small) {
+    req.count = 1;  // latency-sensitive point reads of the hot set
+    lpn = small_picker_.sample(rng_);
+    if (params_.small_footprint_fraction < 1.0)
+      lpn = (lpn * (0xd1b54a32d192ed03ull | 1ull)) % total_lpns;
+  } else {
+    lpn = read_picker_.sample(rng_);
+  }
+  lpn = std::min(lpn, total_lpns - 1);
+  req.sector = lpn * params_.sectors_per_page;
+  const std::uint64_t limit = params_.footprint_sectors - req.count;
+  req.sector = std::min(req.sector, limit);
+  return req;
+}
+
+Request SyntheticWorkload::make_trim() {
+  // Page-aligned whole-page discards (files deleted by the filesystem).
+  Request req;
+  req.type = Request::Type::kTrim;
+  const std::uint64_t total_lpns =
+      params_.footprint_sectors / params_.sectors_per_page;
+  const std::uint64_t lpn = std::min(large_picker_.sample(rng_),
+                                     total_lpns - 1);
+  req.sector = lpn * params_.sectors_per_page;
+  req.count = params_.sectors_per_page;
+  return req;
+}
+
+std::optional<Request> SyntheticWorkload::next() {
+  if (emitted_ >= params_.request_count) return std::nullopt;
+  ++emitted_;
+  Request req;
+  if (rng_.chance(params_.trim_fraction)) {
+    req = make_trim();
+  } else if (rng_.chance(params_.read_fraction)) {
+    req = make_read();
+  } else if (rng_.chance(params_.r_small)) {
+    req = make_small_write();
+  } else {
+    req = make_large_write();
+  }
+  req.think_us = params_.think_us;
+  return req;
+}
+
+}  // namespace esp::workload

@@ -1,0 +1,96 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace esp::workload {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("trace line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+}  // namespace
+
+std::vector<Request> read_trace(std::istream& in) {
+  std::vector<Request> requests;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char op = 0;
+    ls >> op;
+    Request req;
+    switch (op) {
+      case 'W': {
+        int sync = 0;
+        ls >> req.sector >> req.count >> sync;
+        if (ls.fail()) fail(line_no, "expected 'W sector count sync'");
+        ls >> req.think_us;  // optional
+        req.type = Request::Type::kWrite;
+        req.sync = sync != 0;
+        if (req.count == 0) fail(line_no, "write count must be > 0");
+        break;
+      }
+      case 'R':
+        ls >> req.sector >> req.count;
+        if (ls.fail()) fail(line_no, "expected 'R sector count'");
+        req.type = Request::Type::kRead;
+        if (req.count == 0) fail(line_no, "read count must be > 0");
+        break;
+      case 'T':
+        ls >> req.sector >> req.count;
+        if (ls.fail()) fail(line_no, "expected 'T sector count'");
+        req.type = Request::Type::kTrim;
+        break;
+      case 'F':
+        req.type = Request::Type::kFlush;
+        break;
+      default:
+        fail(line_no, std::string("unknown opcode '") + op + "'");
+    }
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+std::vector<Request> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const std::vector<Request>& requests) {
+  for (const Request& req : requests) {
+    switch (req.type) {
+      case Request::Type::kWrite:
+        out << "W " << req.sector << ' ' << req.count << ' '
+            << (req.sync ? 1 : 0);
+        if (req.think_us > 0.0) out << ' ' << req.think_us;
+        out << '\n';
+        break;
+      case Request::Type::kRead:
+        out << "R " << req.sector << ' ' << req.count << '\n';
+        break;
+      case Request::Type::kTrim:
+        out << "T " << req.sector << ' ' << req.count << '\n';
+        break;
+      case Request::Type::kFlush:
+        out << "F\n";
+        break;
+    }
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<Request>& requests) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  write_trace(out, requests);
+}
+
+}  // namespace esp::workload

@@ -1,0 +1,48 @@
+// Trace file I/O: record and replay request streams.
+//
+// Text format, one request per line:
+//   W <sector> <count> <sync 0|1> [think_us]
+//   R <sector> <count>
+//   T <sector> <count>
+//   F
+// '#'-prefixed lines are comments. The format is deliberately trivial so
+// real block traces can be converted with a one-line awk script.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace esp::workload {
+
+/// Parses a trace stream; throws std::runtime_error with a line number on
+/// malformed input.
+std::vector<Request> read_trace(std::istream& in);
+std::vector<Request> read_trace_file(const std::string& path);
+
+void write_trace(std::ostream& out, const std::vector<Request>& requests);
+void write_trace_file(const std::string& path,
+                      const std::vector<Request>& requests);
+
+/// Replays a pre-recorded request vector as a RequestSource.
+class TraceReplay final : public RequestSource {
+ public:
+  explicit TraceReplay(std::vector<Request> requests)
+      : requests_(std::move(requests)) {}
+
+  std::optional<Request> next() override {
+    if (pos_ >= requests_.size()) return std::nullopt;
+    return requests_[pos_++];
+  }
+
+  void reset() { pos_ = 0; }
+  std::size_t size() const { return requests_.size(); }
+
+ private:
+  std::vector<Request> requests_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace esp::workload

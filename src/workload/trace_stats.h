@@ -1,0 +1,60 @@
+// Trace characterization: the paper's workload-analysis methodology
+// (Sec. 2/5) as a library. Given any request stream, compute the knobs
+// the ESP design reasons about -- the fraction of small writes (r_small),
+// the sync fraction of those (r_synch), footprint, alignment, skew -- so a
+// user can classify their own traces before predicting which FTL wins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace esp::workload {
+
+struct TraceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t flushes = 0;
+
+  std::uint64_t write_sectors = 0;
+  std::uint64_t read_sectors = 0;
+
+  std::uint64_t small_writes = 0;        ///< shorter than one full page
+  std::uint64_t sync_small_writes = 0;
+  std::uint64_t misaligned_large = 0;    ///< >= page but not page-aligned
+
+  std::uint64_t footprint_sectors = 0;   ///< span: max touched sector + 1
+  std::uint64_t distinct_write_sectors = 0;
+  double write_skew_top10 = 0.0;  ///< traffic share of the hottest 10% sectors
+
+  /// r_small: small writes / total writes (paper Sec. 2).
+  double r_small() const {
+    return writes ? static_cast<double>(small_writes) / writes : 0.0;
+  }
+  /// r_synch: sync small writes / small writes (paper Sec. 2).
+  double r_synch() const {
+    return small_writes
+               ? static_cast<double>(sync_small_writes) / small_writes
+               : 0.0;
+  }
+  double read_fraction() const {
+    return requests ? static_cast<double>(reads) / requests : 0.0;
+  }
+
+  /// Human-readable multi-line report.
+  std::string report(std::uint32_t sectors_per_page) const;
+
+  /// Paper-style verdict: which FTL the characteristics favor and why.
+  std::string recommendation() const;
+};
+
+/// Analyzes a request vector (e.g. from read_trace_file).
+/// @param sectors_per_page  the device's Nsub (4 for the paper platform)
+TraceStats analyze_trace(const std::vector<Request>& requests,
+                         std::uint32_t sectors_per_page);
+
+}  // namespace esp::workload

@@ -1,0 +1,83 @@
+// Facade tests: SsdConfig validation and derived quantities, FTL
+// construction, preconditioning.
+#include "core/ssd.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace esp::core {
+namespace {
+
+TEST(SsdConfig, DefaultValidates) {
+  SsdConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SsdConfig, LogicalSectorsPageAligned) {
+  SsdConfig config;
+  config.geometry = test::tiny_geometry();
+  for (const double fraction : {0.3, 0.5, 0.625, 0.8}) {
+    config.logical_fraction = fraction;
+    EXPECT_EQ(config.logical_sectors() % config.geometry.subpages_per_page,
+              0u);
+    EXPECT_LE(config.logical_sectors(),
+              config.geometry.total_subpages());
+  }
+}
+
+TEST(SsdConfig, RejectsBadFractions) {
+  SsdConfig config;
+  config.logical_fraction = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.logical_fraction = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.logical_fraction = 0.5;
+  config.subpage_region_fraction = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Ssd, ConstructsEveryFtlKind) {
+  for (const auto kind : {FtlKind::kCgm, FtlKind::kFgm, FtlKind::kSub}) {
+    Ssd ssd(test::tiny_config(kind));
+    EXPECT_EQ(ssd.ftl().name(), ftl_kind_name(kind));
+    EXPECT_EQ(ssd.logical_sectors(),
+              test::tiny_config(kind).logical_sectors());
+  }
+}
+
+TEST(Ssd, PreconditionFillsRequestedFraction) {
+  Ssd ssd(test::tiny_config(FtlKind::kSub));
+  ssd.precondition(0.5);
+  auto& drv = ssd.driver();
+  const std::uint64_t filled =
+      ssd.logical_sectors() / 2 / 4 * 4;  // page-rounded
+  // Everything below the fill point reads back non-empty & verified.
+  for (std::uint64_t s = 0; s + 4 <= filled; s += filled / 8 / 4 * 4)
+    drv.submit({workload::Request::Type::kRead, s, 4, false, 0.0});
+  EXPECT_EQ(drv.verify_failures(), 0u);
+  // Above the fill point nothing was written.
+  std::vector<std::uint64_t> tokens;
+  ssd.ftl().read(ssd.logical_sectors() - 4, 4, drv.now(), &tokens);
+  for (const auto t : tokens) EXPECT_EQ(t, 0u);
+}
+
+TEST(Ssd, PreconditionZeroIsNoop) {
+  Ssd ssd(test::tiny_config(FtlKind::kCgm));
+  ssd.precondition(0.0);
+  EXPECT_EQ(ssd.ftl().stats().host_write_sectors, 0u);
+}
+
+TEST(Ssd, DeviceAndFtlShareGeometry) {
+  Ssd ssd(test::tiny_config(FtlKind::kFgm));
+  EXPECT_EQ(ssd.device().geometry(), ssd.config().geometry);
+}
+
+TEST(FtlKindName, CoversAllKinds) {
+  EXPECT_EQ(ftl_kind_name(FtlKind::kCgm), "cgmFTL");
+  EXPECT_EQ(ftl_kind_name(FtlKind::kFgm), "fgmFTL");
+  EXPECT_EQ(ftl_kind_name(FtlKind::kSub), "subFTL");
+}
+
+}  // namespace
+}  // namespace esp::core

@@ -1,0 +1,75 @@
+#include "ecc/ecc_model.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::ecc {
+namespace {
+
+TEST(EccModel, DefaultSpecSane) {
+  EccModel model;
+  EXPECT_EQ(model.spec().codeword_bytes, 1024u);
+  EXPECT_EQ(model.spec().correctable_bits, 40u);
+  EXPECT_NEAR(model.spec().max_raw_ber(), 40.0 / 8192.0, 1e-12);
+}
+
+TEST(EccModel, CanCorrectAtOrBelowT) {
+  EccModel model;
+  EXPECT_TRUE(model.can_correct(0));
+  EXPECT_TRUE(model.can_correct(40));
+  EXPECT_FALSE(model.can_correct(41));
+}
+
+TEST(EccModel, UncorrectableProbabilityEdges) {
+  EccModel model;
+  EXPECT_EQ(model.uncorrectable_probability(0.0), 0.0);
+  EXPECT_EQ(model.uncorrectable_probability(1.0), 1.0);
+}
+
+TEST(EccModel, UncorrectableProbabilityMonotone) {
+  EccModel model;
+  double prev = 0.0;
+  for (const double ber : {1e-4, 1e-3, 3e-3, 5e-3, 1e-2, 5e-2}) {
+    const double p = model.uncorrectable_probability(ber);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(EccModel, SharpTransitionAroundCapability) {
+  EccModel model;
+  // Expected errors = n*p; far below t -> ~0, far above -> ~1.
+  EXPECT_LT(model.uncorrectable_probability(1e-3), 1e-6);   // ~8 expected
+  EXPECT_GT(model.uncorrectable_probability(1.5e-2), 0.999);  // ~123 expected
+}
+
+TEST(EccModel, HalfwayBerAtCapabilityIsNearHalf) {
+  EccModel model;
+  // At p = t/n the binomial is centered on t: P(X > t) ~ 0.5.
+  const double p = model.uncorrectable_probability(40.0 / 8192.0);
+  EXPECT_GT(p, 0.3);
+  EXPECT_LT(p, 0.6);
+}
+
+TEST(EccModel, CodewordsForRoundsUp) {
+  EccModel model;
+  EXPECT_EQ(model.codewords_for(0), 0u);
+  EXPECT_EQ(model.codewords_for(1), 1u);
+  EXPECT_EQ(model.codewords_for(1024), 1u);
+  EXPECT_EQ(model.codewords_for(1025), 2u);
+  EXPECT_EQ(model.codewords_for(4096), 4u);
+}
+
+TEST(EccModel, StrongerCodeLowersFailureProbability) {
+  EccModel weak(EccSpec{1024, 20});
+  EccModel strong(EccSpec{1024, 60});
+  const double ber = 5e-3;
+  EXPECT_GT(weak.uncorrectable_probability(ber),
+            strong.uncorrectable_probability(ber));
+}
+
+TEST(EccModel, RejectsZeroCodeword) {
+  EXPECT_THROW(EccModel(EccSpec{0, 10}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esp::ecc

@@ -1,0 +1,75 @@
+#include "ftl/block_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace esp::ftl {
+namespace {
+
+nand::Geometry small_geo() {
+  nand::Geometry geo;
+  geo.channels = 2;
+  geo.chips_per_channel = 1;
+  geo.blocks_per_chip = 4;
+  geo.pages_per_block = 4;
+  return geo;
+}
+
+TEST(BlockAllocator, StartsWithAllBlocksFree) {
+  BlockAllocator alloc(small_geo());
+  EXPECT_EQ(alloc.total_free(), 8u);
+  EXPECT_EQ(alloc.free_on_chip(0), 4u);
+  EXPECT_EQ(alloc.chips(), 2u);
+}
+
+TEST(BlockAllocator, AllocDrainsChip) {
+  BlockAllocator alloc(small_geo());
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 4; ++i) {
+    const auto blk = alloc.alloc(0);
+    ASSERT_TRUE(blk.has_value());
+    seen.insert(*blk);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all distinct
+  EXPECT_FALSE(alloc.alloc(0).has_value());
+  EXPECT_EQ(alloc.free_on_chip(1), 4u);  // other chip untouched
+}
+
+TEST(BlockAllocator, ReleaseMakesBlockAvailableAgain) {
+  BlockAllocator alloc(small_geo());
+  const auto blk = alloc.alloc(0);
+  ASSERT_TRUE(blk);
+  alloc.release(0, *blk, 1);
+  EXPECT_EQ(alloc.free_on_chip(0), 4u);
+}
+
+TEST(BlockAllocator, PrefersLowestPeBlock) {
+  BlockAllocator alloc(small_geo());
+  // Drain chip 0, then release with distinct wear levels.
+  std::vector<std::uint32_t> blocks;
+  while (const auto blk = alloc.alloc(0)) blocks.push_back(*blk);
+  alloc.release(0, blocks[0], 50);
+  alloc.release(0, blocks[1], 5);
+  alloc.release(0, blocks[2], 500);
+  EXPECT_EQ(alloc.alloc(0), blocks[1]);  // lowest P/E first
+  EXPECT_EQ(alloc.alloc(0), blocks[0]);
+  EXPECT_EQ(alloc.alloc(0), blocks[2]);
+}
+
+TEST(BlockAllocator, TotalFreeTracksBothChips) {
+  BlockAllocator alloc(small_geo());
+  alloc.alloc(0);
+  alloc.alloc(1);
+  EXPECT_EQ(alloc.total_free(), 6u);
+}
+
+TEST(BlockAllocator, OutOfRangeChipThrows) {
+  BlockAllocator alloc(small_geo());
+  EXPECT_THROW(alloc.alloc(9), std::out_of_range);
+  EXPECT_THROW(alloc.release(9, 0, 0), std::out_of_range);
+  EXPECT_THROW(alloc.free_on_chip(9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace esp::ftl

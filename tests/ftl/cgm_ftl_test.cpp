@@ -1,0 +1,160 @@
+// cgmFTL unit tests: RMW behavior, alignment splitting, GC under churn.
+#include "ftl/cgm_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/types.h"
+#include "nand/device.h"
+
+namespace esp::ftl {
+namespace {
+
+nand::Geometry tiny_geo() {
+  nand::Geometry geo;
+  geo.channels = 2;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 8;
+  geo.pages_per_block = 16;
+  geo.page_bytes = 16 * 1024;
+  geo.subpages_per_page = 4;
+  return geo;
+}
+
+struct CgmFixture {
+  CgmFixture() : dev(tiny_geo()) {
+    CgmFtl::Config cfg;
+    cfg.logical_sectors = 1024;  // 4 MiB logical vs 32 MiB physical
+    cfg.gc_reserve_blocks = 4;
+    ftl = std::make_unique<CgmFtl>(dev, cfg);
+  }
+  nand::NandDevice dev;
+  std::unique_ptr<CgmFtl> ftl;
+};
+
+TEST(CgmFtl, WriteReadRoundTrip) {
+  CgmFixture fx;
+  fx.ftl->write(0, 4, false, 0.0);
+  std::vector<std::uint64_t> tokens;
+  const auto result = fx.ftl->read(0, 4, 1e7, &tokens);
+  EXPECT_TRUE(result.ok);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(tokens[i], make_token(i, 1));
+}
+
+TEST(CgmFtl, UnwrittenSectorsReadZeroTokens) {
+  CgmFixture fx;
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(100, 4, 0.0, &tokens);
+  for (const auto t : tokens) EXPECT_EQ(t, 0u);
+}
+
+TEST(CgmFtl, SmallWriteTriggersRmwOnlyWhenMapped) {
+  CgmFixture fx;
+  // First small write to an unmapped page: no read needed, no RMW.
+  fx.ftl->write(0, 1, true, 0.0);
+  EXPECT_EQ(fx.ftl->stats().rmw_ops, 0u);
+  // Second small write to the SAME logical page: read-modify-write.
+  fx.ftl->write(1, 1, true, 0.0);
+  EXPECT_EQ(fx.ftl->stats().rmw_ops, 1u);
+  // Both sectors still intact.
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(0, 2, 1.0, &tokens);
+  EXPECT_EQ(tokens[0], make_token(0, 1));
+  EXPECT_EQ(tokens[1], make_token(1, 1));
+}
+
+TEST(CgmFtl, SmallWritePreservesSiblingSectors) {
+  CgmFixture fx;
+  fx.ftl->write(0, 4, false, 0.0);  // full page
+  fx.ftl->write(2, 1, true, 1.0);   // overwrite one sector
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(0, 4, 2.0, &tokens);
+  EXPECT_EQ(tokens[0], make_token(0, 1));
+  EXPECT_EQ(tokens[1], make_token(1, 1));
+  EXPECT_EQ(tokens[2], make_token(2, 2));  // updated
+  EXPECT_EQ(tokens[3], make_token(3, 1));
+}
+
+TEST(CgmFtl, MisalignedFullPageWriteSplitsIntoTwoServices) {
+  CgmFixture fx;
+  // Pre-write both touched pages so each partial service needs an RMW
+  // (footnote 1 of the paper).
+  fx.ftl->write(0, 8, false, 0.0);
+  const auto rmw_before = fx.ftl->stats().rmw_ops;
+  const auto progs_before = fx.ftl->stats().flash_prog_full;
+  fx.ftl->write(2, 4, false, 1.0);  // 16-KB write, misaligned by 2 sectors
+  EXPECT_EQ(fx.ftl->stats().rmw_ops - rmw_before, 2u);
+  EXPECT_EQ(fx.ftl->stats().flash_prog_full - progs_before, 2u);
+}
+
+TEST(CgmFtl, AlignedFullPageWriteIsSingleProgram) {
+  CgmFixture fx;
+  const auto progs_before = fx.ftl->stats().flash_prog_full;
+  fx.ftl->write(4, 4, false, 0.0);
+  EXPECT_EQ(fx.ftl->stats().flash_prog_full - progs_before, 1u);
+  EXPECT_EQ(fx.ftl->stats().rmw_ops, 0u);
+}
+
+TEST(CgmFtl, SmallRequestWafIsPageSized) {
+  CgmFixture fx;
+  fx.ftl->write(0, 1, true, 0.0);  // 4 KB -> one 16-KB program
+  EXPECT_DOUBLE_EQ(fx.ftl->stats().avg_small_request_waf(), 4.0);
+}
+
+TEST(CgmFtl, GcReclaimsSpaceUnderChurn) {
+  CgmFixture fx;
+  SimTime now = 0.0;
+  // Overwrite the same small logical range far beyond physical block count.
+  for (int round = 0; round < 3000; ++round) {
+    const std::uint64_t lpn = round % 64;
+    now = fx.ftl->write(lpn * 4, 4, false, now).done;
+  }
+  EXPECT_GT(fx.ftl->stats().gc_invocations, 0u);
+  EXPECT_GT(fx.ftl->stats().flash_erases, 0u);
+  // Data still correct after GC.
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(0, 4, now, &tokens);
+  EXPECT_NE(tokens[0], 0u);
+}
+
+TEST(CgmFtl, TrimUnmapsWholePages) {
+  CgmFixture fx;
+  fx.ftl->write(0, 8, false, 0.0);
+  fx.ftl->trim(0, 4);
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(0, 4, 1.0, &tokens);
+  for (const auto t : tokens) EXPECT_EQ(t, 0u);
+  fx.ftl->read(4, 4, 1.0, &tokens);
+  for (const auto t : tokens) EXPECT_NE(t, 0u);
+}
+
+TEST(CgmFtl, PartialTrimIgnored) {
+  CgmFixture fx;
+  fx.ftl->write(0, 4, false, 0.0);
+  fx.ftl->trim(1, 2);  // interior sectors only: not page-aligned
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(0, 4, 1.0, &tokens);
+  for (const auto t : tokens) EXPECT_NE(t, 0u);
+}
+
+TEST(CgmFtl, MappingMemoryIsPerPage) {
+  CgmFixture fx;
+  EXPECT_EQ(fx.ftl->mapping_memory_bytes(), 1024 / 4 * sizeof(std::uint32_t));
+}
+
+TEST(CgmFtl, RejectsOutOfRangeAccess) {
+  CgmFixture fx;
+  EXPECT_THROW(fx.ftl->write(1024, 1, false, 0.0), std::out_of_range);
+  EXPECT_THROW(fx.ftl->read(1020, 8, 0.0, nullptr), std::out_of_range);
+  EXPECT_THROW(fx.ftl->write(0, 0, false, 0.0), std::out_of_range);
+}
+
+TEST(CgmFtl, RejectsOversizedLogicalSpace) {
+  nand::NandDevice dev(tiny_geo());
+  CgmFtl::Config cfg;
+  cfg.logical_sectors = dev.geometry().total_subpages() + 1;
+  EXPECT_THROW(CgmFtl(dev, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esp::ftl

@@ -1,0 +1,150 @@
+// fgmFTL unit tests: buffer merging, sync fragmentation, GC repacking.
+#include "ftl/fgm_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/types.h"
+#include "nand/device.h"
+
+namespace esp::ftl {
+namespace {
+
+nand::Geometry tiny_geo() {
+  nand::Geometry geo;
+  geo.channels = 2;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 8;
+  geo.pages_per_block = 16;
+  geo.page_bytes = 16 * 1024;
+  geo.subpages_per_page = 4;
+  return geo;
+}
+
+struct FgmFixture {
+  explicit FgmFixture(std::size_t buffer_sectors = 32) : dev(tiny_geo()) {
+    FgmFtl::Config cfg;
+    cfg.logical_sectors = 1024;
+    cfg.gc_reserve_blocks = 4;
+    cfg.buffer_sectors = buffer_sectors;
+    ftl = std::make_unique<FgmFtl>(dev, cfg);
+  }
+  nand::NandDevice dev;
+  std::unique_ptr<FgmFtl> ftl;
+};
+
+TEST(FgmFtl, AsyncWritesStayBufferedUntilFlush) {
+  FgmFixture fx;
+  fx.ftl->write(0, 2, false, 0.0);
+  EXPECT_EQ(fx.ftl->stats().flash_prog_full, 0u);
+  // Readable straight from the buffer.
+  std::vector<std::uint64_t> tokens;
+  const auto result = fx.ftl->read(0, 2, 1.0, &tokens);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(tokens[0], make_token(0, 1));
+  EXPECT_GT(fx.ftl->stats().buffer_hits, 0u);
+  fx.ftl->flush(2.0);
+  EXPECT_GT(fx.ftl->stats().flash_prog_full, 0u);
+}
+
+TEST(FgmFtl, SyncWriteFlushesImmediately) {
+  FgmFixture fx;
+  fx.ftl->write(0, 1, true, 0.0);
+  EXPECT_EQ(fx.ftl->stats().flash_prog_full, 1u);
+}
+
+TEST(FgmFtl, LoneSyncSmallWritePaysFullPage) {
+  FgmFixture fx;
+  fx.ftl->write(0, 1, true, 0.0);
+  // 4-KB data in a 16-KB program: request WAF = 4 (internal fragmentation).
+  EXPECT_DOUBLE_EQ(fx.ftl->stats().avg_small_request_waf(), 4.0);
+}
+
+TEST(FgmFtl, MergedAsyncSmallWritesReachWafOne) {
+  FgmFixture fx;
+  // Four contiguous async 4-KB writes merge into one dense page on flush.
+  for (std::uint64_t s = 0; s < 4; ++s) fx.ftl->write(s, 1, false, 0.0);
+  fx.ftl->flush(1.0);
+  EXPECT_EQ(fx.ftl->stats().flash_prog_full, 1u);
+  EXPECT_DOUBLE_EQ(fx.ftl->stats().avg_small_request_waf(), 1.0);
+}
+
+TEST(FgmFtl, SyncWriteDragsContiguousNeighborsAlong) {
+  FgmFixture fx;
+  fx.ftl->write(10, 1, false, 0.0);  // buffered
+  fx.ftl->write(11, 1, true, 1.0);   // sync: flushes 10 and 11 together
+  EXPECT_EQ(fx.ftl->stats().flash_prog_full, 1u);
+  // Two sectors in one page: each paid half a page.
+  EXPECT_DOUBLE_EQ(fx.ftl->stats().avg_small_request_waf(), 2.0);
+}
+
+TEST(FgmFtl, CapacityEvictionFlushesOldest) {
+  FgmFixture fx(/*buffer_sectors=*/4);
+  for (std::uint64_t s = 0; s < 10; s += 2)  // non-contiguous
+    fx.ftl->write(s, 1, false, 0.0);
+  EXPECT_GT(fx.ftl->stats().flash_prog_full, 0u);
+  // Everything still readable with the latest version.
+  std::vector<std::uint64_t> tokens;
+  for (std::uint64_t s = 0; s < 10; s += 2) {
+    fx.ftl->read(s, 1, 100.0, &tokens);
+    EXPECT_EQ(tokens[0], make_token(s, 1));
+  }
+}
+
+TEST(FgmFtl, OverwriteInBufferCoalesces) {
+  FgmFixture fx;
+  fx.ftl->write(5, 1, false, 0.0);
+  fx.ftl->write(5, 1, false, 1.0);
+  fx.ftl->write(5, 1, false, 2.0);
+  fx.ftl->flush(3.0);
+  // Three host writes, one flash program.
+  EXPECT_EQ(fx.ftl->stats().flash_prog_full, 1u);
+  EXPECT_EQ(fx.ftl->stats().buffer_hits, 2u);
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(5, 1, 4.0, &tokens);
+  EXPECT_EQ(tokens[0], make_token(5, 3));
+}
+
+TEST(FgmFtl, GcRepacksSparsePages) {
+  FgmFixture fx;
+  SimTime now = 0.0;
+  // Sync-heavy churn writes sparse pages; GC must repack and reclaim.
+  for (int round = 0; round < 4000; ++round) {
+    const std::uint64_t s = (round * 7) % 512;
+    now = fx.ftl->write(s, 1, true, now).done;
+  }
+  EXPECT_GT(fx.ftl->stats().gc_invocations, 0u);
+  EXPECT_GT(fx.ftl->stats().gc_copy_sectors, 0u);
+  // Latest versions intact after repacking.
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(7, 1, now, &tokens);
+  EXPECT_NE(tokens[0], 0u);
+}
+
+TEST(FgmFtl, TrimDropsBufferedAndFlashedSectors) {
+  FgmFixture fx;
+  fx.ftl->write(0, 4, true, 0.0);   // on flash
+  fx.ftl->write(8, 2, false, 1.0);  // buffered
+  fx.ftl->trim(0, 2);
+  fx.ftl->trim(8, 2);
+  std::vector<std::uint64_t> tokens;
+  fx.ftl->read(0, 4, 2.0, &tokens);
+  EXPECT_EQ(tokens[0], 0u);
+  EXPECT_EQ(tokens[1], 0u);
+  EXPECT_NE(tokens[2], 0u);  // untouched by trim
+  fx.ftl->read(8, 2, 2.0, &tokens);
+  EXPECT_EQ(tokens[0], 0u);
+}
+
+TEST(FgmFtl, MappingMemoryIsPerSector) {
+  FgmFixture fx;
+  EXPECT_EQ(fx.ftl->mapping_memory_bytes(), 1024 * sizeof(std::uint32_t));
+}
+
+TEST(FgmFtl, RangeChecksEnforced) {
+  FgmFixture fx;
+  EXPECT_THROW(fx.ftl->write(1024, 1, false, 0.0), std::out_of_range);
+  EXPECT_THROW(fx.ftl->read(0, 0, 0.0, nullptr), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace esp::ftl

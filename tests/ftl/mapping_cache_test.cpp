@@ -1,0 +1,77 @@
+#include "ftl/mapping_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::ftl {
+namespace {
+
+TEST(MappingCache, FirstAccessMissesThenHits) {
+  MappingCache cache(4, 100);
+  EXPECT_FALSE(cache.access(5, false).hit);
+  EXPECT_TRUE(cache.access(5, false).hit);
+  EXPECT_TRUE(cache.access(99, false).hit);   // same translation page
+  EXPECT_FALSE(cache.access(100, false).hit);  // next page
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(MappingCache, LruEvictsColdestPage) {
+  MappingCache cache(2, 10);
+  cache.access(0, false);   // page 0
+  cache.access(10, false);  // page 1
+  cache.access(0, false);   // page 0 now MRU
+  cache.access(20, false);  // page 2 evicts page 1
+  EXPECT_TRUE(cache.access(0, false).hit);
+  EXPECT_FALSE(cache.access(10, false).hit);  // page 1 was evicted
+}
+
+TEST(MappingCache, DirtyEvictionTriggersWriteback) {
+  MappingCache cache(1, 10);
+  cache.access(0, /*dirty=*/true);
+  const auto second = cache.access(10, false);
+  EXPECT_TRUE(second.writeback);
+  EXPECT_EQ(cache.writebacks(), 1u);
+  // Clean eviction has no writeback.
+  const auto third = cache.access(20, false);
+  EXPECT_FALSE(third.writeback);
+}
+
+TEST(MappingCache, DirtyBitSticksUntilEviction) {
+  MappingCache cache(1, 10);
+  cache.access(0, true);
+  cache.access(1, false);  // same page, clean access must not clear dirty
+  EXPECT_TRUE(cache.access(10, false).writeback);
+}
+
+TEST(MappingCache, HitRateAndCapacity) {
+  MappingCache cache(8, 4096);
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t e = 0; e < 8 * 4096; e += 4096)
+      cache.access(e, false);
+  EXPECT_GT(cache.hit_rate(), 0.85);  // everything fits after warmup
+  EXPECT_LE(cache.resident_pages(), 8u);
+}
+
+TEST(MappingCache, ThrashingWhenWorkingSetExceedsCapacity) {
+  MappingCache cache(2, 10);
+  for (int round = 0; round < 5; ++round)
+    for (std::uint64_t page = 0; page < 4; ++page)
+      cache.access(page * 10, false);  // cyclic over 4 pages, cache of 2
+  EXPECT_LT(cache.hit_rate(), 0.1);  // LRU worst case: ~0
+}
+
+TEST(MappingCache, ResetCountersKeepsContents) {
+  MappingCache cache(2, 10);
+  cache.access(0, false);
+  cache.reset_counters();
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_TRUE(cache.access(0, false).hit);  // still resident
+}
+
+TEST(MappingCache, RejectsZeroCapacity) {
+  EXPECT_THROW(MappingCache(0, 10), std::invalid_argument);
+  EXPECT_THROW(MappingCache(1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esp::ftl

@@ -1,0 +1,133 @@
+// Cross-FTL differential tests: the three FTLs are fed identical request
+// streams; their host-visible contents must agree, and their mechanism
+// counters must show the paper's qualitative ordering.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/ssd.h"
+#include "test_common.h"
+#include "workload/synthetic.h"
+
+namespace esp {
+namespace {
+
+using core::FtlKind;
+
+workload::SyntheticParams sync_small_params(std::uint64_t footprint,
+                                            std::uint64_t count,
+                                            std::uint64_t seed = 5) {
+  workload::SyntheticParams p;
+  p.footprint_sectors = footprint;
+  p.request_count = count;
+  p.r_small = 1.0;
+  p.r_synch = 1.0;
+  // Small writes confined to ~5% of the space (journal/metadata style),
+  // so the working set fits the subpage region as it does on the paper's
+  // platform (3.2-GB region vs. the benchmarks' hot files).
+  p.small_footprint_fraction = 0.05;
+  p.seed = seed;
+  return p;
+}
+
+TEST(CrossFtl, IdenticalStreamsYieldIdenticalHostContents) {
+  std::vector<std::unique_ptr<core::Ssd>> ssds;
+  for (const auto kind : {FtlKind::kCgm, FtlKind::kFgm, FtlKind::kSub})
+    ssds.push_back(std::make_unique<core::Ssd>(test::tiny_config(kind)));
+
+  for (auto& ssd : ssds) {
+    ssd->precondition(0.8);
+    workload::SyntheticWorkload stream(
+        sync_small_params(ssd->logical_sectors(), 8000));
+    const auto metrics = ssd->driver().run(stream, true);
+    ASSERT_EQ(metrics.verify_failures, 0u) << ssd->ftl().name();
+    ssd->driver().flush();
+  }
+
+  // All three expose the same logical contents sector by sector.
+  const std::uint64_t sectors = ssds[0]->logical_sectors();
+  std::vector<std::uint64_t> a, b, c;
+  for (std::uint64_t s = 0; s < sectors; s += 4) {
+    ssds[0]->ftl().read(s, 4, ssds[0]->driver().now(), &a);
+    ssds[1]->ftl().read(s, 4, ssds[1]->driver().now(), &b);
+    ssds[2]->ftl().read(s, 4, ssds[2]->driver().now(), &c);
+    ASSERT_EQ(a, b) << "cgm vs fgm at sector " << s;
+    ASSERT_EQ(a, c) << "cgm vs sub at sector " << s;
+  }
+}
+
+TEST(CrossFtl, SyncSmallWritesOrderFtlsAsInPaper) {
+  // The paper's headline ordering on sync-small-heavy workloads:
+  // subFTL out-performs fgmFTL which out-performs cgmFTL, both in IOPS and
+  // in GC pressure (Fig. 8).
+  struct Outcome {
+    double iops;
+    std::uint64_t erases;
+    std::uint64_t rmw;
+  };
+  std::map<FtlKind, Outcome> results;
+  for (const auto kind : {FtlKind::kCgm, FtlKind::kFgm, FtlKind::kSub}) {
+    core::Ssd ssd(test::tiny_config(kind));
+    ssd.precondition(1.0);
+    workload::SyntheticWorkload stream(
+        sync_small_params(ssd.logical_sectors(), 12000));
+    const auto metrics = ssd.driver().run(stream, true);
+    ASSERT_EQ(metrics.verify_failures, 0u) << ssd.ftl().name();
+    results[kind] = {metrics.iops(), metrics.erases_during_run,
+                     metrics.ftl_stats.rmw_ops};
+  }
+
+  EXPECT_GT(results[FtlKind::kSub].iops, results[FtlKind::kFgm].iops);
+  EXPECT_GT(results[FtlKind::kFgm].iops, results[FtlKind::kCgm].iops);
+  // Lifetime proxy: fewer erases for the same host work. At r_synch = 1
+  // the paper's own Fig. 2 shows FGM degenerating to CGM levels, so only
+  // subFTL's advantage is asserted strictly; FGM must merely not be worse
+  // than CGM by more than noise.
+  EXPECT_LT(results[FtlKind::kSub].erases, results[FtlKind::kFgm].erases / 2);
+  EXPECT_LT(static_cast<double>(results[FtlKind::kFgm].erases),
+            1.15 * static_cast<double>(results[FtlKind::kCgm].erases));
+  // cgmFTL services nearly every small write via RMW.
+  EXPECT_GT(results[FtlKind::kCgm].rmw, 10000u);
+}
+
+TEST(CrossFtl, AsyncSequentialWritesCloseTheGap) {
+  // With r_small = 0 and aligned large writes, all three schemes write
+  // full pages: IOPS should be within a small factor of each other.
+  std::map<FtlKind, double> iops;
+  for (const auto kind : {FtlKind::kCgm, FtlKind::kFgm, FtlKind::kSub}) {
+    core::Ssd ssd(test::tiny_config(kind));
+    ssd.precondition(1.0);
+    workload::SyntheticParams p;
+    p.footprint_sectors = ssd.logical_sectors();
+    p.request_count = 4000;
+    p.r_small = 0.0;
+    p.large_align_prob = 1.0;
+    p.seed = 13;
+    workload::SyntheticWorkload stream(p);
+    const auto metrics = ssd.driver().run(stream, true);
+    ASSERT_EQ(metrics.verify_failures, 0u);
+    iops[kind] = metrics.iops();
+  }
+  EXPECT_GT(iops[FtlKind::kCgm], 0.5 * iops[FtlKind::kFgm]);
+  EXPECT_GT(iops[FtlKind::kSub], 0.5 * iops[FtlKind::kFgm]);
+}
+
+TEST(CrossFtl, MappingMemoryOrdering) {
+  // FGM needs Nsub x the CGM table; subFTL sits in between (paper Sec. 4).
+  std::map<FtlKind, std::uint64_t> mem;
+  for (const auto kind : {FtlKind::kCgm, FtlKind::kFgm, FtlKind::kSub}) {
+    core::Ssd ssd(test::tiny_config(kind));
+    ssd.precondition(1.0);
+    // Push small writes through so subFTL's hash table is populated.
+    workload::SyntheticWorkload stream(
+        sync_small_params(ssd.logical_sectors(), 4000));
+    ssd.driver().run(stream, false);
+    mem[kind] = ssd.ftl().mapping_memory_bytes();
+  }
+  EXPECT_LT(mem[FtlKind::kCgm], mem[FtlKind::kSub]);
+  EXPECT_LT(mem[FtlKind::kSub], mem[FtlKind::kFgm]);
+}
+
+}  // namespace
+}  // namespace esp

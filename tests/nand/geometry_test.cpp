@@ -1,0 +1,97 @@
+#include "nand/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "nand/address.h"
+
+namespace esp::nand {
+namespace {
+
+TEST(Geometry, PaperDefaultIs16GiB) {
+  Geometry geo;  // 8ch x 4chip x 128blk x 256pg x 16KB
+  geo.validate();
+  EXPECT_EQ(geo.total_chips(), 32u);
+  EXPECT_EQ(geo.capacity_bytes(), 16ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(geo.subpage_bytes(), 4096u);
+  EXPECT_EQ(geo.total_subpages(), geo.total_pages() * 4);
+}
+
+TEST(Geometry, ValidateRejectsZeroCounts) {
+  Geometry geo;
+  geo.channels = 0;
+  EXPECT_THROW(geo.validate(), std::invalid_argument);
+}
+
+TEST(Geometry, ValidateRejectsIndivisiblePage) {
+  Geometry geo;
+  geo.page_bytes = 1000;
+  geo.subpages_per_page = 3;
+  EXPECT_THROW(geo.validate(), std::invalid_argument);
+}
+
+TEST(Geometry, ValidateRejectsTooManySubpages) {
+  Geometry geo;
+  geo.subpages_per_page = kMaxSubpagesPerPage + 1;
+  geo.page_bytes = 16 * 1024 * 2;  // keep divisible
+  EXPECT_THROW(geo.validate(), std::invalid_argument);
+}
+
+TEST(Geometry, ChannelOfChip) {
+  Geometry geo;
+  geo.channels = 4;
+  geo.chips_per_channel = 2;
+  EXPECT_EQ(geo.channel_of_chip(0), 0u);
+  EXPECT_EQ(geo.channel_of_chip(1), 0u);
+  EXPECT_EQ(geo.channel_of_chip(2), 1u);
+  EXPECT_EQ(geo.channel_of_chip(7), 3u);
+}
+
+TEST(Geometry, DescribeMentionsCapacity) {
+  Geometry geo;
+  EXPECT_NE(geo.describe().find("16.0 GiB"), std::string::npos);
+}
+
+TEST(AddressCodec, PageRoundTrip) {
+  Geometry geo;
+  AddressCodec codec(geo);
+  for (const PageAddr addr : {PageAddr{0, 0, 0}, PageAddr{3, 17, 200},
+                              PageAddr{31, 127, 255}}) {
+    const auto lin = codec.encode_page(addr);
+    EXPECT_EQ(codec.decode_page(lin), addr);
+  }
+}
+
+TEST(AddressCodec, SubpageRoundTrip) {
+  Geometry geo;
+  AddressCodec codec(geo);
+  for (std::uint32_t slot = 0; slot < geo.subpages_per_page; ++slot) {
+    const SubpageAddr addr{PageAddr{5, 42, 99}, slot};
+    EXPECT_EQ(codec.decode_subpage(codec.encode_subpage(addr)), addr);
+  }
+}
+
+TEST(AddressCodec, SubpagesOfPageAreAdjacent) {
+  Geometry geo;
+  AddressCodec codec(geo);
+  const PageAddr page{1, 2, 3};
+  const auto first = codec.encode_subpage(SubpageAddr{page, 0});
+  for (std::uint32_t slot = 1; slot < geo.subpages_per_page; ++slot)
+    EXPECT_EQ(codec.encode_subpage(SubpageAddr{page, slot}), first + slot);
+}
+
+TEST(AddressCodec, LinearAddressesAreDense) {
+  Geometry geo;
+  geo.channels = 1;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 3;
+  geo.pages_per_block = 4;
+  AddressCodec codec(geo);
+  std::uint64_t expect = 0;
+  for (std::uint32_t chip = 0; chip < 2; ++chip)
+    for (std::uint32_t blk = 0; blk < 3; ++blk)
+      for (std::uint32_t page = 0; page < 4; ++page)
+        EXPECT_EQ(codec.encode_page(PageAddr{chip, blk, page}), expect++);
+}
+
+}  // namespace
+}  // namespace esp::nand

@@ -1,0 +1,92 @@
+// Probabilistic reliability mode: reads near the retention horizon fail
+// stochastically with the binomial-tail probability implied by the
+// RetentionModel BER and the ECC spec.
+#include <gtest/gtest.h>
+
+#include "nand/device.h"
+
+namespace esp::nand {
+namespace {
+
+Geometry tiny_geo() {
+  Geometry geo;
+  geo.channels = 1;
+  geo.chips_per_channel = 1;
+  geo.blocks_per_chip = 4;
+  geo.pages_per_block = 64;
+  geo.page_bytes = 16 * 1024;
+  geo.subpages_per_page = 4;
+  return geo;
+}
+
+/// Programs `n` Npp^3 subpages and counts uncorrectable reads at `months`.
+int failures_at(double months, int n = 200) {
+  NandDevice dev(tiny_geo());
+  dev.set_reliability_mode(NandDevice::ReliabilityMode::kProbabilistic, 42);
+  int failures = 0;
+  int programmed = 0;
+  for (std::uint32_t blk = 0; blk < 4 && programmed < n; ++blk) {
+    for (std::uint32_t page = 0; page < 64 && programmed < n; ++page) {
+      for (std::uint32_t s = 0; s < 4; ++s)
+        dev.program_subpage(SubpageAddr{PageAddr{0, blk, page}, s},
+                            s + 1, 0.0);
+      ++programmed;
+      const auto ack = dev.read_subpage(
+          SubpageAddr{PageAddr{0, blk, page}, 3}, months * sim_time::kMonth);
+      failures += (ack.status == ReadStatus::kUncorrectable);
+    }
+  }
+  return failures;
+}
+
+TEST(ReliabilityMode, FreshDataAlmostNeverFails) {
+  EXPECT_LE(failures_at(0.0), 2);
+}
+
+TEST(ReliabilityMode, WellInsideHorizonFailsOnlySometimes) {
+  // Npp^3 horizon ~1.375 months. The behavioral model equates the ECC
+  // limit with the MEAN error count, so even at 0.5 months the binomial
+  // tail leaves a visible (but minority) failure rate -- about 10% here.
+  const int failures = failures_at(0.5);
+  EXPECT_LE(failures, 60);
+  EXPECT_LT(failures, failures_at(1.4));
+}
+
+TEST(ReliabilityMode, FarBeyondHorizonAlmostAlwaysFails) {
+  EXPECT_GE(failures_at(4.0), 190);
+}
+
+TEST(ReliabilityMode, FailureRateMonotoneInAge) {
+  const int f0 = failures_at(0.5);
+  const int f1 = failures_at(1.4);
+  const int f2 = failures_at(2.5);
+  EXPECT_LE(f0, f1 + 5);
+  EXPECT_LE(f1, f2 + 5);
+  EXPECT_LT(f0, f2);
+}
+
+TEST(ReliabilityMode, DeterministicModeUnaffectedByRng) {
+  // Same device twice in deterministic mode: identical verdicts.
+  for (int trial = 0; trial < 2; ++trial) {
+    NandDevice dev(tiny_geo());
+    for (std::uint32_t s = 0; s < 4; ++s)
+      dev.program_subpage(SubpageAddr{PageAddr{0, 0, 0}, s}, s, 0.0);
+    EXPECT_EQ(dev.read_subpage(SubpageAddr{PageAddr{0, 0, 0}, 3},
+                               1.0 * sim_time::kMonth)
+                  .status,
+              ReadStatus::kOk);
+    EXPECT_EQ(dev.read_subpage(SubpageAddr{PageAddr{0, 0, 0}, 3},
+                               2.0 * sim_time::kMonth)
+                  .status,
+              ReadStatus::kUncorrectable);
+  }
+}
+
+TEST(ReliabilityMode, SeededStreamsReproduce) {
+  const int a = failures_at(1.4);
+  const int b = failures_at(1.4);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace esp::nand

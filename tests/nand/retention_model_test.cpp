@@ -1,0 +1,114 @@
+// Calibration tests for the behavioral retention model against the
+// paper's published Fig. 5 anchor points.
+#include "nand/retention_model.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::nand {
+namespace {
+
+constexpr std::uint32_t kRated = 1000;
+
+TEST(RetentionModel, EnduranceBerNormalization) {
+  RetentionModel model;
+  // Npp^0 right after rated cycling IS the endurance BER (= 1.0).
+  EXPECT_NEAR(model.subpage_ber(0, 0.0, kRated), 1.0, 1e-9);
+}
+
+TEST(RetentionModel, Npp3Is41PercentWorseAtTimeZero) {
+  RetentionModel model;
+  const double ratio = model.subpage_ber(3, 0.0, kRated) /
+                       model.subpage_ber(0, 0.0, kRated);
+  EXPECT_NEAR(ratio, 1.41, 0.01);  // paper: "41% higher"
+}
+
+TEST(RetentionModel, BerMonotoneInNpp) {
+  RetentionModel model;
+  for (const double months : {0.0, 1.0, 2.0}) {
+    for (std::uint32_t k = 0; k < 3; ++k)
+      EXPECT_LT(model.subpage_ber(k, months, kRated),
+                model.subpage_ber(k + 1, months, kRated));
+  }
+}
+
+TEST(RetentionModel, BerMonotoneInTime) {
+  RetentionModel model;
+  for (std::uint32_t k = 0; k <= 3; ++k)
+    EXPECT_LT(model.subpage_ber(k, 1.0, kRated),
+              model.subpage_ber(k, 2.0, kRated));
+}
+
+TEST(RetentionModel, Npp3MeetsOneMonthFailsTwoMonths) {
+  RetentionModel model;
+  const double limit = model.params().ecc_limit;
+  EXPECT_TRUE(model.correctable(model.subpage_ber(3, 1.0, kRated)));
+  EXPECT_FALSE(model.correctable(model.subpage_ber(3, 2.0, kRated)));
+  EXPECT_GT(model.subpage_ber(3, 2.0, kRated), limit);
+}
+
+TEST(RetentionModel, EveryNppTypeMeetsOneMonth) {
+  RetentionModel model;
+  for (std::uint32_t k = 0; k <= 3; ++k)
+    EXPECT_TRUE(model.correctable(model.subpage_ber(k, 1.0, kRated)))
+        << "Npp^" << k;
+}
+
+TEST(RetentionModel, HorizonsOrderedByNpp) {
+  RetentionModel model;
+  for (std::uint32_t k = 0; k < 3; ++k)
+    EXPECT_GT(model.subpage_horizon(k, kRated),
+              model.subpage_horizon(k + 1, kRated));
+}
+
+TEST(RetentionModel, ConservativeHorizonIsOneMonth) {
+  RetentionModel model;
+  // The paper's FTL-facing assumption: "each subpage can hold its data
+  // properly for one month only".
+  EXPECT_DOUBLE_EQ(model.conservative_subpage_horizon(),
+                   sim_time::from_months(1.0));
+  // And it must be conservative: at or below the worst true horizon.
+  EXPECT_LE(model.conservative_subpage_horizon(),
+            model.subpage_horizon(3, kRated));
+}
+
+TEST(RetentionModel, FullPageMeetsJedecYear) {
+  RetentionModel model;
+  EXPECT_TRUE(model.correctable(model.fullpage_ber(11.9, kRated)));
+  EXPECT_FALSE(model.correctable(model.fullpage_ber(12.5, kRated)));
+  EXPECT_NEAR(sim_time::to_days(model.fullpage_horizon(kRated)), 360.0, 1.0);
+}
+
+TEST(RetentionModel, RetentionSpecFlatThroughRatedEndurance) {
+  // JEDEC-style qualification: the retention surface is guaranteed up to
+  // rated endurance, so a half-worn block has the same horizon.
+  RetentionModel model;
+  EXPECT_DOUBLE_EQ(model.subpage_horizon(3, kRated / 2),
+                   model.subpage_horizon(3, kRated));
+  EXPECT_DOUBLE_EQ(model.subpage_ber(0, 0.0, 0), 1.0);
+}
+
+TEST(RetentionModel, OverCyclingShortensHorizons) {
+  RetentionModel model;
+  EXPECT_GT(model.subpage_horizon(3, kRated),
+            model.subpage_horizon(3, 3 * kRated));
+  EXPECT_GT(model.fullpage_horizon(kRated),
+            model.fullpage_horizon(5 * kRated));
+}
+
+TEST(RetentionModel, RejectsBadParams) {
+  RetentionModelParams params;
+  params.ecc_limit = 0.5;  // below the endurance BER: nothing correctable
+  EXPECT_THROW(RetentionModel{params}, std::invalid_argument);
+  RetentionModelParams params2;
+  params2.rated_pe_cycles = 0;
+  EXPECT_THROW(RetentionModel{params2}, std::invalid_argument);
+}
+
+TEST(RetentionModel, SubpageHorizonZeroWhenWornOut) {
+  RetentionModel model;
+  // Extreme wear: the BER exceeds the limit even at t=0.
+  EXPECT_EQ(model.subpage_horizon(3, 100 * kRated), 0.0);
+}
+
+}  // namespace
+}  // namespace esp::nand

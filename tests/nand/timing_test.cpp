@@ -1,0 +1,45 @@
+#include "nand/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::nand {
+namespace {
+
+TEST(TimingSpec, PaperLatencies) {
+  TimingSpec spec;
+  EXPECT_DOUBLE_EQ(spec.prog_full_us, 1600.0);  // paper Sec. 5
+  EXPECT_DOUBLE_EQ(spec.prog_sub_us, 1300.0);   // paper Sec. 5
+  EXPECT_LT(spec.prog_sub_us, spec.prog_full_us);
+}
+
+TEST(TimingSpec, BaselineSubpageReadEqualsFullRead) {
+  // Sec. 7: fast subpage reads are future work; the default models the
+  // paper's baseline hardware.
+  TimingSpec spec;
+  EXPECT_DOUBLE_EQ(spec.read_sub_us, spec.read_full_us);
+}
+
+TEST(TimingSpec, TransferScalesWithBytes) {
+  TimingSpec spec;
+  const SimTime t4k = spec.transfer_us(4 * 1024);
+  const SimTime t16k = spec.transfer_us(16 * 1024);
+  EXPECT_GT(t16k, t4k);
+  // Linear beyond the fixed command overhead.
+  EXPECT_NEAR(t16k - spec.cmd_overhead_us,
+              4.0 * (t4k - spec.cmd_overhead_us), 1e-9);
+}
+
+TEST(TimingSpec, TransferIncludesCommandOverhead) {
+  TimingSpec spec;
+  EXPECT_GE(spec.transfer_us(0), spec.cmd_overhead_us);
+}
+
+TEST(TimingSpec, SixteenKbAtEightHundredMbPerSec) {
+  TimingSpec spec;
+  // 16 KiB at 1.25 us/KiB = 20 us + overhead.
+  EXPECT_NEAR(spec.transfer_us(16 * 1024), spec.cmd_overhead_us + 20.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace esp::nand

@@ -1,0 +1,170 @@
+// Driver unit tests: queue-depth pipelining, clock semantics, verification,
+// latency accounting, fault surfacing.
+#include "sim/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/cgm_ftl.h"
+#include "ftl/sub_ftl.h"
+#include "nand/device.h"
+#include "workload/synthetic.h"
+
+namespace esp::sim {
+namespace {
+
+using workload::Request;
+
+nand::Geometry tiny_geo() {
+  nand::Geometry geo;
+  geo.channels = 4;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 16;
+  geo.pages_per_block = 16;
+  geo.page_bytes = 16 * 1024;
+  geo.subpages_per_page = 4;
+  return geo;
+}
+
+struct DriverFixture {
+  explicit DriverFixture(std::uint32_t queue_depth = 32) : dev(tiny_geo()) {
+    ftl::CgmFtl::Config cfg;
+    cfg.logical_sectors = 2048;
+    ftl = std::make_unique<ftl::CgmFtl>(dev, cfg);
+    driver = std::make_unique<Driver>(*ftl, dev, queue_depth);
+  }
+  nand::NandDevice dev;
+  std::unique_ptr<ftl::CgmFtl> ftl;
+  std::unique_ptr<Driver> driver;
+};
+
+TEST(Driver, WriteThenReadVerifies) {
+  DriverFixture fx;
+  fx.driver->submit({Request::Type::kWrite, 0, 4, false, 0.0});
+  fx.driver->submit({Request::Type::kRead, 0, 4, false, 0.0});
+  EXPECT_EQ(fx.driver->verify_failures(), 0u);
+}
+
+TEST(Driver, DetectsMappingCorruption) {
+  // Sabotage: trim behind the driver's back, then read. The shadow map
+  // still expects the old token, so verification must flag it.
+  DriverFixture fx;
+  fx.driver->submit({Request::Type::kWrite, 0, 4, false, 0.0});
+  fx.ftl->trim(0, 4);  // bypasses Driver::submit on purpose
+  fx.driver->submit({Request::Type::kRead, 0, 4, false, 0.0});
+  EXPECT_EQ(fx.driver->verify_failures(), 4u);
+}
+
+TEST(Driver, ExpectedTokenTracksVersions) {
+  DriverFixture fx;
+  EXPECT_EQ(fx.driver->expected_token(9), 0u);
+  fx.driver->submit({Request::Type::kWrite, 9, 1, false, 0.0});
+  const auto v1 = fx.driver->expected_token(9);
+  fx.driver->submit({Request::Type::kWrite, 9, 1, false, 0.0});
+  EXPECT_NE(fx.driver->expected_token(9), v1);
+}
+
+TEST(Driver, QueueDepthPipelinesIndependentChips) {
+  // With QD 1, N writes serialize; with QD 32 they overlap across chips.
+  auto run_with_qd = [](std::uint32_t qd) {
+    DriverFixture fx(qd);
+    for (std::uint64_t i = 0; i < 64; ++i)
+      fx.driver->submit({Request::Type::kWrite, i * 4, 4, false, 0.0},
+                        false);
+    return fx.driver->now();
+  };
+  const SimTime serial = run_with_qd(1);
+  const SimTime pipelined = run_with_qd(32);
+  EXPECT_LT(pipelined, serial / 3.0);
+}
+
+TEST(Driver, ThinkTimePacesArrivals) {
+  DriverFixture fx;
+  fx.driver->submit({Request::Type::kWrite, 0, 1, true, 1000000.0});
+  EXPECT_GE(fx.driver->now(), 1000000.0);
+}
+
+TEST(Driver, AdvanceToMovesClockForward) {
+  DriverFixture fx;
+  fx.driver->advance_to(5000.0);
+  EXPECT_EQ(fx.driver->now(), 5000.0);
+  fx.driver->advance_to(100.0);  // never backwards
+  EXPECT_EQ(fx.driver->now(), 5000.0);
+  // Requests issued after an idle advance start no earlier than it.
+  const auto result = fx.driver->submit({Request::Type::kWrite, 0, 4,
+                                         false, 0.0});
+  EXPECT_GE(result.done, 5000.0);
+}
+
+TEST(Driver, RunCountsRequestTypes) {
+  DriverFixture fx;
+  workload::SyntheticParams params;
+  params.footprint_sectors = 2048;
+  params.request_count = 500;
+  params.read_fraction = 0.4;
+  params.seed = 3;
+  workload::SyntheticWorkload stream(params);
+  const auto metrics = fx.driver->run(stream, true);
+  EXPECT_EQ(metrics.requests, 500u);
+  EXPECT_EQ(metrics.requests,
+            metrics.read_requests + metrics.write_requests);
+  EXPECT_GT(metrics.read_requests, 100u);
+  EXPECT_GT(metrics.iops(), 0.0);
+}
+
+TEST(Driver, RunMaxRequestsSplitsStream) {
+  DriverFixture fx;
+  workload::SyntheticParams params;
+  params.footprint_sectors = 2048;
+  params.request_count = 300;
+  params.seed = 4;
+  workload::SyntheticWorkload stream(params);
+  const auto first = fx.driver->run(stream, false, 100);
+  EXPECT_EQ(first.requests, 100u);
+  const auto rest = fx.driver->run(stream, false);
+  EXPECT_EQ(rest.requests, 200u);
+  EXPECT_GE(rest.start_us, first.end_us);
+}
+
+TEST(Driver, LatencyPercentilesPopulated) {
+  DriverFixture fx;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    fx.driver->submit({Request::Type::kWrite, (i % 64) * 4, 4, false, 0.0},
+                      false);
+  const auto& hist = fx.driver->latency_histogram();
+  EXPECT_EQ(hist.total(), 100u);
+  EXPECT_GT(hist.percentile(0.5), 0.0);
+  EXPECT_GE(hist.percentile(0.99), hist.percentile(0.5));
+}
+
+TEST(Driver, IoErrorsSurfaceInMetrics) {
+  nand::NandDevice dev(tiny_geo());
+  ftl::CgmFtl::Config cfg;
+  cfg.logical_sectors = 2048;
+  ftl::CgmFtl ftl(dev, cfg);
+  Driver driver(ftl, dev);
+  driver.submit({Request::Type::kWrite, 0, 4, false, 0.0});
+  dev.set_read_fault_injection(1.0, 7);
+  const auto result = driver.submit({Request::Type::kRead, 0, 4, false, 0.0});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Driver, FlushDrainsBufferedFtl) {
+  nand::NandDevice dev(tiny_geo());
+  ftl::SubFtl::Config cfg;
+  cfg.logical_sectors = 2048;
+  ftl::SubFtl ftl(dev, cfg);
+  Driver driver(ftl, dev);
+  driver.submit({Request::Type::kWrite, 0, 4, false, 0.0});
+  EXPECT_EQ(ftl.stats().flash_prog_full, 0u);  // still buffered
+  driver.flush();
+  EXPECT_EQ(ftl.stats().flash_prog_full, 1u);
+}
+
+TEST(Driver, ZeroQueueDepthClampedToOne) {
+  DriverFixture fx(0);
+  EXPECT_NO_THROW(
+      fx.driver->submit({Request::Type::kWrite, 0, 4, false, 0.0}));
+}
+
+}  // namespace
+}  // namespace esp::sim

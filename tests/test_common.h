@@ -1,0 +1,57 @@
+// Shared helpers for the test suite: small geometries that keep runs fast
+// while exercising multi-channel behavior.
+#pragma once
+
+#include "core/ssd.h"
+#include "nand/geometry.h"
+
+namespace esp::test {
+
+/// Tiny device: 2 channels x 2 chips, 16 blocks/chip, 32 pages/block,
+/// 16-KB pages, 4 subpages => 32 MiB raw. Big enough for GC churn, small
+/// enough for thousands of test I/Os in milliseconds.
+inline nand::Geometry tiny_geometry() {
+  nand::Geometry geo;
+  geo.channels = 2;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 16;
+  geo.pages_per_block = 32;
+  geo.page_bytes = 16 * 1024;
+  geo.subpages_per_page = 4;
+  return geo;
+}
+
+/// Mid-size device for integration runs: 4 channels x 2 chips, 64
+/// blocks/chip => 512 MiB raw.
+inline nand::Geometry small_geometry() {
+  nand::Geometry geo;
+  geo.channels = 4;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 64;
+  geo.pages_per_block = 64;
+  geo.page_bytes = 16 * 1024;
+  geo.subpages_per_page = 4;
+  return geo;
+}
+
+inline core::SsdConfig tiny_config(core::FtlKind kind) {
+  core::SsdConfig cfg;
+  cfg.geometry = tiny_geometry();
+  cfg.ftl = kind;
+  cfg.logical_fraction = 0.60;
+  cfg.gc_reserve_blocks = 4;
+  cfg.buffer_sectors = 64;
+  return cfg;
+}
+
+inline core::SsdConfig small_config(core::FtlKind kind) {
+  core::SsdConfig cfg;
+  cfg.geometry = small_geometry();
+  cfg.ftl = kind;
+  cfg.logical_fraction = 0.625;
+  cfg.gc_reserve_blocks = 8;
+  cfg.buffer_sectors = 128;
+  return cfg;
+}
+
+}  // namespace esp::test

@@ -1,0 +1,65 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::util {
+namespace {
+
+TEST(Histogram, EmptyPercentileReturnsLo) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i % 10 + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bucket(b), 10u);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, MedianOfUniform) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h(0.0, 50.0, 25);
+  for (int i = 0; i < 1000; ++i) h.add((i * 7) % 50);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(2.0);
+  EXPECT_NE(h.summary().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esp::util

@@ -1,0 +1,38 @@
+#include "util/logger.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::util {
+namespace {
+
+TEST(Logger, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Logger, FilteredCallsAreCheap) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  // Must not crash or emit for any level below kOff.
+  ESP_LOG_TRACE("trace %d", 1);
+  ESP_LOG_DEBUG("debug %s", "x");
+  ESP_LOG_INFO("info");
+  ESP_LOG_WARN("warn");
+  ESP_LOG_ERROR("error %f", 1.5);
+  set_log_level(original);
+}
+
+TEST(Logger, EmittingDoesNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kTrace);
+  ESP_LOG_TRACE("emitted trace %d/%d", 1, 2);
+  ESP_LOG_ERROR("emitted error");
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace esp::util

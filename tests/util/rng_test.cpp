@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace esp::util {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, UniformStaysInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BelowRespectsBound) {
+  Xoshiro256 rng(19);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(23);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(29);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(37);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, GaussianMomentsMatch) {
+  Xoshiro256 rng(41);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, GaussianScaled) {
+  Xoshiro256 rng(43);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Xoshiro256, ForkDecorrelates) {
+  Xoshiro256 parent(53);
+  Xoshiro256 child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace esp::util

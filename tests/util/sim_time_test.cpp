@@ -1,0 +1,33 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::sim_time {
+namespace {
+
+TEST(SimTime, UnitRatios) {
+  EXPECT_DOUBLE_EQ(kMillisecond, 1000.0 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(kSecond, 1000.0 * kMillisecond);
+  EXPECT_DOUBLE_EQ(kMinute, 60.0 * kSecond);
+  EXPECT_DOUBLE_EQ(kHour, 60.0 * kMinute);
+  EXPECT_DOUBLE_EQ(kDay, 24.0 * kHour);
+  EXPECT_DOUBLE_EQ(kMonth, 30.0 * kDay);  // the paper's month
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(2.5 * kSecond), 2.5);
+  EXPECT_DOUBLE_EQ(to_days(from_days(17.0)), 17.0);
+  EXPECT_DOUBLE_EQ(from_months(2.0), 60.0 * kDay);
+}
+
+TEST(SimTime, MicrosecondArithmeticIsExactAtRetentionHorizons) {
+  // 15 days in microseconds is far below double's 2^53 exact-integer
+  // ceiling; adding one microsecond must stay exact.
+  const SimTime fifteen_days = from_days(15.0);
+  EXPECT_EQ(fifteen_days + 1.0 - fifteen_days, 1.0);
+  const SimTime one_year = from_days(365.0);
+  EXPECT_EQ(one_year + 1.0 - one_year, 1.0);
+}
+
+}  // namespace
+}  // namespace esp::sim_time

@@ -1,0 +1,83 @@
+// The profiles must reproduce the characteristics the paper reports for
+// each benchmark (Table 1 row 1 in particular).
+#include "workload/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::workload {
+namespace {
+
+struct MeasuredMix {
+  double small_fraction;
+  double sync_small_fraction;
+};
+
+MeasuredMix measure(Benchmark bench) {
+  auto params = benchmark_profile(bench, 1 << 16, 30000, 4, 7);
+  SyntheticWorkload wl(params);
+  std::size_t writes = 0, small = 0, sync_small = 0;
+  while (const auto req = wl.next()) {
+    if (req->type != Request::Type::kWrite) continue;
+    ++writes;
+    if (req->count < 4) {
+      ++small;
+      sync_small += req->sync;
+    }
+  }
+  return {static_cast<double>(small) / writes,
+          small ? static_cast<double>(sync_small) / small : 0.0};
+}
+
+class ProfileMix
+    : public ::testing::TestWithParam<std::pair<Benchmark, double>> {};
+
+TEST_P(ProfileMix, SmallWriteFractionMatchesTable1) {
+  const auto [bench, expected] = GetParam();
+  const auto mix = measure(bench);
+  EXPECT_NEAR(mix.small_fraction, expected, 0.02)
+      << benchmark_name(bench);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, ProfileMix,
+    ::testing::Values(std::pair{Benchmark::kSysbench, 0.997},
+                      std::pair{Benchmark::kVarmail, 0.953},
+                      std::pair{Benchmark::kPostmark, 0.999},
+                      std::pair{Benchmark::kYcsb, 0.193},
+                      std::pair{Benchmark::kTpcc, 0.118}),
+    [](const auto& info) {
+      std::string name = benchmark_name(info.param.first);
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+TEST(Profiles, FileServerProfilesAreSyncHeavy) {
+  // Paper Sec. 5: sync small writes are "more than 95%" of writes for
+  // Sysbench, Varmail, Postmark.
+  for (const auto bench : {Benchmark::kSysbench, Benchmark::kVarmail,
+                           Benchmark::kPostmark})
+    EXPECT_GT(measure(bench).sync_small_fraction, 0.90)
+        << benchmark_name(bench);
+}
+
+TEST(Profiles, AllBenchmarksListedInPaperOrder) {
+  const auto& all = all_benchmarks();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(benchmark_name(all[0]), "Sysbench");
+  EXPECT_EQ(benchmark_name(all[4]), "TPC-C");
+}
+
+TEST(Profiles, ProfilesValidateCleanly) {
+  for (const auto bench : all_benchmarks())
+    EXPECT_NO_THROW(
+        benchmark_profile(bench, 1 << 16, 1000, 4).validate());
+}
+
+TEST(Profiles, DatabaseProfilesHaveLargeSequentialWrites) {
+  const auto ycsb = benchmark_profile(Benchmark::kYcsb, 1 << 16, 1000, 4);
+  EXPECT_GT(ycsb.large_pages_max, 1u);
+  EXPECT_LT(ycsb.r_small, 0.25);
+}
+
+}  // namespace
+}  // namespace esp::workload

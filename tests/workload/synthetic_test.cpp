@@ -1,0 +1,219 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace esp::workload {
+namespace {
+
+SyntheticParams base_params() {
+  SyntheticParams p;
+  p.footprint_sectors = 4096;
+  p.request_count = 10000;
+  p.seed = 1;
+  return p;
+}
+
+TEST(SyntheticWorkload, EmitsExactlyRequestCount) {
+  SyntheticWorkload wl(base_params());
+  std::size_t n = 0;
+  while (wl.next()) ++n;
+  EXPECT_EQ(n, 10000u);
+  EXPECT_FALSE(wl.next().has_value());
+}
+
+TEST(SyntheticWorkload, DeterministicForSeed) {
+  SyntheticWorkload a(base_params()), b(base_params());
+  for (int i = 0; i < 1000; ++i) {
+    const auto ra = a.next(), rb = b.next();
+    ASSERT_TRUE(ra && rb);
+    EXPECT_EQ(ra->sector, rb->sector);
+    EXPECT_EQ(ra->count, rb->count);
+    EXPECT_EQ(ra->sync, rb->sync);
+  }
+}
+
+TEST(SyntheticWorkload, ResetReplaysSameStream) {
+  SyntheticWorkload wl(base_params());
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(wl.next()->sector);
+  wl.reset();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(wl.next()->sector, first[i]);
+}
+
+TEST(SyntheticWorkload, RequestsStayInFootprint) {
+  auto p = base_params();
+  p.r_small = 0.5;
+  p.read_fraction = 0.3;
+  p.large_pages_max = 4;
+  p.large_align_prob = 0.5;
+  SyntheticWorkload wl(p);
+  while (const auto req = wl.next()) {
+    EXPECT_GT(req->count, 0u);
+    EXPECT_LE(req->sector + req->count, p.footprint_sectors);
+  }
+}
+
+TEST(SyntheticWorkload, RSmallControlsSmallFraction) {
+  for (const double r_small : {0.0, 0.3, 1.0}) {
+    auto p = base_params();
+    p.r_small = r_small;
+    SyntheticWorkload wl(p);
+    std::size_t small = 0, writes = 0;
+    while (const auto req = wl.next()) {
+      if (req->type != Request::Type::kWrite) continue;
+      ++writes;
+      small += (req->count < p.sectors_per_page);
+    }
+    EXPECT_NEAR(static_cast<double>(small) / writes, r_small, 0.03);
+  }
+}
+
+TEST(SyntheticWorkload, RSynchControlsSyncFraction) {
+  auto p = base_params();
+  p.r_small = 1.0;
+  p.r_synch = 0.4;
+  SyntheticWorkload wl(p);
+  std::size_t sync = 0, total = 0;
+  while (const auto req = wl.next()) {
+    ++total;
+    sync += req->sync;
+  }
+  EXPECT_NEAR(static_cast<double>(sync) / total, 0.4, 0.03);
+}
+
+TEST(SyntheticWorkload, ReadFractionRespected) {
+  auto p = base_params();
+  p.read_fraction = 0.5;
+  SyntheticWorkload wl(p);
+  std::size_t reads = 0, total = 0;
+  while (const auto req = wl.next()) {
+    ++total;
+    reads += (req->type == Request::Type::kRead);
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / total, 0.5, 0.03);
+}
+
+TEST(SyntheticWorkload, AlignedLargeWritesWhenProbOne) {
+  auto p = base_params();
+  p.r_small = 0.0;
+  p.large_align_prob = 1.0;
+  SyntheticWorkload wl(p);
+  while (const auto req = wl.next())
+    EXPECT_EQ(req->sector % p.sectors_per_page, 0u);
+}
+
+TEST(SyntheticWorkload, MisalignedLargeWritesWhenProbZero) {
+  auto p = base_params();
+  p.r_small = 0.0;
+  p.large_align_prob = 0.0;
+  SyntheticWorkload wl(p);
+  std::size_t misaligned = 0, total = 0;
+  while (const auto req = wl.next()) {
+    ++total;
+    misaligned += (req->sector % p.sectors_per_page) != 0;
+  }
+  EXPECT_GT(static_cast<double>(misaligned) / total, 0.9);
+}
+
+TEST(SyntheticWorkload, SmallWritesSkewHot) {
+  auto p = base_params();
+  p.r_small = 1.0;
+  p.small_zipf_theta = 0.95;
+  SyntheticWorkload wl(p);
+  std::map<std::uint64_t, int> counts;
+  while (const auto req = wl.next()) ++counts[req->sector];
+  int max_count = 0;
+  for (const auto& [sector, count] : counts)
+    max_count = std::max(max_count, count);
+  // Hot sector hit far more than the uniform expectation.
+  EXPECT_GT(max_count, 10000 / 4096 * 20);
+}
+
+TEST(SyntheticWorkload, ThinkTimePropagated) {
+  auto p = base_params();
+  p.think_us = 123.0;
+  SyntheticWorkload wl(p);
+  EXPECT_EQ(wl.next()->think_us, 123.0);
+}
+
+TEST(SyntheticParams, ValidationCatchesNonsense) {
+  auto p = base_params();
+  p.r_small = 1.5;
+  EXPECT_THROW(SyntheticWorkload{p}, std::invalid_argument);
+  p = base_params();
+  p.small_sectors_max = p.sectors_per_page;  // not "small" any more
+  EXPECT_THROW(SyntheticWorkload{p}, std::invalid_argument);
+  p = base_params();
+  p.request_count = 0;
+  EXPECT_THROW(SyntheticWorkload{p}, std::invalid_argument);
+}
+
+TEST(SyntheticWorkload, SmallFootprintFractionBoundsDistinctTargets) {
+  auto p = base_params();
+  p.r_small = 1.0;
+  p.small_footprint_fraction = 0.05;  // 51 of 1024 lpns
+  SyntheticWorkload wl(p);
+  std::set<std::uint64_t> lpns;
+  while (const auto req = wl.next()) lpns.insert(req->sector / 4);
+  EXPECT_LE(lpns.size(), 52u);
+  // And the hot set is scattered, not the first 51 lpns.
+  std::uint64_t max_lpn = 0;
+  for (const auto lpn : lpns) max_lpn = std::max(max_lpn, lpn);
+  EXPECT_GT(max_lpn, 100u);
+}
+
+TEST(SyntheticWorkload, ReadsFollowSmallWorkingSet) {
+  auto p = base_params();
+  p.r_small = 1.0;
+  p.read_fraction = 0.5;
+  p.small_footprint_fraction = 0.05;
+  p.reads_follow_small = true;
+  SyntheticWorkload wl(p);
+  std::set<std::uint64_t> write_lpns, read_lpns;
+  while (const auto req = wl.next()) {
+    (req->type == Request::Type::kRead ? read_lpns : write_lpns)
+        .insert(req->sector / 4);
+  }
+  // Every read target lies inside the small-write working set.
+  for (const auto lpn : read_lpns)
+    EXPECT_TRUE(write_lpns.contains(lpn) || read_lpns.size() < 3)
+        << "read lpn " << lpn << " outside working set";
+}
+
+TEST(SyntheticWorkload, SmallWritesAlignedToTheirSize) {
+  auto p = base_params();
+  p.r_small = 1.0;
+  p.small_sectors_min = 2;
+  p.small_sectors_max = 2;
+  SyntheticWorkload wl(p);
+  while (const auto req = wl.next())
+    EXPECT_EQ(req->sector % 2, 0u) << "8-KB append must be 8-KB aligned";
+}
+
+TEST(SyntheticWorkload, TrimFractionEmitsAlignedWholePageTrims) {
+  auto p = base_params();
+  p.trim_fraction = 0.2;
+  SyntheticWorkload wl(p);
+  std::size_t trims = 0, total = 0;
+  while (const auto req = wl.next()) {
+    ++total;
+    if (req->type != Request::Type::kTrim) continue;
+    ++trims;
+    EXPECT_EQ(req->sector % p.sectors_per_page, 0u);
+    EXPECT_EQ(req->count, p.sectors_per_page);
+  }
+  EXPECT_NEAR(static_cast<double>(trims) / total, 0.2, 0.03);
+}
+
+TEST(SyntheticParams, TrimPlusReadMustLeaveRoomForWrites) {
+  auto p = base_params();
+  p.read_fraction = 0.6;
+  p.trim_fraction = 0.5;
+  EXPECT_THROW(SyntheticWorkload{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esp::workload

@@ -1,0 +1,128 @@
+#include "workload/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.h"
+#include "workload/synthetic.h"
+
+namespace esp::workload {
+namespace {
+
+std::vector<Request> make(const std::vector<Request>& reqs) { return reqs; }
+
+TEST(TraceStats, EmptyTrace) {
+  const auto stats = analyze_trace({}, 4);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.r_small(), 0.0);
+  EXPECT_EQ(stats.footprint_sectors, 0u);
+}
+
+TEST(TraceStats, CountsRequestTypes) {
+  const auto stats = analyze_trace(
+      make({{Request::Type::kWrite, 0, 4, false, 0.0},
+            {Request::Type::kWrite, 8, 1, true, 0.0},
+            {Request::Type::kRead, 0, 2, false, 0.0},
+            {Request::Type::kTrim, 0, 4, false, 0.0},
+            {Request::Type::kFlush, 0, 0, false, 0.0}}),
+      4);
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.trims, 1u);
+  EXPECT_EQ(stats.flushes, 1u);
+  EXPECT_EQ(stats.write_sectors, 5u);
+}
+
+TEST(TraceStats, RSmallAndRSynch) {
+  const auto stats = analyze_trace(
+      make({{Request::Type::kWrite, 0, 4, false, 0.0},   // large
+            {Request::Type::kWrite, 10, 1, true, 0.0},   // small sync
+            {Request::Type::kWrite, 20, 2, false, 0.0},  // small async
+            {Request::Type::kWrite, 30, 1, true, 0.0}}), // small sync
+      4);
+  EXPECT_DOUBLE_EQ(stats.r_small(), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(stats.r_synch(), 2.0 / 3.0);
+}
+
+TEST(TraceStats, MisalignedLargeDetected) {
+  const auto stats = analyze_trace(
+      make({{Request::Type::kWrite, 2, 4, false, 0.0},   // misaligned 16K
+            {Request::Type::kWrite, 4, 4, false, 0.0}}), // aligned
+      4);
+  EXPECT_EQ(stats.misaligned_large, 1u);
+}
+
+TEST(TraceStats, FootprintAndDistinct) {
+  const auto stats = analyze_trace(
+      make({{Request::Type::kWrite, 0, 2, false, 0.0},
+            {Request::Type::kWrite, 0, 2, false, 0.0},  // rewrite
+            {Request::Type::kWrite, 98, 2, false, 0.0}}),
+      4);
+  EXPECT_EQ(stats.footprint_sectors, 100u);
+  EXPECT_EQ(stats.distinct_write_sectors, 4u);
+}
+
+TEST(TraceStats, SkewDetectsHotSectors) {
+  std::vector<Request> reqs;
+  // Sector 0 hammered 100x; sectors 1..99 once each.
+  for (int i = 0; i < 100; ++i)
+    reqs.push_back({Request::Type::kWrite, 0, 1, true, 0.0});
+  for (std::uint64_t s = 1; s < 100; ++s)
+    reqs.push_back({Request::Type::kWrite, s, 1, true, 0.0});
+  const auto stats = analyze_trace(reqs, 4);
+  EXPECT_GT(stats.write_skew_top10, 0.5);  // top 10 sectors >> 10% traffic
+}
+
+TEST(TraceStats, ProfilesClassifyLikeThePaper) {
+  // Generate each paper profile and confirm the analyzer recovers its
+  // design characteristics -- the round trip the esptrace tool relies on.
+  struct Expect {
+    Benchmark bench;
+    double r_small;
+    bool sync_heavy;
+  };
+  for (const Expect e : {Expect{Benchmark::kSysbench, 0.997, true},
+                         Expect{Benchmark::kVarmail, 0.953, true},
+                         Expect{Benchmark::kYcsb, 0.193, true}}) {
+    auto params = benchmark_profile(e.bench, 1 << 16, 20000, 4, 5);
+    SyntheticWorkload stream(params);
+    std::vector<Request> reqs;
+    while (const auto req = stream.next()) reqs.push_back(*req);
+    const auto stats = analyze_trace(reqs, 4);
+    EXPECT_NEAR(stats.r_small(), e.r_small, 0.03)
+        << benchmark_name(e.bench);
+    if (e.sync_heavy) {
+      EXPECT_GT(stats.r_synch(), 0.85);
+    }
+  }
+}
+
+TEST(TraceStats, RecommendationMatchesRegime) {
+  TraceStats sync_small;
+  sync_small.writes = 100;
+  sync_small.small_writes = 95;
+  sync_small.sync_small_writes = 90;
+  EXPECT_NE(sync_small.recommendation().find("subFTL"), std::string::npos);
+
+  TraceStats bulk;
+  bulk.writes = 100;
+  bulk.small_writes = 2;
+  EXPECT_NE(bulk.recommendation().find("cgmFTL"), std::string::npos);
+
+  TraceStats async_small;
+  async_small.writes = 100;
+  async_small.small_writes = 90;
+  async_small.sync_small_writes = 10;
+  EXPECT_NE(async_small.recommendation().find("fgmFTL"), std::string::npos);
+}
+
+TEST(TraceStats, ReportMentionsKeyNumbers) {
+  const auto stats = analyze_trace(
+      make({{Request::Type::kWrite, 0, 1, true, 0.0}}), 4);
+  const auto text = stats.report(4);
+  EXPECT_NE(text.find("r_small"), std::string::npos);
+  EXPECT_NE(text.find("1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esp::workload

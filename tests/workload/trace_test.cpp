@@ -1,0 +1,91 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace esp::workload {
+namespace {
+
+TEST(Trace, ParsesAllOpcodes) {
+  std::istringstream in(
+      "# comment line\n"
+      "W 100 4 1\n"
+      "W 200 1 0 2500\n"
+      "R 300 2\n"
+      "T 400 8\n"
+      "F\n");
+  const auto reqs = read_trace(in);
+  ASSERT_EQ(reqs.size(), 5u);
+  EXPECT_EQ(reqs[0].type, Request::Type::kWrite);
+  EXPECT_EQ(reqs[0].sector, 100u);
+  EXPECT_TRUE(reqs[0].sync);
+  EXPECT_EQ(reqs[1].think_us, 2500.0);
+  EXPECT_FALSE(reqs[1].sync);
+  EXPECT_EQ(reqs[2].type, Request::Type::kRead);
+  EXPECT_EQ(reqs[3].type, Request::Type::kTrim);
+  EXPECT_EQ(reqs[4].type, Request::Type::kFlush);
+}
+
+TEST(Trace, RoundTripPreservesStream) {
+  std::vector<Request> original = {
+      {Request::Type::kWrite, 10, 4, true, 0.0},
+      {Request::Type::kWrite, 20, 1, false, 100.0},
+      {Request::Type::kRead, 30, 2, false, 0.0},
+      {Request::Type::kTrim, 40, 8, false, 0.0},
+      {Request::Type::kFlush, 0, 0, false, 0.0},
+  };
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const auto parsed = read_trace(in);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].type, original[i].type) << i;
+    EXPECT_EQ(parsed[i].sector, original[i].sector) << i;
+    EXPECT_EQ(parsed[i].count, original[i].count) << i;
+    EXPECT_EQ(parsed[i].sync, original[i].sync) << i;
+    EXPECT_EQ(parsed[i].think_us, original[i].think_us) << i;
+  }
+}
+
+TEST(Trace, MalformedLinesReportLineNumber) {
+  std::istringstream bad1("W 100\n");
+  try {
+    read_trace(bad1);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  std::istringstream bad2("W 1 1 1\nX 2 3\n");
+  try {
+    read_trace(bad2);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Trace, ZeroCountWriteRejected) {
+  std::istringstream in("W 5 0 1\n");
+  EXPECT_THROW(read_trace(in), std::runtime_error);
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/trace.txt"),
+               std::runtime_error);
+}
+
+TEST(TraceReplay, ServesRequestsInOrder) {
+  TraceReplay replay({{Request::Type::kWrite, 1, 1, true, 0.0},
+                      {Request::Type::kRead, 2, 2, false, 0.0}});
+  EXPECT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay.next()->sector, 1u);
+  EXPECT_EQ(replay.next()->sector, 2u);
+  EXPECT_FALSE(replay.next().has_value());
+  replay.reset();
+  EXPECT_EQ(replay.next()->sector, 1u);
+}
+
+}  // namespace
+}  // namespace esp::workload
