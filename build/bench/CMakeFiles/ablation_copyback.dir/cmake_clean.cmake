@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copyback.dir/ablation_copyback.cpp.o"
+  "CMakeFiles/ablation_copyback.dir/ablation_copyback.cpp.o.d"
+  "ablation_copyback"
+  "ablation_copyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mapping_cache.dir/ablation_mapping_cache.cpp.o"
+  "CMakeFiles/ablation_mapping_cache.dir/ablation_mapping_cache.cpp.o.d"
+  "ablation_mapping_cache"
+  "ablation_mapping_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mapping_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

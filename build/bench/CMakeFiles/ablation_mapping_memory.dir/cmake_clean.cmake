@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mapping_memory.dir/ablation_mapping_memory.cpp.o"
+  "CMakeFiles/ablation_mapping_memory.dir/ablation_mapping_memory.cpp.o.d"
+  "ablation_mapping_memory"
+  "ablation_mapping_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mapping_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retention.dir/ablation_retention.cpp.o"
+  "CMakeFiles/ablation_retention.dir/ablation_retention.cpp.o.d"
+  "ablation_retention"
+  "ablation_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

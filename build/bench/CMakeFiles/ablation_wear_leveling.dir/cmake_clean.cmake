@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wear_leveling.dir/ablation_wear_leveling.cpp.o"
+  "CMakeFiles/ablation_wear_leveling.dir/ablation_wear_leveling.cpp.o.d"
+  "ablation_wear_leveling"
+  "ablation_wear_leveling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_latency_profile.dir/ext_latency_profile.cpp.o"
+  "CMakeFiles/ext_latency_profile.dir/ext_latency_profile.cpp.o.d"
+  "ext_latency_profile"
+  "ext_latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

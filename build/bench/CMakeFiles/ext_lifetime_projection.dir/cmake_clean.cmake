@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lifetime_projection.dir/ext_lifetime_projection.cpp.o"
+  "CMakeFiles/ext_lifetime_projection.dir/ext_lifetime_projection.cpp.o.d"
+  "ext_lifetime_projection"
+  "ext_lifetime_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lifetime_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_slc_mode.dir/ext_slc_mode.cpp.o"
+  "CMakeFiles/ext_slc_mode.dir/ext_slc_mode.cpp.o.d"
+  "ext_slc_mode"
+  "ext_slc_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_slc_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

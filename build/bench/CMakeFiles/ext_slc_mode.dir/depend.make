@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_slc_mode.
+# This may be replaced when dependencies are built.

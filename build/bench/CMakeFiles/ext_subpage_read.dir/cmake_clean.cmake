@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_subpage_read.dir/ext_subpage_read.cpp.o"
+  "CMakeFiles/ext_subpage_read.dir/ext_subpage_read.cpp.o.d"
+  "ext_subpage_read"
+  "ext_subpage_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_subpage_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_trend.dir/fig1_trend.cpp.o"
+  "CMakeFiles/fig1_trend.dir/fig1_trend.cpp.o.d"
+  "fig1_trend"
+  "fig1_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

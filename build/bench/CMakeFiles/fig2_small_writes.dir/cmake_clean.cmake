@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_small_writes.dir/fig2_small_writes.cpp.o"
+  "CMakeFiles/fig2_small_writes.dir/fig2_small_writes.cpp.o.d"
+  "fig2_small_writes"
+  "fig2_small_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_small_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

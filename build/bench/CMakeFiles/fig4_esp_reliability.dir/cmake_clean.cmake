@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_esp_reliability.dir/fig4_esp_reliability.cpp.o"
+  "CMakeFiles/fig4_esp_reliability.dir/fig4_esp_reliability.cpp.o.d"
+  "fig4_esp_reliability"
+  "fig4_esp_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_esp_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_request_waf.dir/table1_request_waf.cpp.o"
+  "CMakeFiles/table1_request_waf.dir/table1_request_waf.cpp.o.d"
+  "table1_request_waf"
+  "table1_request_waf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_request_waf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

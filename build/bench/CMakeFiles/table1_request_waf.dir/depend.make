@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_request_waf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_explorer.dir/retention_explorer.cpp.o"
+  "CMakeFiles/retention_explorer.dir/retention_explorer.cpp.o.d"
+  "retention_explorer"
+  "retention_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

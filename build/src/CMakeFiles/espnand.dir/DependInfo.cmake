@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/espnand.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/ssd.cpp" "src/CMakeFiles/espnand.dir/core/ssd.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/core/ssd.cpp.o.d"
+  "/root/repo/src/ecc/ecc_model.cpp" "src/CMakeFiles/espnand.dir/ecc/ecc_model.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ecc/ecc_model.cpp.o.d"
+  "/root/repo/src/ftl/block_allocator.cpp" "src/CMakeFiles/espnand.dir/ftl/block_allocator.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/block_allocator.cpp.o.d"
+  "/root/repo/src/ftl/cgm_ftl.cpp" "src/CMakeFiles/espnand.dir/ftl/cgm_ftl.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/cgm_ftl.cpp.o.d"
+  "/root/repo/src/ftl/fgm_ftl.cpp" "src/CMakeFiles/espnand.dir/ftl/fgm_ftl.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/fgm_ftl.cpp.o.d"
+  "/root/repo/src/ftl/fine_pool.cpp" "src/CMakeFiles/espnand.dir/ftl/fine_pool.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/fine_pool.cpp.o.d"
+  "/root/repo/src/ftl/fullpage_pool.cpp" "src/CMakeFiles/espnand.dir/ftl/fullpage_pool.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/fullpage_pool.cpp.o.d"
+  "/root/repo/src/ftl/mapping_cache.cpp" "src/CMakeFiles/espnand.dir/ftl/mapping_cache.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/mapping_cache.cpp.o.d"
+  "/root/repo/src/ftl/sector_log_ftl.cpp" "src/CMakeFiles/espnand.dir/ftl/sector_log_ftl.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/sector_log_ftl.cpp.o.d"
+  "/root/repo/src/ftl/stats.cpp" "src/CMakeFiles/espnand.dir/ftl/stats.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/stats.cpp.o.d"
+  "/root/repo/src/ftl/sub_ftl.cpp" "src/CMakeFiles/espnand.dir/ftl/sub_ftl.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/sub_ftl.cpp.o.d"
+  "/root/repo/src/ftl/subpage_pool.cpp" "src/CMakeFiles/espnand.dir/ftl/subpage_pool.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/subpage_pool.cpp.o.d"
+  "/root/repo/src/ftl/wear_metrics.cpp" "src/CMakeFiles/espnand.dir/ftl/wear_metrics.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/wear_metrics.cpp.o.d"
+  "/root/repo/src/ftl/write_buffer.cpp" "src/CMakeFiles/espnand.dir/ftl/write_buffer.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/ftl/write_buffer.cpp.o.d"
+  "/root/repo/src/nand/block.cpp" "src/CMakeFiles/espnand.dir/nand/block.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/nand/block.cpp.o.d"
+  "/root/repo/src/nand/block_cells.cpp" "src/CMakeFiles/espnand.dir/nand/block_cells.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/nand/block_cells.cpp.o.d"
+  "/root/repo/src/nand/cell_model.cpp" "src/CMakeFiles/espnand.dir/nand/cell_model.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/nand/cell_model.cpp.o.d"
+  "/root/repo/src/nand/device.cpp" "src/CMakeFiles/espnand.dir/nand/device.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/nand/device.cpp.o.d"
+  "/root/repo/src/nand/geometry.cpp" "src/CMakeFiles/espnand.dir/nand/geometry.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/nand/geometry.cpp.o.d"
+  "/root/repo/src/nand/retention_model.cpp" "src/CMakeFiles/espnand.dir/nand/retention_model.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/nand/retention_model.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "src/CMakeFiles/espnand.dir/sim/driver.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/sim/driver.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/espnand.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/logger.cpp" "src/CMakeFiles/espnand.dir/util/logger.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/util/logger.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/espnand.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/espnand.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/CMakeFiles/espnand.dir/util/table_printer.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/util/table_printer.cpp.o.d"
+  "/root/repo/src/util/zipf.cpp" "src/CMakeFiles/espnand.dir/util/zipf.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/util/zipf.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/CMakeFiles/espnand.dir/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/workload/profiles.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/espnand.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/espnand.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_stats.cpp" "src/CMakeFiles/espnand.dir/workload/trace_stats.cpp.o" "gcc" "src/CMakeFiles/espnand.dir/workload/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

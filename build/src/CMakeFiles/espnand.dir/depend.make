@@ -1,0 +1,2 @@
+# Empty dependencies file for espnand.
+# This may be replaced when dependencies are built.

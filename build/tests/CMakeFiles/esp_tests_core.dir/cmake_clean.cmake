@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_core.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/esp_tests_core.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/esp_tests_core.dir/core/ssd_test.cpp.o"
+  "CMakeFiles/esp_tests_core.dir/core/ssd_test.cpp.o.d"
+  "esp_tests_core"
+  "esp_tests_core.pdb"
+  "esp_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_ecc.dir/ecc/ecc_model_test.cpp.o"
+  "CMakeFiles/esp_tests_ecc.dir/ecc/ecc_model_test.cpp.o.d"
+  "esp_tests_ecc"
+  "esp_tests_ecc.pdb"
+  "esp_tests_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ftl/block_allocator_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/block_allocator_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/block_allocator_test.cpp.o.d"
+  "/root/repo/tests/ftl/cgm_ftl_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/cgm_ftl_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/cgm_ftl_test.cpp.o.d"
+  "/root/repo/tests/ftl/fgm_ftl_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/fgm_ftl_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/fgm_ftl_test.cpp.o.d"
+  "/root/repo/tests/ftl/fine_pool_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/fine_pool_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/fine_pool_test.cpp.o.d"
+  "/root/repo/tests/ftl/fullpage_pool_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/fullpage_pool_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/fullpage_pool_test.cpp.o.d"
+  "/root/repo/tests/ftl/mapping_cache_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/mapping_cache_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/mapping_cache_test.cpp.o.d"
+  "/root/repo/tests/ftl/sector_log_ftl_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/sector_log_ftl_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/sector_log_ftl_test.cpp.o.d"
+  "/root/repo/tests/ftl/sub_ftl_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/sub_ftl_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/sub_ftl_test.cpp.o.d"
+  "/root/repo/tests/ftl/subpage_pool_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/subpage_pool_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/subpage_pool_test.cpp.o.d"
+  "/root/repo/tests/ftl/types_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/types_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/types_test.cpp.o.d"
+  "/root/repo/tests/ftl/wear_metrics_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/wear_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/wear_metrics_test.cpp.o.d"
+  "/root/repo/tests/ftl/write_buffer_test.cpp" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/write_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_ftl.dir/ftl/write_buffer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/espnand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_ftl.dir/ftl/block_allocator_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/block_allocator_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/cgm_ftl_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/cgm_ftl_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/fgm_ftl_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/fgm_ftl_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/fine_pool_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/fine_pool_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/fullpage_pool_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/fullpage_pool_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/mapping_cache_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/mapping_cache_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/sector_log_ftl_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/sector_log_ftl_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/sub_ftl_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/sub_ftl_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/subpage_pool_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/subpage_pool_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/types_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/types_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/wear_metrics_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/wear_metrics_test.cpp.o.d"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/write_buffer_test.cpp.o"
+  "CMakeFiles/esp_tests_ftl.dir/ftl/write_buffer_test.cpp.o.d"
+  "esp_tests_ftl"
+  "esp_tests_ftl.pdb"
+  "esp_tests_ftl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/crossftl_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/crossftl_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/crossftl_test.cpp.o.d"
+  "/root/repo/tests/integration/fault_injection_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/ftl_contract_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/ftl_contract_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/ftl_contract_test.cpp.o.d"
+  "/root/repo/tests/integration/geometry_sweep_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/geometry_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/geometry_sweep_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/property_test.cpp.o.d"
+  "/root/repo/tests/integration/retention_gc_interplay_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/retention_gc_interplay_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/retention_gc_interplay_test.cpp.o.d"
+  "/root/repo/tests/integration/retention_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/retention_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/retention_test.cpp.o.d"
+  "/root/repo/tests/integration/smoke_test.cpp" "tests/CMakeFiles/esp_tests_integration.dir/integration/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_integration.dir/integration/smoke_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/espnand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

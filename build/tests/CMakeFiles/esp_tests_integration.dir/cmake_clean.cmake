@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_integration.dir/integration/crossftl_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/crossftl_test.cpp.o.d"
+  "CMakeFiles/esp_tests_integration.dir/integration/fault_injection_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/fault_injection_test.cpp.o.d"
+  "CMakeFiles/esp_tests_integration.dir/integration/ftl_contract_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/ftl_contract_test.cpp.o.d"
+  "CMakeFiles/esp_tests_integration.dir/integration/geometry_sweep_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/geometry_sweep_test.cpp.o.d"
+  "CMakeFiles/esp_tests_integration.dir/integration/property_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/esp_tests_integration.dir/integration/retention_gc_interplay_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/retention_gc_interplay_test.cpp.o.d"
+  "CMakeFiles/esp_tests_integration.dir/integration/retention_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/retention_test.cpp.o.d"
+  "CMakeFiles/esp_tests_integration.dir/integration/smoke_test.cpp.o"
+  "CMakeFiles/esp_tests_integration.dir/integration/smoke_test.cpp.o.d"
+  "esp_tests_integration"
+  "esp_tests_integration.pdb"
+  "esp_tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

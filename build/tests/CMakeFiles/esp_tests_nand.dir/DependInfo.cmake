@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nand/block_cells_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/block_cells_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/block_cells_test.cpp.o.d"
+  "/root/repo/tests/nand/block_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/block_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/block_test.cpp.o.d"
+  "/root/repo/tests/nand/cell_model_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/cell_model_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/cell_model_test.cpp.o.d"
+  "/root/repo/tests/nand/device_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/device_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/device_test.cpp.o.d"
+  "/root/repo/tests/nand/geometry_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/geometry_test.cpp.o.d"
+  "/root/repo/tests/nand/reliability_mode_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/reliability_mode_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/reliability_mode_test.cpp.o.d"
+  "/root/repo/tests/nand/retention_model_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/retention_model_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/retention_model_test.cpp.o.d"
+  "/root/repo/tests/nand/timing_test.cpp" "tests/CMakeFiles/esp_tests_nand.dir/nand/timing_test.cpp.o" "gcc" "tests/CMakeFiles/esp_tests_nand.dir/nand/timing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/espnand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

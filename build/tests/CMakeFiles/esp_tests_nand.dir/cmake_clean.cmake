@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_nand.dir/nand/block_cells_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/block_cells_test.cpp.o.d"
+  "CMakeFiles/esp_tests_nand.dir/nand/block_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/block_test.cpp.o.d"
+  "CMakeFiles/esp_tests_nand.dir/nand/cell_model_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/cell_model_test.cpp.o.d"
+  "CMakeFiles/esp_tests_nand.dir/nand/device_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/device_test.cpp.o.d"
+  "CMakeFiles/esp_tests_nand.dir/nand/geometry_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/geometry_test.cpp.o.d"
+  "CMakeFiles/esp_tests_nand.dir/nand/reliability_mode_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/reliability_mode_test.cpp.o.d"
+  "CMakeFiles/esp_tests_nand.dir/nand/retention_model_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/retention_model_test.cpp.o.d"
+  "CMakeFiles/esp_tests_nand.dir/nand/timing_test.cpp.o"
+  "CMakeFiles/esp_tests_nand.dir/nand/timing_test.cpp.o.d"
+  "esp_tests_nand"
+  "esp_tests_nand.pdb"
+  "esp_tests_nand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

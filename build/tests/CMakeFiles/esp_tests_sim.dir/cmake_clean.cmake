@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_sim.dir/sim/driver_test.cpp.o"
+  "CMakeFiles/esp_tests_sim.dir/sim/driver_test.cpp.o.d"
+  "esp_tests_sim"
+  "esp_tests_sim.pdb"
+  "esp_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_util.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/esp_tests_util.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/esp_tests_util.dir/util/logger_test.cpp.o"
+  "CMakeFiles/esp_tests_util.dir/util/logger_test.cpp.o.d"
+  "CMakeFiles/esp_tests_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/esp_tests_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/esp_tests_util.dir/util/sim_time_test.cpp.o"
+  "CMakeFiles/esp_tests_util.dir/util/sim_time_test.cpp.o.d"
+  "CMakeFiles/esp_tests_util.dir/util/stats_test.cpp.o"
+  "CMakeFiles/esp_tests_util.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/esp_tests_util.dir/util/table_printer_test.cpp.o"
+  "CMakeFiles/esp_tests_util.dir/util/table_printer_test.cpp.o.d"
+  "CMakeFiles/esp_tests_util.dir/util/zipf_test.cpp.o"
+  "CMakeFiles/esp_tests_util.dir/util/zipf_test.cpp.o.d"
+  "esp_tests_util"
+  "esp_tests_util.pdb"
+  "esp_tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

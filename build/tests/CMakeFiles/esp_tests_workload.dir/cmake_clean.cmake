@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_tests_workload.dir/workload/profiles_test.cpp.o"
+  "CMakeFiles/esp_tests_workload.dir/workload/profiles_test.cpp.o.d"
+  "CMakeFiles/esp_tests_workload.dir/workload/synthetic_test.cpp.o"
+  "CMakeFiles/esp_tests_workload.dir/workload/synthetic_test.cpp.o.d"
+  "CMakeFiles/esp_tests_workload.dir/workload/trace_stats_test.cpp.o"
+  "CMakeFiles/esp_tests_workload.dir/workload/trace_stats_test.cpp.o.d"
+  "CMakeFiles/esp_tests_workload.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/esp_tests_workload.dir/workload/trace_test.cpp.o.d"
+  "esp_tests_workload"
+  "esp_tests_workload.pdb"
+  "esp_tests_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_tests_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

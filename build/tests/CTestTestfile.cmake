@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/esp_tests_util[1]_include.cmake")
+include("/root/repo/build/tests/esp_tests_nand[1]_include.cmake")
+include("/root/repo/build/tests/esp_tests_ecc[1]_include.cmake")
+include("/root/repo/build/tests/esp_tests_ftl[1]_include.cmake")
+include("/root/repo/build/tests/esp_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/esp_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/esp_tests_workload[1]_include.cmake")
+include("/root/repo/build/tests/esp_tests_integration[1]_include.cmake")

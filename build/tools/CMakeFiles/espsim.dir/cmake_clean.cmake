@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espsim.dir/espsim.cpp.o"
+  "CMakeFiles/espsim.dir/espsim.cpp.o.d"
+  "espsim"
+  "espsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

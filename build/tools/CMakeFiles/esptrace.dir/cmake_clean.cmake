@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esptrace.dir/esptrace.cpp.o"
+  "CMakeFiles/esptrace.dir/esptrace.cpp.o.d"
+  "esptrace"
+  "esptrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

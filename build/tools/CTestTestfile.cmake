@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_espsim_profile "/root/repo/build/tools/espsim" "--ftl" "sub" "--profile" "tpcc" "--requests" "3000" "--warmup" "2000" "--capacity-gib" "0.25")
+set_tests_properties(tool_espsim_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_espsim_manual "/root/repo/build/tools/espsim" "--ftl" "fgm" "--r-small" "1.0" "--r-synch" "0.5" "--requests" "3000" "--warmup" "1000" "--capacity-gib" "0.25")
+set_tests_properties(tool_espsim_manual PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_esptrace_roundtrip "/root/repo/build/tools/esptrace" "generate" "varmail" "/root/repo/build/tools/varmail_test.trace" "5000" "65536")
+set_tests_properties(tool_esptrace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_esptrace_analyze "/root/repo/build/tools/esptrace" "analyze" "/root/repo/build/tools/varmail_test.trace")
+set_tests_properties(tool_esptrace_analyze PROPERTIES  DEPENDS "tool_esptrace_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
