@@ -13,11 +13,14 @@
 //     and modest (~10-20%) for YCSB/TPC-C;
 //   * subFTL's GC invocations drop dramatically vs fgmFTL.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "telemetry/json.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -70,7 +73,17 @@ Outcome run_one(workload::Benchmark bench, core::FtlKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::print_header("Fig. 8 -- cgmFTL vs fgmFTL vs subFTL on 5 benchmarks");
 
   const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
@@ -128,5 +141,48 @@ int main() {
       "\nExpected shape (paper): subFTL invokes GC far less than fgmFTL "
       "(up to ~2.8x fewer),\nand erases (lifetime) follow the same "
       "ordering.\n");
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.kv("figure", "fig8_ftl_comparison");
+    w.newline();
+    w.key("benchmarks");
+    w.begin_object();
+    for (const auto bench : workload::all_benchmarks()) {
+      w.newline();
+      w.key(workload::benchmark_name(bench));
+      w.begin_object();
+      const double cgm = grid[{bench, core::FtlKind::kCgm}].throughput;
+      for (const auto kind : kinds) {
+        const auto& o = grid[{bench, kind}];
+        w.key(core::ftl_kind_name(kind));
+        w.begin_object();
+        w.kv("host_mb_per_sec", o.throughput);
+        w.kv("normalized_iops", cgm > 0.0 ? o.throughput / cgm : 0.0);
+        w.kv("gc_invocations", o.gc);
+        w.kv("erases", o.erases);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_object();
+    w.newline();
+    w.key("summary");
+    w.begin_object();
+    w.kv("iops_gain_vs_cgm_max", max_vs_cgm);
+    w.kv("iops_gain_vs_cgm_avg", sum_vs_cgm / 5.0);
+    w.kv("iops_gain_vs_fgm_max", max_vs_fgm);
+    w.kv("iops_gain_vs_fgm_avg", sum_vs_fgm / 5.0);
+    w.end_object();
+    w.end_object();
+    os << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

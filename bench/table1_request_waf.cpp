@@ -6,11 +6,13 @@
 // ideal 1.0 -- subFTL avoids essentially all internal fragmentation, with
 // only the small extra I/O of in-region migrations and cold evictions.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "telemetry/json.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -57,16 +59,28 @@ Row run_one(workload::Benchmark bench) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::print_header("Table 1 -- Detailed analysis of subFTL");
 
   util::TablePrinter t({"", "Sysbench", "Varmail", "Postmark", "YCSB",
                         "TPC-C"});
   std::vector<std::string> pct_row = {"% of small write"};
   std::vector<std::string> waf_row = {"average request WAF"};
+  std::vector<std::pair<workload::Benchmark, Row>> rows;
   bool all_near_one = true;
   for (const auto bench : workload::all_benchmarks()) {
     const Row row = run_one(bench);
+    rows.emplace_back(bench, row);
     pct_row.push_back(util::TablePrinter::pct(row.small_pct, 1));
     waf_row.push_back(util::TablePrinter::num(row.request_waf, 3));
     all_near_one &= row.request_waf < 1.25;
@@ -77,6 +91,35 @@ int main() {
   t.add_row(pct_row);
   t.add_row(waf_row);
   t.print(std::cout);
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.kv("table", "table1_request_waf");
+    w.newline();
+    w.key("benchmarks");
+    w.begin_object();
+    for (const auto& [bench, row] : rows) {
+      w.newline();
+      w.key(workload::benchmark_name(bench));
+      w.begin_object();
+      w.kv("small_write_fraction", row.small_pct);
+      w.kv("request_waf", row.request_waf);
+      w.kv("verify_failures", row.verify_failures);
+      w.end_object();
+    }
+    w.end_object();
+    w.newline();
+    w.kv("pass", all_near_one);
+    w.end_object();
+    os << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
 
   std::printf(
       "\nPaper Table 1:  %% small writes 99.7 / 95.3 / 99.9 / 19.3 / 11.8;\n"

@@ -5,6 +5,7 @@ namespace esp::core {
 RunResult run_experiment(const ExperimentSpec& spec) {
   Ssd ssd(spec.ssd);
   ssd.precondition(spec.precondition_fraction);
+  if (spec.telemetry) ssd.attach_telemetry(spec.telemetry);
 
   // Default the workload footprint to the preconditioned LBA range -- the
   // paper's benchmarks run over the files laid down during preconditioning.

@@ -40,6 +40,10 @@ struct ExperimentSpec {
   /// state before the measured window starts.
   std::uint64_t warmup_requests = 0;
   bool verify = true;
+  /// Optional telemetry facade, attached after preconditioning so metrics,
+  /// traces and time-series samples cover warmup + the measured window but
+  /// not the sequential fill. Must outlive the call.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Builds the SSD, preconditions it, runs the workload, returns metrics.

@@ -7,6 +7,7 @@
 #include "ftl/fgm_ftl.h"
 #include "ftl/sector_log_ftl.h"
 #include "ftl/sub_ftl.h"
+#include "util/logger.h"
 
 namespace esp::core {
 
@@ -95,6 +96,26 @@ Ssd::Ssd(const SsdConfig& config) : config_(config) {
     }
   }
   driver_ = std::make_unique<sim::Driver>(*ftl_, *device_, config_.queue_depth);
+  // Stamp log lines with this SSD's simulated clock. Last constructed wins
+  // when several coexist; the destructor clears it, so the provider never
+  // outlives a driver.
+  util::set_log_sim_time_provider(
+      [driver = driver_.get()] { return driver->now(); });
+}
+
+Ssd::~Ssd() {
+  util::set_log_sim_time_provider(nullptr);
+  // Sever the registry's references into device/FTL state before it dies:
+  // bound counters and provider gauges become owned snapshots, so the
+  // caller can still export metrics after this Ssd is destroyed.
+  if (telemetry_) telemetry_->registry().materialize();
+}
+
+void Ssd::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  device_->set_telemetry(telemetry);
+  ftl_->set_telemetry(telemetry);
+  driver_->set_telemetry(telemetry);
 }
 
 void Ssd::precondition(double fraction) {

@@ -20,6 +20,7 @@
 #include "nand/retention_model.h"
 #include "nand/timing.h"
 #include "sim/driver.h"
+#include "telemetry/telemetry.h"
 
 namespace esp::core {
 
@@ -77,6 +78,7 @@ struct SsdConfig {
 class Ssd {
  public:
   explicit Ssd(const SsdConfig& config);
+  ~Ssd();
 
   // Non-copyable, non-movable: driver/ftl hold references into the device.
   Ssd(const Ssd&) = delete;
@@ -96,11 +98,20 @@ class Ssd {
   /// 16-GB device) that puts the FTL into steady state before measuring.
   void precondition(double fraction = 1.0);
 
+  /// Wires the telemetry facade through every layer: the device and FTL
+  /// bind their counters/gauges and start recording op events, the driver
+  /// opens request spans and runs the time-series sampler. Pass nullptr to
+  /// detach. The facade must outlive the Ssd OR outlive it gracefully: the
+  /// destructor materializes the registry, so metric exports remain valid
+  /// after this Ssd is gone.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   SsdConfig config_;
   std::unique_ptr<nand::NandDevice> device_;
   std::unique_ptr<ftl::Ftl> ftl_;
   std::unique_ptr<sim::Driver> driver_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace esp::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace esp::ftl {
 
 CgmFtl::CgmFtl(nand::NandDevice& dev, const Config& config)
@@ -77,6 +79,8 @@ SimTime CgmFtl::write_lpn(std::uint64_t lpn, std::uint32_t first_slot,
   l2p_[lpn] = new_lin;
   if (small_request)
     stats_.small_service_flash_bytes += geo_.page_bytes;
+  if (sink_ && partial && old_lin != nand::kUnmapped)
+    sink_->record_op({telemetry::OpKind::kRmw, now, done, slot_count});
   return done;
 }
 
@@ -170,6 +174,20 @@ void CgmFtl::trim(std::uint64_t sector, std::uint32_t count) {
 std::uint64_t CgmFtl::mapping_memory_bytes() const {
   // One 32-bit PPA per logical page.
   return l2p_.size() * sizeof(std::uint32_t);
+}
+
+void CgmFtl::set_telemetry(telemetry::Sink* sink) {
+  sink_ = sink;
+  pool_.set_telemetry(sink);
+  if (!sink) return;
+  telemetry::MetricsRegistry& reg = sink->registry();
+  bind_stats(reg, name(), stats_);
+  reg.gauge(name() + "/fullpage_blocks").set_provider([this] {
+    return static_cast<double>(pool_.blocks_in_use());
+  });
+  reg.gauge(name() + "/mapping_memory_bytes").set_provider([this] {
+    return static_cast<double>(mapping_memory_bytes());
+  });
 }
 
 }  // namespace esp::ftl

@@ -50,6 +50,7 @@ class CgmFtl : public Ftl {
   const FtlStats& stats() const override { return stats_; }
   std::uint64_t mapping_memory_bytes() const override;
   std::string name() const override { return "cgmFTL"; }
+  void set_telemetry(telemetry::Sink* sink) override;
 
  private:
   /// Services one logical page's worth of the request; returns completion.
@@ -67,6 +68,7 @@ class CgmFtl : public Ftl {
   std::vector<std::uint64_t> l2p_;      ///< lpn -> linear page (kUnmapped)
   std::vector<std::uint32_t> version_;  ///< per-sector write counter
   std::uint32_t writes_since_wl_ = 0;
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace esp::ftl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace esp::ftl {
 
 FgmFtl::FgmFtl(nand::NandDevice& dev, const Config& config)
@@ -164,6 +166,20 @@ void FgmFtl::trim(std::uint64_t sector, std::uint32_t count) {
 std::uint64_t FgmFtl::mapping_memory_bytes() const {
   // One 32-bit sub-PPA per sector: Nsub x the CGM table.
   return l2p_.size() * sizeof(std::uint32_t);
+}
+
+void FgmFtl::set_telemetry(telemetry::Sink* sink) {
+  sink_ = sink;
+  pool_.set_telemetry(sink);
+  if (!sink) return;
+  telemetry::MetricsRegistry& reg = sink->registry();
+  bind_stats(reg, name(), stats_);
+  reg.gauge(name() + "/fine_blocks").set_provider([this] {
+    return static_cast<double>(pool_.blocks_in_use());
+  });
+  reg.gauge(name() + "/mapping_memory_bytes").set_provider([this] {
+    return static_cast<double>(mapping_memory_bytes());
+  });
 }
 
 }  // namespace esp::ftl

@@ -48,6 +48,7 @@ class FgmFtl : public Ftl {
   const FtlStats& stats() const override { return stats_; }
   std::uint64_t mapping_memory_bytes() const override;
   std::string name() const override { return "fgmFTL"; }
+  void set_telemetry(telemetry::Sink* sink) override;
 
  private:
   /// Writes one extracted buffer run to flash as dense page programs.
@@ -65,6 +66,7 @@ class FgmFtl : public Ftl {
   std::vector<std::uint64_t> l2p_;      ///< sector -> linear subpage addr
   std::vector<std::uint32_t> version_;  ///< per-sector write counter
   std::uint32_t writes_since_wl_ = 0;
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace esp::ftl

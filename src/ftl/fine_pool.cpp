@@ -184,10 +184,13 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
       --valid_sectors_;
     }
   }
+  std::uint64_t copied = 0;
+  std::uint64_t evicted = 0;
   if (evict_on_gc_ && !for_wear_leveling) {
     // Log-region cleaning: merge every live sector out of this pool.
     if (!live.empty()) {
       stats_.cold_evictions += live.size();
+      evicted = live.size();
       t = evict_on_gc_(live, t);
     }
   } else {
@@ -198,12 +201,17 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
         stats_.wear_level_relocations += n;
       else
         stats_.gc_copy_sectors += n;
+      copied += n;
     }
   }
   in_gc_ = false;
 
   const auto ack = dev_.erase_block(chip, blk, t);
   ++stats_.flash_erases;
+  if (sink_)
+    sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
+                                        : telemetry::OpKind::kGcCopy,
+                      now, ack.done, copied, evicted});
   victim.owned = false;
   victim.sector_of_slot.clear();
   victim.sector_of_slot.shrink_to_fit();

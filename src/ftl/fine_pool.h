@@ -21,6 +21,7 @@
 #include "ftl/types.h"
 #include "nand/address.h"
 #include "nand/device.h"
+#include "telemetry/sink.h"
 
 namespace esp::ftl {
 
@@ -64,6 +65,10 @@ class FinePool {
   std::uint64_t blocks_in_use() const { return blocks_in_use_; }
   std::uint64_t valid_sectors() const { return valid_sectors_; }
 
+  /// Attaches a telemetry sink (nullptr detaches); GC / wear-leveling
+  /// block collections are recorded as mechanism-lane op events.
+  void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }
+
  private:
   struct BlockMeta {
     bool owned = false;
@@ -99,6 +104,7 @@ class FinePool {
   std::uint64_t blocks_in_use_ = 0;
   std::uint64_t valid_sectors_ = 0;
   bool in_gc_ = false;
+  telemetry::Sink* sink_ = nullptr;
   std::priority_queue<std::pair<std::uint32_t, std::size_t>,
                       std::vector<std::pair<std::uint32_t, std::size_t>>,
                       std::greater<>>

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ftl/types.h"
+#include "telemetry/sink.h"
 #include "util/sim_time.h"
 
 namespace esp::ftl {
@@ -50,6 +51,12 @@ class Ftl {
   virtual std::uint64_t mapping_memory_bytes() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Attaches a telemetry sink (nullptr detaches). Implementations bind
+  /// their FtlStats counters under "<name()>/", register occupancy gauges,
+  /// and forward the sink to their pools so mechanism-level op events
+  /// (GC copies, migrations, evictions) get recorded. Default: no-op.
+  virtual void set_telemetry(telemetry::Sink* /*sink*/) {}
 };
 
 }  // namespace esp::ftl

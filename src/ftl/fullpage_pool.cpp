@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/logger.h"
+
 namespace esp::ftl {
 
 FullPagePool::FullPagePool(nand::NandDevice& dev, BlockAllocator& allocator,
@@ -145,6 +147,8 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
                                     bool for_wear_leveling) {
   const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
   const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+  const SimTime collect_start = now;
+  std::uint64_t moved_sectors = 0;
   in_gc_ = true;
   BlockMeta& victim = meta_[idx];
   for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
@@ -172,6 +176,7 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
         stats_.wear_level_relocations += geo_.subpages_per_page;
       else
         stats_.gc_copy_sectors += geo_.subpages_per_page;
+      moved_sectors += geo_.subpages_per_page;
       relocate_(lpn, codec_.encode_page(dst_addr));
       now = ack.done;
       continue;
@@ -196,6 +201,7 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
       stats_.wear_level_relocations += geo_.subpages_per_page;
     else
       stats_.gc_copy_sectors += geo_.subpages_per_page;
+    moved_sectors += geo_.subpages_per_page;
     relocate_(lpn, new_lin);
     now = done;
   }
@@ -203,6 +209,14 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
 
   const auto ack = dev_.erase_block(chip, blk, now);
   ++stats_.flash_erases;
+  if (sink_)
+    sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
+                                        : telemetry::OpKind::kGcCopy,
+                      collect_start, ack.done, moved_sectors});
+  ESP_LOG_DEBUG("%s collected full-page block chip=%u blk=%u moved=%llu",
+                for_wear_leveling ? "wear-level" : "gc",
+                static_cast<unsigned>(chip), static_cast<unsigned>(blk),
+                static_cast<unsigned long long>(moved_sectors));
   victim.owned = false;
   victim.lpn_of_page.clear();
   victim.lpn_of_page.shrink_to_fit();

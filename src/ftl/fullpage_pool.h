@@ -21,6 +21,7 @@
 #include "ftl/types.h"
 #include "nand/address.h"
 #include "nand/device.h"
+#include "telemetry/sink.h"
 
 namespace esp::ftl {
 
@@ -69,6 +70,10 @@ class FullPagePool {
   /// For wear metrics: P/E counts of blocks currently owned by this pool.
   std::vector<std::uint32_t> owned_pe_cycles() const;
 
+  /// Attaches a telemetry sink (nullptr detaches); GC / wear-leveling
+  /// block collections are recorded as mechanism-lane op events.
+  void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }
+
  private:
   struct BlockMeta {
     bool owned = false;
@@ -116,6 +121,7 @@ class FullPagePool {
   std::uint64_t blocks_in_use_ = 0;
   std::uint64_t valid_pages_ = 0;
   bool in_gc_ = false;
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace esp::ftl

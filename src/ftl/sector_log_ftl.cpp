@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace esp::ftl {
 namespace {
 
@@ -129,7 +131,8 @@ SimTime SectorLogFtl::merge_batch(std::span<const SectorWrite> batch,
 
     std::vector<std::uint64_t> tokens(subs, 0);
     SimTime t = now;
-    if (l2p_[lpn] != nand::kUnmapped) {
+    const bool merges_old_page = l2p_[lpn] != nand::kUnmapped;
+    if (merges_old_page) {
       const auto read = dev_.read_page(codec_.decode_page(l2p_[lpn]), t);
       ++stats_.flash_reads;
       ++stats_.rmw_ops;
@@ -150,6 +153,9 @@ SimTime SectorLogFtl::merge_batch(std::span<const SectorWrite> batch,
     const auto [new_lin, page_done] = pool_data_.write_page(lpn, tokens, t);
     l2p_[lpn] = new_lin;
     stats_.small_extra_flash_bytes += geo_.page_bytes;
+    if (sink_ && merges_old_page)
+      sink_->record_op({telemetry::OpKind::kRmw, now, page_done,
+                        static_cast<std::uint64_t>(j - i)});
     done = std::max(done, page_done);
     i = j;
   }
@@ -294,6 +300,27 @@ void SectorLogFtl::trim(std::uint64_t sector, std::uint32_t count) {
 std::uint64_t SectorLogFtl::mapping_memory_bytes() const {
   // Coarse table plus the fine log map (modeled 16 bytes/entry).
   return l2p_.size() * sizeof(std::uint32_t) + log_map_.size() * 16;
+}
+
+void SectorLogFtl::set_telemetry(telemetry::Sink* sink) {
+  sink_ = sink;
+  pool_data_.set_telemetry(sink);
+  pool_log_.set_telemetry(sink);
+  if (!sink) return;
+  telemetry::MetricsRegistry& reg = sink->registry();
+  bind_stats(reg, name(), stats_);
+  reg.gauge(name() + "/region_blocks").set_provider([this] {
+    return static_cast<double>(pool_log_.blocks_in_use());
+  });
+  reg.gauge(name() + "/region_valid_sectors").set_provider([this] {
+    return static_cast<double>(pool_log_.valid_sectors());
+  });
+  reg.gauge(name() + "/fullpage_blocks").set_provider([this] {
+    return static_cast<double>(pool_data_.blocks_in_use());
+  });
+  reg.gauge(name() + "/mapping_memory_bytes").set_provider([this] {
+    return static_cast<double>(mapping_memory_bytes());
+  });
 }
 
 }  // namespace esp::ftl

@@ -58,6 +58,7 @@ class SectorLogFtl : public Ftl {
   const FtlStats& stats() const override { return stats_; }
   std::uint64_t mapping_memory_bytes() const override;
   std::string name() const override { return "sectorLogFTL"; }
+  void set_telemetry(telemetry::Sink* sink) override;
 
   std::size_t log_mapping_entries() const { return log_map_.size(); }
 
@@ -88,6 +89,7 @@ class SectorLogFtl : public Ftl {
   std::vector<std::uint32_t> version_;
   std::uint32_t writes_since_wl_ = 0;
   bool wl_toggle_ = false;
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace esp::ftl

@@ -1,5 +1,7 @@
 #include "ftl/types.h"
 
+#include "telemetry/metrics.h"
+
 namespace esp::ftl {
 
 FtlStats stats_delta(const FtlStats& after, const FtlStats& before) {
@@ -31,6 +33,34 @@ FtlStats stats_delta(const FtlStats& after, const FtlStats& before) {
   d.small_extra_flash_bytes =
       after.small_extra_flash_bytes - before.small_extra_flash_bytes;
   return d;
+}
+
+void bind_stats(telemetry::MetricsRegistry& registry, const std::string& scope,
+                const FtlStats& stats) {
+  const auto bind = [&](const char* field, const std::uint64_t& src) {
+    registry.bind_counter(scope + "/" + field, &src);
+  };
+  bind("host_write_requests", stats.host_write_requests);
+  bind("host_read_requests", stats.host_read_requests);
+  bind("host_write_sectors", stats.host_write_sectors);
+  bind("host_read_sectors", stats.host_read_sectors);
+  bind("flash_prog_full", stats.flash_prog_full);
+  bind("flash_prog_sub", stats.flash_prog_sub);
+  bind("flash_reads", stats.flash_reads);
+  bind("flash_erases", stats.flash_erases);
+  bind("rmw_ops", stats.rmw_ops);
+  bind("gc_invocations", stats.gc_invocations);
+  bind("gc_copy_sectors", stats.gc_copy_sectors);
+  bind("forward_migrations", stats.forward_migrations);
+  bind("cold_evictions", stats.cold_evictions);
+  bind("retention_evictions", stats.retention_evictions);
+  bind("wear_level_relocations", stats.wear_level_relocations);
+  bind("buffer_hits", stats.buffer_hits);
+  bind("read_failures", stats.read_failures);
+  bind("small_write_requests", stats.small_write_requests);
+  bind("small_write_bytes", stats.small_write_bytes);
+  bind("small_service_flash_bytes", stats.small_service_flash_bytes);
+  bind("small_extra_flash_bytes", stats.small_extra_flash_bytes);
 }
 
 }  // namespace esp::ftl

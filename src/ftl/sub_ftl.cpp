@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
 #include "util/logger.h"
 
 namespace esp::ftl {
@@ -174,7 +175,8 @@ SimTime SubFtl::rmw_into_fullpage(std::uint64_t sector, std::uint64_t token,
   const std::uint64_t lpn = sector / subs;
   std::vector<std::uint64_t> tokens(subs, 0);
   SimTime t = now;
-  if (l2p_[lpn] != nand::kUnmapped) {
+  const bool merges_old_page = l2p_[lpn] != nand::kUnmapped;
+  if (merges_old_page) {
     const auto read = dev_.read_page(codec_.decode_page(l2p_[lpn]), t);
     ++stats_.flash_reads;
     ++stats_.rmw_ops;
@@ -191,6 +193,8 @@ SimTime SubFtl::rmw_into_fullpage(std::uint64_t sector, std::uint64_t token,
   tokens[sector % subs] = token;
   const auto [new_lin, done] = pool_full_.write_page(lpn, tokens, t);
   l2p_[lpn] = new_lin;
+  if (sink_ && merges_old_page)
+    sink_->record_op({telemetry::OpKind::kRmw, now, done, 1});
   return done;
 }
 
@@ -216,7 +220,8 @@ SimTime SubFtl::evict_batch(std::span<const SectorWrite> batch, SimTime now,
 
     std::vector<std::uint64_t> tokens(subs, 0);
     SimTime t = now;
-    if (l2p_[lpn] != nand::kUnmapped) {
+    const bool merges_old_page = l2p_[lpn] != nand::kUnmapped;
+    if (merges_old_page) {
       const auto read = dev_.read_page(codec_.decode_page(l2p_[lpn]), t);
       ++stats_.flash_reads;
       ++stats_.rmw_ops;
@@ -237,6 +242,9 @@ SimTime SubFtl::evict_batch(std::span<const SectorWrite> batch, SimTime now,
     const auto [new_lin, page_done] = pool_full_.write_page(lpn, tokens, t);
     l2p_[lpn] = new_lin;
     stats_.small_extra_flash_bytes += geo_.page_bytes;
+    if (sink_ && merges_old_page)
+      sink_->record_op({telemetry::OpKind::kRmw, now, page_done,
+                        static_cast<std::uint64_t>(j - i)});
     done = std::max(done, page_done);
     i = j;
   }
@@ -404,6 +412,27 @@ std::uint64_t SubFtl::mapping_memory_bytes() const {
   // per entry (sector key + sub-PPA + flags); bounded by one valid subpage
   // per physical page of the subpage region.
   return l2p_.size() * sizeof(std::uint32_t) + sub_map_.size() * 16;
+}
+
+void SubFtl::set_telemetry(telemetry::Sink* sink) {
+  sink_ = sink;
+  pool_full_.set_telemetry(sink);
+  pool_sub_.set_telemetry(sink);
+  if (!sink) return;
+  telemetry::MetricsRegistry& reg = sink->registry();
+  bind_stats(reg, name(), stats_);
+  reg.gauge(name() + "/region_blocks").set_provider([this] {
+    return static_cast<double>(pool_sub_.blocks_in_use());
+  });
+  reg.gauge(name() + "/region_valid_sectors").set_provider([this] {
+    return static_cast<double>(pool_sub_.valid_sectors());
+  });
+  reg.gauge(name() + "/fullpage_blocks").set_provider([this] {
+    return static_cast<double>(pool_full_.blocks_in_use());
+  });
+  reg.gauge(name() + "/mapping_memory_bytes").set_provider([this] {
+    return static_cast<double>(mapping_memory_bytes());
+  });
 }
 
 }  // namespace esp::ftl

@@ -72,6 +72,7 @@ class SubFtl : public Ftl {
   const FtlStats& stats() const override { return stats_; }
   std::uint64_t mapping_memory_bytes() const override;
   std::string name() const override { return "subFTL"; }
+  void set_telemetry(telemetry::Sink* sink) override;
 
   // Introspection for tests and wear metrics.
   const SubpagePool& subpage_pool() const { return pool_sub_; }
@@ -114,6 +115,7 @@ class SubFtl : public Ftl {
   SimTime last_retention_scan_ = 0.0;
   std::uint32_t writes_since_wl_ = 0;
   bool wl_toggle_ = false;  ///< alternate regions between WL checks
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace esp::ftl

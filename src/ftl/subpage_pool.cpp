@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/logger.h"
+
 namespace esp::ftl {
 
 SubpagePool::SubpagePool(nand::NandDevice& dev, BlockAllocator& allocator,
@@ -61,6 +63,9 @@ SimTime SubpagePool::forward_page(std::uint32_t chip, std::uint32_t blk,
   m.written_at[page] = read.done;
   place_(m.sector_of_page[page],
          codec_.encode_subpage(nand::SubpageAddr{pa, to_slot}));
+  if (sink_)
+    sink_->record_op(
+        {telemetry::OpKind::kForwardMigration, now, ack.done, to_slot});
   return ack.done;
 }
 
@@ -259,6 +264,7 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   // nor write into it -- its erase is already committed.
   victim.active = true;
   SimTime t = now;
+  std::uint64_t kept_sectors = 0;
   std::vector<SectorWrite> evictions;
   for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
     if (!victim.valid[page]) continue;
@@ -284,6 +290,7 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
           ++stats_.gc_copy_sectors;
         stats_.small_extra_flash_bytes += geo_.subpage_bytes();
         kept_(sector);  // must be updated again to stay hot next time
+        ++kept_sectors;
         t = placed->second;
         continue;
       }
@@ -309,6 +316,16 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   --blocks_in_use_;
   allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
   in_gc_ = false;
+  if (sink_)
+    sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
+                                        : telemetry::OpKind::kGcCopy,
+                      now, ack.done, kept_sectors, evictions.size()});
+  ESP_LOG_DEBUG("%s collected subpage block chip=%u blk=%u kept=%llu "
+                "evicted=%zu",
+                for_wear_leveling ? "wear-level" : "gc",
+                static_cast<unsigned>(chip), static_cast<unsigned>(blk),
+                static_cast<unsigned long long>(kept_sectors),
+                evictions.size());
   return ack.done;
 }
 
@@ -366,6 +383,7 @@ SimTime SubpagePool::retention_scan(SimTime now) {
     for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
       BlockMeta& m = meta_[block_index(chip, b)];
       if (!m.owned || m.valid_count == 0) continue;
+      const SimTime block_start = t;
       std::vector<SectorWrite> evictions;
       for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
         if (!m.valid[page]) continue;
@@ -384,7 +402,12 @@ SimTime SubpagePool::retention_scan(SimTime now) {
         evictions.push_back(SectorWrite{sector, read.token});
         t = std::max(t, read.done);
       }
-      if (!evictions.empty()) t = evict_(evictions, t, /*retention=*/true);
+      if (!evictions.empty()) {
+        t = evict_(evictions, t, /*retention=*/true);
+        if (sink_)
+          sink_->record_op({telemetry::OpKind::kRetentionEvict, block_start, t,
+                            evictions.size()});
+      }
     }
   }
   return t;

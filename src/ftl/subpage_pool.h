@@ -33,6 +33,7 @@
 #include "ftl/types.h"
 #include "nand/address.h"
 #include "nand/device.h"
+#include "telemetry/sink.h"
 
 namespace esp::ftl {
 
@@ -116,6 +117,10 @@ class SubpagePool {
   /// For wear metrics: P/E counts of blocks currently owned by this pool.
   std::vector<std::uint32_t> owned_pe_cycles() const;
 
+  /// Attaches a telemetry sink (nullptr detaches); forward migrations,
+  /// GC collections and retention evictions become mechanism-lane events.
+  void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }
+
  private:
   struct BlockMeta {
     bool owned = false;
@@ -168,6 +173,7 @@ class SubpagePool {
   std::uint64_t valid_sectors_ = 0;
   bool in_gc_ = false;
   std::uint32_t gc_dest_allocs_ = 0;  ///< fresh blocks opened by this GC pass
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace esp::ftl

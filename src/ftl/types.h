@@ -12,8 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "util/sim_time.h"
+
+namespace esp::telemetry {
+class MetricsRegistry;
+}
 
 namespace esp::ftl {
 
@@ -99,5 +104,10 @@ struct FtlStats {
 /// of a longer run. Requires `after` to be a later snapshot of the same
 /// FTL than `before`.
 FtlStats stats_delta(const FtlStats& after, const FtlStats& before);
+
+/// Binds every FtlStats field into `registry` as "<scope>/<field>" live
+/// counters (read at export; the hot path keeps incrementing the struct).
+void bind_stats(telemetry::MetricsRegistry& registry, const std::string& scope,
+                const FtlStats& stats);
 
 }  // namespace esp::ftl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace esp::nand {
 
 NandDevice::NandDevice(const Geometry& geo, const TimingSpec& timing,
@@ -62,8 +64,11 @@ OpAck NandDevice::program_full(const PageAddr& addr,
   Block& blk = block_ref(addr.chip, addr.block);
   blk.program_full(addr.page, tokens, now);
   ++counters_.progs_full;
-  return OpAck{schedule(addr.chip, timing_.prog_full_us, geo_.page_bytes,
-                        /*transfer_first=*/true, now)};
+  OpAck ack{schedule(addr.chip, timing_.prog_full_us, geo_.page_bytes,
+                     /*transfer_first=*/true, now)};
+  if (sink_)
+    sink_->record_op({telemetry::OpKind::kProgFull, now, ack.done, addr.page});
+  return ack;
 }
 
 OpAck NandDevice::program_subpage(const SubpageAddr& addr, std::uint64_t token,
@@ -71,8 +76,12 @@ OpAck NandDevice::program_subpage(const SubpageAddr& addr, std::uint64_t token,
   Block& blk = block_ref(addr.page.chip, addr.page.block);
   blk.program_subpage(addr.page.page, addr.slot, token, now);
   ++counters_.progs_sub;
-  return OpAck{schedule(addr.page.chip, timing_.prog_sub_us,
-                        geo_.subpage_bytes(), /*transfer_first=*/true, now)};
+  OpAck ack{schedule(addr.page.chip, timing_.prog_sub_us,
+                     geo_.subpage_bytes(), /*transfer_first=*/true, now)};
+  if (sink_)
+    sink_->record_op({telemetry::OpKind::kProgSub, now, ack.done, addr.slot,
+                      addr.page.page});
+  return ack;
 }
 
 ReadStatus NandDevice::verdict(const Block& blk, std::uint32_t page,
@@ -132,6 +141,7 @@ ReadAck NandDevice::read_subpage(const SubpageAddr& addr, SimTime now) {
   ++counters_.reads_sub;
   ack.done = schedule(addr.page.chip, timing_.read_sub_us,
                       geo_.subpage_bytes(), /*transfer_first=*/false, now);
+  if (sink_) sink_->record_op({telemetry::OpKind::kRead, now, ack.done, 1});
   return ack;
 }
 
@@ -145,6 +155,9 @@ PageReadAck NandDevice::read_page(const PageAddr& addr, SimTime now) {
   ++counters_.reads_full;
   ack.done = schedule(addr.chip, timing_.read_full_us, geo_.page_bytes,
                       /*transfer_first=*/false, now);
+  if (sink_)
+    sink_->record_op(
+        {telemetry::OpKind::kRead, now, ack.done, geo_.subpages_per_page});
   return ack;
 }
 
@@ -161,16 +174,37 @@ OpAck NandDevice::copyback(const PageAddr& src, const PageAddr& dst,
   ++counters_.reads_full;
   ++counters_.progs_full;
   // Chip busy for sense + program; only command overhead on the channel.
-  return OpAck{schedule(src.chip, timing_.read_full_us + timing_.prog_full_us,
-                        /*xfer_bytes=*/0, /*transfer_first=*/true, now)};
+  OpAck ack{schedule(src.chip, timing_.read_full_us + timing_.prog_full_us,
+                     /*xfer_bytes=*/0, /*transfer_first=*/true, now)};
+  if (sink_)
+    sink_->record_op({telemetry::OpKind::kProgFull, now, ack.done, dst.page});
+  return ack;
 }
 
 OpAck NandDevice::erase_block(std::uint32_t chip, std::uint32_t block,
                               SimTime now) {
-  block_ref(chip, block).erase();
+  Block& blk = block_ref(chip, block);
+  blk.erase();
   ++counters_.erases;
-  return OpAck{schedule(chip, timing_.erase_us, /*xfer_bytes=*/0,
-                        /*transfer_first=*/true, now)};
+  OpAck ack{schedule(chip, timing_.erase_us, /*xfer_bytes=*/0,
+                     /*transfer_first=*/true, now)};
+  if (sink_)
+    sink_->record_op(
+        {telemetry::OpKind::kErase, now, ack.done, blk.pe_cycles()});
+  return ack;
+}
+
+void NandDevice::set_telemetry(telemetry::Sink* sink) {
+  sink_ = sink;
+  if (!sink_) return;
+  telemetry::MetricsRegistry& reg = sink_->registry();
+  reg.bind_counter("nand/reads_full", &counters_.reads_full);
+  reg.bind_counter("nand/reads_sub", &counters_.reads_sub);
+  reg.bind_counter("nand/progs_full", &counters_.progs_full);
+  reg.bind_counter("nand/progs_sub", &counters_.progs_sub);
+  reg.bind_counter("nand/erases", &counters_.erases);
+  reg.bind_counter("nand/uncorrectable_reads", &counters_.uncorrectable_reads);
+  reg.bind_counter("nand/corrupted_reads", &counters_.corrupted_reads);
 }
 
 void NandDevice::set_read_fault_injection(double probability,

@@ -24,6 +24,7 @@
 #include "nand/geometry.h"
 #include "nand/retention_model.h"
 #include "nand/timing.h"
+#include "telemetry/sink.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -127,6 +128,10 @@ class NandDevice {
     return chip_busy_accum_.at(chip);
   }
 
+  /// Attaches a telemetry sink (nullptr detaches). Binds the device
+  /// counters under "nand/" and records one op event per flash command.
+  void set_telemetry(telemetry::Sink* sink);
+
  private:
   Block& block_ref(std::uint32_t chip, std::uint32_t blk);
   ReadStatus verdict(const Block& blk, std::uint32_t page, std::uint32_t slot,
@@ -148,6 +153,7 @@ class NandDevice {
   util::Xoshiro256 fault_rng_{1};
   ReliabilityMode reliability_mode_ = ReliabilityMode::kDeterministic;
   ecc::EccModel ecc_;
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace esp::nand

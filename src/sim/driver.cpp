@@ -3,9 +3,23 @@
 #include <algorithm>
 
 #include "ftl/types.h"
+#include "telemetry/telemetry.h"
 #include "util/logger.h"
 
 namespace esp::sim {
+namespace {
+
+telemetry::OpKind host_op_kind(workload::Request::Type type) {
+  switch (type) {
+    case workload::Request::Type::kWrite: return telemetry::OpKind::kHostWrite;
+    case workload::Request::Type::kRead: return telemetry::OpKind::kHostRead;
+    case workload::Request::Type::kTrim: return telemetry::OpKind::kHostTrim;
+    case workload::Request::Type::kFlush: break;
+  }
+  return telemetry::OpKind::kHostFlush;
+}
+
+}  // namespace
 
 Driver::Driver(ftl::Ftl& ftl, nand::NandDevice& dev,
                std::uint32_t queue_depth)
@@ -39,6 +53,7 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
   using workload::Request;
   arrival_ += request.think_us;
   const SimTime issue = next_issue_slot();
+  if (tel_) tel_->begin_request(issue);
   ftl::IoResult result{issue, true};
   switch (request.type) {
     case Request::Type::kWrite:
@@ -87,6 +102,12 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
   inflight_.push(result.done);
   now_ = std::max(now_, result.done);
   now_ = std::max(now_, ftl_.tick(now_));
+  ++requests_submitted_;
+  if (tel_) {
+    tel_->end_request(host_op_kind(request.type), issue, result.done,
+                      request.count, request.sector);
+    maybe_sample();
+  }
   return result;
 }
 
@@ -111,6 +132,11 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
     submit(*request, verify);
   }
 
+  // Flush the final (partial) sampling window so short runs still produce
+  // a closing snapshot; guarded so zero-length windows are not pushed.
+  if (tel_ && tel_->sampler().enabled() && now_ > tel_last_sample_us_)
+    take_sample();
+
   metrics.end_us = now_;
   metrics.latency_p50_us = latency_.percentile(0.50);
   metrics.latency_p99_us = latency_.percentile(0.99);
@@ -120,6 +146,55 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
   metrics.device_erases = dev_.counters().erases;
   metrics.erases_during_run = metrics.device_erases - erases_before;
   return metrics;
+}
+
+void Driver::set_telemetry(telemetry::Telemetry* telemetry) {
+  tel_ = telemetry;
+  if (!tel_) return;
+  tel_last_stats_ = ftl_.stats();
+  tel_last_erases_ = dev_.counters().erases;
+  tel_last_requests_ = requests_submitted_;
+  tel_last_sample_us_ = now_;
+  tel_->sampler().start(now_);
+}
+
+void Driver::maybe_sample() {
+  if (tel_->sampler().due(now_)) take_sample();
+}
+
+void Driver::take_sample() {
+  const ftl::FtlStats cur = ftl_.stats();
+  const ftl::FtlStats d = ftl::stats_delta(cur, tel_last_stats_);
+  const nand::Geometry& geo = dev_.geometry();
+
+  telemetry::Sample s;
+  s.sim_time_s = sim_time::to_seconds(now_);
+  s.requests = requests_submitted_ - tel_last_requests_;
+  const double window_s = sim_time::to_seconds(now_ - tel_last_sample_us_);
+  s.iops = window_s > 0.0 ? static_cast<double>(s.requests) / window_s : 0.0;
+  s.request_waf = d.avg_small_request_waf();
+  s.overall_waf = d.overall_waf(geo.page_bytes, geo.subpage_bytes());
+  s.gc_invocations = d.gc_invocations;
+  s.gc_copy_sectors = d.gc_copy_sectors;
+  s.erases = dev_.counters().erases - tel_last_erases_;
+  s.prog_full = d.flash_prog_full;
+  s.prog_sub = d.flash_prog_sub;
+  s.forward_migrations = d.forward_migrations;
+  s.retention_evictions = d.retention_evictions;
+  s.rmw_ops = d.rmw_ops;
+  // Subpage/log-region occupancy, published by hybrid FTLs under their
+  // name scope (0 for FTLs without a region).
+  s.region_blocks =
+      tel_->registry().gauge_value(ftl_.name() + "/region_blocks");
+  s.region_valid_sectors =
+      tel_->registry().gauge_value(ftl_.name() + "/region_valid_sectors");
+  tel_->harvest_window(s);
+  tel_->sampler().push(s, now_);
+
+  tel_last_stats_ = cur;
+  tel_last_erases_ = dev_.counters().erases;
+  tel_last_requests_ = requests_submitted_;
+  tel_last_sample_us_ = now_;
 }
 
 }  // namespace esp::sim

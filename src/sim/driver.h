@@ -17,6 +17,10 @@
 #include "util/histogram.h"
 #include "workload/request.h"
 
+namespace esp::telemetry {
+class Telemetry;
+}
+
 namespace esp::sim {
 
 /// Outcome of one driven run.
@@ -78,9 +82,19 @@ class Driver {
   /// submitted so far.
   const util::Histogram& latency_histogram() const { return latency_; }
 
+  /// Attaches the telemetry facade (nullptr detaches). The driver opens a
+  /// span per host request and closes sampling windows on the facade's
+  /// TimeSeriesSampler cadence; the final partial window is flushed at the
+  /// end of each run().
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   /// Issue time for the next request under the queue-depth window.
   SimTime next_issue_slot();
+  /// Closes the current sampling window if it is due.
+  void maybe_sample();
+  /// Unconditionally closes the current sampling window at now().
+  void take_sample();
 
   ftl::Ftl& ftl_;
   nand::NandDevice& dev_;
@@ -99,6 +113,14 @@ class Driver {
   /// 0..200 ms in 2000 buckets: covers buffered hits through GC stalls.
   util::Histogram latency_{0.0, 200000.0, 2000};
   std::vector<std::uint64_t> read_tokens_;  // scratch
+  std::uint64_t requests_submitted_ = 0;
+
+  // Telemetry sampling-window state (counter values at last window close).
+  telemetry::Telemetry* tel_ = nullptr;
+  ftl::FtlStats tel_last_stats_;
+  std::uint64_t tel_last_erases_ = 0;
+  std::uint64_t tel_last_requests_ = 0;
+  SimTime tel_last_sample_us_ = 0.0;
 };
 
 }  // namespace esp::sim

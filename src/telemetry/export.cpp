@@ -1,0 +1,104 @@
+#include "telemetry/export.h"
+
+#include <fstream>
+
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+
+namespace esp::telemetry {
+namespace {
+
+void write_histogram_summary(JsonWriter& w, const util::Histogram& h) {
+  w.begin_object();
+  w.kv("count", h.total());
+  w.kv("p50", h.percentile(0.50));
+  w.kv("p90", h.percentile(0.90));
+  w.kv("p99", h.percentile(0.99));
+  w.kv("p999", h.percentile(0.999));
+  w.kv("lo", h.lo());
+  w.kv("hi", h.hi());
+  w.kv("underflow", h.underflow());
+  w.kv("overflow", h.overflow());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const Telemetry& telemetry) {
+  JsonWriter w(os);
+  const MetricsRegistry& reg = telemetry.registry();
+  w.begin_object();
+  w.newline();
+
+  w.key("counters");
+  w.begin_object();
+  reg.visit_counters([&w](const std::string& name, std::uint64_t v) {
+    w.kv(name, v);
+  });
+  w.end_object();
+  w.newline();
+
+  w.key("gauges");
+  w.begin_object();
+  reg.visit_gauges([&w](const std::string& name, double v) { w.kv(name, v); });
+  w.end_object();
+  w.newline();
+
+  w.key("histograms");
+  w.begin_object();
+  reg.visit_histograms(
+      [&w](const std::string& name, const util::Histogram& h) {
+        w.key(name);
+        write_histogram_summary(w, h);
+      });
+  w.end_object();
+  w.newline();
+
+  w.key("trace");
+  w.begin_object();
+  w.kv("events_recorded", telemetry.trace().pushed());
+  w.kv("events_retained", static_cast<std::uint64_t>(telemetry.trace().size()));
+  w.kv("events_dropped", telemetry.trace().dropped());
+  w.end_object();
+  w.newline();
+
+  // Sampler rows go out raw: write_json emits the whole array, which slots
+  // in as the pending "samples" value before the closing brace.
+  w.key("samples");
+  telemetry.sampler().write_json(os);
+  w.end_object();
+  os << "\n";
+}
+
+bool write_metrics_file(const std::string& path, const Telemetry& telemetry) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_metrics_json(os, telemetry);
+  return static_cast<bool>(os);
+}
+
+bool write_trace_file(const std::string& path, const Telemetry& telemetry) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const bool chrome =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (chrome)
+    telemetry.trace().dump_chrome(os);
+  else
+    telemetry.trace().dump_jsonl(os);
+  return static_cast<bool>(os);
+}
+
+bool write_samples_file(const std::string& path, const Telemetry& telemetry) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv)
+    telemetry.sampler().write_csv(os);
+  else
+    telemetry.sampler().write_json(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace esp::telemetry

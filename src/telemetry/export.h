@@ -1,0 +1,33 @@
+// Telemetry exporters: serialize a Telemetry facade to files/streams.
+//
+// All output is deterministic (name-ordered registries, fixed field order)
+// so runs are machine-diffable. Formats:
+//   * metrics JSON  -- counters, gauges, per-op histogram summaries, the
+//     time-series samples, and trace-ring occupancy, one object;
+//   * trace         -- Chrome trace_event (".json": load in
+//     chrome://tracing / Perfetto) or JSONL (one event per line);
+//   * samples CSV   -- TimeSeriesSampler::write_csv schema.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace esp::telemetry {
+
+class Telemetry;
+
+/// Writes the full metrics document (counters/gauges/histograms/samples).
+void write_metrics_json(std::ostream& os, const Telemetry& telemetry);
+
+/// Writes the trace ring; Chrome trace_event format when `path` ends in
+/// ".json", JSONL otherwise.
+bool write_trace_file(const std::string& path, const Telemetry& telemetry);
+
+/// Writes the metrics document to `path`. Returns false on I/O failure.
+bool write_metrics_file(const std::string& path, const Telemetry& telemetry);
+
+/// Writes the time-series samples to `path`; CSV when the name ends in
+/// ".csv", a JSON array otherwise.
+bool write_samples_file(const std::string& path, const Telemetry& telemetry);
+
+}  // namespace esp::telemetry

@@ -1,0 +1,138 @@
+// Minimal streaming JSON writer used by the telemetry exporters and the
+// bench JSON outputs. No external dependencies; handles only what the
+// exporters need: objects, arrays, string/number/bool values, escaping,
+// and non-finite doubles (emitted as null, per strict JSON).
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esp::telemetry {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Comma/nesting bookkeeping for hand-rolled JSON output. Usage:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("iops"); w.value(123.4);
+///   w.key("ops");  w.begin_array(); w.value(1); w.value(2); w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() {
+    separate();
+    os_ << '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    stack_.pop_back();
+    os_ << '}';
+  }
+  void begin_array() {
+    separate();
+    os_ << '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    stack_.pop_back();
+    os_ << ']';
+  }
+
+  void key(std::string_view k) {
+    separate();
+    os_ << '"' << json_escape(k) << "\":";
+    pending_key_ = true;
+  }
+
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << buf;
+  }
+  void value(std::uint64_t v) {
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os_ << buf;
+  }
+  void value(std::int64_t v) {
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    os_ << buf;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+  }
+  void value(std::string_view v) {
+    separate();
+    os_ << '"' << json_escape(v) << '"';
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Raw newline between top-level-ish items (cosmetic only).
+  void newline() { os_ << '\n'; }
+
+ private:
+  void separate() {
+    if (pending_key_) {
+      // The value completing a "key": pair -- no comma.
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  ///< per nesting level: "has prior element"
+  bool pending_key_ = false;
+};
+
+}  // namespace esp::telemetry

@@ -1,0 +1,96 @@
+#include "telemetry/metrics.h"
+
+namespace esp::telemetry {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+void MetricsRegistry::bind_counter(const std::string& name,
+                                   const std::uint64_t* source) {
+  bound_[name] = source;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+util::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+               std::forward_as_tuple(lo, hi, buckets))
+      .first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             std::uint64_t fallback) const {
+  if (const auto it = counters_.find(name); it != counters_.end())
+    return it->second.value();
+  if (const auto it = bound_.find(name); it != bound_.end())
+    return *it->second;
+  return fallback;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    double fallback) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.value() : fallback;
+}
+
+const util::Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+void MetricsRegistry::visit_counters(
+    const std::function<void(const std::string&, std::uint64_t)>& fn) const {
+  // Two ordered maps, merged so the visit order stays globally
+  // name-sorted regardless of how each metric is stored.
+  auto own = counters_.begin();
+  auto ext = bound_.begin();
+  while (own != counters_.end() || ext != bound_.end()) {
+    const bool take_own =
+        ext == bound_.end() ||
+        (own != counters_.end() && own->first <= ext->first);
+    if (take_own) {
+      fn(own->first, own->second.value());
+      ++own;
+    } else {
+      fn(ext->first, *ext->second);
+      ++ext;
+    }
+  }
+}
+
+void MetricsRegistry::visit_gauges(
+    const std::function<void(const std::string&, double)>& fn) const {
+  for (const auto& [name, gauge] : gauges_) fn(name, gauge.value());
+}
+
+void MetricsRegistry::visit_histograms(
+    const std::function<void(const std::string&, const util::Histogram&)>& fn)
+    const {
+  for (const auto& [name, hist] : histograms_) fn(name, hist);
+}
+
+void MetricsRegistry::materialize() {
+  for (auto& [name, source] : bound_) counters_[name].inc(*source);
+  bound_.clear();
+  for (auto& [name, gauge] : gauges_) gauge.materialize();
+}
+
+void MetricsRegistry::reset() {
+  // Zero in place rather than clearing: references handed out by
+  // counter()/gauge()/histogram() must stay valid across a reset. Only the
+  // external bindings are dropped.
+  for (auto& [name, counter] : counters_) counter.reset();
+  bound_.clear();
+  for (auto& [name, gauge] : gauges_) gauge.set(0.0);
+  for (auto& [name, histogram] : histograms_) histogram.reset();
+}
+
+}  // namespace esp::telemetry

@@ -1,0 +1,94 @@
+// Telemetry recording interface seen by the instrumented layers.
+//
+// The simulator layers (nand::NandDevice, the FTL pools and FTLs, the
+// driver) hold a nullable `Sink*` and report two kinds of facts through it:
+//
+//   * op events -- one per flash/FTL operation (program, read, erase,
+//     GC copy, RMW, forward migration, retention eviction, ...), carrying
+//     the operation's simulated [start, end) interval and two op-specific
+//     detail arguments;
+//   * named metrics -- registered once at attach time into the sink's
+//     MetricsRegistry (counters can be *bound* to existing struct fields,
+//     so the hot-path increment stays a plain `++stats_.field`).
+//
+// With no sink attached, instrumentation compiles to a null-pointer check;
+// layers must guard every call with `if (sink_)`.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.h"
+
+namespace esp::telemetry {
+
+class MetricsRegistry;
+
+/// Operation kinds recorded as op events. Host-level kinds are emitted by
+/// the driver, FTL-level kinds by the FTLs/pools, flash-level kinds by the
+/// NAND device.
+enum class OpKind : std::uint8_t {
+  // Host request lane (driver).
+  kHostWrite = 0,
+  kHostRead,
+  kHostFlush,
+  kHostTrim,
+  // Flash command lane (nand::NandDevice).
+  kProgFull,  ///< arg0 = page index
+  kProgSub,   ///< arg0 = slot index (Npp - 1), arg1 = page index
+  kRead,      ///< arg0 = 1 for a subpage read, Nsub for a full-page read
+  kErase,     ///< arg0 = P/E cycle count after the erase
+  // FTL mechanism lane (pools / FTLs).
+  kGcCopy,           ///< arg0 = sectors relocated, arg1 = sectors evicted
+  kRmw,              ///< read-modify-write of one logical page
+  kForwardMigration, ///< arg0 = destination slot index
+  kRetentionEvict,   ///< arg0 = sectors evicted by the retention scan
+  kWearLevel,        ///< arg0 = sectors relocated by static wear leveling
+  kCount,
+};
+
+inline constexpr std::size_t kOpKindCount =
+    static_cast<std::size_t>(OpKind::kCount);
+
+/// Stable metric/trace name of an op kind.
+constexpr const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kHostWrite: return "host_write";
+    case OpKind::kHostRead: return "host_read";
+    case OpKind::kHostFlush: return "host_flush";
+    case OpKind::kHostTrim: return "host_trim";
+    case OpKind::kProgFull: return "prog_full";
+    case OpKind::kProgSub: return "prog_sub";
+    case OpKind::kRead: return "read";
+    case OpKind::kErase: return "erase";
+    case OpKind::kGcCopy: return "gc_copy";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kForwardMigration: return "forward_migration";
+    case OpKind::kRetentionEvict: return "retention_evict";
+    case OpKind::kWearLevel: return "wear_level";
+    case OpKind::kCount: break;
+  }
+  return "unknown";
+}
+
+/// One recorded operation: a closed simulated-time span plus two
+/// kind-specific detail arguments (see OpKind comments).
+struct OpEvent {
+  OpKind kind = OpKind::kCount;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Records one completed operation (trace ring + per-op histograms).
+  virtual void record_op(const OpEvent& event) = 0;
+
+  /// Registry for attach-time metric registration.
+  virtual MetricsRegistry& registry() = 0;
+};
+
+}  // namespace esp::telemetry

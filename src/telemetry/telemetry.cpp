@@ -1,0 +1,67 @@
+#include "telemetry/telemetry.h"
+
+#include <string>
+
+namespace esp::telemetry {
+namespace {
+
+// Per-op latency histogram shape: 25 us resolution up to 100 ms covers
+// everything from cache-hit reads (~tens of us) through multi-page GC
+// copies; longer outliers clamp into the last bucket and show up in
+// Histogram::overflow().
+constexpr double kLatLoUs = 0.0;
+constexpr double kLatHiUs = 100'000.0;
+constexpr std::size_t kLatBuckets = 4000;
+
+}  // namespace
+
+Telemetry::Telemetry(const TelemetryConfig& config)
+    : trace_(config.trace_capacity), sampler_(config.sample_interval_us) {
+  window_.reserve(kOpKindCount);
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const std::string name =
+        std::string("op/") + op_name(static_cast<OpKind>(k)) + "/latency_us";
+    cumulative_[k] = &registry_.histogram(name, kLatLoUs, kLatHiUs, kLatBuckets);
+    window_.emplace_back(kLatLoUs, kLatHiUs, kLatBuckets);
+  }
+}
+
+void Telemetry::record_op(const OpEvent& event) {
+  const auto k = static_cast<std::size_t>(event.kind);
+  if (k >= kOpKindCount) return;
+  const double dur = event.end - event.start;
+  cumulative_[k]->add(dur);
+  window_[k].add(dur);
+  trace_.push(TraceEvent{event.kind, current_request_, event.start, dur,
+                         event.arg0, event.arg1});
+}
+
+std::uint32_t Telemetry::begin_request(SimTime /*issue*/) {
+  current_request_ = next_request_id_++;
+  return current_request_;
+}
+
+void Telemetry::end_request(OpKind kind, SimTime issue, SimTime done,
+                            std::uint64_t arg0, std::uint64_t arg1) {
+  record_op(OpEvent{kind, issue, done, arg0, arg1});
+  current_request_ = 0;
+}
+
+void Telemetry::harvest_window(Sample& sample) {
+  util::Histogram all(kLatLoUs, kLatHiUs, kLatBuckets);
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    util::Histogram& h = window_[k];
+    if (h.total() > 0) {
+      sample.op_p50_us[k] = h.percentile(0.50);
+      sample.op_p99_us[k] = h.percentile(0.99);
+      all.merge(h);
+    }
+    h.reset();
+  }
+  if (all.total() > 0) {
+    sample.all_ops_p50_us = all.percentile(0.50);
+    sample.all_ops_p99_us = all.percentile(0.99);
+  }
+}
+
+}  // namespace esp::telemetry

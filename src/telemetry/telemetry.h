@@ -1,0 +1,83 @@
+// Telemetry facade: the one object a simulation run owns.
+//
+// Bundles the three tentpole pieces behind the `Sink` interface that the
+// driver, FTLs and NAND device record into:
+//   * a MetricsRegistry of named counters/gauges/histograms,
+//   * a TraceRing of per-request op spans,
+//   * a TimeSeriesSampler of periodic windowed snapshots.
+//
+// The facade also owns per-op latency histograms in two flavours: a
+// cumulative one registered as "op/<name>/latency_us" (exported with the
+// metrics), and a per-window one harvested into each Sample's percentile
+// columns then reset.
+//
+// Recording is only ever reached through a nullable `Sink*` held by the
+// instrumented components, so a run without telemetry pays a single
+// pointer test per op.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
+#include "telemetry/sink.h"
+#include "telemetry/trace.h"
+#include "util/histogram.h"
+
+namespace esp::telemetry {
+
+struct TelemetryConfig {
+  std::size_t trace_capacity = 1 << 16;
+  /// Sampling period in simulated microseconds; 0 disables sampling.
+  SimTime sample_interval_us = 0.0;
+};
+
+class Telemetry : public Sink {
+ public:
+  explicit Telemetry(const TelemetryConfig& config = {});
+
+  // --- Sink ---------------------------------------------------------
+  MetricsRegistry& registry() override { return registry_; }
+  void record_op(const OpEvent& event) override;
+
+  const MetricsRegistry& registry() const { return registry_; }
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+  TimeSeriesSampler& sampler() { return sampler_; }
+  const TimeSeriesSampler& sampler() const { return sampler_; }
+
+  // --- Host-request lifecycle (driver only) -------------------------
+  /// Opens a span for a new host request and returns its id; child ops
+  /// recorded until end_request() are tagged with it.
+  std::uint32_t begin_request(SimTime issue);
+  /// Closes the current request span, emitting the host-lane trace event
+  /// and latency sample. `arg0`/`arg1` follow the op's arg schema
+  /// (sectors / start sector for reads and writes).
+  void end_request(OpKind kind, SimTime issue, SimTime done,
+                   std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+  std::uint64_t requests_started() const { return next_request_id_ - 1; }
+
+  // --- Sampler integration (driver only) ----------------------------
+  /// Fills `sample`'s per-op and merged latency percentiles from the
+  /// current window histograms, then resets the windows.
+  void harvest_window(Sample& sample);
+
+ private:
+  util::Histogram& window(OpKind kind) {
+    return window_[static_cast<std::size_t>(kind)];
+  }
+
+  MetricsRegistry registry_;
+  TraceRing trace_;
+  TimeSeriesSampler sampler_;
+  std::uint32_t next_request_id_ = 1;
+  std::uint32_t current_request_ = 0;
+  /// Registry-owned cumulative per-op latency histograms, indexed by kind.
+  util::Histogram* cumulative_[kOpKindCount] = {};
+  /// Per-sampling-window latency histograms, reset on harvest.
+  std::vector<util::Histogram> window_;
+};
+
+}  // namespace esp::telemetry

@@ -1,0 +1,120 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "telemetry/json.h"
+
+namespace esp::telemetry {
+namespace {
+
+/// Kind-specific names for the two detail args (JSON keys).
+struct ArgNames {
+  const char* a0;
+  const char* a1;
+};
+
+ArgNames arg_names(OpKind kind) {
+  switch (kind) {
+    case OpKind::kHostWrite:
+    case OpKind::kHostRead:
+      return {"sectors", "sector"};
+    case OpKind::kProgFull: return {"page", nullptr};
+    case OpKind::kProgSub: return {"slot", "page"};
+    case OpKind::kRead: return {"subpages", nullptr};
+    case OpKind::kErase: return {"pe_cycles", nullptr};
+    case OpKind::kGcCopy: return {"copied", "evicted"};
+    case OpKind::kForwardMigration: return {"to_slot", nullptr};
+    case OpKind::kRetentionEvict: return {"evicted", nullptr};
+    case OpKind::kWearLevel: return {"relocated", nullptr};
+    default: return {nullptr, nullptr};
+  }
+}
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", op_name(e.kind));
+  w.kv("cat", op_lane(e.kind) == 0   ? "host"
+              : op_lane(e.kind) == 1 ? "ftl"
+                                     : "nand");
+  w.kv("ph", "X");
+  w.kv("ts", e.start_us);
+  w.kv("dur", std::max(e.dur_us, 0.0));
+  w.kv("pid", 0);
+  w.kv("tid", static_cast<std::uint64_t>(op_lane(e.kind)));
+  w.key("args");
+  w.begin_object();
+  w.kv("req", static_cast<std::uint64_t>(e.request_id));
+  const ArgNames names = arg_names(e.kind);
+  if (names.a0) w.kv(names.a0, e.arg0);
+  if (names.a1) w.kv(names.a1, e.arg1);
+  w.end_object();
+  w.end_object();
+}
+
+// Flat one-line schema for jq/pandas-style processing; the Chrome format
+// keeps the trace_event field names instead.
+void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("op", op_name(e.kind));
+  w.kv("lane", op_lane(e.kind) == 0   ? "host"
+               : op_lane(e.kind) == 1 ? "ftl"
+                                      : "nand");
+  w.kv("req", static_cast<std::uint64_t>(e.request_id));
+  w.kv("start_us", e.start_us);
+  w.kv("dur_us", std::max(e.dur_us, 0.0));
+  const ArgNames names = arg_names(e.kind);
+  if (names.a0) w.kv(names.a0, e.arg0);
+  if (names.a1) w.kv(names.a1, e.arg1);
+  w.end_object();
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void TraceRing::push(const TraceEvent& event) {
+  ring_[pushed_ % ring_.size()] = event;
+  ++pushed_;
+}
+
+std::size_t TraceRing::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(pushed_, ring_.size()));
+}
+
+std::uint64_t TraceRing::dropped() const {
+  return pushed_ > ring_.size() ? pushed_ - ring_.size() : 0;
+}
+
+const TraceEvent& TraceRing::at(std::size_t i) const {
+  // Oldest retained event sits at pushed_ % capacity once wrapped.
+  const std::size_t base =
+      pushed_ > ring_.size() ? static_cast<std::size_t>(pushed_ % ring_.size())
+                             : 0;
+  return ring_[(base + i) % ring_.size()];
+}
+
+void TraceRing::clear() { pushed_ = 0; }
+
+void TraceRing::dump_jsonl(std::ostream& os) const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    write_event_jsonl(os, at(i));
+    os << '\n';
+  }
+}
+
+void TraceRing::dump_chrome(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t i = 0; i < size(); ++i) {
+    write_event(os, at(i));
+    os << (i + 1 < size() ? ",\n" : "\n");
+  }
+  os << "]\n";
+}
+
+}  // namespace esp::telemetry

@@ -17,14 +17,29 @@ void Histogram::add(double x) noexcept {
   std::size_t idx;
   if (x < lo_) {
     idx = 0;
+    ++underflow_;
   } else if (x >= hi_) {
     idx = counts_.size() - 1;
+    ++overflow_;
   } else {
     idx = static_cast<std::size_t>((x - lo_) / width_);
     idx = std::min(idx, counts_.size() - 1);
   }
   ++counts_[idx];
   ++total_;
+}
+
+bool Histogram::merge(const Histogram& other) noexcept {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  return true;
 }
 
 double Histogram::percentile(double q) const noexcept {
@@ -46,16 +61,27 @@ double Histogram::percentile(double q) const noexcept {
 }
 
 std::string Histogram::summary() const {
-  char buf[128];
+  char buf[160];
   std::snprintf(buf, sizeof(buf), "n=%llu p50=%.3g p95=%.3g p99=%.3g",
                 static_cast<unsigned long long>(total_), percentile(0.50),
                 percentile(0.95), percentile(0.99));
-  return buf;
+  std::string out = buf;
+  if (underflow_ || overflow_) {
+    // Clamped samples distort the edge buckets; surface them instead of
+    // letting the clamp pass silently.
+    std::snprintf(buf, sizeof(buf), " clamped=[uf=%llu of=%llu]",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += buf;
+  }
+  return out;
 }
 
 void Histogram::reset() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;
+  underflow_ = 0;
+  overflow_ = 0;
 }
 
 }  // namespace esp::util

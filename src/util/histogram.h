@@ -21,7 +21,17 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Accumulates `other` into this histogram. Both must have identical
+  /// shape (lo, hi, bucket count); returns false (and leaves this
+  /// unchanged) on a shape mismatch.
+  bool merge(const Histogram& other) noexcept;
+
   std::uint64_t total() const noexcept { return total_; }
+
+  /// Samples that fell below lo() and were clamped into the first bucket.
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  /// Samples at/above hi() that were clamped into the last bucket.
+  std::uint64_t overflow() const noexcept { return overflow_; }
 
   /// Value at the given quantile q in [0, 1] (bucket lower edge +
   /// within-bucket linear interpolation). Returns lo() for an empty
@@ -44,6 +54,8 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace esp::util

@@ -1,12 +1,24 @@
 #include "util/logger.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace esp::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogLevel initial_level() {
+  if (const char* env = std::getenv("ESP_LOG_LEVEL"))
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+// Not atomic: simulator is single-threaded; install before running.
+std::function<double()> g_sim_time_us;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,9 +37,30 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_sim_time_provider(std::function<double()> now_us) {
+  g_sim_time_us = std::move(now_us);
+}
+
 void logf(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[esp:%s] ", level_tag(level));
+  if (g_sim_time_us)
+    std::fprintf(stderr, "[esp:%s t=%.6fs] ", level_tag(level),
+                 g_sim_time_us() / 1e6);
+  else
+    std::fprintf(stderr, "[esp:%s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stderr, fmt, args);

@@ -2,10 +2,16 @@
 //
 // The simulator is a library first: logging defaults to Warn so that tests
 // and benches stay quiet, and callers (examples, debugging sessions) can
-// raise verbosity globally.
+// raise verbosity globally. The `ESP_LOG_LEVEL` environment variable
+// (trace|debug|info|warn|error|off, case-insensitive) overrides the
+// default at process start, so any binary can be made chatty without a
+// rebuild.
 #pragma once
 
 #include <cstdarg>
+#include <functional>
+#include <optional>
+#include <string_view>
 
 namespace esp::util {
 
@@ -14,6 +20,14 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Sets the process-wide minimum level that is emitted.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parses a level name ("trace".."error", "off"; case-insensitive).
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Installs a simulated-clock source; when set, every log line is prefixed
+/// with the current simulated time ("t=12.345678s"). Pass nullptr to
+/// remove. The provider must be cheap and safe to call from any log site.
+void set_log_sim_time_provider(std::function<double()> now_us);
 
 /// printf-style log emission to stderr; filtered by the global level.
 void logf(LogLevel level, const char* fmt, ...)

@@ -1,0 +1,120 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace esp::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CounterRoundTrip) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a/ops");
+  EXPECT_EQ(reg.counter_value("a/ops"), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(reg.counter_value("a/ops"), 42u);
+  // Same name returns the same counter.
+  reg.counter("a/ops").inc();
+  EXPECT_EQ(c.value(), 43u);
+}
+
+TEST(MetricsRegistry, CounterValueFallback) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("missing", 7u), 7u);
+  EXPECT_EQ(reg.gauge_value("missing", 1.5), 1.5);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, BoundCounterTracksSource) {
+  MetricsRegistry reg;
+  std::uint64_t live = 5;
+  reg.bind_counter("ftl/writes", &live);
+  EXPECT_EQ(reg.counter_value("ftl/writes"), 5u);
+  live = 99;
+  EXPECT_EQ(reg.counter_value("ftl/writes"), 99u);
+}
+
+TEST(MetricsRegistry, MaterializeSeversReferences) {
+  MetricsRegistry reg;
+  std::uint64_t live = 10;
+  reg.bind_counter("ftl/writes", &live);
+  double occupancy = 0.25;
+  reg.gauge("ftl/occupancy").set_provider([&occupancy] { return occupancy; });
+
+  reg.materialize();
+  // Post-materialize values are snapshots: mutating (or destroying) the
+  // sources must not change what the registry reports.
+  live = 0;
+  occupancy = 0.0;
+  EXPECT_EQ(reg.counter_value("ftl/writes"), 10u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("ftl/occupancy"), 0.25);
+}
+
+TEST(MetricsRegistry, GaugeSetAndProvider) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(3.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 3.5);
+  reg.gauge("g").set_provider([] { return 7.0; });
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 7.0);
+  reg.gauge("g").set(1.0);  // set() drops the provider
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 1.0);
+}
+
+TEST(MetricsRegistry, HistogramRoundTrip) {
+  MetricsRegistry reg;
+  util::Histogram& h = reg.histogram("lat", 0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(15.0);
+  const util::Histogram* found = reg.find_histogram("lat");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->total(), 2u);
+  // Later calls ignore the shape and return the same histogram.
+  EXPECT_EQ(&reg.histogram("lat", 0.0, 1.0, 1), &h);
+}
+
+TEST(MetricsRegistry, ScopePrefixesNames) {
+  MetricsRegistry reg;
+  Scope scope(reg, "subFTL");
+  scope.counter("gc").inc(3);
+  scope.gauge("occ").set(0.5);
+  EXPECT_EQ(reg.counter_value("subFTL/gc"), 3u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("subFTL/occ"), 0.5);
+  // Two scopes over one registry do not collide.
+  Scope other(reg, "cgmFTL");
+  other.counter("gc").inc(9);
+  EXPECT_EQ(reg.counter_value("subFTL/gc"), 3u);
+  EXPECT_EQ(reg.counter_value("cgmFTL/gc"), 9u);
+}
+
+TEST(MetricsRegistry, VisitOrderIsSorted) {
+  MetricsRegistry reg;
+  reg.counter("b");
+  std::uint64_t x = 1;
+  reg.bind_counter("a", &x);  // bound + owned interleave in name order
+  reg.counter("c");
+  std::vector<std::string> names;
+  reg.visit_counters(
+      [&names](const std::string& name, std::uint64_t) { names.push_back(name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(reg.counter_count(), 3u);
+}
+
+TEST(MetricsRegistry, ResetZeroesAndDropsBindings) {
+  MetricsRegistry reg;
+  reg.counter("own").inc(5);
+  std::uint64_t live = 9;
+  reg.bind_counter("bound", &live);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h", 0.0, 10.0, 10).add(1.0);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("own"), 0u);
+  EXPECT_EQ(reg.counter_value("bound", 123u), 123u);  // binding dropped
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 0.0);
+  EXPECT_EQ(reg.find_histogram("h")->total(), 0u);
+}
+
+}  // namespace
+}  // namespace esp::telemetry

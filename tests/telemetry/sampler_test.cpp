@@ -1,0 +1,106 @@
+#include "telemetry/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace esp::telemetry {
+namespace {
+
+TEST(TimeSeriesSampler, DisabledByDefault) {
+  TimeSeriesSampler sampler;
+  EXPECT_FALSE(sampler.enabled());
+  EXPECT_FALSE(sampler.due(1e12));
+}
+
+TEST(TimeSeriesSampler, CadenceReArmsFromPushTime) {
+  TimeSeriesSampler sampler(/*interval_us=*/100.0);
+  ASSERT_TRUE(sampler.enabled());
+  sampler.start(50.0);
+  EXPECT_FALSE(sampler.due(100.0));
+  EXPECT_TRUE(sampler.due(150.0));
+
+  Sample s;
+  s.sim_time_s = 1.0;
+  // Pushed late (at 230): the next window starts from the push, not from
+  // the nominal 150 boundary.
+  sampler.push(s, 230.0);
+  EXPECT_EQ(sampler.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.last_sample_us(), 230.0);
+  EXPECT_FALSE(sampler.due(300.0));
+  EXPECT_TRUE(sampler.due(330.0));
+}
+
+// The CSV schema is a published interface (docs/TELEMETRY.md): evolving it
+// is append-only, so this test pins the exact header.
+TEST(TimeSeriesSampler, CsvSchemaIsStable) {
+  const std::string fixed =
+      "sim_time_s,requests,iops,request_waf,overall_waf,gc_invocations,"
+      "gc_copy_sectors,erases,prog_full,prog_sub,forward_migrations,"
+      "retention_evictions,rmw_ops,region_blocks,region_valid_sectors";
+  std::string ops;
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const std::string name = op_name(static_cast<OpKind>(k));
+    ops += "," + name + "_p50_us," + name + "_p99_us";
+  }
+  EXPECT_EQ(TimeSeriesSampler::csv_header(),
+            fixed + ops + ",all_ops_p50_us,all_ops_p99_us");
+}
+
+TEST(TimeSeriesSampler, CsvRowsMatchHeaderArity) {
+  TimeSeriesSampler sampler(10.0);
+  sampler.start(0.0);
+  Sample s;
+  s.sim_time_s = 0.5;
+  s.requests = 42;
+  s.iops = 1234.5;
+  sampler.push(s, 10.0);
+  s.sim_time_s = 1.0;
+  sampler.push(s, 20.0);
+
+  std::ostringstream os;
+  sampler.write_csv(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t header_cols = 0;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t cols =
+        1 + static_cast<std::size_t>(
+                std::count(line.begin(), line.end(), ','));
+    if (header_cols == 0)
+      header_cols = cols;
+    else {
+      ++rows;
+      EXPECT_EQ(cols, header_cols) << line;
+    }
+  }
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(header_cols,
+            15u + 2u * kOpKindCount + 2u);  // fixed + per-op + merged
+}
+
+TEST(TimeSeriesSampler, JsonRowsContainFixedFields) {
+  TimeSeriesSampler sampler(10.0);
+  Sample s;
+  s.sim_time_s = 2.0;
+  s.requests = 7;
+  s.op_p50_us[static_cast<std::size_t>(OpKind::kRead)] = 80.0;
+  s.op_p99_us[static_cast<std::size_t>(OpKind::kRead)] = 95.0;
+  sampler.push(s, 10.0);
+
+  std::ostringstream os;
+  sampler.write_json(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("\"sim_time_s\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"requests\":7"), std::string::npos);
+  // Only ops with samples appear in the per-op latency object.
+  EXPECT_NE(out.find("\"read\":{\"p50\":80"), std::string::npos);
+  EXPECT_EQ(out.find("\"erase\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esp::telemetry

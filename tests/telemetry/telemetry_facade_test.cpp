@@ -1,0 +1,70 @@
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::telemetry {
+namespace {
+
+OpEvent op(OpKind kind, SimTime start, SimTime end) {
+  OpEvent e;
+  e.kind = kind;
+  e.start = start;
+  e.end = end;
+  return e;
+}
+
+TEST(Telemetry, RecordOpFeedsHistogramAndTrace) {
+  Telemetry tel;
+  tel.record_op(op(OpKind::kRead, 100.0, 180.0));
+  tel.record_op(op(OpKind::kRead, 200.0, 300.0));
+
+  const util::Histogram* h =
+      tel.registry().find_histogram("op/read/latency_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total(), 2u);
+  EXPECT_EQ(tel.trace().size(), 2u);
+  EXPECT_EQ(tel.trace().at(0).kind, OpKind::kRead);
+  EXPECT_DOUBLE_EQ(tel.trace().at(0).dur_us, 80.0);
+}
+
+TEST(Telemetry, ChildOpsTaggedWithCurrentRequest) {
+  Telemetry tel;
+  const std::uint32_t id = tel.begin_request(10.0);
+  EXPECT_EQ(id, 1u);
+  tel.record_op(op(OpKind::kProgSub, 10.0, 60.0));
+  tel.end_request(OpKind::kHostWrite, 10.0, 60.0, /*arg0=*/3, /*arg1=*/128);
+  // After the request closes, untagged ops carry request 0.
+  tel.record_op(op(OpKind::kErase, 100.0, 2100.0));
+
+  ASSERT_EQ(tel.trace().size(), 3u);
+  EXPECT_EQ(tel.trace().at(0).request_id, id);          // child
+  EXPECT_EQ(tel.trace().at(1).kind, OpKind::kHostWrite);  // span itself
+  EXPECT_EQ(tel.trace().at(1).request_id, id);
+  EXPECT_EQ(tel.trace().at(2).request_id, 0u);
+  EXPECT_EQ(tel.requests_started(), 1u);
+  EXPECT_EQ(tel.begin_request(70.0), 2u);
+}
+
+TEST(Telemetry, HarvestWindowComputesAndResets) {
+  Telemetry tel;
+  for (int i = 1; i <= 100; ++i)
+    tel.record_op(op(OpKind::kRead, 0.0, 25.0 * i));
+
+  Sample s;
+  tel.harvest_window(s);
+  const auto read = static_cast<std::size_t>(OpKind::kRead);
+  EXPECT_GT(s.op_p50_us[read], 1000.0);
+  EXPECT_GT(s.op_p99_us[read], s.op_p50_us[read]);
+  EXPECT_GT(s.all_ops_p99_us, 0.0);
+
+  // Window reset: a second harvest with no new ops reports zeros...
+  Sample empty;
+  tel.harvest_window(empty);
+  EXPECT_EQ(empty.op_p50_us[read], 0.0);
+  // ...while the cumulative registry histogram keeps everything.
+  EXPECT_EQ(tel.registry().find_histogram("op/read/latency_us")->total(),
+            100u);
+}
+
+}  // namespace
+}  // namespace esp::telemetry

@@ -1,0 +1,102 @@
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace esp::telemetry {
+namespace {
+
+TraceEvent event(OpKind kind, double start, std::uint64_t arg0 = 0) {
+  TraceEvent e;
+  e.kind = kind;
+  e.request_id = 1;
+  e.start_us = start;
+  e.dur_us = 10.0;
+  e.arg0 = arg0;
+  return e;
+}
+
+TEST(TraceRing, HoldsEventsUpToCapacity) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.size(), 0u);
+  ring.push(event(OpKind::kRead, 1.0));
+  ring.push(event(OpKind::kProgFull, 2.0));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.pushed(), 2u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.at(0).kind, OpKind::kRead);
+  EXPECT_EQ(ring.at(1).kind, OpKind::kProgFull);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestOldestFirst) {
+  TraceRing ring(3);
+  for (int i = 0; i < 7; ++i)
+    ring.push(event(OpKind::kRead, 1.0 * i, static_cast<std::uint64_t>(i)));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.pushed(), 7u);
+  EXPECT_EQ(ring.dropped(), 4u);
+  // Retained events are the newest three, reported oldest first.
+  EXPECT_EQ(ring.at(0).arg0, 4u);
+  EXPECT_EQ(ring.at(1).arg0, 5u);
+  EXPECT_EQ(ring.at(2).arg0, 6u);
+}
+
+TEST(TraceRing, ClearEmptiesButKeepsCapacity) {
+  TraceRing ring(2);
+  ring.push(event(OpKind::kErase, 1.0));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.push(event(OpKind::kRead, 2.0));
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(TraceRing, JsonlOneObjectPerLine) {
+  TraceRing ring(8);
+  ring.push(event(OpKind::kGcCopy, 100.0, 12));
+  ring.push(event(OpKind::kProgSub, 200.0, 3));
+  std::ostringstream os;
+  ring.dump_jsonl(os);
+  const std::string out = os.str();
+
+  std::istringstream lines(out);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(n, 2);
+  EXPECT_NE(out.find("\"op\":\"gc_copy\""), std::string::npos);
+  EXPECT_NE(out.find("\"op\":\"prog_sub\""), std::string::npos);
+}
+
+TEST(TraceRing, ChromeDumpIsArrayOfCompleteEvents) {
+  TraceRing ring(8);
+  ring.push(event(OpKind::kHostWrite, 100.0, 8));
+  ring.push(event(OpKind::kProgFull, 110.0));
+  std::ostringstream os;
+  ring.dump_chrome(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.find("]"), out.size() - 2);  // "]\n" tail
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"host_write\""), std::string::npos);
+  // Lanes: host ops on tid 0, nand commands on tid 2.
+  EXPECT_NE(out.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(out.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(TraceLane, KindsMapToLayers) {
+  EXPECT_EQ(op_lane(OpKind::kHostRead), 0u);
+  EXPECT_EQ(op_lane(OpKind::kGcCopy), 1u);
+  EXPECT_EQ(op_lane(OpKind::kRmw), 1u);
+  EXPECT_EQ(op_lane(OpKind::kProgSub), 2u);
+  EXPECT_EQ(op_lane(OpKind::kErase), 2u);
+}
+
+}  // namespace
+}  // namespace esp::telemetry

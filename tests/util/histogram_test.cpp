@@ -25,6 +25,48 @@ TEST(Histogram, OutOfRangeClampsIntoEdges) {
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(9), 1u);
   EXPECT_EQ(h.total(), 2u);
+  // Clamping is no longer silent: both directions are counted.
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, SummaryReportsClampingOnlyWhenPresent) {
+  Histogram clean(0.0, 10.0, 5);
+  clean.add(5.0);
+  EXPECT_EQ(clean.summary().find("clamped"), std::string::npos);
+  Histogram clamped(0.0, 10.0, 5);
+  clamped.add(99.0);
+  EXPECT_NE(clamped.summary().find("clamped"), std::string::npos);
+}
+
+TEST(Histogram, MergeAccumulatesMatchingShape) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) a.add(2.5);
+  for (int i = 0; i < 50; ++i) b.add(7.5);
+  b.add(-1.0);   // underflow
+  b.add(100.0);  // overflow
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.total(), 102u);
+  EXPECT_EQ(a.bucket(2), 50u);
+  EXPECT_EQ(a.bucket(7), 50u);
+  EXPECT_EQ(a.bucket(0), 1u);  // clamped underflow
+  EXPECT_EQ(a.bucket(9), 1u);  // clamped overflow
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_NEAR(a.percentile(0.75), 7.5, 1.1);
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch) {
+  Histogram a(0.0, 10.0, 10);
+  a.add(1.0);
+  Histogram wider(0.0, 20.0, 10), finer(0.0, 10.0, 20);
+  wider.add(1.0);
+  EXPECT_FALSE(a.merge(wider));
+  EXPECT_FALSE(a.merge(finer));
+  EXPECT_EQ(a.total(), 1u);  // unchanged on rejection
 }
 
 TEST(Histogram, MedianOfUniform) {

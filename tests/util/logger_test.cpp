@@ -34,5 +34,28 @@ TEST(Logger, EmittingDoesNotCrash) {
   set_log_level(original);
 }
 
+TEST(Logger, ParseLogLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(Logger, SimTimeProviderInstallAndRemove) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  set_log_sim_time_provider([] { return 1234567.0; });
+  ESP_LOG_ERROR("with sim-time prefix");
+  set_log_sim_time_provider(nullptr);
+  ESP_LOG_ERROR("without sim-time prefix");
+  set_log_level(original);
+}
+
 }  // namespace
 }  // namespace esp::util

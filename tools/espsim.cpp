@@ -18,6 +18,8 @@
 #include "core/experiment.h"
 #include "core/ssd.h"
 #include "ftl/wear_metrics.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 #include "util/table_printer.h"
 #include "workload/profiles.h"
 
@@ -40,7 +42,16 @@ void usage(const char* argv0) {
       "  --queue-depth N               host queue depth (default 128)\n"
       "  --precondition F              fraction of logical space pre-filled\n"
       "  --seed N                      workload seed (default 42)\n"
-      "  --no-verify                   skip end-to-end data verification\n",
+      "  --no-verify                   skip end-to-end data verification\n"
+      "  --metrics-out PATH            write metrics JSON (counters, gauges,\n"
+      "                                latency histograms, samples)\n"
+      "  --trace-out PATH              write per-request op trace; Chrome\n"
+      "                                trace_event if PATH ends in .json,\n"
+      "                                JSONL otherwise\n"
+      "  --samples-out PATH            write time-series rows (.csv or JSON)\n"
+      "  --sample-interval SECONDS     time-series sampling period in\n"
+      "                                simulated seconds (default 0 = off)\n"
+      "  --trace-capacity N            trace ring size (default 65536)\n",
       argv0);
 }
 
@@ -82,6 +93,11 @@ int main(int argc, char** argv) {
   manual.r_synch = 1.0;
   manual.small_footprint_fraction = 0.02;
   std::uint64_t seed = 42;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string samples_out;
+  double sample_interval_s = 0.0;
+  std::size_t trace_capacity = 1 << 16;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -133,6 +149,16 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-verify") {
       spec.verify = false;
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--samples-out") {
+      samples_out = next();
+    } else if (arg == "--sample-interval") {
+      sample_interval_s = std::atof(next());
+    } else if (arg == "--trace-capacity") {
+      trace_capacity = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
@@ -185,8 +211,42 @@ int main(int argc, char** argv) {
               spec.workload.r_small, spec.workload.r_synch,
               spec.workload.read_fraction);
 
+  // Telemetry is optional: only instantiated when an output or sampling
+  // flag asks for it, so the default run stays sink-free.
+  std::optional<telemetry::Telemetry> tel;
+  if (!metrics_out.empty() || !trace_out.empty() || !samples_out.empty() ||
+      sample_interval_s > 0.0) {
+    telemetry::TelemetryConfig tcfg;
+    tcfg.trace_capacity = trace_capacity;
+    tcfg.sample_interval_us = sample_interval_s * sim_time::kSecond;
+    tel.emplace(tcfg);
+    spec.telemetry = &*tel;
+  }
+
   const auto result = core::run_experiment(spec);
   const auto& stats = result.raw.ftl_stats;
+
+  if (tel) {
+    auto emit = [](const char* what, const std::string& path, bool ok) {
+      if (ok)
+        std::printf("%-8s : wrote %s\n", what, path.c_str());
+      else
+        std::fprintf(stderr, "%s: failed to write %s\n", what, path.c_str());
+      return ok;
+    };
+    bool io_ok = true;
+    if (!metrics_out.empty())
+      io_ok &= emit("metrics", metrics_out,
+                    telemetry::write_metrics_file(metrics_out, *tel));
+    if (!trace_out.empty())
+      io_ok &= emit("trace", trace_out,
+                    telemetry::write_trace_file(trace_out, *tel));
+    if (!samples_out.empty())
+      io_ok &= emit("samples", samples_out,
+                    telemetry::write_samples_file(samples_out, *tel));
+    if (!io_ok) return 1;
+    std::printf("\n");
+  }
 
   util::TablePrinter t({"metric", "value"});
   t.add_row({"host throughput", util::TablePrinter::num(
