@@ -12,7 +12,14 @@
 //   * gains are large for the sync-small-heavy Sysbench/Varmail/Postmark
 //     and modest (~10-20%) for YCSB/TPC-C;
 //   * subFTL's GC invocations drop dramatically vs fgmFTL.
+//
+// The 15-cell grid runs on the parallel experiment runner (--jobs N); the
+// per-cell numbers are bit-identical for every job count (see
+// docs/PARALLEL_RUNNER.md). The --json payload separates the
+// NON-deterministic "run" section (wall times, worker ids) from the
+// bit-stable "benchmarks"/"summary" sections that CI diffs across --jobs.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/parallel_runner.h"
 #include "telemetry/json.h"
 #include "util/table_printer.h"
 
@@ -27,19 +35,28 @@ namespace {
 
 using namespace esp;
 
+constexpr std::uint64_t kBaseSeed = 2017;
+
 struct Outcome {
   double throughput = 0.0;
   std::uint64_t gc = 0;
   std::uint64_t erases = 0;
 };
 
-Outcome run_one(workload::Benchmark bench, core::FtlKind kind) {
-  core::ExperimentSpec spec;
-  spec.ssd = bench::scaled_config(kind);
+core::ExperimentCell make_cell(workload::Benchmark bench, core::FtlKind kind) {
+  core::ExperimentCell cell;
+  cell.key = "fig8/" + workload::benchmark_name(bench) + "/" +
+             core::ftl_kind_name(kind);
+  cell.spec.ssd = bench::scaled_config(kind);
 
+  // Seed per BENCHMARK, not per cell: every FTL of a benchmark must see
+  // the identical request stream (the paper's comparison methodology).
+  // Derived from the stable benchmark key, never from grid order.
   auto params = workload::benchmark_profile(
       bench, /*footprint=*/0, /*request_count=*/0,
-      spec.ssd.geometry.subpages_per_page, /*seed=*/2017);
+      cell.spec.ssd.geometry.subpages_per_page,
+      core::stable_cell_seed("fig8/" + workload::benchmark_name(bench),
+                             kBaseSeed));
   // Budget-based sizing: every benchmark/FTL cell writes the same host
   // volume (~warmup then ~measure), so GC counts compare one-to-one.
   const double write_fraction = 1.0 - params.read_fraction;
@@ -57,29 +74,26 @@ Outcome run_one(workload::Benchmark bench, core::FtlKind kind) {
     return static_cast<std::uint64_t>(budget /
                                       (write_fraction * avg_write_sectors));
   };
-  spec.warmup_requests = reqs_for(kWarmupWriteSectors);
-  params.request_count = spec.warmup_requests + reqs_for(kMeasureWriteSectors);
-  spec.workload = params;
-
-  const auto result = core::run_experiment(spec);
-  if (result.verify_failures != 0)
-    std::fprintf(stderr, "WARNING: %llu verify failures (%s, %s)\n",
-                 static_cast<unsigned long long>(result.verify_failures),
-                 workload::benchmark_name(bench).c_str(),
-                 result.ftl_name.c_str());
-  return Outcome{result.host_mb_per_sec, result.gc_invocations,
-                 result.erases};
+  cell.spec.warmup_requests = reqs_for(kWarmupWriteSectors);
+  params.request_count =
+      cell.spec.warmup_requests + reqs_for(kMeasureWriteSectors);
+  cell.spec.workload = params;
+  return cell;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_out;
+  unsigned jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json PATH] [--jobs N]\n", argv[0]);
       return 2;
     }
   }
@@ -88,9 +102,41 @@ int main(int argc, char** argv) {
 
   const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
                       core::FtlKind::kSub};
-  std::map<std::pair<workload::Benchmark, core::FtlKind>, Outcome> grid;
+  std::vector<core::ExperimentCell> cells;
   for (const auto bench : workload::all_benchmarks())
-    for (const auto kind : kinds) grid[{bench, kind}] = run_one(bench, kind);
+    for (const auto kind : kinds) cells.push_back(make_cell(bench, kind));
+
+  core::ParallelRunnerConfig runner_cfg;
+  runner_cfg.jobs = jobs;
+  runner_cfg.base_seed = kBaseSeed;
+  runner_cfg.derive_seeds = false;  // seeds fixed per benchmark above
+  core::ParallelRunner runner(runner_cfg);
+  const auto results = runner.run(cells);
+  std::printf("ran %zu cells on %u worker(s) in %.1fs\n", cells.size(),
+              runner.manifest().jobs_used, runner.manifest().wall_seconds);
+
+  std::map<std::pair<workload::Benchmark, core::FtlKind>, Outcome> grid;
+  {
+    std::size_t i = 0;
+    for (const auto bench : workload::all_benchmarks()) {
+      for (const auto kind : kinds) {
+        const auto& cell = results[i++];
+        if (!cell.ok) {
+          std::fprintf(stderr, "FATAL: cell %s failed: %s\n",
+                       cell.key.c_str(), cell.error.c_str());
+          return 1;
+        }
+        if (cell.result.verify_failures != 0)
+          std::fprintf(stderr, "WARNING: %llu verify failures (%s)\n",
+                       static_cast<unsigned long long>(
+                           cell.result.verify_failures),
+                       cell.key.c_str());
+        grid[{bench, kind}] =
+            Outcome{cell.result.host_mb_per_sec, cell.result.gc_invocations,
+                    cell.result.erases};
+      }
+    }
+  }
 
   std::printf("\n(a) Normalized IOPS (cgmFTL = 1.0 per benchmark)\n\n");
   util::TablePrinter iops_table(
@@ -151,6 +197,15 @@ int main(int argc, char** argv) {
     telemetry::JsonWriter w(os);
     w.begin_object();
     w.kv("figure", "fig8_ftl_comparison");
+    w.newline();
+    // Host-side provenance: wall times and worker ids vary run to run.
+    // Determinism checks must diff "benchmarks" and "summary" only.
+    w.key("run");
+    w.begin_object();
+    w.kv("jobs", static_cast<std::uint64_t>(runner.manifest().jobs_used));
+    w.kv("base_seed", kBaseSeed);
+    w.kv("wall_seconds", runner.manifest().wall_seconds);
+    w.end_object();
     w.newline();
     w.key("benchmarks");
     w.begin_object();

@@ -1,0 +1,195 @@
+#include "core/parallel_runner.h"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+#include "util/logger.h"
+
+namespace esp::core {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Per-worker work queue. Owners pop from the front (cache-friendly for
+/// the round-robin initial partition); thieves steal from the back so they
+/// contend with the owner as little as possible. A mutex per deque is
+/// plenty here: cells run for seconds, steals happen a handful of times
+/// per grid.
+struct WorkQueue {
+  std::mutex mu;
+  std::deque<std::size_t> items;
+
+  bool pop_front(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) return false;
+    *out = items.front();
+    items.pop_front();
+    return true;
+  }
+  bool steal_back(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) return false;
+    *out = items.back();
+    items.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::uint64_t stable_cell_seed(std::string_view key, std::uint64_t base_seed) {
+  // FNV-1a 64-bit over the key bytes.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  const std::uint64_t mixed = splitmix64(h ^ splitmix64(base_seed));
+  return mixed != 0 ? mixed : 0x9e3779b97f4a7c15ull;
+}
+
+ParallelRunner::ParallelRunner(const ParallelRunnerConfig& config)
+    : config_(config) {}
+
+std::vector<CellResult> ParallelRunner::run(
+    const std::vector<ExperimentCell>& cells) {
+  using Clock = std::chrono::steady_clock;
+
+  merged_registry_ = telemetry::MetricsRegistry{};
+  merged_latency_.reset();
+  manifest_ = RunManifest{};
+  manifest_.jobs_requested = config_.jobs;
+  manifest_.base_seed = config_.base_seed;
+  manifest_.derive_seeds = config_.derive_seeds;
+
+  std::vector<CellResult> results(cells.size());
+  std::vector<telemetry::MetricsRegistry> cell_registries(
+      config_.collect_telemetry ? cells.size() : 0);
+  if (cells.empty()) return results;
+
+  unsigned jobs = config_.jobs;
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min<unsigned>(jobs, static_cast<unsigned>(cells.size()));
+  manifest_.jobs_used = jobs;
+
+  // Round-robin partition; worker w starts with cells w, w+jobs, ...
+  std::vector<WorkQueue> queues(jobs);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    queues[i % jobs].items.push_back(i);
+
+  const auto run_cell = [&](std::size_t i, unsigned worker) {
+    const auto cell_start = Clock::now();
+    CellResult& out = results[i];
+    out.key = cells[i].key;
+    out.worker = worker;
+    ExperimentSpec spec = cells[i].spec;
+    if (config_.derive_seeds)
+      spec.workload.seed = stable_cell_seed(cells[i].key, config_.base_seed);
+    out.seed = spec.workload.seed;
+    telemetry::Telemetry tel;
+    if (config_.collect_telemetry) spec.telemetry = &tel;
+    try {
+      out.result = run_experiment(spec);
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      ESP_LOG_ERROR("cell '%s' failed: %s", out.key.c_str(), e.what());
+    } catch (...) {
+      out.error = "unknown exception";
+      ESP_LOG_ERROR("cell '%s' failed: unknown exception", out.key.c_str());
+    }
+    if (config_.collect_telemetry) {
+      // Snapshot now: bound counters reference the (already destroyed by
+      // run_experiment) Ssd internals unless materialized -- run_experiment
+      // materializes via ~Ssd, but materialize() is idempotent, so be safe.
+      tel.registry().materialize();
+      cell_registries[i] = tel.registry();
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - cell_start).count();
+  };
+
+  const auto worker_main = [&](unsigned w) {
+    std::size_t item = 0;
+    for (;;) {
+      if (queues[w].pop_front(&item)) {
+        run_cell(item, w);
+        continue;
+      }
+      bool stole = false;
+      for (unsigned off = 1; off < jobs; ++off) {
+        if (queues[(w + off) % jobs].steal_back(&item)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;  // every queue drained: done
+      run_cell(item, w);
+    }
+  };
+
+  const auto grid_start = Clock::now();
+  if (jobs == 1) {
+    worker_main(0);  // inline: no thread overhead for sequential runs
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) workers.emplace_back(worker_main, w);
+    for (auto& t : workers) t.join();
+  }
+  manifest_.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - grid_start).count();
+
+  // Aggregation strictly in INPUT order on this (joining) thread: summed
+  // doubles and merged histograms come out bit-identical for any --jobs.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = results[i];
+    if (r.ok) merged_latency_.merge(r.result.raw.latency_hist);
+    if (config_.collect_telemetry)
+      merged_registry_.merge_from(cell_registries[i]);
+    manifest_.cells.push_back(RunManifest::Cell{r.key, r.seed, r.ok, r.error,
+                                                r.wall_seconds, r.worker});
+  }
+  return results;
+}
+
+void ParallelRunner::write_manifest_json(const RunManifest& manifest,
+                                         std::ostream& os) {
+  telemetry::JsonWriter w(os);
+  w.begin_object();
+  w.kv("jobs_requested", static_cast<std::uint64_t>(manifest.jobs_requested));
+  w.kv("jobs_used", static_cast<std::uint64_t>(manifest.jobs_used));
+  w.kv("base_seed", manifest.base_seed);
+  w.kv("derive_seeds", manifest.derive_seeds);
+  w.kv("wall_seconds", manifest.wall_seconds);
+  w.newline();
+  w.key("cells");
+  w.begin_array();
+  for (const auto& cell : manifest.cells) {
+    w.newline();
+    w.begin_object();
+    w.kv("key", cell.key);
+    w.kv("seed", cell.seed);
+    w.kv("ok", cell.ok);
+    if (!cell.error.empty()) w.kv("error", cell.error);
+    w.kv("wall_seconds", cell.wall_seconds);
+    w.kv("worker", static_cast<std::uint64_t>(cell.worker));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace esp::core

@@ -1,0 +1,126 @@
+// Parallel deterministic experiment runner.
+//
+// Bench grids (figure reproductions, parameter sweeps) are embarrassingly
+// parallel: every cell is an independent single-threaded simulation. This
+// runner executes a list of ExperimentCells on a work-stealing thread pool
+// while keeping every per-cell result BIT-IDENTICAL to a sequential run:
+//
+//   * determinism by construction -- each cell's workload seed is derived
+//     from the cell's stable key (never from schedule order, thread id, or
+//     completion order), and a simulation shares no mutable state with its
+//     siblings (the one historical global, the logger's sim-time provider,
+//     is thread-local);
+//   * results are returned in input order, and cross-cell aggregation
+//     (metrics-registry reconciliation, latency-histogram merging) happens
+//     on the joining thread in input order, so floating-point accumulation
+//     order is fixed regardless of --jobs;
+//   * a machine-readable RunManifest records what ran where (key, seed,
+//     worker, wall time) for provenance and CI determinism diffs.
+//
+// See docs/PARALLEL_RUNNER.md for the full contract.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+#include "telemetry/metrics.h"
+#include "util/histogram.h"
+
+namespace esp::core {
+
+/// One unit of work: a stable key naming the cell plus the spec to run.
+/// Keys should be path-like and unique within a run ("fig8/varmail/subFTL");
+/// the key is the cell's identity for seeding and in the manifest.
+struct ExperimentCell {
+  std::string key;
+  ExperimentSpec spec;
+};
+
+/// Outcome of one cell. `ok == false` means the cell threw; `error` carries
+/// the exception message and `result` is default-constructed.
+struct CellResult {
+  std::string key;
+  std::uint64_t seed = 0;  ///< workload seed the cell actually ran with
+  bool ok = false;
+  std::string error;
+  double wall_seconds = 0.0;  ///< host wall-clock spent on this cell
+  unsigned worker = 0;        ///< pool worker that executed the cell
+  RunResult result;
+};
+
+struct ParallelRunnerConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). The pool
+  /// never spawns more workers than cells.
+  unsigned jobs = 0;
+  /// Attach a per-cell telemetry facade and reconcile the materialized
+  /// registries into merged_registry() at join time.
+  bool collect_telemetry = false;
+  /// Base seed mixed into every derived per-cell seed; change it to get an
+  /// independent but equally deterministic replication of the whole grid.
+  std::uint64_t base_seed = 2017;
+  /// When true (default), each cell's spec.workload.seed is overwritten
+  /// with stable_cell_seed(key, base_seed). When false, specs run with the
+  /// seeds they carry.
+  bool derive_seeds = true;
+};
+
+/// Deterministic seed for a cell: FNV-1a over the key, mixed with the base
+/// seed through a splitmix64 finalizer. Depends ONLY on (key, base_seed) --
+/// never on schedule order -- and is never 0 (Xoshiro rejects 0 states).
+std::uint64_t stable_cell_seed(std::string_view key, std::uint64_t base_seed);
+
+/// Provenance record of one run() call.
+struct RunManifest {
+  unsigned jobs_requested = 0;
+  unsigned jobs_used = 0;
+  std::uint64_t base_seed = 0;
+  bool derive_seeds = true;
+  double wall_seconds = 0.0;  ///< whole-grid wall time (fork to join)
+  struct Cell {
+    std::string key;
+    std::uint64_t seed = 0;
+    bool ok = false;
+    std::string error;
+    double wall_seconds = 0.0;
+    unsigned worker = 0;
+  };
+  std::vector<Cell> cells;  ///< input order
+};
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(const ParallelRunnerConfig& config = {});
+
+  /// Runs every cell; returns results in input order. Cells that throw
+  /// come back with ok == false instead of aborting the grid. Callable
+  /// repeatedly; merged state and the manifest cover the LAST run only.
+  std::vector<CellResult> run(const std::vector<ExperimentCell>& cells);
+
+  /// Reconciled per-cell telemetry registries (input cell order), populated
+  /// when config.collect_telemetry is set.
+  const telemetry::MetricsRegistry& merged_registry() const {
+    return merged_registry_;
+  }
+  /// All cells' request service-time distributions merged in input order.
+  const util::Histogram& merged_latency() const { return merged_latency_; }
+
+  const RunManifest& manifest() const { return manifest_; }
+
+  /// Serializes a manifest as a stable, diff-friendly JSON object. Wall
+  /// times are host-side and NOT deterministic; CI determinism checks
+  /// should compare the "cells" seeds/keys and bench payloads, not timings.
+  static void write_manifest_json(const RunManifest& manifest,
+                                  std::ostream& os);
+
+ private:
+  ParallelRunnerConfig config_;
+  telemetry::MetricsRegistry merged_registry_;
+  util::Histogram merged_latency_{0.0, 200000.0, 2000};
+  RunManifest manifest_;
+};
+
+}  // namespace esp::core

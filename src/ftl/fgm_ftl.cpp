@@ -67,8 +67,11 @@ SimTime FgmFtl::flush_run(const std::vector<BufferedSector>& run,
     done = std::max(done, pool_.write_group(group, now));
     // Attribute the page's cost proportionally to its small-write sectors:
     // a lone sync 4-KB sector pays the whole 16-KB page (request WAF 4),
-    // four merged ones pay 4 KB each (request WAF 1).
-    stats_.small_service_flash_bytes += small_in_group * (geo_.page_bytes / n);
+    // four merged ones pay 4 KB each (request WAF 1). Multiply before
+    // dividing -- page_bytes / n truncates for 3-sector merges and would
+    // leak up to n-1 bytes of attributed cost per group.
+    stats_.small_service_flash_bytes +=
+        small_in_group * geo_.page_bytes / n;
     i = j;
   }
   return done;
@@ -153,8 +156,14 @@ IoResult FgmFtl::flush(SimTime now) {
 
 void FgmFtl::trim(std::uint64_t sector, std::uint32_t count) {
   check_range(sector, count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint64_t s = sector + i;
+  // Page-aligned contract (see Ftl::trim): although the mapping is
+  // per-sector, only sectors of whole logical pages inside the range are
+  // dropped -- including their buffered copies. Partial edges keep their
+  // newest data.
+  const std::uint32_t subs = geo_.subpages_per_page;
+  const std::uint64_t first = (sector + subs - 1) / subs * subs;
+  const std::uint64_t end = (sector + count) / subs * subs;
+  for (std::uint64_t s = first; s < end; ++s) {
     buffer_.erase(s);
     if (l2p_[s] != nand::kUnmapped) {
       pool_.invalidate(l2p_[s]);

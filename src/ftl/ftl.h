@@ -34,7 +34,17 @@ class Ftl {
   /// Drains any volatile write buffer to flash.
   virtual IoResult flush(SimTime now) = 0;
 
-  /// Invalidates the mapping of the given sectors (discard/TRIM).
+  /// Discards the given sector range (TRIM).
+  ///
+  /// Contract (all FTLs and the driver's shadow model implement exactly
+  /// this): only WHOLE logical pages contained in [sector, sector+count)
+  /// are discarded -- their sectors read back as never-written afterwards.
+  /// Partial pages at either edge of the range are untouched and keep
+  /// their latest data, wherever it lives (flash or write buffer). This is
+  /// the coarsest-common semantic: CGM cannot drop less than a page, and
+  /// aligning the fine-grained FTLs to it keeps behavior host-observably
+  /// identical across implementations (tests/integration/
+  /// trim_differential_test.cpp enforces the agreement).
   virtual void trim(std::uint64_t sector, std::uint32_t count) = 0;
 
   /// Periodic background hook (retention scanning). Called by the driver

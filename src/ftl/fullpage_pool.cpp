@@ -233,15 +233,16 @@ SimTime FullPagePool::static_wear_level(SimTime now,
   // the device: a big gap means this block pins cold data on young flash.
   std::optional<std::size_t> coldest;
   std::uint32_t coldest_pe = ~0u;
-  std::uint32_t max_pe = 0;
+  // Device-wide maximum is tracked monotonically at erase time, so the scan
+  // only has to find this pool's coldest sealed block.
+  const std::uint32_t max_pe = dev_.max_pe_cycles();
   for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
     for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk) {
-      const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
-      max_pe = std::max(max_pe, pe);
       const std::size_t idx = block_index(chip, blk);
       const BlockMeta& m = meta_[idx];
       if (!m.owned || m.active || m.next_page < geo_.pages_per_block)
         continue;
+      const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
       if (pe < coldest_pe) {
         coldest_pe = pe;
         coldest = idx;

@@ -284,12 +284,17 @@ IoResult SectorLogFtl::flush(SimTime now) {
 
 void SectorLogFtl::trim(std::uint64_t sector, std::uint32_t count) {
   check_range(sector, count);
+  // Page-aligned contract (see Ftl::trim): partial edges keep their latest
+  // data, including buffered copies that may be the newest version's only
+  // home; only whole pages drop buffer + log + data-region state.
   const std::uint32_t subs = geo_.subpages_per_page;
-  for (std::uint32_t i = 0; i < count; ++i) buffer_.erase(sector + i);
   const std::uint64_t first_lpn = (sector + subs - 1) / subs;
   const std::uint64_t end_lpn = (sector + count) / subs;
   for (std::uint64_t lpn = first_lpn; lpn < end_lpn; ++lpn) {
-    for (std::uint32_t s = 0; s < subs; ++s) drop_log_copy(lpn * subs + s);
+    for (std::uint32_t s = 0; s < subs; ++s) {
+      buffer_.erase(lpn * subs + s);
+      drop_log_copy(lpn * subs + s);
+    }
     if (l2p_[lpn] != nand::kUnmapped) {
       pool_data_.invalidate(l2p_[lpn]);
       l2p_[lpn] = nand::kUnmapped;

@@ -51,20 +51,17 @@ SubFtl::SubFtl(nand::NandDevice& dev, const Config& config)
                         config.advance_max_valid_fraction},
                 stats_,
                 [this](std::uint64_t sector, std::uint64_t new_lin) {
-                  sub_map_[sector].sub_lin = new_lin;
+                  if (sub_lin_[sector] == nand::kUnmapped) ++sub_entries_;
+                  sub_lin_[sector] = new_lin;
                 },
                 [this](std::span<const SectorWrite> batch, SimTime now,
                        bool retention) {
                   return evict_batch(batch, now, retention);
                 },
-                [this](std::uint64_t sector) {
-                  const auto it = sub_map_.find(sector);
-                  return it != sub_map_.end() && it->second.hot;
+                [this](std::uint64_t sector) -> bool {
+                  return sub_hot_[sector];
                 },
-                [this](std::uint64_t sector) {
-                  const auto it = sub_map_.find(sector);
-                  if (it != sub_map_.end()) it->second.hot = false;
-                }),
+                [this](std::uint64_t sector) { sub_hot_[sector] = false; }),
       buffer_(config.buffer_sectors) {
   if (config_.logical_sectors == 0)
     throw std::invalid_argument("SubFtl: logical_sectors must be > 0");
@@ -86,6 +83,8 @@ SubFtl::SubFtl(nand::NandDevice& dev, const Config& config)
         "SubFtl: logical space plus subpage-region quota exceeds physical "
         "capacity; reduce logical_sectors or subpage_region_fraction");
   l2p_.assign(lpns, nand::kUnmapped);
+  sub_lin_.assign(config_.logical_sectors, nand::kUnmapped);
+  sub_hot_.assign(config_.logical_sectors, false);
   version_.assign(config_.logical_sectors, 0);
 }
 
@@ -95,10 +94,11 @@ void SubFtl::check_range(std::uint64_t sector, std::uint32_t count) const {
 }
 
 void SubFtl::drop_subpage_copy(std::uint64_t sector) {
-  const auto it = sub_map_.find(sector);
-  if (it == sub_map_.end()) return;
-  pool_sub_.invalidate(it->second.sub_lin);
-  sub_map_.erase(it);
+  if (sub_lin_[sector] == nand::kUnmapped) return;
+  pool_sub_.invalidate(sub_lin_[sector]);
+  sub_lin_[sector] = nand::kUnmapped;
+  sub_hot_[sector] = false;
+  --sub_entries_;
 }
 
 SimTime SubFtl::write_full_lpn(std::uint64_t lpn, const BufferedSector* group,
@@ -124,13 +124,14 @@ SimTime SubFtl::write_full_lpn(std::uint64_t lpn, const BufferedSector* group,
 }
 
 SimTime SubFtl::write_small_sector(const BufferedSector& bs, SimTime now) {
-  const auto it = sub_map_.find(bs.sector);
-  if (it != sub_map_.end()) {
+  if (sub_lin_[bs.sector] != nand::kUnmapped) {
     // Re-update of a region-resident sector: the old subpage goes stale and
-    // the sector is proven hot.
-    pool_sub_.invalidate(it->second.sub_lin);
-    it->second.sub_lin = nand::kUnmapped;
-    it->second.hot = true;
+    // the sector is proven hot. The entry leaves the map until the pool
+    // re-places it (or the overflow fallback below demotes it).
+    pool_sub_.invalidate(sub_lin_[bs.sector]);
+    sub_lin_[bs.sector] = nand::kUnmapped;
+    --sub_entries_;
+    sub_hot_[bs.sector] = true;
   }
   if (const auto placed = pool_sub_.try_write_sector(bs.sector, bs.token,
                                                      now)) {
@@ -140,7 +141,7 @@ SimTime SubFtl::write_small_sector(const BufferedSector& bs, SimTime now) {
   // Overflow valve: the region cannot take another subpage right now
   // (extreme space pressure). Service the write the CGM way instead of
   // failing -- correctness first, the request WAF of this write is 4.
-  sub_map_.erase(bs.sector);
+  sub_hot_[bs.sector] = false;
   const SimTime done = rmw_into_fullpage(bs.sector, bs.token, now);
   if (bs.small) stats_.small_service_flash_bytes += geo_.page_bytes;
   return done;
@@ -213,12 +214,13 @@ SimTime SubFtl::evict_batch(std::span<const SectorWrite> batch, SimTime now,
   const std::uint32_t subs = geo_.subpages_per_page;
   SimTime done = now;
   std::size_t i = 0;
+  std::vector<std::uint64_t> tokens(subs, 0);
   while (i < sorted.size()) {
     const std::uint64_t lpn = sorted[i].sector / subs;
     std::size_t j = i;
     while (j < sorted.size() && sorted[j].sector / subs == lpn) ++j;
 
-    std::vector<std::uint64_t> tokens(subs, 0);
+    tokens.assign(subs, 0);
     SimTime t = now;
     const bool merges_old_page = l2p_[lpn] != nand::kUnmapped;
     if (merges_old_page) {
@@ -236,8 +238,11 @@ SimTime SubFtl::evict_batch(std::span<const SectorWrite> batch, SimTime now,
       l2p_[lpn] = nand::kUnmapped;
     }
     for (std::size_t k = i; k < j; ++k) {
-      sub_map_.erase(sorted[k].sector);
-      tokens[sorted[k].sector % subs] = sorted[k].token;
+      const std::uint64_t es = sorted[k].sector;
+      if (sub_lin_[es] != nand::kUnmapped) --sub_entries_;
+      sub_lin_[es] = nand::kUnmapped;
+      sub_hot_[es] = false;
+      tokens[es % subs] = sorted[k].token;
     }
     const auto [new_lin, page_done] = pool_full_.write_page(lpn, tokens, t);
     l2p_[lpn] = new_lin;
@@ -317,9 +322,9 @@ IoResult SubFtl::read(std::uint64_t sector, std::uint32_t count, SimTime now,
       ++i;
       continue;
     }
-    if (const auto it = sub_map_.find(s); it != sub_map_.end()) {
+    if (sub_lin_[s] != nand::kUnmapped) {
       const auto ack =
-          dev_.read_subpage(codec_.decode_subpage(it->second.sub_lin), now);
+          dev_.read_subpage(codec_.decode_subpage(sub_lin_[s]), now);
       ++stats_.flash_reads;
       if (ack.status != nand::ReadStatus::kOk) {
         ok = false;
@@ -347,9 +352,9 @@ IoResult SubFtl::read(std::uint64_t sector, std::uint32_t count, SimTime now,
       if (buffer_.lookup(cur, &token)) {
         ++stats_.buffer_hits;
         if (tokens) (*tokens)[i] = token;
-      } else if (const auto it = sub_map_.find(cur); it != sub_map_.end()) {
+      } else if (sub_lin_[cur] != nand::kUnmapped) {
         const auto ack =
-            dev_.read_subpage(codec_.decode_subpage(it->second.sub_lin), now);
+            dev_.read_subpage(codec_.decode_subpage(sub_lin_[cur]), now);
         ++stats_.flash_reads;
         if (ack.status != nand::ReadStatus::kOk) {
           ok = false;
@@ -384,15 +389,18 @@ IoResult SubFtl::flush(SimTime now) {
 
 void SubFtl::trim(std::uint64_t sector, std::uint32_t count) {
   check_range(sector, count);
+  // Page-aligned contract (see Ftl::trim): only whole logical pages are
+  // discarded. Partial edges keep their latest data -- crucially including
+  // write-buffer entries, which may hold the ONLY copy of a sector's
+  // newest version; dropping those would resurrect the stale flash copy.
   const std::uint32_t subs = geo_.subpages_per_page;
-  for (std::uint32_t i = 0; i < count; ++i) buffer_.erase(sector + i);
-  // Whole logical pages can be fully unmapped; partial edges keep their
-  // stale data (same semantics as cgmFTL).
   const std::uint64_t first_lpn = (sector + subs - 1) / subs;
   const std::uint64_t end_lpn = (sector + count) / subs;
   for (std::uint64_t lpn = first_lpn; lpn < end_lpn; ++lpn) {
-    for (std::uint32_t s = 0; s < subs; ++s)
+    for (std::uint32_t s = 0; s < subs; ++s) {
+      buffer_.erase(lpn * subs + s);
       drop_subpage_copy(lpn * subs + s);
+    }
     if (l2p_[lpn] != nand::kUnmapped) {
       pool_full_.invalidate(l2p_[lpn]);
       l2p_[lpn] = nand::kUnmapped;
@@ -411,7 +419,7 @@ std::uint64_t SubFtl::mapping_memory_bytes() const {
   // Coarse table: 32-bit PPA per logical page. Hash table: modeled 16 bytes
   // per entry (sector key + sub-PPA + flags); bounded by one valid subpage
   // per physical page of the subpage region.
-  return l2p_.size() * sizeof(std::uint32_t) + sub_map_.size() * 16;
+  return l2p_.size() * sizeof(std::uint32_t) + sub_entries_ * 16;
 }
 
 void SubFtl::set_telemetry(telemetry::Sink* sink) {

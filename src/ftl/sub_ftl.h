@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ftl/block_allocator.h"
@@ -77,14 +76,9 @@ class SubFtl : public Ftl {
   // Introspection for tests and wear metrics.
   const SubpagePool& subpage_pool() const { return pool_sub_; }
   const FullPagePool& fullpage_pool() const { return pool_full_; }
-  std::size_t subpage_mapping_entries() const { return sub_map_.size(); }
+  std::size_t subpage_mapping_entries() const { return sub_entries_; }
 
  private:
-  struct SubEntry {
-    std::uint64_t sub_lin = nand::kUnmapped;
-    bool hot = false;  ///< updated at least once since entering the region
-  };
-
   SimTime flush_run(const std::vector<BufferedSector>& run, SimTime now);
   SimTime write_full_lpn(std::uint64_t lpn, const BufferedSector* group,
                          SimTime now);
@@ -110,7 +104,14 @@ class SubFtl : public Ftl {
   SubpagePool pool_sub_;
   WriteBuffer buffer_;
   std::vector<std::uint64_t> l2p_;      ///< lpn -> linear page (full region)
-  std::unordered_map<std::uint64_t, SubEntry> sub_map_;  ///< sector -> subpage
+  /// Subpage map as flat per-sector arrays (kUnmapped = not in the region):
+  /// the small-write/read hot path costs one indexed load instead of a
+  /// hash+probe. The MODELED mapping cost stays the paper's hash table --
+  /// 16 bytes per live entry, counted by sub_entries_ -- not these
+  /// simulator-side arrays.
+  std::vector<std::uint64_t> sub_lin_;  ///< sector -> linear subpage
+  std::vector<bool> sub_hot_;  ///< updated since entering the region
+  std::size_t sub_entries_ = 0;  ///< live subpage-map entries
   std::vector<std::uint32_t> version_;
   SimTime last_retention_scan_ = 0.0;
   std::uint32_t writes_since_wl_ = 0;

@@ -21,11 +21,23 @@ SubpagePool::SubpagePool(nand::NandDevice& dev, BlockAllocator& allocator,
       geo_(dev.geometry()),
       codec_(geo_),
       meta_(geo_.total_blocks()),
+      owned_by_chip_(geo_.total_chips()),
       active_block_(geo_.total_chips()) {
   if (!place_ || !evict_ || !hot_ || !kept_)
     throw std::invalid_argument("SubpagePool: all callbacks required");
   if (config_.quota_blocks == 0)
     throw std::invalid_argument("SubpagePool: quota_blocks must be > 0");
+}
+
+void SubpagePool::index_add(std::uint32_t chip, std::uint32_t block) {
+  auto& owned = owned_by_chip_[chip];
+  owned.insert(std::lower_bound(owned.begin(), owned.end(), block), block);
+}
+
+void SubpagePool::index_remove(std::uint32_t chip, std::uint32_t block) {
+  auto& owned = owned_by_chip_[chip];
+  const auto it = std::lower_bound(owned.begin(), owned.end(), block);
+  if (it != owned.end() && *it == block) owned.erase(it);
 }
 
 bool SubpagePool::can_alloc_fresh() const {
@@ -101,6 +113,7 @@ bool SubpagePool::acquire_slot(std::uint32_t chip, SimTime& t,
         if (in_gc_) ++gc_dest_allocs_;
         BlockMeta& m = meta_[block_index(chip, *fresh)];
         m.owned = true;
+        index_add(chip, *fresh);
         m.active = true;
         m.level = 0;
         m.cursor = 0;
@@ -122,9 +135,9 @@ bool SubpagePool::acquire_slot(std::uint32_t chip, SimTime& t,
         config_.advance_max_valid_fraction * geo_.pages_per_block);
     std::optional<std::uint32_t> best;
     std::uint32_t best_valid = ~0u;
-    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+    for (const std::uint32_t b : owned_by_chip_[chip]) {
       const BlockMeta& m = meta_[block_index(chip, b)];
-      if (!m.owned || m.active) continue;
+      if (m.active) continue;
       if (m.level + 1u >= geo_.subpages_per_page) continue;  // maxed out
       if (m.valid_count > advance_limit) continue;           // too dense
       if (m.valid_count < best_valid) {
@@ -233,10 +246,10 @@ SimTime SubpagePool::collect(SimTime now,
   std::optional<std::size_t> victim_idx;
   std::uint32_t best_valid = ~0u;
   auto scan_chip = [&](std::uint32_t chip) {
-    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+    for (const std::uint32_t b : owned_by_chip_[chip]) {
       const std::size_t idx = block_index(chip, b);
       const BlockMeta& m = meta_[idx];
-      if (!m.owned || m.active) continue;
+      if (m.active) continue;
       if (m.valid_count < best_valid) {
         best_valid = m.valid_count;
         victim_idx = idx;
@@ -266,6 +279,7 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   SimTime t = now;
   std::uint64_t kept_sectors = 0;
   std::vector<SectorWrite> evictions;
+  evictions.reserve(victim.valid_count);
   for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
     if (!victim.valid[page]) continue;
     const std::uint64_t sector = victim.sector_of_page[page];
@@ -306,6 +320,7 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   const auto ack = dev_.erase_block(chip, blk, t);
   ++stats_.flash_erases;
   victim.owned = false;
+  index_remove(chip, blk);
   victim.active = false;
   victim.sector_of_page.clear();
   victim.sector_of_page.shrink_to_fit();
@@ -331,9 +346,14 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
 
 SimTime SubpagePool::release_idle_blocks(SimTime now) {
   for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
-    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+    auto& owned = owned_by_chip_[chip];
+    for (std::size_t i = 0; i < owned.size();) {
+      const std::uint32_t b = owned[i];
       BlockMeta& m = meta_[block_index(chip, b)];
-      if (!m.owned || m.active || m.valid_count != 0) continue;
+      if (m.active || m.valid_count != 0) {
+        ++i;
+        continue;
+      }
       // Keep pristine never-programmed blocks? They do not exist here: a
       // block is only owned once it has received writes.
       ++stats_.gc_invocations;  // garbage-only collection, zero copies
@@ -341,6 +361,7 @@ SimTime SubpagePool::release_idle_blocks(SimTime now) {
       ++stats_.flash_erases;
       now = ack.done;
       m.owned = false;
+      owned.erase(owned.begin() + static_cast<std::ptrdiff_t>(i));
       m.sector_of_page.clear();
       m.sector_of_page.shrink_to_fit();
       m.valid.clear();
@@ -358,14 +379,14 @@ SimTime SubpagePool::static_wear_level(SimTime now,
                                        std::uint32_t pe_threshold) {
   std::optional<std::size_t> coldest;
   std::uint32_t coldest_pe = ~0u;
-  std::uint32_t max_pe = 0;
+  // Device-wide maximum is tracked monotonically at erase time; the coldest
+  // candidate only needs a sweep over this pool's own blocks.
+  const std::uint32_t max_pe = dev_.max_pe_cycles();
   for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
-    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
-      const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
-      max_pe = std::max(max_pe, pe);
+    for (const std::uint32_t b : owned_by_chip_[chip]) {
       const std::size_t idx = block_index(chip, b);
-      const BlockMeta& m = meta_[idx];
-      if (!m.owned || m.active) continue;
+      if (meta_[idx].active) continue;
+      const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
       if (pe < coldest_pe) {
         coldest_pe = pe;
         coldest = idx;
@@ -380,11 +401,12 @@ SimTime SubpagePool::static_wear_level(SimTime now,
 SimTime SubpagePool::retention_scan(SimTime now) {
   SimTime t = now;
   for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
-    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b) {
+    for (const std::uint32_t b : owned_by_chip_[chip]) {
       BlockMeta& m = meta_[block_index(chip, b)];
-      if (!m.owned || m.valid_count == 0) continue;
+      if (m.valid_count == 0) continue;
       const SimTime block_start = t;
       std::vector<SectorWrite> evictions;
+      evictions.reserve(m.valid_count);
       for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
         if (!m.valid[page]) continue;
         if (now - m.written_at[page] <= config_.retention_evict_age) continue;
@@ -415,10 +437,11 @@ SimTime SubpagePool::retention_scan(SimTime now) {
 
 std::vector<std::uint32_t> SubpagePool::owned_pe_cycles() const {
   std::vector<std::uint32_t> pes;
-  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip)
-    for (std::uint32_t b = 0; b < geo_.blocks_per_chip; ++b)
-      if (meta_[block_index(chip, b)].owned)
-        pes.push_back(dev_.block(chip, b).pe_cycles());
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    pes.reserve(pes.size() + owned_by_chip_[chip].size());
+    for (const std::uint32_t b : owned_by_chip_[chip])
+      pes.push_back(dev_.block(chip, b).pe_cycles());
+  }
   return pes;
 }
 

@@ -136,6 +136,13 @@ class SubpagePool {
   std::size_t block_index(std::uint32_t chip, std::uint32_t block) const {
     return static_cast<std::size_t>(chip) * geo_.blocks_per_chip + block;
   }
+  /// Owned-block index maintenance: `owned_by_chip_[chip]` lists this
+  /// pool's blocks in ascending block id, so GC victim search, retention
+  /// scans, idle release and wear leveling touch only owned blocks instead
+  /// of sweeping geo_.total_blocks() (ascending order preserves the
+  /// original full-scan tie-breaking).
+  void index_add(std::uint32_t chip, std::uint32_t block);
+  void index_remove(std::uint32_t chip, std::uint32_t block);
   /// Finds (possibly creating/advancing) a free slot on `chip` and returns
   /// it; forwards valid data encountered on the way. Returns false when the
   /// chip has no capacity left at any level.
@@ -167,6 +174,8 @@ class SubpagePool {
   nand::AddressCodec codec_;
 
   std::vector<BlockMeta> meta_;
+  /// Blocks owned by this pool, per chip, ascending block id.
+  std::vector<std::vector<std::uint32_t>> owned_by_chip_;
   std::vector<std::optional<std::uint32_t>> active_block_;  ///< per chip
   std::uint32_t rr_chip_ = 0;
   std::uint64_t blocks_in_use_ = 0;

@@ -17,7 +17,22 @@ bool WriteBuffer::insert(std::uint64_t sector, std::uint64_t token,
     it->second.small = small;
   }
   age_log_.emplace_back(seq, sector);
+  // Overwrite-heavy workloads (one hot sector rewritten forever) append a
+  // log entry per insert but never extract, so lazy pruning alone lets the
+  // deque grow without bound. Compact once stale entries outnumber live
+  // ones 2:1; amortized O(1) per insert.
+  if (age_log_.size() > 2 * entries_.size() + 16) compact_age_log();
   return !fresh;
+}
+
+void WriteBuffer::compact_age_log() {
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
+  for (const auto& [seq, sector] : age_log_) {
+    const auto it = entries_.find(sector);
+    if (it != entries_.end() && it->second.seq == seq)
+      live.emplace_back(seq, sector);
+  }
+  age_log_.swap(live);
 }
 
 bool WriteBuffer::lookup(std::uint64_t sector, std::uint64_t* token) const {

@@ -68,7 +68,16 @@ class WriteBuffer {
   bool over_capacity() const { return entries_.size() > capacity_; }
   bool empty() const { return entries_.empty(); }
 
+  /// Length of the insertion log, stale entries included (bounded-memory
+  /// regression tests).
+  std::size_t age_log_size() const { return age_log_.size(); }
+
  private:
+  /// Drops stale age-log entries (overwritten or extracted sectors). Called
+  /// when stale entries dominate so the log stays O(live entries) even
+  /// under overwrite-only workloads that never trigger the lazy pruning at
+  /// extraction.
+  void compact_age_log();
   struct Entry {
     std::uint64_t token;
     std::uint64_t seq;

@@ -186,6 +186,7 @@ OpAck NandDevice::erase_block(std::uint32_t chip, std::uint32_t block,
   Block& blk = block_ref(chip, block);
   blk.erase();
   ++counters_.erases;
+  max_pe_cycles_ = std::max(max_pe_cycles_, blk.pe_cycles());
   OpAck ack{schedule(chip, timing_.erase_us, /*xfer_bytes=*/0,
                      /*transfer_first=*/true, now)};
   if (sink_)

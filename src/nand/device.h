@@ -109,6 +109,11 @@ class NandDevice {
   }
   std::uint64_t total_erases() const { return counters_.erases; }
 
+  /// Highest P/E count of any block on the device (monotone, updated at
+  /// erase time) -- lets wear levelers find the device-wide maximum without
+  /// scanning every block.
+  std::uint32_t max_pe_cycles() const { return max_pe_cycles_; }
+
   /// Fault injection: each otherwise-OK read independently fails as
   /// uncorrectable with probability p (deterministic stream from `seed`).
   void set_read_fault_injection(double probability, std::uint64_t seed = 1);
@@ -149,6 +154,7 @@ class NandDevice {
   std::vector<SimTime> chip_busy_until_;
   std::vector<SimTime> chip_busy_accum_;
   DeviceCounters counters_;
+  std::uint32_t max_pe_cycles_ = 0;
   double fault_prob_ = 0.0;
   util::Xoshiro256 fault_rng_{1};
   ReliabilityMode reliability_mode_ = ReliabilityMode::kDeterministic;

@@ -84,8 +84,8 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
     }
     case Request::Type::kTrim: {
       ftl_.trim(request.sector, request.count);
-      // Mirror the FTLs' semantics: only whole logical pages inside the
-      // range are actually discarded.
+      // Mirror the Ftl::trim contract: only whole logical pages inside the
+      // range are discarded; partial edges keep their latest data.
       const std::uint32_t subs = dev_.geometry().subpages_per_page;
       const std::uint64_t first_lpn = (request.sector + subs - 1) / subs;
       const std::uint64_t end_lpn = (request.sector + request.count) / subs;
@@ -140,6 +140,7 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
   metrics.end_us = now_;
   metrics.latency_p50_us = latency_.percentile(0.50);
   metrics.latency_p99_us = latency_.percentile(0.99);
+  metrics.latency_hist = latency_;
   metrics.verify_failures = verify_failures_ - failures_before;
   metrics.io_errors = io_errors_ - io_errors_before;
   metrics.ftl_stats = ftl_.stats();

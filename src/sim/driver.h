@@ -34,6 +34,9 @@ struct RunMetrics {
   std::uint64_t io_errors = 0;          ///< reads reporting !ok
   double latency_p50_us = 0.0;          ///< request service-time percentiles
   double latency_p99_us = 0.0;
+  /// Full service-time distribution at end of run (cumulative across runs
+  /// of the same driver); mergeable across cells via Histogram::merge.
+  util::Histogram latency_hist{0.0, 200000.0, 2000};
   ftl::FtlStats ftl_stats;              ///< snapshot at end of run
   std::uint64_t device_erases = 0;      ///< snapshot of device counter
   std::uint64_t erases_during_run = 0;  ///< erases attributable to this run

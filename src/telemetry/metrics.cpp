@@ -83,6 +83,31 @@ void MetricsRegistry::materialize() {
   for (auto& [name, gauge] : gauges_) gauge.materialize();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  other.visit_counters([this](const std::string& name, std::uint64_t value) {
+    // A same-named binding on our side must collapse into the owned
+    // counter first, or exports would list the name twice.
+    if (const auto b = bound_.find(name); b != bound_.end()) {
+      counters_[name].inc(*b->second);
+      bound_.erase(b);
+    }
+    counters_[name].inc(value);
+  });
+  other.visit_gauges([this](const std::string& name, double value) {
+    Gauge& g = gauges_[name];
+    g.set((g.has_provider() ? 0.0 : g.value()) + value);
+  });
+  other.visit_histograms(
+      [this](const std::string& name, const util::Histogram& hist) {
+        const auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+          histograms_.emplace(name, hist);
+          return;
+        }
+        it->second.merge(hist);  // shape mismatch leaves ours unchanged
+      });
+}
+
 void MetricsRegistry::reset() {
   // Zero in place rather than clearing: references handed out by
   // counter()/gauge()/histogram() must stay valid across a reset. Only the

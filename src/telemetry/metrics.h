@@ -111,6 +111,13 @@ class MetricsRegistry {
   /// call repeatedly.
   void materialize();
 
+  /// Accumulates another registry into this one: counters add (bound
+  /// counters on either side contribute their current value), gauges add,
+  /// histograms merge when shapes match and are copied when absent here.
+  /// Used by the parallel experiment runner to reconcile per-cell
+  /// registries into a run-wide view at join time.
+  void merge_from(const MetricsRegistry& other);
+
   /// Zeroes owned counters/gauges/histograms and drops bindings.
   void reset();
 

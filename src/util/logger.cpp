@@ -17,8 +17,11 @@ LogLevel initial_level() {
 
 std::atomic<LogLevel> g_level{initial_level()};
 
-// Not atomic: simulator is single-threaded; install before running.
-std::function<double()> g_sim_time_us;
+// Thread-local: each simulation runs single-threaded, but the parallel
+// experiment runner drives one simulation per worker thread, and each must
+// see its own Ssd's clock (a shared provider would race on install and
+// report another cell's time).
+thread_local std::function<double()> g_sim_time_us;
 
 const char* level_tag(LogLevel level) {
   switch (level) {

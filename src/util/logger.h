@@ -27,6 +27,8 @@ std::optional<LogLevel> parse_log_level(std::string_view name);
 /// Installs a simulated-clock source; when set, every log line is prefixed
 /// with the current simulated time ("t=12.345678s"). Pass nullptr to
 /// remove. The provider must be cheap and safe to call from any log site.
+/// The installation is THREAD-LOCAL: each worker of the parallel experiment
+/// runner sees only the provider its own simulation installed.
 void set_log_sim_time_provider(std::function<double()> now_us);
 
 /// printf-style log emission to stderr; filtered by the global level.

@@ -1,0 +1,173 @@
+// Parallel experiment runner: determinism across job counts, stable
+// seeding, error isolation, manifest and merge bookkeeping.
+#include "core/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_common.h"
+
+namespace esp::core {
+namespace {
+
+workload::SyntheticParams quick_workload() {
+  workload::SyntheticParams params;
+  params.request_count = 1500;
+  params.sectors_per_page = 4;
+  params.r_small = 0.7;
+  params.r_synch = 0.5;
+  params.read_fraction = 0.3;
+  params.small_sectors_max = 3;
+  return params;
+}
+
+ExperimentCell make_cell(const std::string& key, FtlKind kind) {
+  ExperimentCell cell;
+  cell.key = key;
+  cell.spec.ssd = test::tiny_config(kind);
+  cell.spec.workload = quick_workload();
+  cell.spec.precondition_fraction = 0.5;
+  cell.spec.warmup_requests = 200;
+  return cell;
+}
+
+std::vector<ExperimentCell> grid() {
+  return {make_cell("grid/cgm", FtlKind::kCgm),
+          make_cell("grid/fgm", FtlKind::kFgm),
+          make_cell("grid/sub", FtlKind::kSub),
+          make_cell("grid/sectorlog", FtlKind::kSectorLog)};
+}
+
+TEST(StableCellSeed, DependsOnlyOnKeyAndBase) {
+  const auto a = stable_cell_seed("fig8/varmail/subFTL", 2017);
+  EXPECT_EQ(a, stable_cell_seed("fig8/varmail/subFTL", 2017));
+  EXPECT_NE(a, stable_cell_seed("fig8/varmail/cgmFTL", 2017));
+  EXPECT_NE(a, stable_cell_seed("fig8/varmail/subFTL", 2018));
+  EXPECT_NE(stable_cell_seed("", 0), 0u);  // never a zero RNG state
+}
+
+TEST(ParallelRunner, ResultsBitIdenticalAcrossJobCounts) {
+  const auto cells = grid();
+  ParallelRunnerConfig seq_cfg;
+  seq_cfg.jobs = 1;
+  ParallelRunner seq(seq_cfg);
+  const auto baseline = seq.run(cells);
+
+  for (const unsigned jobs : {2u, 4u}) {
+    ParallelRunnerConfig cfg;
+    cfg.jobs = jobs;
+    ParallelRunner par(cfg);
+    const auto got = par.run(cells);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE(cells[i].key + " jobs=" + std::to_string(jobs));
+      ASSERT_TRUE(got[i].ok) << got[i].error;
+      ASSERT_TRUE(baseline[i].ok);
+      EXPECT_EQ(got[i].key, baseline[i].key);
+      EXPECT_EQ(got[i].seed, baseline[i].seed);
+      // Bit-identical, not approximately equal: the whole point.
+      EXPECT_EQ(got[i].result.iops, baseline[i].result.iops);
+      EXPECT_EQ(got[i].result.host_mb_per_sec,
+                baseline[i].result.host_mb_per_sec);
+      EXPECT_EQ(got[i].result.overall_waf, baseline[i].result.overall_waf);
+      EXPECT_EQ(got[i].result.gc_invocations,
+                baseline[i].result.gc_invocations);
+      EXPECT_EQ(got[i].result.erases, baseline[i].result.erases);
+      EXPECT_EQ(got[i].result.verify_failures, 0u);
+      EXPECT_EQ(got[i].result.raw.latency_hist.total(),
+                baseline[i].result.raw.latency_hist.total());
+      EXPECT_EQ(got[i].result.raw.latency_hist.percentile(0.99),
+                baseline[i].result.raw.latency_hist.percentile(0.99));
+    }
+    EXPECT_EQ(par.merged_latency().total(), seq.merged_latency().total());
+    for (std::size_t b = 0; b < par.merged_latency().bucket_count(); ++b)
+      ASSERT_EQ(par.merged_latency().bucket(b), seq.merged_latency().bucket(b));
+  }
+}
+
+TEST(ParallelRunner, DerivedSeedsComeFromKeysNotOrder) {
+  auto cells = grid();
+  ParallelRunnerConfig cfg;
+  cfg.jobs = 2;
+  ParallelRunner runner(cfg);
+  const auto forward = runner.run(cells);
+
+  std::vector<ExperimentCell> reversed(cells.rbegin(), cells.rend());
+  const auto backward = runner.run(reversed);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& fwd = forward[i];
+    const auto& bwd = backward[cells.size() - 1 - i];
+    ASSERT_EQ(fwd.key, bwd.key);
+    EXPECT_EQ(fwd.seed, bwd.seed);
+    EXPECT_EQ(fwd.result.iops, bwd.result.iops);
+    EXPECT_EQ(fwd.result.erases, bwd.result.erases);
+  }
+}
+
+TEST(ParallelRunner, FailingCellIsIsolated) {
+  auto cells = grid();
+  ExperimentCell bad;
+  bad.key = "grid/bad";
+  bad.spec.ssd = test::tiny_config(FtlKind::kSub);
+  bad.spec.ssd.logical_fraction = 0.999;  // infeasible with the 20% region
+  bad.spec.workload = quick_workload();
+  cells.insert(cells.begin() + 1, bad);
+
+  ParallelRunnerConfig cfg;
+  cfg.jobs = 3;
+  ParallelRunner runner(cfg);
+  const auto results = runner.run(cells);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[1].error.empty());
+  for (const std::size_t i : {0ul, 2ul, 3ul, 4ul})
+    EXPECT_TRUE(results[i].ok) << results[i].error;
+}
+
+TEST(ParallelRunner, ManifestRecordsCellsInInputOrder) {
+  const auto cells = grid();
+  ParallelRunnerConfig cfg;
+  cfg.jobs = 2;
+  cfg.base_seed = 7;
+  ParallelRunner runner(cfg);
+  runner.run(cells);
+  const auto& m = runner.manifest();
+  EXPECT_EQ(m.jobs_requested, 2u);
+  EXPECT_EQ(m.jobs_used, 2u);
+  EXPECT_EQ(m.base_seed, 7u);
+  ASSERT_EQ(m.cells.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(m.cells[i].key, cells[i].key);
+    EXPECT_EQ(m.cells[i].seed, stable_cell_seed(cells[i].key, 7));
+    EXPECT_TRUE(m.cells[i].ok);
+  }
+  std::ostringstream os;
+  ParallelRunner::write_manifest_json(m, os);
+  EXPECT_NE(os.str().find("\"cells\":"), std::string::npos);
+  EXPECT_NE(os.str().find("grid/sub"), std::string::npos);
+}
+
+TEST(ParallelRunner, TelemetryRegistriesReconcileAtJoin) {
+  const auto cells = grid();
+  ParallelRunnerConfig cfg;
+  cfg.collect_telemetry = true;
+  cfg.jobs = 1;
+  ParallelRunner seq(cfg);
+  const auto seq_results = seq.run(cells);
+  cfg.jobs = 4;
+  ParallelRunner par(cfg);
+  par.run(cells);
+
+  // Each cell binds its own "nand/erases"; the merged registry must hold
+  // the sum over all cells, independent of job count.
+  std::uint64_t expected = 0;
+  for (const auto& r : seq_results)
+    expected += r.result.raw.device_erases;
+  EXPECT_GT(expected, 0u);
+  EXPECT_EQ(seq.merged_registry().counter_value("nand/erases"), expected);
+  EXPECT_EQ(par.merged_registry().counter_value("nand/erases"), expected);
+}
+
+}  // namespace
+}  // namespace esp::core

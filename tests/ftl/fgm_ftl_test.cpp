@@ -120,19 +120,28 @@ TEST(FgmFtl, GcRepacksSparsePages) {
   EXPECT_NE(tokens[0], 0u);
 }
 
-TEST(FgmFtl, TrimDropsBufferedAndFlashedSectors) {
+TEST(FgmFtl, TrimIsPageAligned) {
+  // Ftl::trim discards only WHOLE logical pages inside the range; partial
+  // pages at either edge keep their latest data, buffered or flashed
+  // (see the contract in ftl/ftl.h). Pages hold 4 sectors here.
   FgmFixture fx;
-  fx.ftl->write(0, 4, true, 0.0);   // on flash
-  fx.ftl->write(8, 2, false, 1.0);  // buffered
-  fx.ftl->trim(0, 2);
-  fx.ftl->trim(8, 2);
+  fx.ftl->write(0, 8, true, 0.0);    // pages 0 and 1 on flash
+  fx.ftl->write(12, 2, false, 1.0);  // page 3, buffered
+  fx.ftl->trim(0, 4);   // exactly page 0
+  fx.ftl->trim(4, 2);   // partial: page 1 must survive
+  fx.ftl->trim(12, 2);  // partial: buffered copies must survive
   std::vector<std::uint64_t> tokens;
-  fx.ftl->read(0, 4, 2.0, &tokens);
+  fx.ftl->read(0, 8, 2.0, &tokens);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(tokens[s], 0u) << s;
+  for (int s = 4; s < 8; ++s) EXPECT_NE(tokens[s], 0u) << s;
+  fx.ftl->read(12, 2, 2.0, &tokens);
+  EXPECT_EQ(tokens[0], make_token(12, 1));
+  EXPECT_EQ(tokens[1], make_token(13, 1));
+  // A range spanning the whole buffered page does discard it.
+  fx.ftl->trim(12, 4);
+  fx.ftl->read(12, 2, 3.0, &tokens);
   EXPECT_EQ(tokens[0], 0u);
   EXPECT_EQ(tokens[1], 0u);
-  EXPECT_NE(tokens[2], 0u);  // untouched by trim
-  fx.ftl->read(8, 2, 2.0, &tokens);
-  EXPECT_EQ(tokens[0], 0u);
 }
 
 TEST(FgmFtl, MappingMemoryIsPerSector) {

@@ -160,5 +160,21 @@ TEST(WriteBuffer, PageGroupSortedWithinAndAcrossPages) {
     EXPECT_LT(group[i - 1].sector, group[i].sector);
 }
 
+TEST(WriteBuffer, AgeLogBoundedUnderHotOverwrites) {
+  // One hot sector rewritten a million times never leaves the buffer, so
+  // the age log cannot rely on lazy front-pruning; compaction must keep it
+  // proportional to the LIVE entry count.
+  WriteBuffer buf(64);
+  for (std::uint64_t i = 0; i < 1'000'000; ++i) buf.insert(42, i + 1, true);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_LE(buf.age_log_size(), 2 * buf.size() + 16 + 1);
+  // LRU order survives compaction: an older cold sector still drains first.
+  buf.insert(7, 1, true);
+  for (std::uint64_t i = 0; i < 100; ++i) buf.insert(42, i, true);
+  const auto oldest = buf.extract_oldest_run();
+  ASSERT_EQ(oldest.size(), 1u);
+  EXPECT_EQ(oldest[0].sector, 7u);
+}
+
 }  // namespace
 }  // namespace esp::ftl

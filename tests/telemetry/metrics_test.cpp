@@ -116,5 +116,44 @@ TEST(MetricsRegistry, ResetZeroesAndDropsBindings) {
   EXPECT_EQ(reg.find_histogram("h")->total(), 0u);
 }
 
+TEST(MetricsRegistry, MergeFromSumsCountersGaugesHistograms) {
+  MetricsRegistry a;
+  a.counter("ops").inc(10);
+  a.gauge("load").set(1.5);
+  a.histogram("lat", 0.0, 10.0, 10).add(1.0);
+
+  MetricsRegistry b;
+  b.counter("ops").inc(32);
+  b.counter("only_b").inc(7);
+  std::uint64_t live = 5;
+  b.bind_counter("bound_b", &live);
+  b.gauge("load").set(2.5);
+  b.histogram("lat", 0.0, 10.0, 10).add(2.0);
+  b.histogram("only_b_hist", 0.0, 1.0, 4).add(0.5);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("ops"), 42u);
+  EXPECT_EQ(a.counter_value("only_b"), 7u);
+  EXPECT_EQ(a.counter_value("bound_b"), 5u);  // bound source contributes
+  EXPECT_DOUBLE_EQ(a.gauge_value("load"), 4.0);
+  EXPECT_EQ(a.find_histogram("lat")->total(), 2u);
+  ASSERT_NE(a.find_histogram("only_b_hist"), nullptr);
+  EXPECT_EQ(a.find_histogram("only_b_hist")->total(), 1u);
+}
+
+TEST(MetricsRegistry, MergeFromCollapsesTargetBindings) {
+  MetricsRegistry a;
+  std::uint64_t live_a = 100;
+  a.bind_counter("ops", &live_a);
+  MetricsRegistry b;
+  b.counter("ops").inc(1);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("ops"), 101u);
+  // The binding collapsed into an owned counter: no duplicate visits.
+  std::size_t visits = 0;
+  a.visit_counters([&](const std::string&, std::uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 1u);
+}
+
 }  // namespace
 }  // namespace esp::telemetry

@@ -2,20 +2,30 @@
 //
 //   espsim --ftl sub --profile varmail --requests 100000
 //   espsim --ftl fgm --r-small 1.0 --r-synch 0.5 --reads 0.2
+//   espsim --ftl cgm,fgm,sub --profile varmail,ycsb --jobs 4   # sweep
 //   espsim --help
 //
 // Builds an SSD per the flags, preconditions it, runs the workload and
 // prints throughput, latency percentiles, WAF, GC/erase counts, wear and
 // mapping-memory numbers -- everything a quick what-if needs without
 // writing code against the library.
+//
+// SWEEP MODE: when --ftl and/or --profile carry comma-separated lists, the
+// cross product of cells runs on the parallel experiment runner (--jobs N
+// workers, default hardware concurrency) and prints one comparison row per
+// cell. Per-cell results are bit-identical for every --jobs value; the
+// --manifest-out JSON records what ran where (see docs/PARALLEL_RUNNER.md).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 #include "core/ssd.h"
 #include "ftl/wear_metrics.h"
 #include "telemetry/export.h"
@@ -30,8 +40,14 @@ using namespace esp;
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --ftl cgm|fgm|sub|sectorlog   FTL to run (default sub)\n"
-      "  --profile NAME                sysbench|varmail|postmark|ycsb|tpcc\n"
+      "  --ftl cgm|fgm|sub|sectorlog   FTL to run (default sub); a comma\n"
+      "                                list sweeps several FTLs in parallel\n"
+      "  --profile NAME                sysbench|varmail|postmark|ycsb|tpcc;\n"
+      "                                a comma list sweeps several profiles\n"
+      "  --jobs N                      sweep worker threads (default: hw\n"
+      "                                concurrency; results identical for\n"
+      "                                any N)\n"
+      "  --manifest-out PATH           write the sweep's run manifest JSON\n"
       "  --requests N                  measured requests (default 100000)\n"
       "  --warmup N                    unmeasured warmup requests (default N)\n"
       "  --r-small F --r-synch F       workload mix (ignored with --profile)\n"
@@ -72,6 +88,19 @@ std::optional<workload::Benchmark> parse_profile(const std::string& name) {
   return std::nullopt;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) items.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,7 +113,10 @@ int main(int argc, char** argv) {
   spec.ssd.queue_depth = 128;
   spec.ssd.ftl = core::FtlKind::kSub;
 
-  std::optional<workload::Benchmark> profile;
+  std::vector<core::FtlKind> kinds;         // empty -> default sub
+  std::vector<workload::Benchmark> profiles;  // empty -> manual workload
+  unsigned jobs = 0;  // 0 = hardware concurrency (sweep mode only)
+  std::string manifest_out;
   std::uint64_t requests = 100000;
   std::optional<std::uint64_t> warmup;
   double capacity_gib = 1.0;
@@ -112,18 +144,27 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 0;
     } else if (arg == "--ftl") {
-      const auto kind = parse_ftl(next());
-      if (!kind) {
-        std::fprintf(stderr, "unknown --ftl\n");
-        return 2;
+      for (const auto& name : split_list(next())) {
+        const auto kind = parse_ftl(name);
+        if (!kind) {
+          std::fprintf(stderr, "unknown --ftl value '%s'\n", name.c_str());
+          return 2;
+        }
+        kinds.push_back(*kind);
       }
-      spec.ssd.ftl = *kind;
     } else if (arg == "--profile") {
-      profile = parse_profile(next());
-      if (!profile) {
-        std::fprintf(stderr, "unknown --profile\n");
-        return 2;
+      for (const auto& name : split_list(next())) {
+        const auto bench = parse_profile(name);
+        if (!bench) {
+          std::fprintf(stderr, "unknown --profile value '%s'\n", name.c_str());
+          return 2;
+        }
+        profiles.push_back(*bench);
       }
+    } else if (arg == "--jobs") {
+      jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--manifest-out") {
+      manifest_out = next();
     } else if (arg == "--requests") {
       requests = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--warmup") {
@@ -188,15 +229,118 @@ int main(int argc, char** argv) {
         std::min(spec.ssd.logical_fraction, 0.97 - region_fraction);
   }
 
-  if (profile) {
-    spec.workload = workload::benchmark_profile(
-        *profile, 0, 0, spec.ssd.geometry.subpages_per_page, seed);
-  } else {
-    spec.workload = manual;
-    spec.workload.seed = seed;
-  }
+  if (kinds.empty()) kinds.push_back(core::FtlKind::kSub);
   spec.warmup_requests = warmup.value_or(requests);
-  spec.workload.request_count = spec.warmup_requests + requests;
+
+  // Builds the workload for one cell. Every cell of a sweep uses the SAME
+  // seed, so all FTLs of a profile replay the identical request stream
+  // (the paper's comparison methodology).
+  const auto workload_for =
+      [&](const std::optional<workload::Benchmark>& bench) {
+        workload::SyntheticParams params;
+        if (bench) {
+          params = workload::benchmark_profile(
+              *bench, 0, 0, spec.ssd.geometry.subpages_per_page, seed);
+        } else {
+          params = manual;
+          params.seed = seed;
+        }
+        params.request_count = spec.warmup_requests + requests;
+        return params;
+      };
+
+  const std::size_t cell_count =
+      kinds.size() * std::max<std::size_t>(profiles.size(), 1);
+  if (cell_count > 1) {
+    // ---- sweep mode: cross product of profiles x FTLs on the runner ----
+    if (!metrics_out.empty() || !trace_out.empty() || !samples_out.empty() ||
+        sample_interval_s > 0.0) {
+      std::fprintf(stderr,
+                   "telemetry outputs (--metrics-out/--trace-out/"
+                   "--samples-out/--sample-interval) only apply to single "
+                   "runs, not sweeps\n");
+      return 2;
+    }
+    std::vector<std::optional<workload::Benchmark>> sweep_profiles;
+    if (profiles.empty()) {
+      sweep_profiles.emplace_back(std::nullopt);
+    } else {
+      for (const auto bench : profiles) sweep_profiles.emplace_back(bench);
+    }
+    std::vector<core::ExperimentCell> cells;
+    for (const auto& bench : sweep_profiles) {
+      for (const auto kind : kinds) {
+        core::ExperimentCell cell;
+        cell.key = "espsim/" +
+                   (bench ? workload::benchmark_name(*bench)
+                          : std::string("manual")) +
+                   "/" + core::ftl_kind_name(kind);
+        cell.spec = spec;
+        cell.spec.ssd.ftl = kind;
+        cell.spec.workload = workload_for(bench);
+        cells.push_back(std::move(cell));
+      }
+    }
+
+    std::printf("device   : %s\n", spec.ssd.geometry.describe().c_str());
+    std::printf("sweep    : %zu cells (%zu workload(s) x %zu FTL(s)), "
+                "seed %llu\n\n",
+                cells.size(), sweep_profiles.size(), kinds.size(),
+                static_cast<unsigned long long>(seed));
+
+    core::ParallelRunnerConfig runner_cfg;
+    runner_cfg.jobs = jobs;
+    runner_cfg.base_seed = seed;
+    runner_cfg.derive_seeds = false;  // seeds fixed per cell above
+    core::ParallelRunner runner(runner_cfg);
+    const auto results = runner.run(cells);
+    std::printf("ran %zu cells on %u worker(s) in %.1fs\n\n", cells.size(),
+                runner.manifest().jobs_used, runner.manifest().wall_seconds);
+
+    util::TablePrinter t({"cell", "MB/s", "IOPS", "p50/p99 us", "WAF",
+                          "req WAF", "GC", "erases", "verify"});
+    int exit_code = 0;
+    for (const auto& cell : results) {
+      if (!cell.ok) {
+        std::fprintf(stderr, "FAILED: %s: %s\n", cell.key.c_str(),
+                     cell.error.c_str());
+        exit_code = 1;
+        continue;
+      }
+      const auto& r = cell.result;
+      t.add_row({cell.key, util::TablePrinter::num(r.host_mb_per_sec, 1),
+                 util::TablePrinter::num(r.iops, 0),
+                 util::TablePrinter::num(r.raw.latency_p50_us, 0) + "/" +
+                     util::TablePrinter::num(r.raw.latency_p99_us, 0),
+                 util::TablePrinter::num(r.overall_waf, 3),
+                 util::TablePrinter::num(r.small_request_waf, 3),
+                 std::to_string(r.gc_invocations), std::to_string(r.erases),
+                 std::to_string(r.verify_failures)});
+      if (r.verify_failures != 0) exit_code = 1;
+    }
+    t.print(std::cout);
+
+    if (!manifest_out.empty()) {
+      std::ofstream os(manifest_out);
+      if (!os) {
+        std::fprintf(stderr, "failed to open %s\n", manifest_out.c_str());
+        return 1;
+      }
+      core::ParallelRunner::write_manifest_json(runner.manifest(), os);
+      std::printf("\nmanifest : wrote %s\n", manifest_out.c_str());
+    }
+    return exit_code;
+  }
+
+  // ---- single-run mode (unchanged behavior, full telemetry support) ----
+  if (!manifest_out.empty())
+    std::fprintf(stderr,
+                 "note: --manifest-out only applies to sweeps; ignored\n");
+  spec.ssd.ftl = kinds.front();
+  const std::optional<workload::Benchmark> profile =
+      profiles.empty() ? std::nullopt
+                       : std::optional<workload::Benchmark>(profiles.front());
+  spec.workload = workload_for(profile);
 
   std::printf("device   : %s\n", spec.ssd.geometry.describe().c_str());
   std::printf("ftl      : %s   queue depth %u\n",
