@@ -1,0 +1,162 @@
+// Micro-benchmarks of the Monte-Carlo cell-model kernel: scalar reference
+// (the pre-SoA model, frozen in scalar_cell_model_ref.h) vs the batched
+// CellArray kernel, on the two paths that dominate fig4/fig5
+// characterization runs:
+//
+//   * the program path (erase + sequential subpage programs, including the
+//     within-WL disturb sweeps) -- items/sec counts every cell TOUCHED
+//     (programmed or disturbed), so both models are scored on identical
+//     physics work;
+//   * the bit-error path (retention drift + read-level quantization + Gray
+//     bit-error reduction) -- items/sec counts cells read.
+//
+// Also measured: the batched Gaussian primitives against the scalar
+// polar-method sampler, and the parallel fan-out of a word-line population
+// over core/run_tasks. Reference numbers live in BENCH_cellmodel.json; the
+// acceptance bar for the SoA port is >= 10x cells/sec on both paths.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/parallel_runner.h"
+#include "nand/cell_array.h"
+#include "nand/cell_model.h"
+#include "scalar_cell_model_ref.h"
+#include "util/batch_math.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace esp;
+
+constexpr std::uint32_t kSubpages = 4;
+constexpr std::uint32_t kCells = 8192;  // per subpage; ~TLC 4KB subpage
+
+// Cells touched by one full-WL program sequence: each of the kSubpages
+// program ops sweeps the whole word line (programmed cells + inhibited
+// disturbs).
+constexpr std::uint64_t kProgramTouched =
+    std::uint64_t{kSubpages} * kSubpages * kCells;
+
+void BM_ScalarProgramPath(benchmark::State& state) {
+  bench::ScalarWordLineRef wl(kSubpages, kCells, nand::CellModelParams{},
+                              util::Xoshiro256(11));
+  for (auto _ : state) {
+    wl.erase();
+    for (std::uint32_t s = 0; s < kSubpages; ++s) wl.program_subpage_random(s);
+    benchmark::DoNotOptimize(wl.slots_programmed());
+  }
+  state.SetItemsProcessed(state.iterations() * kProgramTouched);
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kProgramTouched),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScalarProgramPath);
+
+void BM_SoaProgramPath(benchmark::State& state) {
+  nand::WordLine wl(kSubpages, kCells, nand::CellModelParams{},
+                    util::Xoshiro256(11));
+  for (auto _ : state) {
+    wl.erase();
+    for (std::uint32_t s = 0; s < kSubpages; ++s) wl.program_subpage_random(s);
+    benchmark::DoNotOptimize(wl.slots_programmed());
+  }
+  state.SetItemsProcessed(state.iterations() * kProgramTouched);
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kProgramTouched),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SoaProgramPath);
+
+void BM_ScalarBitErrorPath(benchmark::State& state) {
+  bench::ScalarWordLineRef wl(kSubpages, kCells, nand::CellModelParams{},
+                              util::Xoshiro256(12));
+  for (std::uint32_t s = 0; s < kSubpages; ++s) wl.program_subpage_random(s);
+  for (auto _ : state) {
+    for (std::uint32_t s = 0; s < kSubpages; ++s)
+      benchmark::DoNotOptimize(wl.count_bit_errors(s, 1.0));
+  }
+  const std::uint64_t cells_read =
+      state.iterations() * std::uint64_t{kSubpages} * kCells;
+  state.SetItemsProcessed(cells_read);
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(cells_read), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScalarBitErrorPath);
+
+void BM_SoaBitErrorPath(benchmark::State& state) {
+  nand::WordLine wl(kSubpages, kCells, nand::CellModelParams{},
+                    util::Xoshiro256(12));
+  for (std::uint32_t s = 0; s < kSubpages; ++s) wl.program_subpage_random(s);
+  for (auto _ : state) {
+    for (std::uint32_t s = 0; s < kSubpages; ++s)
+      benchmark::DoNotOptimize(wl.count_bit_errors(s, 1.0));
+  }
+  const std::uint64_t cells_read =
+      state.iterations() * std::uint64_t{kSubpages} * kCells;
+  state.SetItemsProcessed(cells_read);
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(cells_read), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SoaBitErrorPath);
+
+void BM_ScalarGaussian(benchmark::State& state) {
+  util::Xoshiro256 rng(13);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.gaussian();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarGaussian);
+
+void BM_BatchedGaussianFill(benchmark::State& state) {
+  util::Xoshiro256 rng(13);
+  std::vector<float> out(16384);
+  for (auto _ : state) {
+    util::gaussian_fill(rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_BatchedGaussianFill);
+
+void BM_BatchedClippedDisturb(benchmark::State& state) {
+  util::Xoshiro256 rng(14);
+  std::vector<float> vth(16384, -3.0f);
+  for (auto _ : state) {
+    util::add_clipped_gaussian(rng, vth, 0.05, 0.03);
+    benchmark::DoNotOptimize(vth.data());
+  }
+  state.SetItemsProcessed(state.iterations() * vth.size());
+}
+BENCHMARK(BM_BatchedClippedDisturb);
+
+// Whole-population program+measure fanned out over core/run_tasks: the
+// fig4/fig5 shape at characterization scale. Arg = jobs.
+void BM_PopulationParallel(benchmark::State& state) {
+  const unsigned jobs = static_cast<unsigned>(state.range(0));
+  constexpr std::uint32_t kWordLines = 32;
+  for (auto _ : state) {
+    std::vector<double> ber(kWordLines);
+    core::run_tasks(jobs, kWordLines, [&](std::size_t i) {
+      nand::WordLine wl(
+          kSubpages, kCells, nand::CellModelParams{},
+          util::Xoshiro256(core::stable_cell_seed(
+              "micro/wl/" + std::to_string(i), 2017)));
+      for (std::uint32_t s = 0; s < kSubpages; ++s)
+        wl.program_subpage_random(s);
+      ber[i] = wl.raw_ber(kSubpages - 1, 1.0);
+    });
+    benchmark::DoNotOptimize(ber.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kWordLines *
+                          (kProgramTouched + kCells));
+}
+// Wall-clock timing: the fan-out's work happens on run_tasks' worker
+// threads, which per-process CPU-time accounting of the bench thread would
+// miss entirely.
+BENCHMARK(BM_PopulationParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Frozen copy of the pre-SoA scalar cell model (array-of-structs, one
+// polar-method Gaussian per cell per operation). Kept ONLY as the
+// micro_cell_model baseline so the batched CellArray kernel's speedup is
+// measured against the real before-state, not a synthetic strawman. Do not
+// use outside the bench; the simulator and tests run on nand/cell_array.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "nand/cell_array.h"  // CellModelParams (unchanged by the port)
+#include "util/rng.h"
+
+namespace esp::bench {
+
+/// One word line of TLC cells, scalar reference implementation.
+class ScalarWordLineRef {
+ public:
+  ScalarWordLineRef(std::uint32_t subpages, std::uint32_t cells_per_subpage,
+                    const nand::CellModelParams& params, util::Xoshiro256 rng)
+      : subpages_(subpages),
+        cells_(cells_per_subpage),
+        bits_per_cell_(std::bit_width(params.levels) - 1),
+        params_(params),
+        rng_(rng),
+        pe_cycles_(params.rated_pe_cycles),
+        wl_(static_cast<std::size_t>(subpages) * cells_per_subpage) {
+    erase();
+  }
+
+  void set_pe_cycles(std::uint32_t pe) { pe_cycles_ = pe; }
+
+  void erase() {
+    programmed_ = 0;
+    for (auto& cell : wl_) {
+      cell.vth = rng_.gaussian(params_.erased_mean, params_.erased_sigma);
+      cell.target = 0;
+      cell.programmed = false;
+      cell.npp = 0;
+    }
+  }
+
+  void program_subpage(std::uint32_t slot,
+                       std::span<const std::uint8_t> levels) {
+    if (slot >= subpages_ || slot != programmed_ || levels.size() != cells_)
+      throw std::logic_error("ScalarWordLineRef: bad program");
+    const double wear_ratio = static_cast<double>(pe_cycles_) /
+                              static_cast<double>(params_.rated_pe_cycles);
+    const double sigma_wear =
+        params_.pgm_sigma *
+        (1.0 + params_.wear_sigma_slope * std::max(0.0, wear_ratio - 1.0));
+    const double sigma =
+        std::hypot(sigma_wear, params_.stress_sigma_per_npp *
+                                   static_cast<double>(programmed_));
+    for (std::uint32_t sp = 0; sp < subpages_; ++sp) {
+      if (sp == slot) continue;
+      for (std::uint32_t i = 0; i < cells_; ++i) {
+        Cell& cell = wl_[static_cast<std::size_t>(sp) * cells_ + i];
+        const double shift =
+            cell.programmed
+                ? rng_.gaussian(params_.disturb_programmed_mean,
+                                params_.disturb_programmed_sigma)
+                : rng_.gaussian(params_.disturb_erased_mean,
+                                params_.disturb_erased_sigma);
+        cell.vth += std::max(0.0, shift);
+      }
+    }
+    for (std::uint32_t i = 0; i < cells_; ++i) {
+      Cell& cell = wl_[static_cast<std::size_t>(slot) * cells_ + i];
+      cell.target = levels[i];
+      cell.programmed = true;
+      cell.npp = static_cast<std::uint8_t>(programmed_);
+      if (levels[i] != 0)
+        cell.vth = rng_.gaussian(level_mean(levels[i]), sigma);
+    }
+    ++programmed_;
+  }
+
+  void program_subpage_random(std::uint32_t slot) {
+    // Per-call allocation kept on purpose: this was the satellite-fixed
+    // inner-loop cost of the original model.
+    std::vector<std::uint8_t> levels(cells_);
+    for (auto& level : levels)
+      level = static_cast<std::uint8_t>(rng_.below(params_.levels));
+    program_subpage(slot, levels);
+  }
+
+  std::uint64_t count_bit_errors(std::uint32_t slot, double months) {
+    const double wear_ratio = static_cast<double>(pe_cycles_) /
+                              static_cast<double>(params_.rated_pe_cycles);
+    const double wear =
+        1.0 + params_.wear_retention_slope * std::max(0.0, wear_ratio - 1.0);
+    std::uint64_t errors = 0;
+    for (std::uint32_t i = 0; i < cells_; ++i) {
+      const Cell& cell = wl_[static_cast<std::size_t>(slot) * cells_ + i];
+      if (!cell.programmed) continue;
+      double vth = cell.vth;
+      if (cell.target != 0 && months > 0.0) {
+        const double mu =
+            params_.retention_rate *
+            (1.0 + params_.retention_kappa * static_cast<double>(cell.npp)) *
+            wear * std::log1p(months / params_.retention_tau_months);
+        const double drift =
+            rng_.gaussian(mu, params_.retention_noise_frac * mu);
+        vth -= std::max(0.0, drift);
+      }
+      errors += gray_distance_bits(read_level(vth), cell.target);
+    }
+    return errors;
+  }
+
+  double raw_ber(std::uint32_t slot, double months) {
+    return static_cast<double>(count_bit_errors(slot, months)) /
+           (static_cast<double>(cells_) * bits_per_cell_);
+  }
+
+  std::uint32_t subpages() const { return subpages_; }
+  std::uint32_t cells_per_subpage() const { return cells_; }
+  std::uint32_t slots_programmed() const { return programmed_; }
+
+ private:
+  struct Cell {
+    double vth = 0.0;
+    std::uint8_t target = 0;
+    bool programmed = false;
+    std::uint8_t npp = 0;
+  };
+
+  static std::uint32_t to_gray(std::uint32_t v) { return v ^ (v >> 1); }
+  static std::uint32_t gray_distance_bits(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::uint32_t>(std::popcount(to_gray(a) ^ to_gray(b)));
+  }
+  double level_mean(std::uint32_t level) const {
+    if (level == 0) return params_.erased_mean;
+    return static_cast<double>(level - 1) * params_.level_step;
+  }
+  std::uint32_t read_level(double vth) const {
+    std::uint32_t level = 0;
+    for (std::uint32_t l = 0; l + 1 < params_.levels; ++l) {
+      const double boundary = 0.5 * (level_mean(l) + level_mean(l + 1));
+      if (vth > boundary) level = l + 1;
+    }
+    return level;
+  }
+
+  std::uint32_t subpages_;
+  std::uint32_t cells_;
+  std::uint32_t bits_per_cell_;
+  nand::CellModelParams params_;
+  util::Xoshiro256 rng_;
+  std::uint32_t pe_cycles_;
+  std::uint32_t programmed_ = 0;
+  std::vector<Cell> wl_;
+};
+
+}  // namespace esp::bench

@@ -46,6 +46,45 @@ struct WorkQueue {
   }
 };
 
+/// Shared work-stealing drive: round-robin initial partition, owners pop
+/// front, thieves steal back, jobs == 1 runs inline. `body(index, worker)`
+/// must not throw (callers wrap their work to capture errors).
+void drive_work_stealing(
+    unsigned jobs, std::size_t count,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  std::vector<WorkQueue> queues(jobs);
+  for (std::size_t i = 0; i < count; ++i)
+    queues[i % jobs].items.push_back(i);
+
+  const auto worker_main = [&](unsigned w) {
+    std::size_t item = 0;
+    for (;;) {
+      if (queues[w].pop_front(&item)) {
+        body(item, w);
+        continue;
+      }
+      bool stole = false;
+      for (unsigned off = 1; off < jobs; ++off) {
+        if (queues[(w + off) % jobs].steal_back(&item)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;  // every queue drained: done
+      body(item, w);
+    }
+  };
+
+  if (jobs == 1) {
+    worker_main(0);  // inline: no thread overhead for sequential runs
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) workers.emplace_back(worker_main, w);
+    for (auto& t : workers) t.join();
+  }
+}
+
 }  // namespace
 
 std::uint64_t stable_cell_seed(std::string_view key, std::uint64_t base_seed) {
@@ -57,6 +96,26 @@ std::uint64_t stable_cell_seed(std::string_view key, std::uint64_t base_seed) {
   }
   const std::uint64_t mixed = splitmix64(h ^ splitmix64(base_seed));
   return mixed != 0 ? mixed : 0x9e3779b97f4a7c15ull;
+}
+
+unsigned run_tasks(unsigned jobs, std::size_t count,
+                   const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return 0;
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min<unsigned>(jobs, static_cast<unsigned>(count));
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  drive_work_stealing(jobs, count, [&](std::size_t i, unsigned) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  });
+  if (first_error) std::rethrow_exception(first_error);
+  return jobs;
 }
 
 ParallelRunner::ParallelRunner(const ParallelRunnerConfig& config)
@@ -82,11 +141,6 @@ std::vector<CellResult> ParallelRunner::run(
   if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
   jobs = std::min<unsigned>(jobs, static_cast<unsigned>(cells.size()));
   manifest_.jobs_used = jobs;
-
-  // Round-robin partition; worker w starts with cells w, w+jobs, ...
-  std::vector<WorkQueue> queues(jobs);
-  for (std::size_t i = 0; i < cells.size(); ++i)
-    queues[i % jobs].items.push_back(i);
 
   const auto run_cell = [&](std::size_t i, unsigned worker) {
     const auto cell_start = Clock::now();
@@ -120,34 +174,8 @@ std::vector<CellResult> ParallelRunner::run(
         std::chrono::duration<double>(Clock::now() - cell_start).count();
   };
 
-  const auto worker_main = [&](unsigned w) {
-    std::size_t item = 0;
-    for (;;) {
-      if (queues[w].pop_front(&item)) {
-        run_cell(item, w);
-        continue;
-      }
-      bool stole = false;
-      for (unsigned off = 1; off < jobs; ++off) {
-        if (queues[(w + off) % jobs].steal_back(&item)) {
-          stole = true;
-          break;
-        }
-      }
-      if (!stole) return;  // every queue drained: done
-      run_cell(item, w);
-    }
-  };
-
   const auto grid_start = Clock::now();
-  if (jobs == 1) {
-    worker_main(0);  // inline: no thread overhead for sequential runs
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(jobs);
-    for (unsigned w = 0; w < jobs; ++w) workers.emplace_back(worker_main, w);
-    for (auto& t : workers) t.join();
-  }
+  drive_work_stealing(jobs, cells.size(), run_cell);
   manifest_.wall_seconds =
       std::chrono::duration<double>(Clock::now() - grid_start).count();
 

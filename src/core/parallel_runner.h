@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -72,6 +73,25 @@ struct ParallelRunnerConfig {
 /// seed through a splitmix64 finalizer. Depends ONLY on (key, base_seed) --
 /// never on schedule order -- and is never 0 (Xoshiro rejects 0 states).
 std::uint64_t stable_cell_seed(std::string_view key, std::uint64_t base_seed);
+
+/// Generic deterministic fan-out on the same work-stealing pool the
+/// experiment grids use: runs fn(0) .. fn(count - 1), each exactly once,
+/// across `jobs` workers (0 = hardware_concurrency; never more workers
+/// than tasks; jobs == 1 runs inline with no thread overhead).
+///
+/// The determinism contract is the caller's to uphold, same as for
+/// experiment grids: tasks share no mutable state, any randomness inside a
+/// task is seeded from the task's stable identity (stable_cell_seed over a
+/// key naming it -- never from the schedule), and each task writes only to
+/// its own pre-allocated result slot so aggregation can happen on the
+/// joining thread in index order. The Monte-Carlo characterization benches
+/// (fig4/fig5) fan word-line populations out through this.
+///
+/// If any task throws, the first exception (in completion order) is
+/// rethrown on the calling thread after all workers drain. Returns the
+/// number of workers actually used.
+unsigned run_tasks(unsigned jobs, std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
 
 /// Provenance record of one run() call.
 struct RunManifest {

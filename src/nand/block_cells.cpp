@@ -1,38 +1,30 @@
 #include "nand/block_cells.h"
 
-#include <stdexcept>
-
 namespace esp::nand {
 
 BlockCells::BlockCells(std::uint32_t wordlines, std::uint32_t subpages,
                        std::uint32_t cells_per_subpage,
                        const BlockCellParams& params, util::Xoshiro256 rng)
-    : params_(params), rng_(rng) {
-  if (wordlines == 0)
-    throw std::invalid_argument("BlockCells: need at least one word line");
-  wls_.reserve(wordlines);
-  for (std::uint32_t wl = 0; wl < wordlines; ++wl)
-    wls_.emplace_back(subpages, cells_per_subpage, params.cell, rng_.fork());
-}
+    : params_(params),
+      cells_(wordlines, subpages, cells_per_subpage, params.cell, rng) {}
 
 void BlockCells::couple_neighbors(std::uint32_t wl) {
   if (wl > 0)
-    wls_[wl - 1].disturb_all(params_.neighbor_shift_mean,
-                             params_.neighbor_shift_sigma);
-  if (wl + 1 < wls_.size())
-    wls_[wl + 1].disturb_all(params_.neighbor_shift_mean,
-                             params_.neighbor_shift_sigma);
+    cells_.disturb_all(wl - 1, params_.neighbor_shift_mean,
+                       params_.neighbor_shift_sigma);
+  if (wl + 1 < cells_.wordlines())
+    cells_.disturb_all(wl + 1, params_.neighbor_shift_mean,
+                       params_.neighbor_shift_sigma);
 }
 
 void BlockCells::program_subpage_random(std::uint32_t wl) {
-  wls_.at(wl).program_subpage_random(wls_[wl].slots_programmed());
+  cells_.program_subpage_random(wl, cells_.slots_programmed(wl));
   couple_neighbors(wl);
 }
 
 void BlockCells::program_full_random(std::uint32_t wl) {
-  WordLine& line = wls_.at(wl);
-  while (line.slots_programmed() < line.subpages())
-    line.program_subpage_random(line.slots_programmed());
+  while (cells_.slots_programmed(wl) < cells_.subpages())
+    cells_.program_subpage_random(wl, cells_.slots_programmed(wl));
   // One aggregate coupling event: a real full-page program is one ISPP
   // sequence, not Nsub separate ones.
   couple_neighbors(wl);
@@ -40,7 +32,7 @@ void BlockCells::program_full_random(std::uint32_t wl) {
 
 double BlockCells::raw_ber(std::uint32_t wl, std::uint32_t slot,
                            double months) {
-  return wls_.at(wl).raw_ber(slot, months);
+  return cells_.raw_ber(wl, slot, months);
 }
 
 }  // namespace esp::nand

@@ -1,5 +1,5 @@
-// Multi-word-line cell model: a block's worth of WordLines with
-// inter-word-line coupling.
+// Multi-word-line cell model: a block's worth of word lines with
+// inter-word-line coupling, as a thin view over the SoA CellArray kernel.
 //
 // The paper's Fig. 4 attributes subpage-program damage to "cell-to-cell
 // coupling effect from neighboring cells and program disturbance". The
@@ -14,9 +14,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
-#include "nand/cell_model.h"
+#include "nand/cell_array.h"
 
 namespace esp::nand {
 
@@ -48,22 +47,19 @@ class BlockCells {
   /// Raw BER of (wl, slot) after `months` of retention.
   double raw_ber(std::uint32_t wl, std::uint32_t slot, double months);
 
-  std::uint32_t wordlines() const {
-    return static_cast<std::uint32_t>(wls_.size());
-  }
+  std::uint32_t wordlines() const { return cells_.wordlines(); }
   std::uint32_t slots_programmed(std::uint32_t wl) const {
-    return wls_.at(wl).slots_programmed();
+    return cells_.slots_programmed(wl);
   }
   double mean_vth(std::uint32_t wl, std::uint32_t slot) const {
-    return wls_.at(wl).mean_vth(slot);
+    return cells_.mean_vth(wl, slot);
   }
 
  private:
   void couple_neighbors(std::uint32_t wl);
 
   BlockCellParams params_;
-  util::Xoshiro256 rng_;
-  std::vector<WordLine> wls_;
+  CellArray cells_;
 };
 
 }  // namespace esp::nand

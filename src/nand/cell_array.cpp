@@ -1,0 +1,239 @@
+#include "nand/cell_array.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/batch_math.h"
+
+namespace esp::nand {
+
+CellArray::CellArray(std::uint32_t wordlines, std::uint32_t subpages,
+                     std::uint32_t cells_per_subpage,
+                     const CellModelParams& params, util::Xoshiro256 rng)
+    : wordlines_(wordlines),
+      subpages_(subpages),
+      cells_(cells_per_subpage),
+      bits_per_cell_(std::bit_width(params.levels) - 1),
+      params_(params),
+      pe_cycles_(params.rated_pe_cycles) {
+  if (wordlines == 0 || subpages == 0 || cells_per_subpage == 0)
+    throw std::invalid_argument("CellArray: empty geometry");
+  if (params.levels < 2 || params.levels > 256 ||
+      (params.levels & (params.levels - 1)) != 0)
+    throw std::invalid_argument(
+        "CellArray: levels must be a power of two in [2, 256]");
+
+  const std::size_t slots = static_cast<std::size_t>(wordlines) * subpages;
+  const std::size_t total = slots * cells_;
+  vth_.resize(total);
+  target_.resize(total);
+  target_gray_.resize(total);
+  npp_.resize(slots);
+  programmed_.resize(slots);
+  slots_programmed_.resize(wordlines);
+
+  rng_.reserve(wordlines);
+  for (std::uint32_t wl = 0; wl < wordlines; ++wl)
+    rng_.push_back(rng.fork());
+
+  // Level 0 is the erased state; program levels sit at 0, step, 2*step, ...
+  // Read thresholds at midpoints between adjacent level means.
+  level_mean_.resize(params.levels);
+  for (std::uint32_t l = 0; l < params.levels; ++l)
+    level_mean_[l] =
+        l == 0 ? params.erased_mean
+               : static_cast<double>(l - 1) * params.level_step;
+  boundaries_.resize(params.levels - 1);
+  for (std::uint32_t l = 0; l + 1 < params.levels; ++l)
+    boundaries_[l] =
+        static_cast<float>(0.5 * (level_mean_[l] + level_mean_[l + 1]));
+
+  z_scratch_.resize(cells_);
+  vth_scratch_.resize(cells_);
+  levels_scratch_.resize(cells_);
+  gray_scratch_.resize(cells_);
+
+  for (std::uint32_t wl = 0; wl < wordlines; ++wl) erase(wl);
+}
+
+void CellArray::check_slot(std::uint32_t wl, std::uint32_t slot,
+                           const char* what) const {
+  if (wl >= wordlines_)
+    throw std::out_of_range(std::string(what) + ": word line out of range");
+  if (slot >= subpages_)
+    throw std::out_of_range(std::string(what) + ": slot out of range");
+}
+
+void CellArray::set_pe_cycles(std::uint32_t pe) { pe_cycles_ = pe; }
+
+std::uint32_t CellArray::slots_programmed(std::uint32_t wl) const {
+  if (wl >= wordlines_)
+    throw std::out_of_range("CellArray::slots_programmed: wl out of range");
+  return slots_programmed_[wl];
+}
+
+void CellArray::erase(std::uint32_t wl) {
+  if (wl >= wordlines_)
+    throw std::out_of_range("CellArray::erase: word line out of range");
+  slots_programmed_[wl] = 0;
+  const std::size_t slot0 = slot_index(wl, 0);
+  std::fill_n(npp_.begin() + slot0, subpages_, std::uint8_t{0});
+  std::fill_n(programmed_.begin() + slot0, subpages_, std::uint8_t{0});
+  const std::size_t base = cell_base(wl, 0);
+  const std::size_t span = static_cast<std::size_t>(subpages_) * cells_;
+  util::gaussian_fill(rng_[wl], std::span(vth_).subspan(base, span),
+                      params_.erased_mean, params_.erased_sigma);
+  std::fill_n(target_.begin() + base, span, std::uint8_t{0});
+  std::fill_n(target_gray_.begin() + base, span, std::uint8_t{0});
+}
+
+void CellArray::program_subpage(std::uint32_t wl, std::uint32_t slot,
+                                std::span<const std::uint8_t> levels) {
+  check_slot(wl, slot, "CellArray::program_subpage");
+  if (slot != slots_programmed_[wl])
+    throw std::logic_error(
+        "CellArray::program_subpage: slots must be programmed sequentially");
+  if (levels.size() != cells_)
+    throw std::logic_error("CellArray::program_subpage: level count mismatch");
+
+  const double wear_ratio = static_cast<double>(pe_cycles_) /
+                            static_cast<double>(params_.rated_pe_cycles);
+  const double sigma_wear =
+      params_.pgm_sigma *
+      (1.0 + params_.wear_sigma_slope * std::max(0.0, wear_ratio - 1.0));
+
+  // The cells being programmed absorbed `slots_programmed` prior high-Vpgm
+  // operations while inhibited; that stress widens their final placement.
+  const double sigma =
+      std::hypot(sigma_wear, params_.stress_sigma_per_npp *
+                                 static_cast<double>(slots_programmed_[wl]));
+
+  // 1. Disturb every *other* subpage on the word line (inhibited while
+  //    this subpage's ISPP pulses run). The programmed/erased asymmetry is
+  //    per-slot state, so each slot is one fused clipped-Gaussian sweep.
+  for (std::uint32_t sp = 0; sp < subpages_; ++sp) {
+    if (sp == slot) continue;
+    const bool prog = programmed_[slot_index(wl, sp)] != 0;
+    util::add_clipped_gaussian(
+        rng_[wl], std::span(vth_).subspan(cell_base(wl, sp), cells_),
+        prog ? params_.disturb_programmed_mean : params_.disturb_erased_mean,
+        prog ? params_.disturb_programmed_sigma
+             : params_.disturb_erased_sigma);
+  }
+
+  // 2. Program the target cells. Cells whose target is the erased level
+  //    stay inhibited (they keep their current, possibly soft-programmed,
+  //    Vth) -- the SBPI scheme of Fig. 3. One deviate per cell, applied
+  //    through a branch-free select; level means are affine in the level,
+  //    so no table gather is needed.
+  util::gaussian_fill(rng_[wl], std::span(z_scratch_).first(cells_));
+  const std::size_t base = cell_base(wl, slot);
+  float* v = vth_.data() + base;
+  std::uint8_t* tgt = target_.data() + base;
+  std::uint8_t* gry = target_gray_.data() + base;
+  const auto step = static_cast<float>(params_.level_step);
+  const auto fsigma = static_cast<float>(sigma);
+  // Two passes so each loop keeps uniform lane widths: a byte pass for the
+  // target/Gray planes, then a float pass for the placement select.
+  for (std::uint32_t i = 0; i < cells_; ++i) {
+    const std::uint8_t t = levels[i];
+    tgt[i] = t;
+    gry[i] = static_cast<std::uint8_t>(t ^ (t >> 1));
+  }
+  for (std::uint32_t i = 0; i < cells_; ++i) {
+    const auto t = static_cast<std::int32_t>(levels[i]);
+    const float placed =
+        static_cast<float>(t - 1) * step + fsigma * z_scratch_[i];
+    v[i] = t != 0 ? placed : v[i];
+  }
+
+  const std::size_t si = slot_index(wl, slot);
+  npp_[si] = static_cast<std::uint8_t>(slots_programmed_[wl]);
+  programmed_[si] = 1;
+  ++slots_programmed_[wl];
+}
+
+void CellArray::program_subpage_random(std::uint32_t wl, std::uint32_t slot) {
+  check_slot(wl, slot, "CellArray::program_subpage_random");
+  util::uniform_levels_fill(rng_[wl], std::span(levels_scratch_).first(cells_),
+                            params_.levels);
+  program_subpage(wl, slot, std::span(levels_scratch_).first(cells_));
+}
+
+void CellArray::disturb_all(std::uint32_t wl, double shift_mean,
+                            double shift_sigma) {
+  if (wl >= wordlines_)
+    throw std::out_of_range("CellArray::disturb_all: word line out of range");
+  const std::size_t span = static_cast<std::size_t>(subpages_) * cells_;
+  util::add_clipped_gaussian(rng_[wl],
+                             std::span(vth_).subspan(cell_base(wl, 0), span),
+                             shift_mean, shift_sigma);
+}
+
+std::uint64_t CellArray::count_bit_errors(std::uint32_t wl, std::uint32_t slot,
+                                          double months) {
+  check_slot(wl, slot, "CellArray::count_bit_errors");
+  const std::size_t si = slot_index(wl, slot);
+  if (!programmed_[si]) return 0;
+
+  const std::size_t base = cell_base(wl, slot);
+  const float* v = vth_.data() + base;
+  const std::uint8_t* tgt = target_.data() + base;
+  std::span<const float> read_vth(v, cells_);
+
+  if (months > 0.0) {
+    // Retention drift: charge loss pulls programmed (non-erased) cells
+    // down; stress absorbed while inhibited accelerates detrapping. npp is
+    // uniform across the subpage, so the drift mean is a per-call scalar
+    // and the per-cell noise is one batched fill.
+    const double wear_ratio = static_cast<double>(pe_cycles_) /
+                              static_cast<double>(params_.rated_pe_cycles);
+    const double wear = 1.0 + params_.wear_retention_slope *
+                                  std::max(0.0, wear_ratio - 1.0);
+    const double mu = params_.retention_rate *
+                      (1.0 + params_.retention_kappa *
+                                 static_cast<double>(npp_[si])) *
+                      wear * std::log1p(months / params_.retention_tau_months);
+    util::gaussian_fill(rng_[wl], std::span(z_scratch_).first(cells_), mu,
+                        params_.retention_noise_frac * mu);
+    for (std::uint32_t i = 0; i < cells_; ++i) {
+      const float drift = std::max(0.0f, z_scratch_[i]);
+      vth_scratch_[i] = tgt[i] != 0 ? v[i] - drift : v[i];
+    }
+    read_vth = std::span<const float>(vth_scratch_.data(), cells_);
+  }
+
+  util::quantize_to_gray(read_vth, boundaries_,
+                         std::span(gray_scratch_).first(cells_));
+  return util::gray_bit_errors(
+      std::span(gray_scratch_).first(cells_),
+      std::span<const std::uint8_t>(target_gray_.data() + base, cells_));
+}
+
+double CellArray::raw_ber(std::uint32_t wl, std::uint32_t slot,
+                          double months) {
+  const auto errors = count_bit_errors(wl, slot, months);
+  return static_cast<double>(errors) /
+         (static_cast<double>(cells_) * bits_per_cell_);
+}
+
+double CellArray::mean_vth(std::uint32_t wl, std::uint32_t slot) const {
+  check_slot(wl, slot, "CellArray::mean_vth");
+  const float* v = vth_.data() + cell_base(wl, slot);
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < cells_; ++i) sum += v[i];
+  return sum / cells_;
+}
+
+std::uint32_t CellArray::npp_of(std::uint32_t wl, std::uint32_t slot) const {
+  check_slot(wl, slot, "CellArray::npp_of");
+  const std::size_t si = slot_index(wl, slot);
+  if (!programmed_[si])
+    throw std::logic_error("CellArray::npp_of: slot not programmed");
+  return npp_[si];
+}
+
+}  // namespace esp::nand

@@ -1,0 +1,148 @@
+// Structure-of-arrays Monte-Carlo cell kernel.
+//
+// This is the compute core behind WordLine/BlockCells (which are thin
+// views over it). Physics identical to the original scalar model -- 8-level
+// TLC Vth layout, Gray-coded bit mapping, ISPP placement spread widened by
+// wear and inhibited-program stress, asymmetric program disturb, Npp- and
+// wear-accelerated retention drift -- but stored and computed for paper-
+// scale populations (the paper characterizes 81,920 pages across 20 chips):
+//
+//   * separate contiguous planes (vth / target / Gray-coded target) instead
+//     of an array-of-structs, so every operation is a linear sweep;
+//   * per-(word line, slot) npp/programmed state: both are uniform across a
+//     subpage's cells by construction, which turns the per-cell retention
+//     mean into a per-subpage scalar;
+//   * all randomness drawn through util/batch_math block kernels (batched
+//     Box-Muller, fused clipped-Gaussian adds, branchless boundary-table
+//     quantization, popcount Gray reduction) -- one pass per subpage
+//     instead of one scalar Gaussian per cell;
+//   * one RNG stream PER WORD LINE, forked deterministically at
+//     construction, so a word line's trajectory depends only on its seed
+//     and its own operation sequence -- the property the parallel
+//     characterization fan-out relies on (docs/CELL_MODEL.md).
+//
+// Distribution-equivalent to the scalar model, not stream-equivalent: the
+// same seed yields different deviates than the old per-cell polar sampler.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esp::nand {
+
+struct CellModelParams {
+  std::uint32_t levels = 8;        ///< TLC: 3 bits/cell
+  double level_step = 0.8;         ///< Vth spacing between program levels
+  double erased_mean = -3.0;
+  double erased_sigma = 0.45;
+  double pgm_sigma = 0.145;        ///< ISPP placement spread at rated wear
+  double stress_sigma_per_npp = 0.014;  ///< widening per inhibited program
+  // Disturb shifts applied to inhibited cells per program operation.
+  double disturb_programmed_mean = 0.18;
+  double disturb_programmed_sigma = 0.12;
+  double disturb_erased_mean = 0.05;
+  double disturb_erased_sigma = 0.03;
+  // Retention drift: mu(t) = rate * (1 + kappa*npp) * wear * log1p(t/tau).
+  double retention_rate = 0.0296;
+  double retention_kappa = 0.35;
+  double retention_tau_months = 0.5;
+  double retention_noise_frac = 0.4;  ///< per-cell drift spread / mean drift
+  // Wear scaling, relative to the rated 1K P/E cycles.
+  std::uint32_t rated_pe_cycles = 1000;
+  double wear_sigma_slope = 0.3;      ///< pgm_sigma *= 1 + slope*(pe/rated-1)
+  double wear_retention_slope = 0.6;  ///< drift rate *= 1 + slope*(pe/rated-1)
+};
+
+/// `wordlines x subpages x cells_per_subpage` TLC cells in SoA planes.
+class CellArray {
+ public:
+  CellArray(std::uint32_t wordlines, std::uint32_t subpages,
+            std::uint32_t cells_per_subpage, const CellModelParams& params,
+            util::Xoshiro256 rng);
+
+  /// Applies P/E wear to the whole array (the paper pre-cycles to 1K).
+  void set_pe_cycles(std::uint32_t pe);
+
+  /// Erases word line `wl` (all cells back to the erased distribution).
+  void erase(std::uint32_t wl);
+
+  /// Programs one subpage of `wl` with the given per-cell target levels
+  /// (values in [0, levels)). Must be the next unprogrammed slot. All
+  /// other cells on the word line receive disturb shifts.
+  void program_subpage(std::uint32_t wl, std::uint32_t slot,
+                       std::span<const std::uint8_t> levels);
+
+  /// Convenience: program a subpage with uniform-random data (reuses an
+  /// internal scratch buffer -- no per-call allocation).
+  void program_subpage_random(std::uint32_t wl, std::uint32_t slot);
+
+  /// External disturbance on one word line: every cell receives a
+  /// clipped-Gaussian Vth up-shift (adjacent-WL coupling).
+  void disturb_all(std::uint32_t wl, double shift_mean, double shift_sigma);
+
+  /// Raw bit errors in (wl, slot) after `months` of retention since that
+  /// subpage was programmed. Monte-Carlo: each call draws fresh per-cell
+  /// retention noise from the word line's stream.
+  std::uint64_t count_bit_errors(std::uint32_t wl, std::uint32_t slot,
+                                 double months);
+
+  /// Raw BER = bit errors / (cells * bits_per_cell).
+  double raw_ber(std::uint32_t wl, std::uint32_t slot, double months);
+
+  std::uint32_t npp_of(std::uint32_t wl, std::uint32_t slot) const;
+  /// Mean threshold voltage of a subpage's cells (characterization aid).
+  double mean_vth(std::uint32_t wl, std::uint32_t slot) const;
+
+  std::uint32_t wordlines() const { return wordlines_; }
+  std::uint32_t subpages() const { return subpages_; }
+  std::uint32_t cells_per_subpage() const { return cells_; }
+  std::uint32_t bits_per_cell() const { return bits_per_cell_; }
+  std::uint32_t slots_programmed(std::uint32_t wl) const;
+
+ private:
+  std::size_t slot_index(std::uint32_t wl, std::uint32_t slot) const {
+    return static_cast<std::size_t>(wl) * subpages_ + slot;
+  }
+  std::size_t cell_base(std::uint32_t wl, std::uint32_t slot) const {
+    return slot_index(wl, slot) * cells_;
+  }
+  void check_slot(std::uint32_t wl, std::uint32_t slot,
+                  const char* what) const;
+
+  std::uint32_t wordlines_;
+  std::uint32_t subpages_;
+  std::uint32_t cells_;
+  std::uint32_t bits_per_cell_;
+  CellModelParams params_;
+  std::uint32_t pe_cycles_;
+
+  // SoA planes, indexed [((wl * subpages) + slot) * cells + i]. vth is
+  // single precision: float error (~1e-7 relative over a [-6, 7] V range)
+  // is 4+ orders of magnitude below every modeled sigma, and halving the
+  // plane footprint doubles SIMD lanes and keeps subpage sweeps in L1.
+  std::vector<float> vth_;
+  std::vector<std::uint8_t> target_;       ///< written level (if programmed)
+  std::vector<std::uint8_t> target_gray_;  ///< Gray(target), for popcount
+
+  // Per-(wl, slot) state: uniform across a subpage's cells by construction.
+  std::vector<std::uint8_t> npp_;         ///< WL programs before this program
+  std::vector<std::uint8_t> programmed_;  ///< 0/1
+  std::vector<std::uint32_t> slots_programmed_;  ///< per wl
+
+  std::vector<util::Xoshiro256> rng_;  ///< one stream per word line
+
+  // Precomputed tables.
+  std::vector<double> level_mean_;  ///< [levels]
+  std::vector<float> boundaries_;   ///< read thresholds, [levels - 1]
+
+  // Reused scratch (sized cells_): no allocation on any hot path.
+  std::vector<float> z_scratch_;
+  std::vector<float> vth_scratch_;
+  std::vector<std::uint8_t> levels_scratch_;
+  std::vector<std::uint8_t> gray_scratch_;
+};
+
+}  // namespace esp::nand

@@ -16,6 +16,10 @@
 //   * retention: programmed cells drift down ~ log(1 + t/tau), faster for
 //     cells with more pre-program stress (higher Npp) and for worn blocks.
 //
+// WordLine is a single-word-line view over the batched SoA CellArray
+// kernel (nand/cell_array.h); the physics and public API are unchanged
+// from the original scalar model, only the compute path is batched.
+//
 // The FTL-facing simulator never touches this model (it uses the
 // calibrated behavioral RetentionModel); only the characterization benches
 // (fig4/fig5) and their tests do.
@@ -23,97 +27,71 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "nand/cell_array.h"
 #include "util/rng.h"
 
 namespace esp::nand {
-
-struct CellModelParams {
-  std::uint32_t levels = 8;        ///< TLC: 3 bits/cell
-  double level_step = 0.8;         ///< Vth spacing between program levels
-  double erased_mean = -3.0;
-  double erased_sigma = 0.45;
-  double pgm_sigma = 0.145;        ///< ISPP placement spread at rated wear
-  double stress_sigma_per_npp = 0.014;  ///< widening per inhibited program
-  // Disturb shifts applied to inhibited cells per program operation.
-  double disturb_programmed_mean = 0.18;
-  double disturb_programmed_sigma = 0.12;
-  double disturb_erased_mean = 0.05;
-  double disturb_erased_sigma = 0.03;
-  // Retention drift: mu(t) = rate * (1 + kappa*npp) * wear * log1p(t/tau).
-  double retention_rate = 0.0296;
-  double retention_kappa = 0.35;
-  double retention_tau_months = 0.5;
-  double retention_noise_frac = 0.4;  ///< per-cell drift spread / mean drift
-  // Wear scaling, relative to the rated 1K P/E cycles.
-  std::uint32_t rated_pe_cycles = 1000;
-  double wear_sigma_slope = 0.3;      ///< pgm_sigma *= 1 + slope*(pe/rated-1)
-  double wear_retention_slope = 0.6;  ///< drift rate *= 1 + slope*(pe/rated-1)
-};
 
 /// One word line of `subpages * cells_per_subpage` TLC cells.
 class WordLine {
  public:
   WordLine(std::uint32_t subpages, std::uint32_t cells_per_subpage,
-           const CellModelParams& params, util::Xoshiro256 rng);
+           const CellModelParams& params, util::Xoshiro256 rng)
+      : cells_(1, subpages, cells_per_subpage, params, rng) {}
 
   /// Applies P/E wear (the paper pre-cycles to 1K before measuring).
-  void set_pe_cycles(std::uint32_t pe);
+  void set_pe_cycles(std::uint32_t pe) { cells_.set_pe_cycles(pe); }
 
   /// Erases the word line (all cells back to the erased distribution).
-  void erase();
+  void erase() { cells_.erase(0); }
 
   /// Programs one subpage with the given per-cell target levels
   /// (values in [0, levels)). Must be the next unprogrammed slot.
   /// All other cells on the word line receive disturb shifts.
   void program_subpage(std::uint32_t slot,
-                       std::span<const std::uint8_t> levels);
+                       std::span<const std::uint8_t> levels) {
+    cells_.program_subpage(0, slot, levels);
+  }
 
   /// Convenience: program a subpage with uniform-random data.
-  void program_subpage_random(std::uint32_t slot);
+  void program_subpage_random(std::uint32_t slot) {
+    cells_.program_subpage_random(0, slot);
+  }
 
   /// External disturbance: every cell receives a clipped-Gaussian Vth
   /// up-shift (used by BlockCells to model coupling from programs on
   /// ADJACENT word lines).
-  void disturb_all(double shift_mean, double shift_sigma);
+  void disturb_all(double shift_mean, double shift_sigma) {
+    cells_.disturb_all(0, shift_mean, shift_sigma);
+  }
 
   /// Counts raw bit errors in the given subpage after `months` of
   /// retention since that subpage was programmed. Monte-Carlo: each call
   /// draws fresh per-cell retention noise.
-  std::uint64_t count_bit_errors(std::uint32_t slot, double months);
+  std::uint64_t count_bit_errors(std::uint32_t slot, double months) {
+    return cells_.count_bit_errors(0, slot, months);
+  }
 
   /// Raw BER = bit errors / (cells * bits_per_cell).
-  double raw_ber(std::uint32_t slot, double months);
+  double raw_ber(std::uint32_t slot, double months) {
+    return cells_.raw_ber(0, slot, months);
+  }
 
-  std::uint32_t npp_of(std::uint32_t slot) const;
+  std::uint32_t npp_of(std::uint32_t slot) const {
+    return cells_.npp_of(0, slot);
+  }
   /// Mean threshold voltage of a subpage's cells (characterization aid).
-  double mean_vth(std::uint32_t slot) const;
-  std::uint32_t subpages() const { return subpages_; }
-  std::uint32_t cells_per_subpage() const { return cells_; }
-  std::uint32_t bits_per_cell() const { return bits_per_cell_; }
-  std::uint32_t slots_programmed() const { return programmed_; }
+  double mean_vth(std::uint32_t slot) const { return cells_.mean_vth(0, slot); }
+  std::uint32_t subpages() const { return cells_.subpages(); }
+  std::uint32_t cells_per_subpage() const {
+    return cells_.cells_per_subpage();
+  }
+  std::uint32_t bits_per_cell() const { return cells_.bits_per_cell(); }
+  std::uint32_t slots_programmed() const { return cells_.slots_programmed(0); }
 
  private:
-  struct Cell {
-    double vth = 0.0;
-    std::uint8_t target = 0;       ///< written level (valid if programmed)
-    bool programmed = false;
-    std::uint8_t npp = 0;          ///< WL programs before this cell's program
-  };
-
-  double level_mean(std::uint32_t level) const;
-  std::uint32_t read_level(double vth) const;
-  static std::uint32_t gray_distance_bits(std::uint32_t a, std::uint32_t b);
-
-  std::uint32_t subpages_;
-  std::uint32_t cells_;
-  std::uint32_t bits_per_cell_;
-  CellModelParams params_;
-  util::Xoshiro256 rng_;
-  std::uint32_t pe_cycles_;
-  std::uint32_t programmed_ = 0;  ///< program ops on this WL this cycle
-  std::vector<Cell> wl_;          ///< [slot * cells + i]
+  CellArray cells_;
 };
 
 }  // namespace esp::nand

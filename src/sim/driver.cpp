@@ -1,6 +1,7 @@
 #include "sim/driver.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "ftl/types.h"
 #include "telemetry/telemetry.h"
@@ -36,10 +37,22 @@ SimTime Driver::next_issue_slot() {
   return std::max(arrival_, slot);
 }
 
-std::uint64_t Driver::expected_token(std::uint64_t sector) const {
-  if (shadow_trimmed_.at(sector)) return 0;
-  const std::uint32_t version = shadow_version_.at(sector);
+void Driver::check_sector_range(std::uint64_t sector,
+                                std::uint32_t count) const {
+  const std::uint64_t sectors = shadow_version_.size();
+  if (sector >= sectors || count > sectors - sector)
+    throw std::out_of_range("Driver: sector range outside logical space");
+}
+
+std::uint64_t Driver::expected_token_unchecked(std::uint64_t sector) const {
+  if (shadow_trimmed_[sector]) return 0;
+  const std::uint32_t version = shadow_version_[sector];
   return version == 0 ? 0 : ftl::make_token(sector, version);
+}
+
+std::uint64_t Driver::expected_token(std::uint64_t sector) const {
+  check_sector_range(sector, 1);
+  return expected_token_unchecked(sector);
 }
 
 void Driver::advance_to(SimTime t) {
@@ -57,6 +70,7 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
   ftl::IoResult result{issue, true};
   switch (request.type) {
     case Request::Type::kWrite:
+      check_sector_range(request.sector, request.count);
       for (std::uint32_t i = 0; i < request.count; ++i) {
         ++shadow_version_[request.sector + i];
         shadow_trimmed_[request.sector + i] = false;
@@ -64,12 +78,14 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
       result = ftl_.write(request.sector, request.count, request.sync, issue);
       break;
     case Request::Type::kRead: {
+      if (verify) check_sector_range(request.sector, request.count);
       result = ftl_.read(request.sector, request.count, issue,
                          verify ? &read_tokens_ : nullptr);
       if (!result.ok) ++io_errors_;
       if (verify) {
         for (std::uint32_t i = 0; i < request.count; ++i) {
-          const std::uint64_t want = expected_token(request.sector + i);
+          const std::uint64_t want =
+              expected_token_unchecked(request.sector + i);
           if (read_tokens_[i] != want) {
             ++verify_failures_;
             ESP_LOG_ERROR(
@@ -83,6 +99,7 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
       break;
     }
     case Request::Type::kTrim: {
+      check_sector_range(request.sector, request.count);
       ftl_.trim(request.sector, request.count);
       // Mirror the Ftl::trim contract: only whole logical pages inside the
       // range are discarded; partial edges keep their latest data.

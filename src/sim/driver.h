@@ -92,6 +92,12 @@ class Driver {
   void set_telemetry(telemetry::Telemetry* telemetry);
 
  private:
+  /// One bounds check per request: rejects [sector, sector+count) ranges
+  /// outside the logical space so the per-sector shadow loops can index
+  /// unchecked.
+  void check_sector_range(std::uint64_t sector, std::uint32_t count) const;
+  /// expected_token without the range check (caller guarantees bounds).
+  std::uint64_t expected_token_unchecked(std::uint64_t sector) const;
   /// Issue time for the next request under the queue-depth window.
   SimTime next_issue_slot();
   /// Closes the current sampling window if it is due.

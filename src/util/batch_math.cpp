@@ -1,0 +1,263 @@
+#include "util/batch_math.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace esp::util {
+namespace {
+
+// Pairs per transform block; buffers live on the stack so the RNG fill and
+// the vectorizable transform stay separate loops.
+constexpr std::size_t kPairs = 1024;
+
+// Interleaved xoshiro lanes per block generator. Eight independent streams
+// advance side by side so the state update vectorizes (one 64-bit draw has a
+// ~4-cycle serial dependency chain; eight lanes amortize it to ~0.5
+// cycles/draw on AVX-512, and still help at narrower vector widths).
+constexpr std::size_t kLanes = 8;
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// A block source of uniform pairs: eight xoshiro256** streams in
+// structure-of-arrays form, each seeded via SplitMix64 from one draw of the
+// parent stream. Construction consumes exactly kLanes parent draws, so the
+// parent stream position after a batched call is well defined and every
+// sequence is reproducible from the parent seed alone.
+class PairSource {
+ public:
+  explicit PairSource(Xoshiro256& parent) noexcept {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      std::uint64_t sm = parent();
+      s0_[l] = splitmix64(sm);
+      s1_[l] = splitmix64(sm);
+      s2_[l] = splitmix64(sm);
+      s3_[l] = splitmix64(sm);
+      if ((s0_[l] | s1_[l] | s2_[l] | s3_[l]) == 0) s0_[l] = 1;
+    }
+  }
+
+  // Fills hi/lo with the 31-bit halves of `pairs` draws (lane-interleaved
+  // order). pairs <= kPairs; draws beyond the last full lane group are
+  // generated and discarded so lane states stay in lockstep.
+  void fill(std::int32_t* hi, std::int32_t* lo, std::size_t pairs) noexcept {
+    std::uint64_t raw[kPairs];
+    const std::size_t rounded = (pairs + kLanes - 1) & ~(kLanes - 1);
+    for (std::size_t i = 0; i < rounded; i += kLanes) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const std::uint64_t x = rotl64(s1_[l] * 5, 7) * 9;
+        const std::uint64_t t = s1_[l] << 17;
+        s2_[l] ^= s0_[l];
+        s3_[l] ^= s1_[l];
+        s1_[l] ^= s2_[l];
+        s0_[l] ^= s3_[l];
+        s2_[l] ^= t;
+        s3_[l] = rotl64(s3_[l], 45);
+        raw[i + l] = x;
+      }
+    }
+    for (std::size_t i = 0; i < pairs; ++i) {
+      hi[i] = static_cast<std::int32_t>(raw[i] >> 33);
+      lo[i] = static_cast<std::int32_t>(raw[i] & 0x7fffffff);
+    }
+  }
+
+ private:
+  std::uint64_t s0_[kLanes], s1_[kLanes], s2_[kLanes], s3_[kLanes];
+};
+
+// Box-Muller transform of one buffered block: one 64-bit draw yields one
+// deviate pair (31-bit uniforms, pre-split into int32 halves by the RNG
+// fill loop), written split as z0[i] = r*cos, z1[i] = r*sin so every load
+// and store is contiguous.
+//
+// Written to auto-vectorize on anything >= SSE2 (and well on AVX2+): the
+// whole loop is int32 loads and float arithmetic (matching lane widths, so
+// lanes never narrow), ln via exponent split + atanh series in
+// t = (m-1)/(m+1), sincos via branch-free quadrant fold + odd/even Taylor
+// polynomials -- no libm calls, every select is a blend. Polynomial
+// absolute error < ~1e-6 (float rounding dominates), orders of magnitude
+// below Monte-Carlo noise. 31-bit uniforms truncate the Gaussian tail at
+// ~6.5 sigma (P < 1e-10 per draw) -- irrelevant at characterization
+// populations, documented in docs/CELL_MODEL.md.
+inline void transform_block(const std::int32_t* hi, const std::int32_t* lo,
+                            std::size_t pairs, float mean, float stddev,
+                            float* z0, float* z1) {
+  constexpr float kSqrt2 = 1.41421356f;
+  constexpr float kLn2 = 0.6931471805599453f;
+  constexpr float kHalfPi = 1.5707963267948966f;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const float u1 = (static_cast<float>(hi[i]) + 1.0f) * 0x1.0p-31f;  // (0,1]
+    const float u2 = static_cast<float>(lo[i]) * 0x1.0p-31f;           // [0,1)
+
+    // ln(u1): u1 = m * 2^e, fold m into [sqrt2/2, sqrt2].
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(u1);
+    const std::int32_t ebits = static_cast<std::int32_t>(bits >> 23);
+    float e = static_cast<float>(ebits) - 127.0f;
+    float m = std::bit_cast<float>((bits & 0x7fffffu) | 0x3f800000u);  // [1,2)
+    const bool high = m > kSqrt2;
+    m = high ? 0.5f * m : m;
+    e = high ? e + 1.0f : e;
+    const float t = (m - 1.0f) / (m + 1.0f);
+    const float t2 = t * t;
+    const float series =
+        1.0f +
+        t2 * (1.0f / 3.0f +
+              t2 * (1.0f / 5.0f + t2 * (1.0f / 7.0f + t2 * (1.0f / 9.0f))));
+    const float ln_u1 = e * kLn2 + 2.0f * t * series;
+    // Clamp away exact zero (u1 == 1) so a reciprocal-sqrt expansion of
+    // std::sqrt (x * rsqrt(x)) can never see 0 * inf.
+    const float r = std::sqrt(std::max(-2.0f * ln_u1, 1e-30f));
+
+    // sin/cos of 2*pi*u2: quadrant fold to phi in [-pi/4, pi/4], all in
+    // the float domain so the lanes never narrow.
+    const float a = u2 * 4.0f;              // [0, 4)
+    const float j = std::floor(a + 0.5f);   // {0..4}; 4 folds back to q=0
+    const float phi = (a - j) * kHalfPi;    // [-pi/4, pi/4]
+    const float q = j - 4.0f * std::floor(j * 0.25f);  // {0, 1, 2, 3}
+    const float x2 = phi * phi;
+    const float sp =
+        phi * (1.0f +
+               x2 * (-1.0f / 6.0f +
+                     x2 * (1.0f / 120.0f + x2 * (-1.0f / 5040.0f))));
+    const float cp =
+        1.0f +
+        x2 * (-1.0f / 2.0f +
+              x2 * (1.0f / 24.0f +
+                    x2 * (-1.0f / 720.0f + x2 * (1.0f / 40320.0f))));
+    const bool swap = q == 1.0f || q == 3.0f;
+    const float sa = swap ? cp : sp;
+    const float ca = swap ? sp : cp;
+    const float s = q >= 2.0f ? -sa : sa;
+    const float c = (q == 1.0f || q == 2.0f) ? -ca : ca;
+
+    z0[i] = mean + stddev * (r * c);
+    z1[i] = mean + stddev * (r * s);
+  }
+}
+
+void gaussian_fill_scaled(Xoshiro256& rng, std::span<float> out, double mean,
+                          double stddev) {
+  std::int32_t hi[kPairs], lo[kPairs];
+  float z0[kPairs], z1[kPairs];
+  PairSource src(rng);
+  const auto fmean = static_cast<float>(mean);
+  const auto fsigma = static_cast<float>(stddev);
+  std::size_t done = 0;
+  const std::size_t n = out.size();
+  while (done < n) {
+    const std::size_t want = n - done;
+    const std::size_t pairs = std::min(kPairs, (want + 1) / 2);
+    src.fill(hi, lo, pairs);
+    transform_block(hi, lo, pairs, fmean, fsigma, z0, z1);
+    const std::size_t n0 = std::min(want, pairs);
+    const std::size_t n1 = std::min(want - n0, pairs);
+    std::memcpy(out.data() + done, z0, n0 * sizeof(float));
+    std::memcpy(out.data() + done + n0, z1, n1 * sizeof(float));
+    done += n0 + n1;
+  }
+}
+
+}  // namespace
+
+void gaussian_fill(Xoshiro256& rng, std::span<float> out) {
+  gaussian_fill_scaled(rng, out, 0.0, 1.0);
+}
+
+void gaussian_fill(Xoshiro256& rng, std::span<float> out, double mean,
+                   double stddev) {
+  gaussian_fill_scaled(rng, out, mean, stddev);
+}
+
+void add_clipped_gaussian(Xoshiro256& rng, std::span<float> vth, double mean,
+                          double stddev) {
+  std::int32_t hi[kPairs], lo[kPairs];
+  float z0[kPairs], z1[kPairs];
+  PairSource src(rng);
+  const auto fmean = static_cast<float>(mean);
+  const auto fsigma = static_cast<float>(stddev);
+  std::size_t done = 0;
+  const std::size_t n = vth.size();
+  while (done < n) {
+    const std::size_t want = n - done;
+    const std::size_t pairs = std::min(kPairs, (want + 1) / 2);
+    src.fill(hi, lo, pairs);
+    transform_block(hi, lo, pairs, fmean, fsigma, z0, z1);
+    const std::size_t n0 = std::min(want, pairs);
+    const std::size_t n1 = std::min(want - n0, pairs);
+    float* v = vth.data() + done;
+    for (std::size_t i = 0; i < n0; ++i) v[i] += std::max(0.0f, z0[i]);
+    v += n0;
+    for (std::size_t i = 0; i < n1; ++i) v[i] += std::max(0.0f, z1[i]);
+    done += n0 + n1;
+  }
+}
+
+void quantize_to_gray(std::span<const float> vth,
+                      std::span<const float> boundaries,
+                      std::span<std::uint8_t> out) {
+  constexpr std::size_t kChunk = 4096;
+  const std::size_t n = vth.size();
+  int acc[kChunk];
+  for (std::size_t off = 0; off < n; off += kChunk) {
+    const std::size_t len = std::min(kChunk, n - off);
+    const float* v = vth.data() + off;
+    for (std::size_t i = 0; i < len; ++i) acc[i] = 0;
+    for (const float b : boundaries)
+      for (std::size_t i = 0; i < len; ++i) acc[i] += v[i] > b;
+    std::uint8_t* o = out.data() + off;
+    for (std::size_t i = 0; i < len; ++i) {
+      const unsigned level = static_cast<unsigned>(acc[i]);
+      o[i] = static_cast<std::uint8_t>(level ^ (level >> 1));
+    }
+  }
+}
+
+std::uint64_t gray_bit_errors(std::span<const std::uint8_t> read_gray,
+                              std::span<const std::uint8_t> target_gray) {
+  const std::size_t n = read_gray.size();
+  std::uint64_t errors = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, read_gray.data() + i, 8);
+    std::memcpy(&b, target_gray.data() + i, 8);
+    errors += static_cast<std::uint64_t>(std::popcount(a ^ b));
+  }
+  for (; i < n; ++i)
+    errors += static_cast<std::uint64_t>(
+        std::popcount(static_cast<unsigned>(read_gray[i] ^ target_gray[i])));
+  return errors;
+}
+
+void uniform_levels_fill(Xoshiro256& rng, std::span<std::uint8_t> out,
+                         std::uint32_t levels) {
+  // levels is a power of two <= 256, so one random byte per cell masks down
+  // to a uniform level. Draws fill a block buffer (the only serial chain),
+  // then the byte extraction is a single vectorizable mask sweep.
+  const auto mask = static_cast<std::uint8_t>(levels - 1);
+  constexpr std::size_t kBlock = 512;  // 64-bit draws per block
+  std::uint64_t buf[kBlock];
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  while (i < n) {
+    const std::size_t bytes = std::min(n - i, kBlock * 8);
+    const std::size_t draws = (bytes + 7) / 8;
+    for (std::size_t d = 0; d < draws; ++d) buf[d] = rng();
+    const auto* src = reinterpret_cast<const std::uint8_t*>(buf);
+    std::uint8_t* dst = out.data() + i;
+    for (std::size_t j = 0; j < bytes; ++j) dst[j] = src[j] & mask;
+    i += bytes;
+  }
+}
+
+}  // namespace esp::util

@@ -1,0 +1,83 @@
+// Batched math kernels for the Monte-Carlo cell model.
+//
+// The scalar cell model draws one Gaussian per cell per operation through
+// Xoshiro256::gaussian() (Marsaglia polar: data-dependent rejection loop,
+// libm log/sqrt, a cached-spare branch). That shape defeats both the
+// vectorizer and the branch predictor and is the dominant cost of the
+// fig4/fig5 characterization benches.
+//
+// This layer replaces it with block operations over contiguous arrays:
+//
+//   * gaussian_fill      -- Box-Muller over a block of Xoshiro outputs.
+//                           The RNG advance is the only serial dependency;
+//                           uniforms are buffered first, then the
+//                           branch-free transform (polynomial log / sincos,
+//                           no libm calls) runs as a vectorizable loop.
+//   * add_clipped_gaussian / vth update helpers -- fused "draw, clip at
+//                           zero, accumulate" passes for disturb shifts
+//                           and retention drift.
+//   * quantize_to_gray   -- branchless read-level quantization against a
+//                           precomputed boundary table, emitting Gray
+//                           codes directly.
+//   * gray_bit_errors    -- popcount reduction of packed Gray codes over
+//                           a whole subpage (8 cells per popcount).
+//   * uniform_levels_fill -- batched power-of-two level sampling (21
+//                           3-bit lanes per 64-bit draw for TLC).
+//
+// The kernels work in single precision: vth excursions span ~[-6, 7] volts
+// with sigmas >= 0.014, so float's ~1e-7 relative error is 4+ orders of
+// magnitude below the physical noise being modeled and vanishes entirely
+// in Monte-Carlo averages. Float doubles the SIMD lane count and halves
+// the memory traffic of every plane sweep.
+//
+// Distributional contract: every sampler here produces the SAME
+// distribution as the scalar path (exact clipped/scaled Gaussians; the
+// polynomial transforms are accurate to ~1e-6 absolute, far below
+// Monte-Carlo noise), but a DIFFERENT stream of deviates for the same
+// seed -- callers must treat results as statistically, not bitwise,
+// equivalent to the scalar model. Within one binary the kernels are fully
+// deterministic: outputs depend only on the RNG state passed in, never on
+// scheduling, so parallel fan-outs that give each task its own seeded
+// stream stay bit-identical across --jobs (see docs/CELL_MODEL.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+namespace esp::util {
+
+/// Fills `out` with independent standard-normal deviates drawn from `rng`.
+/// Consumes kLanes seeding draws plus one 64-bit draw per deviate pair.
+void gaussian_fill(Xoshiro256& rng, std::span<float> out);
+
+/// Fills `out` with N(mean, stddev) deviates.
+void gaussian_fill(Xoshiro256& rng, std::span<float> out, double mean,
+                   double stddev);
+
+/// vth[i] += max(0, N(mean, stddev)) for a fresh deviate per element --
+/// the clipped disturb shift of the cell model, fused into one pass.
+void add_clipped_gaussian(Xoshiro256& rng, std::span<float> vth, double mean,
+                          double stddev);
+
+/// Branchless read-level quantization + Gray encoding: for each cell,
+/// level = #(boundaries strictly below vth[i]) and out[i] = level ^
+/// (level >> 1). `boundaries` must be sorted ascending (size = levels-1,
+/// so results fit any power-of-two level count <= 256).
+void quantize_to_gray(std::span<const float> vth,
+                      std::span<const float> boundaries,
+                      std::span<std::uint8_t> out);
+
+/// Total bit errors between two Gray-coded level arrays: popcount of the
+/// XOR, reduced 8 bytes at a time. Sizes must match.
+std::uint64_t gray_bit_errors(std::span<const std::uint8_t> read_gray,
+                              std::span<const std::uint8_t> target_gray);
+
+/// Fills `out` with uniform levels in [0, levels); `levels` must be a
+/// power of two <= 256. For TLC (8 levels) this packs 21 lanes of 3 bits
+/// out of each 64-bit draw, so it consumes ~n/21 draws instead of n.
+void uniform_levels_fill(Xoshiro256& rng, std::span<std::uint8_t> out,
+                         std::uint32_t levels);
+
+}  // namespace esp::util

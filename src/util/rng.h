@@ -29,8 +29,20 @@ class Xoshiro256 {
     return std::numeric_limits<result_type>::max();
   }
 
-  /// Next 64 random bits.
-  result_type operator()() noexcept;
+  /// Next 64 random bits. Defined inline: the batched Monte-Carlo kernels
+  /// fill whole blocks of draws, and a call through the .cpp would cost
+  /// more than the state update itself.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
   double uniform() noexcept;
@@ -56,6 +68,10 @@ class Xoshiro256 {
   Xoshiro256 fork() noexcept;
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   double spare_ = 0.0;
   bool has_spare_ = false;

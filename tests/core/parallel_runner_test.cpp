@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "test_common.h"
+#include "util/rng.h"
 
 namespace esp::core {
 namespace {
@@ -167,6 +171,78 @@ TEST(ParallelRunner, TelemetryRegistriesReconcileAtJoin) {
   EXPECT_GT(expected, 0u);
   EXPECT_EQ(seq.merged_registry().counter_value("nand/erases"), expected);
   EXPECT_EQ(par.merged_registry().counter_value("nand/erases"), expected);
+}
+
+TEST(RunTasks, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kCount = 97;  // not a multiple of any job count
+  for (const unsigned jobs : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    run_tasks(jobs, kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+  }
+}
+
+TEST(RunTasks, MoreJobsThanTasksAndZeroTasks) {
+  std::vector<std::atomic<int>> hits(3);
+  const unsigned used = run_tasks(16, 3, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  EXPECT_LE(used, 3u);  // clamped to the task count
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  run_tasks(4, 0, [&](std::size_t) { FAIL() << "no tasks to run"; });
+}
+
+TEST(RunTasks, JobsZeroMeansHardwareConcurrency) {
+  std::vector<std::atomic<int>> hits(8);
+  const unsigned used = run_tasks(0, 8, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  EXPECT_GE(used, 1u);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunTasks, FirstExceptionPropagatesAfterDrain) {
+  std::atomic<int> ran{0};
+  try {
+    run_tasks(2, 50, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 7) throw std::runtime_error("task 7 failed");
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7 failed");
+  }
+  // The pool drains instead of abandoning workers; most tasks still ran.
+  EXPECT_GT(ran.load(), 1);
+}
+
+TEST(RunTasks, SingleJobRunsInline) {
+  // jobs == 1 must execute on the calling thread (no pool), so thread-local
+  // state set by the caller is visible to every task.
+  const auto caller = std::this_thread::get_id();
+  run_tasks(1, 5, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(RunTasks, DeterministicAggregationAcrossJobCounts) {
+  // The intended fan-out pattern: stable per-task seeds, tasks write into
+  // preallocated slots, aggregation in input order on the joining thread.
+  const auto population = [](unsigned jobs) {
+    std::vector<std::uint64_t> out(64);
+    run_tasks(jobs, out.size(), [&](std::size_t i) {
+      util::Xoshiro256 rng(
+          stable_cell_seed("runner_test/wl" + std::to_string(i), 42));
+      std::uint64_t acc = 0;
+      for (int k = 0; k < 1000; ++k) acc ^= rng();
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto seq = population(1);
+  EXPECT_EQ(population(2), seq);
+  EXPECT_EQ(population(5), seq);
 }
 
 }  // namespace

@@ -1,0 +1,198 @@
+#include "util/batch_math.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esp::util {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skew = 0.0;
+  double kurtosis = 0.0;  // excess
+};
+
+Moments moments_of(const std::vector<float>& v) {
+  const double n = static_cast<double>(v.size());
+  double sum = 0.0;
+  for (const float x : v) sum += x;
+  const double mean = sum / n;
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (const float x : v) {
+    const double d = x - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  Moments m;
+  m.mean = mean;
+  m.stddev = std::sqrt(m2);
+  m.skew = m3 / (m2 * std::sqrt(m2));
+  m.kurtosis = m4 / (m2 * m2) - 3.0;
+  return m;
+}
+
+double tail_fraction(const std::vector<float>& v, double cut) {
+  std::size_t beyond = 0;
+  for (const float x : v) beyond += std::abs(x) > cut;
+  return static_cast<double>(beyond) / static_cast<double>(v.size());
+}
+
+// Population large enough that Monte-Carlo noise on the mean is ~1e-3
+// (sigma/sqrt(n)) and on tail fractions is a few percent relative.
+constexpr std::size_t kN = 1u << 20;
+
+TEST(GaussianFill, StandardNormalMoments) {
+  Xoshiro256 rng(101);
+  std::vector<float> z(kN);
+  gaussian_fill(rng, z);
+  const Moments m = moments_of(z);
+  EXPECT_NEAR(m.mean, 0.0, 5e-3);
+  EXPECT_NEAR(m.stddev, 1.0, 5e-3);
+  EXPECT_NEAR(m.skew, 0.0, 1e-2);
+  EXPECT_NEAR(m.kurtosis, 0.0, 3e-2);
+}
+
+TEST(GaussianFill, TailFractionsMatchNormalLaw) {
+  Xoshiro256 rng(102);
+  std::vector<float> z(kN);
+  gaussian_fill(rng, z);
+  // P(|Z| > 1) = 0.3173, P(|Z| > 2) = 0.0455, P(|Z| > 3) = 0.0027.
+  EXPECT_NEAR(tail_fraction(z, 1.0), 0.3173, 0.005);
+  EXPECT_NEAR(tail_fraction(z, 2.0), 0.0455, 0.002);
+  EXPECT_NEAR(tail_fraction(z, 3.0), 0.0027, 0.0005);
+}
+
+TEST(GaussianFill, ScaledMomentsMatchScalarSampler) {
+  // Same distribution as Xoshiro256::gaussian(mean, sigma): compare the
+  // batched kernel against the scalar polar-method sampler, moment for
+  // moment. Streams differ by design; only statistics must agree.
+  const double mean = -3.0, sigma = 0.45;
+  Xoshiro256 batched_rng(103), scalar_rng(104);
+  std::vector<float> batched(kN);
+  gaussian_fill(batched_rng, batched, mean, sigma);
+  std::vector<float> scalar(kN);
+  for (auto& x : scalar)
+    x = static_cast<float>(scalar_rng.gaussian(mean, sigma));
+  const Moments mb = moments_of(batched), ms = moments_of(scalar);
+  EXPECT_NEAR(mb.mean, ms.mean, 5e-3 * sigma * 3);
+  EXPECT_NEAR(mb.stddev, ms.stddev, 5e-3 * sigma * 3);
+  EXPECT_NEAR(mb.skew, ms.skew, 3e-2);
+  EXPECT_NEAR(mb.kurtosis, ms.kurtosis, 9e-2);
+}
+
+TEST(GaussianFill, DeterministicForSameSeed) {
+  std::vector<float> a(10000), b(10000);
+  Xoshiro256 ra(7), rb(7);
+  gaussian_fill(ra, a);
+  gaussian_fill(rb, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GaussianFill, OddAndTinySizesFilledCompletely) {
+  for (const std::size_t n : {1ul, 2ul, 3ul, 7ul, 2047ul, 2049ul}) {
+    Xoshiro256 rng(9);
+    std::vector<float> z(n, 1e30f);
+    gaussian_fill(rng, z);
+    for (const float x : z) EXPECT_LT(std::abs(x), 7.0f) << "n=" << n;
+  }
+}
+
+TEST(AddClippedGaussian, MeanMatchesRectifiedNormal) {
+  // E[max(0, N(m, s))] = m*Phi(m/s) + s*phi(m/s).
+  const double m = 0.05, s = 0.03;
+  const double a = m / s;
+  const double phi = std::exp(-0.5 * a * a) / std::sqrt(2.0 * 3.14159265358979323846);
+  const double Phi = 0.5 * std::erfc(-a / std::sqrt(2.0));
+  const double expected = m * Phi + s * phi;
+
+  Xoshiro256 rng(105);
+  std::vector<float> v(kN, 0.0f);
+  add_clipped_gaussian(rng, v, m, s);
+  double sum = 0.0;
+  float min_shift = 1.0f;
+  for (const float x : v) {
+    sum += x;
+    min_shift = std::min(min_shift, x);
+  }
+  EXPECT_NEAR(sum / kN, expected, 1e-4);
+  EXPECT_GE(min_shift, 0.0f);  // clipped at zero, never a down-shift
+}
+
+TEST(AddClippedGaussian, AccumulatesOntoExistingValues) {
+  Xoshiro256 rng(106);
+  std::vector<float> v(4096, -3.0f);
+  add_clipped_gaussian(rng, v, 0.18, 0.12);
+  for (const float x : v) EXPECT_GE(x, -3.0f);
+  add_clipped_gaussian(rng, v, 0.18, 0.12);
+  double sum = 0.0;
+  for (const float x : v) sum += x;
+  // Two disturb passes at mean 0.18: expect roughly -3 + 2*0.18.
+  EXPECT_NEAR(sum / v.size(), -3.0 + 2 * 0.18, 0.02);
+}
+
+TEST(QuantizeToGray, MatchesNaiveQuantizerEverywhere) {
+  // 8-level boundary table (matches the TLC cell model layout).
+  const std::vector<float> bounds = {-1.5f, 0.4f, 1.2f, 2.0f,
+                                     2.8f,  3.6f, 4.4f};
+  Xoshiro256 rng(107);
+  std::vector<float> vth(10001);
+  for (auto& x : vth)
+    x = static_cast<float>(rng.uniform() * 12.0 - 5.0);  // spans all bins
+  std::vector<std::uint8_t> fast(vth.size());
+  quantize_to_gray(vth, bounds, fast);
+  for (std::size_t i = 0; i < vth.size(); ++i) {
+    unsigned level = 0;
+    for (const float b : bounds) level += vth[i] > b;
+    const auto gray = static_cast<std::uint8_t>(level ^ (level >> 1));
+    ASSERT_EQ(fast[i], gray) << "vth=" << vth[i];
+  }
+}
+
+TEST(GrayBitErrors, MatchesPerCellPopcount) {
+  Xoshiro256 rng(108);
+  std::vector<std::uint8_t> a(1003), b(1003);  // odd size: exercises tail
+  for (auto& x : a) x = static_cast<std::uint8_t>(rng() & 7);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng() & 7);
+  std::uint64_t naive = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    naive += std::popcount(static_cast<unsigned>(a[i] ^ b[i]));
+  EXPECT_EQ(gray_bit_errors(a, b), naive);
+  EXPECT_EQ(gray_bit_errors(a, a), 0u);
+}
+
+TEST(UniformLevelsFill, UniformOverAllLevels) {
+  Xoshiro256 rng(109);
+  std::vector<std::uint8_t> lv(1u << 20);
+  uniform_levels_fill(rng, lv, 8);
+  std::vector<std::size_t> counts(8, 0);
+  for (const std::uint8_t l : lv) {
+    ASSERT_LT(l, 8);
+    ++counts[l];
+  }
+  const double expect = static_cast<double>(lv.size()) / 8.0;
+  for (const std::size_t c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / expect, 1.0, 0.01);
+}
+
+TEST(UniformLevelsFill, DeterministicForSameSeed) {
+  std::vector<std::uint8_t> a(5000), b(5000);
+  Xoshiro256 ra(11), rb(11);
+  uniform_levels_fill(ra, a, 8);
+  uniform_levels_fill(rb, b, 8);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace esp::util
