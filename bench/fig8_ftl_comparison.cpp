@@ -85,6 +85,8 @@ core::ExperimentCell make_cell(workload::Benchmark bench, core::FtlKind kind) {
 
 int main(int argc, char** argv) {
   std::string json_out;
+  std::string journal_out;
+  bool audit = false;
   unsigned jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,8 +94,15 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--journal-out" && i + 1 < argc) {
+      journal_out = argv[++i];
+    } else if (arg == "--audit") {
+      audit = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH] [--jobs N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--jobs N] "
+                   "[--journal-out PATH] [--audit]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -103,8 +112,16 @@ int main(int argc, char** argv) {
   const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
                       core::FtlKind::kSub};
   std::vector<core::ExperimentCell> cells;
-  for (const auto bench : workload::all_benchmarks())
-    for (const auto kind : kinds) cells.push_back(make_cell(bench, kind));
+  for (const auto bench : workload::all_benchmarks()) {
+    for (const auto kind : kinds) {
+      auto cell = make_cell(bench, kind);
+      if (!journal_out.empty())
+        cell.spec.journal_path = bench::cell_journal_path(journal_out,
+                                                          cell.key);
+      cell.spec.audit = audit;
+      cells.push_back(std::move(cell));
+    }
+  }
 
   core::ParallelRunnerConfig runner_cfg;
   runner_cfg.jobs = jobs;

@@ -1,11 +1,64 @@
 #include "core/experiment.h"
 
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+#include "telemetry/auditor.h"
+#include "telemetry/journal.h"
+
 namespace esp::core {
 
 RunResult run_experiment(const ExperimentSpec& spec) {
+  // Declared before the Ssd: the Ssd destructor materializes the telemetry
+  // registry, so every sink it may reach must still be alive then.
+  std::optional<telemetry::Telemetry> owned_tel;
+  std::optional<std::ofstream> journal_os;
+  std::optional<telemetry::Journal> journal;
+  std::optional<telemetry::Auditor> auditor;
+
   Ssd ssd(spec.ssd);
   ssd.precondition(spec.precondition_fraction);
-  if (spec.telemetry) ssd.attach_telemetry(spec.telemetry);
+
+  telemetry::Telemetry* tel = spec.telemetry;
+  const bool want_journal = !spec.journal_path.empty();
+  if ((want_journal || spec.audit) && tel == nullptr) {
+    // Journal/audit requested without an external facade: own a private
+    // one. A tiny trace ring keeps memory bounded; the journal streams.
+    telemetry::TelemetryConfig cfg;
+    cfg.trace_capacity = 256;
+    owned_tel.emplace(cfg);
+    tel = &*owned_tel;
+  }
+
+  const auto& geo = spec.ssd.geometry;
+  if (tel && want_journal) {
+    journal_os.emplace(spec.journal_path,
+                       std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!*journal_os)
+      throw std::runtime_error("run_experiment: cannot open journal file: " +
+                               spec.journal_path);
+    telemetry::JournalHeader hdr;
+    hdr.ftl = ftl_kind_name(spec.ssd.ftl);
+    hdr.chips = geo.total_chips();
+    hdr.blocks_per_chip = geo.blocks_per_chip;
+    hdr.pages_per_block = geo.pages_per_block;
+    hdr.subpages_per_page = geo.subpages_per_page;
+    hdr.page_bytes = geo.page_bytes;
+    hdr.seed = spec.workload.seed;
+    journal.emplace(*journal_os, hdr, spec.journal_max_events);
+    tel->set_journal(&*journal);
+  }
+  if (tel && spec.audit) {
+    telemetry::AuditorConfig cfg;
+    cfg.chips = geo.total_chips();
+    cfg.blocks_per_chip = geo.blocks_per_chip;
+    cfg.pages_per_block = geo.pages_per_block;
+    cfg.subpages_per_page = geo.subpages_per_page;
+    auditor.emplace(cfg);
+    tel->set_auditor(&*auditor);
+  }
+  if (tel) ssd.attach_telemetry(tel);
 
   // Default the workload footprint to the preconditioned LBA range -- the
   // paper's benchmarks run over the files laid down during preconditioning.
@@ -33,7 +86,6 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   RunResult result;
   result.ftl_name = ssd.ftl().name();
   result.iops = metrics.iops();
-  const auto& geo = spec.ssd.geometry;
   const double host_bytes =
       static_cast<double>((window.host_write_sectors +
                            window.host_read_sectors) *
@@ -48,6 +100,18 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   result.rmw_ops = window.rmw_ops;
   result.verify_failures = metrics.verify_failures;
   result.mapping_bytes = ssd.ftl().mapping_memory_bytes();
+  if (tel) result.trace_dropped = tel->trace().dropped();
+  if (journal) {
+    journal->finish();
+    result.journal_events = journal->events_written();
+    result.journal_truncated = journal->truncated();
+  }
+  // Detach downstream sinks before the optionals above are destroyed:
+  // the Ssd destructor still records registry materialization through tel.
+  if (tel) {
+    tel->set_journal(nullptr);
+    tel->set_auditor(nullptr);
+  }
   result.raw = metrics;
   return result;
 }

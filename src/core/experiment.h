@@ -26,6 +26,11 @@ struct RunResult {
   std::uint64_t rmw_ops = 0;
   std::uint64_t verify_failures = 0;
   std::uint64_t mapping_bytes = 0;
+  /// Trace-ring evictions during the run (0 when no telemetry attached).
+  std::uint64_t trace_dropped = 0;
+  /// Journal lines written / admission-capped (0 when no journal).
+  std::uint64_t journal_events = 0;
+  std::uint64_t journal_truncated = 0;
   sim::RunMetrics raw;
 };
 
@@ -44,6 +49,17 @@ struct ExperimentSpec {
   /// traces and time-series samples cover warmup + the measured window but
   /// not the sequential fill. Must outlive the call.
   telemetry::Telemetry* telemetry = nullptr;
+  /// When non-empty, streams a causal-attribution journal (JSONL) of every
+  /// flash op, cause scope and block-lifecycle event to this path. Works
+  /// with or without an external `telemetry` facade: if none is supplied,
+  /// the runner owns a private one for the duration of the call.
+  std::string journal_path;
+  /// Journal admission cap (0 = unlimited); excess events are counted as
+  /// truncated rather than written.
+  std::uint64_t journal_max_events = 0;
+  /// Runs the online invariant auditor over the post-precondition window;
+  /// violations throw std::logic_error with the offending cause chain.
+  bool audit = false;
 };
 
 /// Builds the SSD, preconditions it, runs the workload, returns metrics.

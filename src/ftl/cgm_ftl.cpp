@@ -1,6 +1,7 @@
 #include "ftl/cgm_ftl.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "telemetry/metrics.h"
@@ -47,7 +48,13 @@ SimTime CgmFtl::write_lpn(std::uint64_t lpn, std::uint32_t first_slot,
 
   const bool partial = slot_count < subs;
   const std::uint64_t old_lin = l2p_[lpn];
-  if (partial && old_lin != nand::kUnmapped) {
+  const bool is_rmw = partial && old_lin != nand::kUnmapped;
+  // The whole read + merge + program services a small write via RMW; any
+  // GC the program triggers nests under this scope (chain host>rmw>gc).
+  std::optional<telemetry::CauseScope> rmw_cause;
+  if (is_rmw && sink_)
+    rmw_cause.emplace(sink_, telemetry::Cause::kRmw, lpn, now);
+  if (is_rmw) {
     // Read-modify-write: fetch the old page to preserve untouched sectors.
     const auto read = dev_.read_page(codec_.decode_page(old_lin), t);
     ++stats_.flash_reads;
@@ -79,7 +86,7 @@ SimTime CgmFtl::write_lpn(std::uint64_t lpn, std::uint32_t first_slot,
   l2p_[lpn] = new_lin;
   if (small_request)
     stats_.small_service_flash_bytes += geo_.page_bytes;
-  if (sink_ && partial && old_lin != nand::kUnmapped)
+  if (sink_ && is_rmw)
     sink_->record_op({telemetry::OpKind::kRmw, now, done, slot_count});
   return done;
 }

@@ -145,6 +145,10 @@ IoResult FgmFtl::read(std::uint64_t sector, std::uint32_t count, SimTime now,
 }
 
 IoResult FgmFtl::flush(SimTime now) {
+  // Explicit host flush: programs issued by the drain (and any GC they
+  // trigger) attribute to the flush, not to the host write path.
+  const telemetry::CauseScope cause(sink_, telemetry::Cause::kFlush,
+                                    buffer_.size(), now);
   SimTime done = now;
   while (!buffer_.empty()) {
     const auto run = buffer_.extract_oldest_run();

@@ -26,7 +26,7 @@ bool FinePool::space_pressure() const {
          blocks_in_use_ >= config_.quota_blocks;
 }
 
-bool FinePool::ensure_active(std::uint32_t* chip_out) {
+bool FinePool::ensure_active(std::uint32_t* chip_out, SimTime now) {
   for (std::uint32_t attempt = 0; attempt < geo_.total_chips(); ++attempt) {
     const std::uint32_t chip = (rr_chip_ + attempt) % geo_.total_chips();
     auto& active = active_block_[chip];
@@ -54,6 +54,10 @@ bool FinePool::ensure_active(std::uint32_t* chip_out) {
     m.valid.assign(slots, false);
     active = *blk;
     ++blocks_in_use_;
+    if (sink_)
+      sink_->record_block({telemetry::BlockEventKind::kAllocated, chip, *blk,
+                           "fine", 0, 0, dev_.block(chip, *blk).pe_cycles(),
+                           now});
     *chip_out = chip;
     rr_chip_ = (chip + 1) % geo_.total_chips();
     return true;
@@ -66,7 +70,7 @@ SimTime FinePool::write_group(std::span<const SectorWrite> group, SimTime now) {
     throw std::logic_error("FinePool::write_group: bad group size");
   if (!in_gc_) now = maybe_gc(now);
   std::uint32_t chip = 0;
-  if (!ensure_active(&chip))
+  if (!ensure_active(&chip, now))
     throw std::runtime_error(
         "FinePool: out of physical blocks (over-provisioning exhausted)");
   const std::uint32_t blk = *active_block_[chip];
@@ -156,6 +160,13 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
   BlockMeta& victim = meta_[idx];
   const std::uint32_t subs = geo_.subpages_per_page;
   in_gc_ = true;
+  // Repacks (or log-cleaning merges via evict_on_gc_) and the final erase
+  // all attribute to this GC/WL episode.
+  const telemetry::CauseScope cause(
+      sink_,
+      for_wear_leveling ? telemetry::Cause::kWearLevel
+                        : telemetry::Cause::kGcCopy,
+      idx, now);
 
   // Gather live sectors page by page (one flash read per page that still
   // holds anything live), then repack them densely into full pages.
@@ -208,10 +219,16 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
 
   const auto ack = dev_.erase_block(chip, blk, t);
   ++stats_.flash_erases;
-  if (sink_)
+  if (sink_) {
     sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
                                         : telemetry::OpKind::kGcCopy,
                       now, ack.done, copied, evicted});
+    const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
+    sink_->record_block({telemetry::BlockEventKind::kErased, chip, blk,
+                         "fine", 0, victim.valid_count, pe, ack.done});
+    sink_->record_block({telemetry::BlockEventKind::kRetired, chip, blk,
+                         "fine", 0, 0, pe, ack.done});
+  }
   victim.owned = false;
   victim.sector_of_slot.clear();
   victim.sector_of_slot.shrink_to_fit();

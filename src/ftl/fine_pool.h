@@ -83,7 +83,8 @@ class FinePool {
     return static_cast<std::size_t>(chip) * geo_.blocks_per_chip + block;
   }
   bool space_pressure() const;
-  bool ensure_active(std::uint32_t* chip_out);
+  /// `now` stamps block-allocation telemetry.
+  bool ensure_active(std::uint32_t* chip_out, SimTime now);
   SimTime collect(SimTime now);
   SimTime collect_block(std::size_t idx, SimTime now, bool for_wear_leveling);
   void push_victim_candidate(std::size_t idx);

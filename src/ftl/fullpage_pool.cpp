@@ -28,7 +28,7 @@ bool FullPagePool::space_pressure() const {
          blocks_in_use_ >= config_.quota_blocks;
 }
 
-bool FullPagePool::ensure_active_on(std::uint32_t chip) {
+bool FullPagePool::ensure_active_on(std::uint32_t chip, SimTime now) {
   auto& active = active_block_[chip];
   if (active) {
     BlockMeta& m = meta_[block_index(chip, *active)];
@@ -48,15 +48,19 @@ bool FullPagePool::ensure_active_on(std::uint32_t chip) {
   m.valid.assign(geo_.pages_per_block, false);
   active = *blk;
   ++blocks_in_use_;
+  if (sink_)
+    sink_->record_block({telemetry::BlockEventKind::kAllocated, chip, *blk,
+                         "full", 0, 0, dev_.block(chip, *blk).pe_cycles(),
+                         now});
   return true;
 }
 
-bool FullPagePool::ensure_active(std::uint32_t* chip_out) {
+bool FullPagePool::ensure_active(std::uint32_t* chip_out, SimTime now) {
   // Round-robin over chips; open a fresh block when a chip's active block
   // is full or missing. Falls through to any chip with free blocks.
   for (std::uint32_t attempt = 0; attempt < geo_.total_chips(); ++attempt) {
     const std::uint32_t chip = (rr_chip_ + attempt) % geo_.total_chips();
-    if (ensure_active_on(chip)) {
+    if (ensure_active_on(chip, now)) {
       *chip_out = chip;
       rr_chip_ = (chip + 1) % geo_.total_chips();
       return true;
@@ -69,7 +73,7 @@ std::pair<std::uint64_t, SimTime> FullPagePool::write_page(
     std::uint64_t lpn, std::span<const std::uint64_t> tokens, SimTime now) {
   if (!in_gc_) now = maybe_gc(now);
   std::uint32_t chip = 0;
-  if (!ensure_active(&chip))
+  if (!ensure_active(&chip, now))
     throw std::runtime_error(
         "FullPagePool: out of physical blocks (over-provisioning exhausted)");
   const std::uint32_t blk = *active_block_[chip];
@@ -150,13 +154,19 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
   const SimTime collect_start = now;
   std::uint64_t moved_sectors = 0;
   in_gc_ = true;
+  // Copies and the final erase all attribute to this GC/WL episode.
+  const telemetry::CauseScope cause(
+      sink_,
+      for_wear_leveling ? telemetry::Cause::kWearLevel
+                        : telemetry::Cause::kGcCopy,
+      idx, now);
   BlockMeta& victim = meta_[idx];
   for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
     if (!victim.valid[page]) continue;
     const std::uint64_t lpn = victim.lpn_of_page[page];
     const nand::PageAddr src{chip, blk, page};
 
-    if (config_.use_copyback && ensure_active_on(chip) &&
+    if (config_.use_copyback && ensure_active_on(chip, now) &&
         active_block_[chip] != blk) {
       // On-chip copy: no channel transfers in either direction.
       const std::uint32_t dst_blk = *active_block_[chip];
@@ -209,10 +219,16 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
 
   const auto ack = dev_.erase_block(chip, blk, now);
   ++stats_.flash_erases;
-  if (sink_)
+  if (sink_) {
     sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
                                         : telemetry::OpKind::kGcCopy,
                       collect_start, ack.done, moved_sectors});
+    const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
+    sink_->record_block({telemetry::BlockEventKind::kErased, chip, blk,
+                         "full", 0, victim.valid_count, pe, ack.done});
+    sink_->record_block({telemetry::BlockEventKind::kRetired, chip, blk,
+                         "full", 0, 0, pe, ack.done});
+  }
   ESP_LOG_DEBUG("%s collected full-page block chip=%u blk=%u moved=%llu",
                 for_wear_leveling ? "wear-level" : "gc",
                 static_cast<unsigned>(chip), static_cast<unsigned>(blk),

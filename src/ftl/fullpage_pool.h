@@ -96,10 +96,10 @@ class FullPagePool {
   /// Pops the current min-valid collectable block; nullopt when none.
   std::optional<std::size_t> pop_victim();
   /// Picks/opens the active block on the next chip; returns false when no
-  /// block is available anywhere.
-  bool ensure_active(std::uint32_t* chip_out);
+  /// block is available anywhere. `now` stamps block-allocation telemetry.
+  bool ensure_active(std::uint32_t* chip_out, SimTime now);
   /// Same, pinned to one chip (used by the copyback GC path).
-  bool ensure_active_on(std::uint32_t chip);
+  bool ensure_active_on(std::uint32_t chip, SimTime now);
 
   nand::NandDevice& dev_;
   BlockAllocator& allocator_;

@@ -174,6 +174,9 @@ SimTime SubFtl::rmw_into_fullpage(std::uint64_t sector, std::uint64_t token,
                                   SimTime now) {
   const std::uint32_t subs = geo_.subpages_per_page;
   const std::uint64_t lpn = sector / subs;
+  // The overflow valve services a small write the CGM way; the whole
+  // read + merge + full-page program attributes to RMW.
+  const telemetry::CauseScope cause(sink_, telemetry::Cause::kRmw, lpn, now);
   std::vector<std::uint64_t> tokens(subs, 0);
   SimTime t = now;
   const bool merges_old_page = l2p_[lpn] != nand::kUnmapped;
@@ -378,6 +381,10 @@ IoResult SubFtl::read(std::uint64_t sector, std::uint32_t count, SimTime now,
 }
 
 IoResult SubFtl::flush(SimTime now) {
+  // Explicit host flush: every program the drain issues (and any GC it
+  // triggers) attributes to the flush, not to the host write path.
+  const telemetry::CauseScope cause(sink_, telemetry::Cause::kFlush,
+                                    buffer_.size(), now);
   SimTime done = now;
   while (!buffer_.empty()) {
     const auto run = buffer_.extract_oldest_page_group(geo_.subpages_per_page);

@@ -59,6 +59,8 @@ bool SubpagePool::can_alloc_fresh() const {
 SimTime SubpagePool::forward_page(std::uint32_t chip, std::uint32_t blk,
                                   std::uint32_t page, std::uint32_t to_slot,
                                   SimTime now) {
+  const telemetry::CauseScope cause(
+      sink_, telemetry::Cause::kForwardMigration, to_slot, now);
   BlockMeta& m = meta_[block_index(chip, blk)];
   const nand::PageAddr pa{chip, blk, page};
   // The live data sits in the page's latest programmed slot.
@@ -123,6 +125,10 @@ bool SubpagePool::acquire_slot(std::uint32_t chip, SimTime& t,
         m.written_at.assign(geo_.pages_per_block, 0.0);
         active = *fresh;
         ++blocks_in_use_;
+        if (sink_)
+          sink_->record_block({telemetry::BlockEventKind::kAllocated, chip,
+                               *fresh, "sub", 0, 0,
+                               dev_.block(chip, *fresh).pe_cycles(), t});
         continue;
       }
     }
@@ -152,6 +158,10 @@ bool SubpagePool::acquire_slot(std::uint32_t chip, SimTime& t,
     m.cursor = 0;
     m.active = true;
     active = *best;
+    if (sink_)
+      sink_->record_block({telemetry::BlockEventKind::kLevelAdvanced, chip,
+                           *best, "sub", m.level, m.valid_count,
+                           dev_.block(chip, *best).pe_cycles(), t});
   }
 }
 
@@ -272,6 +282,13 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
 
   const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
   const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+  // Everything in this pass -- forwards, hot rewrites, evictions into the
+  // full-page region, the final erase -- attributes to this GC episode.
+  const telemetry::CauseScope cause(
+      sink_,
+      for_wear_leveling ? telemetry::Cause::kWearLevel
+                        : telemetry::Cause::kGcCopy,
+      idx, now);
   BlockMeta& victim = meta_[idx];
   // Lock the victim so the hot-rewrite path below can neither advance it
   // nor write into it -- its erase is already committed.
@@ -319,6 +336,13 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
 
   const auto ack = dev_.erase_block(chip, blk, t);
   ++stats_.flash_erases;
+  if (sink_) {
+    const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
+    sink_->record_block({telemetry::BlockEventKind::kErased, chip, blk, "sub",
+                         victim.level, victim.valid_count, pe, ack.done});
+    sink_->record_block({telemetry::BlockEventKind::kRetired, chip, blk,
+                         "sub", 0, 0, pe, ack.done});
+  }
   victim.owned = false;
   index_remove(chip, blk);
   victim.active = false;
@@ -357,8 +381,17 @@ SimTime SubpagePool::release_idle_blocks(SimTime now) {
       // Keep pristine never-programmed blocks? They do not exist here: a
       // block is only owned once it has received writes.
       ++stats_.gc_invocations;  // garbage-only collection, zero copies
+      const telemetry::CauseScope cause(
+          sink_, telemetry::Cause::kGcCopy, block_index(chip, b), now);
       const auto ack = dev_.erase_block(chip, b, now);
       ++stats_.flash_erases;
+      if (sink_) {
+        const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
+        sink_->record_block({telemetry::BlockEventKind::kErased, chip, b,
+                             "sub", m.level, 0, pe, ack.done});
+        sink_->record_block({telemetry::BlockEventKind::kRetired, chip, b,
+                             "sub", 0, 0, pe, ack.done});
+      }
       now = ack.done;
       m.owned = false;
       owned.erase(owned.begin() + static_cast<std::ptrdiff_t>(i));
@@ -425,6 +458,9 @@ SimTime SubpagePool::retention_scan(SimTime now) {
         t = std::max(t, read.done);
       }
       if (!evictions.empty()) {
+        const telemetry::CauseScope cause(sink_,
+                                          telemetry::Cause::kRetentionEvict,
+                                          block_index(chip, b), block_start);
         t = evict_(evictions, t, /*retention=*/true);
         if (sink_)
           sink_->record_op({telemetry::OpKind::kRetentionEvict, block_start, t,

@@ -67,7 +67,8 @@ OpAck NandDevice::program_full(const PageAddr& addr,
   OpAck ack{schedule(addr.chip, timing_.prog_full_us, geo_.page_bytes,
                      /*transfer_first=*/true, now)};
   if (sink_)
-    sink_->record_op({telemetry::OpKind::kProgFull, now, ack.done, addr.page});
+    sink_->record_op({telemetry::OpKind::kProgFull, now, ack.done, addr.page,
+                      0, addr.chip, addr.block});
   return ack;
 }
 
@@ -80,7 +81,7 @@ OpAck NandDevice::program_subpage(const SubpageAddr& addr, std::uint64_t token,
                      geo_.subpage_bytes(), /*transfer_first=*/true, now)};
   if (sink_)
     sink_->record_op({telemetry::OpKind::kProgSub, now, ack.done, addr.slot,
-                      addr.page.page});
+                      addr.page.page, addr.page.chip, addr.page.block});
   return ack;
 }
 
@@ -141,7 +142,9 @@ ReadAck NandDevice::read_subpage(const SubpageAddr& addr, SimTime now) {
   ++counters_.reads_sub;
   ack.done = schedule(addr.page.chip, timing_.read_sub_us,
                       geo_.subpage_bytes(), /*transfer_first=*/false, now);
-  if (sink_) sink_->record_op({telemetry::OpKind::kRead, now, ack.done, 1});
+  if (sink_)
+    sink_->record_op({telemetry::OpKind::kRead, now, ack.done, 1, 0,
+                      addr.page.chip, addr.page.block});
   return ack;
 }
 
@@ -156,8 +159,8 @@ PageReadAck NandDevice::read_page(const PageAddr& addr, SimTime now) {
   ack.done = schedule(addr.chip, timing_.read_full_us, geo_.page_bytes,
                       /*transfer_first=*/false, now);
   if (sink_)
-    sink_->record_op(
-        {telemetry::OpKind::kRead, now, ack.done, geo_.subpages_per_page});
+    sink_->record_op({telemetry::OpKind::kRead, now, ack.done,
+                      geo_.subpages_per_page, 0, addr.chip, addr.block});
   return ack;
 }
 
@@ -177,7 +180,8 @@ OpAck NandDevice::copyback(const PageAddr& src, const PageAddr& dst,
   OpAck ack{schedule(src.chip, timing_.read_full_us + timing_.prog_full_us,
                      /*xfer_bytes=*/0, /*transfer_first=*/true, now)};
   if (sink_)
-    sink_->record_op({telemetry::OpKind::kProgFull, now, ack.done, dst.page});
+    sink_->record_op({telemetry::OpKind::kProgFull, now, ack.done, dst.page,
+                      0, dst.chip, dst.block});
   return ack;
 }
 
@@ -190,8 +194,8 @@ OpAck NandDevice::erase_block(std::uint32_t chip, std::uint32_t block,
   OpAck ack{schedule(chip, timing_.erase_us, /*xfer_bytes=*/0,
                      /*transfer_first=*/true, now)};
   if (sink_)
-    sink_->record_op(
-        {telemetry::OpKind::kErase, now, ack.done, blk.pe_cycles()});
+    sink_->record_op({telemetry::OpKind::kErase, now, ack.done,
+                      blk.pe_cycles(), 0, chip, block});
   return ack;
 }
 

@@ -1,0 +1,228 @@
+#include "telemetry/auditor.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace esp::telemetry {
+
+std::string format_cause_chain(std::span<const CauseFrame> chain) {
+  if (chain.empty()) return "host";
+  std::string out;
+  for (const CauseFrame& frame : chain) {
+    if (!out.empty()) out += '>';
+    out += cause_name(frame.cause);
+    char detail[32];
+    std::snprintf(detail, sizeof detail, "(%llu)",
+                  static_cast<unsigned long long>(frame.detail));
+    out += detail;
+  }
+  return out;
+}
+
+Auditor::Auditor(const AuditorConfig& config)
+    : cfg_(config),
+      blocks_(static_cast<std::size_t>(config.chips) *
+              config.blocks_per_chip) {}
+
+Auditor::BlockState& Auditor::state(std::uint32_t chip, std::uint32_t block) {
+  return blocks_[static_cast<std::size_t>(chip) * cfg_.blocks_per_chip +
+                 block];
+}
+
+std::uint8_t Auditor::pool_id(const char* pool) {
+  for (std::size_t i = 0; i < pool_names_.size(); ++i)
+    if (pool_names_[i] == pool) return static_cast<std::uint8_t>(i + 1);
+  if (pool_names_.size() >= 250) return 0;
+  pool_names_.emplace_back(pool);
+  const auto id = static_cast<std::uint8_t>(pool_names_.size());
+  if (pool_names_.back() == "sub") sub_pool_id_ = id;
+  return id;
+}
+
+void Auditor::reset_cycle(BlockState& bs) {
+  bs.mode = 0;
+  bs.next_page = 0;
+  bs.pages_programmed = 0;
+  bs.next_slot.assign(cfg_.pages_per_block, 0);
+}
+
+void Auditor::fail(const std::string& what, std::uint32_t chip,
+                   std::uint32_t block, std::span<const CauseFrame> chain) {
+  ++violation_count_;
+  char where[64];
+  std::snprintf(where, sizeof where, " [chip %u block %u] cause chain: ",
+                chip, block);
+  const std::string msg =
+      "auditor: " + what + where + format_cause_chain(chain);
+  if (cfg_.fail_fast) throw std::logic_error(msg);
+  if (violations_.size() < cfg_.max_violations) violations_.push_back(msg);
+}
+
+void Auditor::on_op(const OpEvent& event, std::span<const CauseFrame> chain) {
+  switch (event.kind) {
+    case OpKind::kProgSub:
+      ++ops_checked_;
+      check_prog_sub(event, chain);
+      break;
+    case OpKind::kProgFull:
+      ++ops_checked_;
+      check_prog_full(event, chain);
+      break;
+    case OpKind::kErase:
+      ++ops_checked_;
+      check_erase(event, chain);
+      break;
+    default:
+      break;
+  }
+}
+
+void Auditor::check_prog_sub(const OpEvent& event,
+                             std::span<const CauseFrame> chain) {
+  if (event.chip == kNoChip) return;
+  BlockState& bs = state(event.chip, event.block);
+  if (bs.next_slot.empty()) bs.next_slot.assign(cfg_.pages_per_block, 0);
+  const auto page = static_cast<std::uint32_t>(event.arg1);
+  const auto slot = static_cast<std::uint32_t>(event.arg0);
+  if (page >= cfg_.pages_per_block) {
+    fail("subpage program beyond block (page " + std::to_string(page) + ")",
+         event.chip, event.block, chain);
+    return;
+  }
+  if (slot >= cfg_.subpages_per_page) {
+    fail("subpage program to slot " + std::to_string(slot) +
+             " beyond Npp-1",
+         event.chip, event.block, chain);
+    return;
+  }
+  if (bs.mode == 2)
+    fail("subpage program into a full-page block (mode mix within one "
+         "erase cycle)",
+         event.chip, event.block, chain);
+  bs.mode = 1;
+  const std::uint32_t expected = bs.next_slot[page];
+  if (slot < expected) {
+    fail("subpage slot " + std::to_string(slot) + " of page " +
+             std::to_string(page) +
+             " re-programmed without an erase (frontier at " +
+             std::to_string(expected) + ")",
+         event.chip, event.block, chain);
+    return;
+  }
+  if (bs.synced) {
+    if (!bs.allocated)
+      fail("subpage program to a block no pool owns", event.chip,
+           event.block, chain);
+    if (slot != expected)
+      fail("subpage program to non-frontier slot " + std::to_string(slot) +
+               " of page " + std::to_string(page) + " (frontier at " +
+               std::to_string(expected) + ")",
+           event.chip, event.block, chain);
+    if (sub_pool_id_ != 0 && bs.pool == sub_pool_id_ && slot != bs.level)
+      fail("subpage program to slot " + std::to_string(slot) +
+               " outside the block's current ESP level " +
+               std::to_string(bs.level),
+           event.chip, event.block, chain);
+  }
+  if (bs.next_slot[page] == 0) ++bs.pages_programmed;
+  bs.next_slot[page] = static_cast<std::uint8_t>(slot + 1);
+}
+
+void Auditor::check_prog_full(const OpEvent& event,
+                              std::span<const CauseFrame> chain) {
+  if (event.chip == kNoChip) return;
+  BlockState& bs = state(event.chip, event.block);
+  const auto page = static_cast<std::uint32_t>(event.arg0);
+  if (page >= cfg_.pages_per_block) {
+    fail("full-page program beyond block (page " + std::to_string(page) +
+             ")",
+         event.chip, event.block, chain);
+    return;
+  }
+  if (bs.mode == 1)
+    fail("full-page program into a subpage block (mode mix within one "
+         "erase cycle)",
+         event.chip, event.block, chain);
+  bs.mode = 2;
+  if (page < bs.next_page) {
+    fail("full page " + std::to_string(page) +
+             " re-programmed without an erase (frontier at " +
+             std::to_string(bs.next_page) + ")",
+         event.chip, event.block, chain);
+    return;
+  }
+  if (bs.synced) {
+    if (!bs.allocated)
+      fail("full-page program to a block no pool owns", event.chip,
+           event.block, chain);
+    if (page != bs.next_page)
+      fail("non-sequential full-page program to page " +
+               std::to_string(page) + " (frontier at " +
+               std::to_string(bs.next_page) + ")",
+           event.chip, event.block, chain);
+  }
+  bs.next_page = page + 1;
+  ++bs.pages_programmed;
+}
+
+void Auditor::check_erase(const OpEvent& event,
+                          std::span<const CauseFrame> /*chain*/) {
+  if (event.chip == kNoChip) return;
+  BlockState& bs = state(event.chip, event.block);
+  reset_cycle(bs);
+  bs.synced = true;
+  bs.level = 0;
+}
+
+void Auditor::on_block(const BlockLifecycleEvent& event,
+                       std::span<const CauseFrame> chain) {
+  if (event.chip >= cfg_.chips || event.block >= cfg_.blocks_per_chip)
+    return;
+  BlockState& bs = state(event.chip, event.block);
+  switch (event.kind) {
+    case BlockEventKind::kAllocated:
+      if (bs.synced && bs.allocated)
+        fail("block allocated twice without a retire", event.chip,
+             event.block, chain);
+      if (bs.synced && bs.mode != 0)
+        fail("non-erased block handed out by the allocator", event.chip,
+             event.block, chain);
+      // The allocator only hands out erased blocks, so allocation syncs
+      // the model even if the erase predated telemetry attach.
+      if (!bs.synced) reset_cycle(bs);
+      bs.synced = true;
+      bs.allocated = true;
+      bs.pool = pool_id(event.pool);
+      bs.level = event.level;
+      break;
+    case BlockEventKind::kLevelAdvanced:
+      if (bs.synced && event.level != bs.level + 1)
+        fail("ESP level advanced from " + std::to_string(bs.level) +
+                 " to " + std::to_string(event.level) + " (must be +1)",
+             event.chip, event.block, chain);
+      if (bs.synced && event.valid > bs.pages_programmed)
+        fail("valid count " + std::to_string(event.valid) +
+                 " exceeds pages programmed this cycle (" +
+                 std::to_string(bs.pages_programmed) + ")",
+             event.chip, event.block, chain);
+      bs.level = event.level;
+      break;
+    case BlockEventKind::kErased:
+      if (event.valid != 0)
+        fail("erase of a block still holding " +
+                 std::to_string(event.valid) +
+                 " valid sectors (must be fully invalid or relocated)",
+             event.chip, event.block, chain);
+      break;
+    case BlockEventKind::kRetired:
+      bs.allocated = false;
+      bs.pool = 0;
+      bs.level = 0;
+      break;
+    case BlockEventKind::kConverted:
+    case BlockEventKind::kCount:
+      break;
+  }
+}
+
+}  // namespace esp::telemetry

@@ -1,0 +1,102 @@
+// Online invariant auditor: a debug-mode sink validating FTL contracts as
+// telemetry events arrive, failing fast with the offending cause chain.
+//
+// Invariants checked per physical block, per erase cycle:
+//   I1  each subpage slot is programmed at most once (ESP's core rule);
+//   I2  subpage programs land on the frontier slot only -- for a page
+//       with k programmed slots the next program must target slot k;
+//   I3  for blocks owned by the subpage pool, the programmed slot equals
+//       the block's current ESP level (frontier agreement with the pool);
+//   I4  full-page programs append sequentially (page k, then k+1, ...);
+//   I5  full-page and subpage programs never mix within one erase cycle;
+//   I6  a block is erased only when fully invalid or relocated: the
+//       erased lifecycle event must report valid == 0;
+//   I7  programs only target blocks a pool currently owns (allocation
+//       bracketing), and valid counts never exceed programmed capacity.
+//
+// Synchronization: telemetry usually attaches after preconditioning, so
+// the auditor starts with no knowledge of block state. A block becomes
+// *synced* (strictly checked) at its first observed erase or allocation --
+// the shared allocator only hands out erased blocks, so allocation implies
+// a clean slate. Until synced, only monotonicity violations (a slot or
+// page re-programmed without an intervening erase) are detectable and
+// reported.
+//
+// Failure mode: fail_fast (default) throws std::logic_error whose message
+// carries the invariant, the physical address and the active cause chain;
+// otherwise violations accumulate (bounded) for inspection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/causes.h"
+#include "telemetry/sink.h"
+
+namespace esp::telemetry {
+
+struct AuditorConfig {
+  std::uint32_t chips = 0;
+  std::uint32_t blocks_per_chip = 0;
+  std::uint32_t pages_per_block = 0;
+  std::uint32_t subpages_per_page = 0;
+  bool fail_fast = true;
+  /// Retained violation messages when not failing fast.
+  std::size_t max_violations = 64;
+};
+
+class Auditor {
+ public:
+  explicit Auditor(const AuditorConfig& config);
+
+  /// Feed one op event (flash-lane kinds are checked, others ignored).
+  void on_op(const OpEvent& event, std::span<const CauseFrame> chain);
+  /// Feed one block lifecycle transition.
+  void on_block(const BlockLifecycleEvent& event,
+                std::span<const CauseFrame> chain);
+
+  std::uint64_t ops_checked() const { return ops_checked_; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  // Per-block model of the current erase cycle.
+  struct BlockState {
+    bool synced = false;     ///< state known exactly since an erase/alloc
+    bool allocated = false;  ///< currently owned by a pool (synced only)
+    std::uint8_t mode = 0;   ///< 0 none, 1 sub, 2 full (this erase cycle)
+    std::uint8_t pool = 0;   ///< owning pool id + 1 (0 = unknown)
+    std::uint32_t level = 0;      ///< ESP level from lifecycle events
+    std::uint32_t next_page = 0;  ///< full-page append frontier
+    std::uint32_t pages_programmed = 0;  ///< distinct pages this cycle
+    /// Per-page next expected slot (sub mode); lazily sized.
+    std::vector<std::uint8_t> next_slot;
+  };
+
+  BlockState& state(std::uint32_t chip, std::uint32_t block);
+  std::uint8_t pool_id(const char* pool);
+  void reset_cycle(BlockState& bs);
+  void fail(const std::string& what, std::uint32_t chip, std::uint32_t block,
+            std::span<const CauseFrame> chain);
+
+  void check_prog_sub(const OpEvent& event, std::span<const CauseFrame> chain);
+  void check_prog_full(const OpEvent& event,
+                       std::span<const CauseFrame> chain);
+  void check_erase(const OpEvent& event, std::span<const CauseFrame> chain);
+
+  AuditorConfig cfg_;
+  std::vector<BlockState> blocks_;
+  std::vector<std::string> pool_names_;
+  std::uint8_t sub_pool_id_ = 0;  ///< id of the "sub" pool once seen
+  std::uint64_t ops_checked_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<std::string> violations_;
+};
+
+/// Human-readable cause chain, outermost first: "host>gc_copy(12)".
+/// An empty chain renders as "host".
+std::string format_cause_chain(std::span<const CauseFrame> chain);
+
+}  // namespace esp::telemetry

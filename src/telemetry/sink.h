@@ -9,14 +9,20 @@
 //     detail arguments;
 //   * named metrics -- registered once at attach time into the sink's
 //     MetricsRegistry (counters can be *bound* to existing struct fields,
-//     so the hot-path increment stays a plain `++stats_.field`).
+//     so the hot-path increment stays a plain `++stats_.field`);
+//   * cause scopes -- RAII windows (CauseScope) around FTL mechanisms
+//     (GC, RMW, flush, forward migration, retention eviction, wear
+//     leveling) so flash ops recorded inside them attribute to a cause;
+//   * block lifecycle events -- allocation / frontier-advance / erase /
+//     retire transitions of physical blocks (see causes.h).
 //
 // With no sink attached, instrumentation compiles to a null-pointer check;
-// layers must guard every call with `if (sink_)`.
+// layers must guard every call with `if (sink_)` (CauseScope is null-safe).
 #pragma once
 
 #include <cstdint>
 
+#include "telemetry/causes.h"
 #include "util/sim_time.h"
 
 namespace esp::telemetry {
@@ -70,14 +76,22 @@ constexpr const char* op_name(OpKind kind) {
   return "unknown";
 }
 
+/// chip/block sentinel for OpEvents without a physical block address.
+inline constexpr std::uint32_t kNoChip = 0xFFFFFFFFu;
+
 /// One recorded operation: a closed simulated-time span plus two
-/// kind-specific detail arguments (see OpKind comments).
+/// kind-specific detail arguments (see OpKind comments). Flash-lane events
+/// additionally carry the physical chip/block they touched so journal and
+/// auditor sinks can follow per-block state; host/FTL-lane events leave
+/// chip at kNoChip.
 struct OpEvent {
   OpKind kind = OpKind::kCount;
   SimTime start = 0.0;
   SimTime end = 0.0;
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
+  std::uint32_t chip = kNoChip;
+  std::uint32_t block = 0;
 };
 
 class Sink {
@@ -89,6 +103,36 @@ class Sink {
 
   /// Registry for attach-time metric registration.
   virtual MetricsRegistry& registry() = 0;
+
+  /// Opens/closes a cause scope; flash ops recorded while a scope is open
+  /// are attributed to the innermost cause (see causes.h). Base default:
+  /// no-op, so sinks that do not attribute (tests, custom sinks) need not
+  /// override.
+  virtual void push_cause(Cause /*cause*/, std::uint64_t /*detail*/,
+                          SimTime /*at*/) {}
+  virtual void pop_cause() {}
+
+  /// Records one block lifecycle transition. Base default: no-op.
+  virtual void record_block(const BlockLifecycleEvent& /*event*/) {}
+};
+
+/// Null-safe RAII cause scope: pushes on construction, pops on
+/// destruction. Safe to construct with a null sink (does nothing), which
+/// keeps call sites free of `if (sink_)` branches around whole mechanisms.
+class CauseScope {
+ public:
+  CauseScope(Sink* sink, Cause cause, std::uint64_t detail, SimTime at)
+      : sink_(sink) {
+    if (sink_) sink_->push_cause(cause, detail, at);
+  }
+  ~CauseScope() {
+    if (sink_) sink_->pop_cause();
+  }
+  CauseScope(const CauseScope&) = delete;
+  CauseScope& operator=(const CauseScope&) = delete;
+
+ private:
+  Sink* sink_;
 };
 
 }  // namespace esp::telemetry

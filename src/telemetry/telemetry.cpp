@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "telemetry/auditor.h"
+#include "telemetry/journal.h"
+
 namespace esp::telemetry {
 namespace {
 
@@ -24,6 +27,15 @@ Telemetry::Telemetry(const TelemetryConfig& config)
     cumulative_[k] = &registry_.histogram(name, kLatLoUs, kLatHiUs, kLatBuckets);
     window_.emplace_back(kLatLoUs, kLatHiUs, kLatBuckets);
   }
+  for (std::size_t c = 0; c < kCauseCount; ++c) {
+    const std::string prefix =
+        std::string("cause/") + cause_name(static_cast<Cause>(c));
+    registry_.bind_counter(prefix + "/prog_full", &cause_progs_full_[c]);
+    registry_.bind_counter(prefix + "/prog_sub", &cause_progs_sub_[c]);
+    registry_.bind_counter(prefix + "/erase", &cause_erases_[c]);
+    cause_latency_[c] = &registry_.histogram(prefix + "/latency_us", kLatLoUs,
+                                             kLatHiUs, kLatBuckets);
+  }
 }
 
 void Telemetry::record_op(const OpEvent& event) {
@@ -34,6 +46,58 @@ void Telemetry::record_op(const OpEvent& event) {
   window_[k].add(dur);
   trace_.push(TraceEvent{event.kind, current_request_, event.start, dur,
                          event.arg0, event.arg1});
+
+  // Causal attribution: every flash program/erase lands in exactly one
+  // per-cause bucket (the innermost open scope; host when none).
+  switch (event.kind) {
+    case OpKind::kProgFull:
+    case OpKind::kProgSub:
+    case OpKind::kErase: {
+      const auto c = static_cast<std::size_t>(current_cause());
+      if (event.kind == OpKind::kProgFull)
+        ++cause_progs_full_[c];
+      else if (event.kind == OpKind::kProgSub)
+        ++cause_progs_sub_[c];
+      else
+        ++cause_erases_[c];
+      cause_latency_[c]->add(dur);
+      break;
+    }
+    default:
+      break;
+  }
+
+  if (journal_)
+    journal_->on_op(event, current_cause(), cause_stack_, current_request_);
+  if (auditor_) auditor_->on_op(event, cause_stack_);
+}
+
+void Telemetry::push_cause(Cause cause, std::uint64_t detail, SimTime at) {
+  cause_stack_.push_back(CauseFrame{cause, detail, at});
+  if (journal_) journal_->on_scope('B', cause_stack_.back());
+}
+
+void Telemetry::pop_cause() {
+  if (cause_stack_.empty()) return;
+  const CauseFrame top = cause_stack_.back();
+  cause_stack_.pop_back();
+  if (journal_) journal_->on_scope('E', top);
+}
+
+void Telemetry::record_block(const BlockLifecycleEvent& event) {
+  if (journal_) journal_->on_block(event);
+  if (auditor_) auditor_->on_block(event, cause_stack_);
+}
+
+std::uint64_t Telemetry::cause_count(Cause cause, OpKind kind) const {
+  const auto c = static_cast<std::size_t>(cause);
+  if (c >= kCauseCount) return 0;
+  switch (kind) {
+    case OpKind::kProgFull: return cause_progs_full_[c];
+    case OpKind::kProgSub: return cause_progs_sub_[c];
+    case OpKind::kErase: return cause_erases_[c];
+    default: return 0;
+  }
 }
 
 std::uint32_t Telemetry::begin_request(SimTime /*issue*/) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/causes.h"
 #include "telemetry/metrics.h"
 #include "telemetry/sampler.h"
 #include "telemetry/sink.h"
@@ -26,6 +27,9 @@
 #include "util/histogram.h"
 
 namespace esp::telemetry {
+
+class Journal;
+class Auditor;
 
 struct TelemetryConfig {
   std::size_t trace_capacity = 1 << 16;
@@ -40,6 +44,9 @@ class Telemetry : public Sink {
   // --- Sink ---------------------------------------------------------
   MetricsRegistry& registry() override { return registry_; }
   void record_op(const OpEvent& event) override;
+  void push_cause(Cause cause, std::uint64_t detail, SimTime at) override;
+  void pop_cause() override;
+  void record_block(const BlockLifecycleEvent& event) override;
 
   const MetricsRegistry& registry() const { return registry_; }
   TraceRing& trace() { return trace_; }
@@ -58,6 +65,25 @@ class Telemetry : public Sink {
                    std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
 
   std::uint64_t requests_started() const { return next_request_id_ - 1; }
+
+  // --- Causal attribution -------------------------------------------
+  /// Innermost open cause scope (kHost when none is open). Every flash
+  /// program/erase recorded through this sink increments exactly one
+  /// per-cause bucket, so summing cause_count over all causes reproduces
+  /// the device's program/erase counters bit-exactly (since attach).
+  Cause current_cause() const {
+    return cause_stack_.empty() ? Cause::kHost : cause_stack_.back().cause;
+  }
+  /// Per-cause flash-op count; `kind` must be kProgFull, kProgSub or
+  /// kErase (anything else returns 0).
+  std::uint64_t cause_count(Cause cause, OpKind kind) const;
+
+  /// Attaches a Journal / Auditor downstream sink (nullptr detaches).
+  /// Both must outlive their attachment; detach before destroying them.
+  void set_journal(Journal* journal) { journal_ = journal; }
+  void set_auditor(Auditor* auditor) { auditor_ = auditor; }
+  Journal* journal() const { return journal_; }
+  Auditor* auditor() const { return auditor_; }
 
   // --- Sampler integration (driver only) ----------------------------
   /// Fills `sample`'s per-op and merged latency percentiles from the
@@ -78,6 +104,17 @@ class Telemetry : public Sink {
   util::Histogram* cumulative_[kOpKindCount] = {};
   /// Per-sampling-window latency histograms, reset on harvest.
   std::vector<util::Histogram> window_;
+
+  // Causal attribution state. The counters are bound into the registry as
+  // "cause/<name>/prog_full|prog_sub|erase"; the histograms are owned by
+  // the registry as "cause/<name>/latency_us".
+  std::vector<CauseFrame> cause_stack_;
+  std::uint64_t cause_progs_full_[kCauseCount] = {};
+  std::uint64_t cause_progs_sub_[kCauseCount] = {};
+  std::uint64_t cause_erases_[kCauseCount] = {};
+  util::Histogram* cause_latency_[kCauseCount] = {};
+  Journal* journal_ = nullptr;
+  Auditor* auditor_ = nullptr;
 };
 
 }  // namespace esp::telemetry

@@ -72,6 +72,24 @@ void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
   w.end_object();
 }
 
+// Chrome trace metadata ("M") event naming the process or a lane thread,
+// so Perfetto/chrome://tracing show host/ftl/nand labels instead of bare
+// tids.
+void write_metadata(std::ostream& os, const char* what, int tid,
+                    const char* name) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", what);
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.kv("tid", static_cast<std::uint64_t>(tid));
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
 }  // namespace
 
 TraceRing::TraceRing(std::size_t capacity)
@@ -110,11 +128,17 @@ void TraceRing::dump_jsonl(std::ostream& os) const {
 
 void TraceRing::dump_chrome(std::ostream& os) const {
   os << "[\n";
-  for (std::size_t i = 0; i < size(); ++i) {
-    write_event(os, at(i));
-    os << (i + 1 < size() ? ",\n" : "\n");
+  write_metadata(os, "process_name", 0, "espnand");
+  static constexpr const char* kLaneNames[] = {"host", "ftl", "nand"};
+  for (int tid = 0; tid < 3; ++tid) {
+    os << ",\n";
+    write_metadata(os, "thread_name", tid, kLaneNames[tid]);
   }
-  os << "]\n";
+  for (std::size_t i = 0; i < size(); ++i) {
+    os << ",\n";
+    write_event(os, at(i));
+  }
+  os << "\n]\n";
 }
 
 }  // namespace esp::telemetry

@@ -1,0 +1,148 @@
+// Causal attribution acceptance (issue tentpole):
+//   (a) for every FTL, the per-cause write decomposition sums EXACTLY
+//       (bit-exact integer counts) to the device's physical program/erase
+//       counters -- telemetry attaches before preconditioning so the cause
+//       buckets cover the device's whole life;
+//   (b) the online invariant auditor runs clean over the same window;
+//   (c) the journal written alongside is well-formed (hdr first, end
+//       trailer last, op lines carry causes) and its op lines reconcile
+//       with the same counters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/ssd.h"
+#include "telemetry/auditor.h"
+#include "telemetry/journal.h"
+#include "telemetry/telemetry.h"
+#include "test_common.h"
+#include "workload/synthetic.h"
+
+namespace esp {
+namespace {
+
+using core::FtlKind;
+using test::tiny_config;
+
+workload::SyntheticParams churn_params(const core::Ssd& ssd) {
+  workload::SyntheticParams params;
+  params.footprint_sectors = ssd.logical_sectors();
+  params.request_count = 20000;
+  params.r_small = 0.8;
+  params.r_synch = 0.7;
+  params.read_fraction = 0.2;
+  params.seed = 11;
+  return params;
+}
+
+class CausalAttribution : public ::testing::TestWithParam<FtlKind> {};
+
+TEST_P(CausalAttribution, CauseSharesSumToDeviceCountersExactly) {
+  const auto cfg = tiny_config(GetParam());
+
+  telemetry::Telemetry tel;
+  std::ostringstream journal_os;
+  telemetry::JournalHeader hdr;
+  hdr.ftl = core::ftl_kind_name(GetParam());
+  hdr.chips = cfg.geometry.total_chips();
+  hdr.blocks_per_chip = cfg.geometry.blocks_per_chip;
+  hdr.pages_per_block = cfg.geometry.pages_per_block;
+  hdr.subpages_per_page = cfg.geometry.subpages_per_page;
+  hdr.page_bytes = cfg.geometry.page_bytes;
+  hdr.seed = 11;
+  telemetry::Journal journal(journal_os, hdr);
+  telemetry::AuditorConfig acfg;
+  acfg.chips = cfg.geometry.total_chips();
+  acfg.blocks_per_chip = cfg.geometry.blocks_per_chip;
+  acfg.pages_per_block = cfg.geometry.pages_per_block;
+  acfg.subpages_per_page = cfg.geometry.subpages_per_page;
+  telemetry::Auditor auditor(acfg);
+  tel.set_journal(&journal);
+  tel.set_auditor(&auditor);
+
+  core::Ssd ssd(cfg);
+  // Attach BEFORE preconditioning: the cause buckets then cover every
+  // program/erase the device ever executed, so the sums below must equal
+  // the device's lifetime counters bit-exactly.
+  ssd.attach_telemetry(&tel);
+  ssd.precondition(1.0);
+  workload::SyntheticWorkload stream(churn_params(ssd));
+  const auto metrics = ssd.driver().run(stream, /*verify=*/true);
+  EXPECT_EQ(metrics.verify_failures, 0u);
+  ASSERT_GT(metrics.ftl_stats.gc_invocations, 0u)
+      << "workload too light to exercise GC attribution";
+
+  // (a) exact decomposition: sum over causes == device counters.
+  using telemetry::Cause;
+  using telemetry::OpKind;
+  std::uint64_t progs_full = 0, progs_sub = 0, erases = 0;
+  for (std::size_t c = 0; c < telemetry::kCauseCount; ++c) {
+    const auto cause = static_cast<Cause>(c);
+    progs_full += tel.cause_count(cause, OpKind::kProgFull);
+    progs_sub += tel.cause_count(cause, OpKind::kProgSub);
+    erases += tel.cause_count(cause, OpKind::kErase);
+  }
+  const auto& dev = ssd.device().counters();
+  EXPECT_EQ(progs_full, dev.progs_full);
+  EXPECT_EQ(progs_sub, dev.progs_sub);
+  EXPECT_EQ(erases, dev.erases);
+  EXPECT_GT(progs_full + progs_sub, 0u);
+
+  // GC ran, so non-host attribution must be non-empty.
+  const std::uint64_t mech_erases =
+      tel.cause_count(Cause::kGcCopy, OpKind::kErase) +
+      tel.cause_count(Cause::kWearLevel, OpKind::kErase) +
+      tel.cause_count(Cause::kRetentionEvict, OpKind::kErase) +
+      tel.cause_count(Cause::kFlush, OpKind::kErase) +
+      tel.cause_count(Cause::kRmw, OpKind::kErase);
+  EXPECT_GT(mech_erases, 0u);
+
+  // The registry mirrors the same buckets under "cause/<name>/...".
+  EXPECT_EQ(tel.registry().counter_value("cause/gc_copy/erase"),
+            tel.cause_count(Cause::kGcCopy, OpKind::kErase));
+  EXPECT_EQ(tel.registry().counter_value("cause/host/prog_full"),
+            tel.cause_count(Cause::kHost, OpKind::kProgFull));
+
+  // (b) auditor clean across precondition + run.
+  EXPECT_EQ(auditor.violation_count(), 0u);
+  EXPECT_GT(auditor.ops_checked(), 0u);
+
+  // (c) journal well-formed and op lines reconcile with the counters.
+  journal.finish();
+  tel.set_journal(nullptr);
+  tel.set_auditor(nullptr);
+  const std::string text = journal_os.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.find("{\"v\":1,\"t\":\"hdr\""), 0u);
+  EXPECT_NE(text.find("\"t\":\"end\""), std::string::npos);
+  EXPECT_EQ(journal.truncated(), 0u);
+
+  std::uint64_t op_prog_full = 0, op_prog_sub = 0, op_erase = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"t\":\"op\"") == std::string::npos) continue;
+    EXPECT_NE(line.find("\"cause\":\""), std::string::npos);
+    if (line.find("\"op\":\"prog_full\"") != std::string::npos)
+      ++op_prog_full;
+    else if (line.find("\"op\":\"prog_sub\"") != std::string::npos)
+      ++op_prog_sub;
+    else if (line.find("\"op\":\"erase\"") != std::string::npos)
+      ++op_erase;
+  }
+  EXPECT_EQ(op_prog_full, dev.progs_full);
+  EXPECT_EQ(op_prog_sub, dev.progs_sub);
+  EXPECT_EQ(op_erase, dev.erases);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFtls, CausalAttribution,
+                         ::testing::Values(FtlKind::kCgm, FtlKind::kFgm,
+                                           FtlKind::kSub,
+                                           FtlKind::kSectorLog),
+                         [](const auto& info) {
+                           return core::ftl_kind_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace esp

@@ -1,0 +1,181 @@
+#include "telemetry/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace esp::telemetry {
+namespace {
+
+AuditorConfig config(bool fail_fast = true) {
+  AuditorConfig cfg;
+  cfg.chips = 2;
+  cfg.blocks_per_chip = 4;
+  cfg.pages_per_block = 4;
+  cfg.subpages_per_page = 4;
+  cfg.fail_fast = fail_fast;
+  return cfg;
+}
+
+OpEvent prog_sub(std::uint32_t chip, std::uint32_t block, std::uint32_t page,
+                 std::uint32_t slot) {
+  OpEvent e;
+  e.kind = OpKind::kProgSub;
+  e.arg0 = slot;
+  e.arg1 = page;
+  e.chip = chip;
+  e.block = block;
+  return e;
+}
+
+OpEvent prog_full(std::uint32_t chip, std::uint32_t block,
+                  std::uint32_t page) {
+  OpEvent e;
+  e.kind = OpKind::kProgFull;
+  e.arg0 = page;
+  e.chip = chip;
+  e.block = block;
+  return e;
+}
+
+OpEvent erase(std::uint32_t chip, std::uint32_t block) {
+  OpEvent e;
+  e.kind = OpKind::kErase;
+  e.chip = chip;
+  e.block = block;
+  return e;
+}
+
+BlockLifecycleEvent alloc(std::uint32_t chip, std::uint32_t block,
+                          const char* pool, std::uint32_t level = 0) {
+  return {BlockEventKind::kAllocated, chip, block, pool, level, 0, 0, 0.0};
+}
+
+TEST(FormatCauseChain, EmptyChainIsHost) {
+  EXPECT_EQ(format_cause_chain({}), "host");
+}
+
+TEST(FormatCauseChain, FramesJoinOutermostFirst) {
+  const CauseFrame chain[] = {{Cause::kFlush, 5, 0.0},
+                              {Cause::kGcCopy, 19, 0.0}};
+  EXPECT_EQ(format_cause_chain(chain), "flush(5)>gc_copy(19)");
+}
+
+TEST(Auditor, CleanEspSequencePasses) {
+  Auditor a(config());
+  a.on_block(alloc(0, 0, "sub"), {});
+  // Level 0: slot 0 of each page, sequentially.
+  for (std::uint32_t page = 0; page < 4; ++page)
+    a.on_op(prog_sub(0, 0, page, 0), {});
+  // Frontier advances to level 1; slot 1 programs become legal.
+  a.on_block({BlockEventKind::kLevelAdvanced, 0, 0, "sub", 1, 4, 0, 0.0}, {});
+  for (std::uint32_t page = 0; page < 4; ++page)
+    a.on_op(prog_sub(0, 0, page, 1), {});
+  EXPECT_EQ(a.violation_count(), 0u);
+  EXPECT_EQ(a.ops_checked(), 8u);
+}
+
+TEST(Auditor, SlotReprogramWithoutEraseThrows) {
+  Auditor a(config());
+  // No alloc/erase observed yet: the block is unsynced, but monotonicity
+  // violations are still detectable.
+  a.on_op(prog_sub(0, 1, 2, 1), {});
+  EXPECT_THROW(a.on_op(prog_sub(0, 1, 2, 1), {}), std::logic_error);
+}
+
+TEST(Auditor, EraseResetsTheCycle) {
+  Auditor a(config());
+  a.on_op(prog_sub(0, 1, 2, 1), {});
+  a.on_op(erase(0, 1), {});
+  a.on_block(alloc(0, 1, "fine"), {});
+  EXPECT_NO_THROW(a.on_op(prog_sub(0, 1, 2, 0), {}));
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+TEST(Auditor, NonFrontierSlotAfterSyncThrows) {
+  Auditor a(config());
+  a.on_block(alloc(0, 0, "fine"), {});
+  // Slot 2 with no slot 0/1 programmed: frontier violation.
+  EXPECT_THROW(a.on_op(prog_sub(0, 0, 0, 2), {}), std::logic_error);
+}
+
+TEST(Auditor, SubPoolSlotMustMatchEspLevel) {
+  Auditor a(config());
+  a.on_block(alloc(0, 0, "sub"), {});
+  a.on_op(prog_sub(0, 0, 0, 0), {});
+  a.on_op(prog_sub(0, 0, 1, 0), {});
+  // Slot 1 while the block is still at level 0: frontier-agreement
+  // violation (I3) even though the per-page slot order looks fine.
+  EXPECT_THROW(a.on_op(prog_sub(0, 0, 0, 1), {}), std::logic_error);
+}
+
+TEST(Auditor, ModeMixWithinOneEraseCycleThrows) {
+  Auditor a(config());
+  a.on_op(erase(1, 2), {});
+  a.on_block(alloc(1, 2, "full"), {});
+  a.on_op(prog_full(1, 2, 0), {});
+  EXPECT_THROW(a.on_op(prog_sub(1, 2, 1, 0), {}), std::logic_error);
+}
+
+TEST(Auditor, FullPageProgramsMustAppendSequentially) {
+  Auditor a(config());
+  a.on_op(erase(0, 3), {});
+  a.on_block(alloc(0, 3, "full"), {});
+  a.on_op(prog_full(0, 3, 0), {});
+  EXPECT_THROW(a.on_op(prog_full(0, 3, 2), {}), std::logic_error);
+}
+
+TEST(Auditor, ProgramToUnownedBlockThrows) {
+  Auditor a(config());
+  a.on_op(erase(0, 0), {});  // synced, but no pool owns it
+  EXPECT_THROW(a.on_op(prog_full(0, 0, 0), {}), std::logic_error);
+}
+
+TEST(Auditor, EraseOfBlockWithValidDataThrows) {
+  Auditor a(config());
+  const BlockLifecycleEvent bad{BlockEventKind::kErased, 0, 0, "full",
+                                0,                       3, 1,  0.0};
+  EXPECT_THROW(a.on_block(bad, {}), std::logic_error);
+}
+
+TEST(Auditor, ViolationMessageCarriesCauseChain) {
+  Auditor a(config());
+  const CauseFrame chain[] = {{Cause::kGcCopy, 42, 0.0}};
+  a.on_op(prog_sub(0, 1, 0, 1), chain);
+  try {
+    a.on_op(prog_sub(0, 1, 0, 1), chain);
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("auditor:"), std::string::npos);
+    EXPECT_NE(msg.find("chip 0 block 1"), std::string::npos);
+    EXPECT_NE(msg.find("gc_copy(42)"), std::string::npos);
+  }
+}
+
+TEST(Auditor, NonFailFastAccumulatesBounded) {
+  auto cfg = config(/*fail_fast=*/false);
+  cfg.max_violations = 2;
+  Auditor a(cfg);
+  for (int i = 0; i < 5; ++i) a.on_op(prog_sub(0, 0, 0, 0), {});
+  EXPECT_EQ(a.violation_count(), 4u);  // first program is legal
+  EXPECT_EQ(a.violations().size(), 2u);
+}
+
+TEST(Auditor, DoubleAllocationWithoutRetireThrows) {
+  Auditor a(config());
+  a.on_block(alloc(0, 0, "full"), {});
+  EXPECT_THROW(a.on_block(alloc(0, 0, "full"), {}), std::logic_error);
+}
+
+TEST(Auditor, RetireAllowsReallocation) {
+  Auditor a(config());
+  a.on_block(alloc(0, 0, "full"), {});
+  a.on_block({BlockEventKind::kRetired, 0, 0, "full", 0, 0, 1, 0.0}, {});
+  a.on_op(erase(0, 0), {});
+  EXPECT_NO_THROW(a.on_block(alloc(0, 0, "sub"), {}));
+  EXPECT_EQ(a.violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace esp::telemetry

@@ -1,0 +1,186 @@
+#include "telemetry/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace esp::telemetry {
+namespace {
+
+JournalHeader header() {
+  JournalHeader hdr;
+  hdr.ftl = "subFTL";
+  hdr.chips = 2;
+  hdr.blocks_per_chip = 8;
+  hdr.pages_per_block = 32;
+  hdr.subpages_per_page = 4;
+  hdr.page_bytes = 16384;
+  hdr.seed = 42;
+  return hdr;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Journal, HeaderLineCarriesSchemaAndGeometry) {
+  std::ostringstream os;
+  Journal journal(os, header());
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"v\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"t\":\"hdr\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ftl\":\"subFTL\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"subs\":4"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"page_bytes\":16384"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"seed\":42"), std::string::npos);
+}
+
+TEST(Journal, FlashOpLineCarriesCauseAndChain) {
+  std::ostringstream os;
+  Journal journal(os, header());
+  const CauseFrame chain[] = {{Cause::kFlush, 7, 1.0},
+                              {Cause::kGcCopy, 3, 2.0}};
+  OpEvent prog;
+  prog.kind = OpKind::kProgSub;
+  prog.start = 10.0;
+  prog.end = 35.5;
+  prog.arg0 = 2;  // slot
+  prog.arg1 = 9;  // page
+  prog.chip = 1;
+  prog.block = 4;
+  journal.on_op(prog, Cause::kGcCopy, chain, 17);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& op = lines[1];
+  EXPECT_NE(op.find("\"t\":\"op\""), std::string::npos);
+  EXPECT_NE(op.find("\"op\":\"prog_sub\""), std::string::npos);
+  EXPECT_NE(op.find("\"cause\":\"gc_copy\""), std::string::npos);
+  EXPECT_NE(op.find("\"chain\":\"flush>gc_copy\""), std::string::npos);
+  EXPECT_NE(op.find("\"req\":17"), std::string::npos);
+  EXPECT_NE(op.find("\"chip\":1"), std::string::npos);
+  EXPECT_NE(op.find("\"block\":4"), std::string::npos);
+  EXPECT_NE(op.find("\"page\":9"), std::string::npos);
+  EXPECT_NE(op.find("\"slot\":2"), std::string::npos);
+  EXPECT_NE(op.find("\"dur_us\":25.5"), std::string::npos);
+}
+
+TEST(Journal, HostWritesRecordedReadsSkipped) {
+  std::ostringstream os;
+  Journal journal(os, header());
+  OpEvent write;
+  write.kind = OpKind::kHostWrite;
+  write.start = 0.0;
+  write.end = 4.0;
+  write.arg0 = 8;    // sectors
+  write.arg1 = 640;  // start sector
+  journal.on_op(write, Cause::kHost, {}, 1);
+  OpEvent read = write;
+  read.kind = OpKind::kHostRead;
+  journal.on_op(read, Cause::kHost, {}, 2);
+  OpEvent flash_read = write;
+  flash_read.kind = OpKind::kRead;
+  journal.on_op(flash_read, Cause::kHost, {}, 2);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);  // hdr + host write only
+  EXPECT_NE(lines[1].find("\"op\":\"host_write\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"sectors\":8"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"sector\":640"), std::string::npos);
+}
+
+TEST(Journal, ScopeLinesMatchChromePhases) {
+  std::ostringstream os;
+  Journal journal(os, header());
+  const CauseFrame frame{Cause::kRetentionEvict, 12, 100.0};
+  journal.on_scope('B', frame);
+  // An op inside the scope raises the close-stamp high-water mark.
+  OpEvent erase;
+  erase.kind = OpKind::kErase;
+  erase.start = 150.0;
+  erase.end = 250.0;
+  erase.arg0 = 3;
+  erase.chip = 0;
+  erase.block = 2;
+  journal.on_op(erase, Cause::kRetentionEvict, {&frame, 1}, 0);
+  journal.on_scope('E', frame);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cause\":\"retention_evict\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"detail\":12"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"us\":100"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"pe\":3"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"us\":250"), std::string::npos);
+}
+
+TEST(Journal, ConvertedDerivedFromPoolChange) {
+  std::ostringstream os;
+  Journal journal(os, header());
+  BlockLifecycleEvent alloc{BlockEventKind::kAllocated, 0, 3, "sub",
+                            0,                          0, 5,  10.0};
+  journal.on_block(alloc);
+  BlockLifecycleEvent erased{BlockEventKind::kErased, 0, 3, "sub",
+                             2,                       0, 6,  20.0};
+  journal.on_block(erased);
+  // Same physical block re-allocated by a different pool -> converted.
+  BlockLifecycleEvent realloc{BlockEventKind::kAllocated, 0, 3, "full",
+                              0,                          0, 6,  30.0};
+  journal.on_block(realloc);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 5u);  // hdr, alloc, erased, converted, alloc
+  EXPECT_NE(lines[1].find("\"ev\":\"allocated\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"pool\":\"sub\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ev\":\"erased\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ev\":\"converted\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"pool\":\"full\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"from\":\"sub\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"ev\":\"allocated\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"pool\":\"full\""), std::string::npos);
+}
+
+TEST(Journal, TruncationCapsEventLinesButKeepsTrailer) {
+  std::ostringstream os;
+  Journal journal(os, header(), /*max_events=*/2);
+  OpEvent prog;
+  prog.kind = OpKind::kProgFull;
+  prog.start = 1.0;
+  prog.end = 2.0;
+  prog.chip = 0;
+  prog.block = 0;
+  for (int i = 0; i < 5; ++i) {
+    prog.arg0 = static_cast<std::uint64_t>(i);
+    journal.on_op(prog, Cause::kHost, {}, 0);
+  }
+  journal.finish();
+  EXPECT_EQ(journal.events_written(), 2u);
+  EXPECT_EQ(journal.truncated(), 3u);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 4u);  // hdr + 2 ops + end
+  EXPECT_NE(lines[3].find("\"t\":\"end\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"events\":2"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"truncated\":3"), std::string::npos);
+}
+
+TEST(Journal, FinishIsIdempotentAndClosesTheStream) {
+  std::ostringstream os;
+  Journal journal(os, header());
+  journal.finish();
+  journal.finish();
+  OpEvent prog;
+  prog.kind = OpKind::kProgFull;
+  prog.chip = 0;
+  journal.on_op(prog, Cause::kHost, {}, 0);  // dropped after finish
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);  // hdr + one end trailer only
+  EXPECT_NE(lines[1].find("\"t\":\"end\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esp::telemetry

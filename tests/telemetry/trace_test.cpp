@@ -90,6 +90,34 @@ TEST(TraceRing, ChromeDumpIsArrayOfCompleteEvents) {
   EXPECT_NE(out.find("\"tid\":2"), std::string::npos);
 }
 
+TEST(TraceRing, ChromeDumpNamesProcessAndLanes) {
+  TraceRing ring(4);
+  ring.push(event(OpKind::kProgFull, 10.0));
+  std::ostringstream os;
+  ring.dump_chrome(os);
+  const std::string out = os.str();
+  // Metadata ("M") events label the process and the three lanes so trace
+  // viewers show layer names instead of bare tids.
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"espnand\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"host\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"ftl\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"nand\""), std::string::npos);
+}
+
+TEST(TraceRing, ChromeDumpEmptyRingStillValidArray) {
+  TraceRing ring(4);
+  std::ostringstream os;
+  ring.dump_chrome(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.find("]"), out.size() - 2);
+  // Metadata still present even with no events.
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);
+}
+
 TEST(TraceLane, KindsMapToLayers) {
   EXPECT_EQ(op_lane(OpKind::kHostRead), 0u);
   EXPECT_EQ(op_lane(OpKind::kGcCopy), 1u);

@@ -1,0 +1,432 @@
+// espreport: analyzer for causal-attribution journals (see
+// docs/TELEMETRY.md and src/telemetry/journal.h for the schema).
+//
+//   espreport run.jsonl                     # full report
+//   espreport --waf-table run1.jsonl ...    # per-cause WAF tables only
+//   espreport --chrome-out gc.json run.jsonl
+//
+// Sections:
+//   * per-cause WAF decomposition -- integer program/erase counts per
+//     cause, the flash bytes they imply, and each cause's share of the
+//     write amplification. The total row's WAF equals flash/host bytes.
+//     `--waf-table` prints ONLY this section, with byte-stable formatting
+//     (pure integer arithmetic plus one deterministic division), so CI can
+//     diff it against a committed golden file.
+//   * block lifecycle -- event counts, per-pool erases, sub<->full
+//     conversions, ending P/E spread.
+//   * mechanism episodes -- cause-scope (B/E) spans paired into episodes
+//     (GC, RMW, flush, ...): count, total and max simulated duration.
+//   * journal accounting -- line counts and the end trailer's truncation.
+//
+// The parser is a flat field scanner, not a general JSON parser: every
+// line is a single flat object written by telemetry::Journal with known
+// key order and no escaped strings, so `"key":` substring extraction is
+// exact. Unknown line types are counted and skipped (forward compat).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/causes.h"
+#include "telemetry/json.h"
+
+namespace {
+
+using namespace esp;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--waf-table] [--chrome-out PATH] JOURNAL...\n"
+               "  --waf-table        print only the per-cause WAF table(s)\n"
+               "                     (byte-stable; used for golden diffs)\n"
+               "  --chrome-out PATH  export mechanism episodes of the LAST\n"
+               "                     journal as a Chrome trace_event file\n",
+               argv0);
+}
+
+// ---- flat field extraction ------------------------------------------
+
+bool find_raw(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t start = pos + needle.size();
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool find_str(const std::string& line, const char* key, std::string* out) {
+  std::string raw;
+  if (!find_raw(line, key, &raw)) return false;
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  *out = raw.substr(1, raw.size() - 2);
+  return true;
+}
+
+bool find_u64(const std::string& line, const char* key, std::uint64_t* out) {
+  std::string raw;
+  if (!find_raw(line, key, &raw)) return false;
+  *out = std::strtoull(raw.c_str(), nullptr, 10);
+  return true;
+}
+
+bool find_double(const std::string& line, const char* key, double* out) {
+  std::string raw;
+  if (!find_raw(line, key, &raw)) return false;
+  *out = std::strtod(raw.c_str(), nullptr);
+  return true;
+}
+
+// ---- per-journal analysis -------------------------------------------
+
+struct CauseTally {
+  std::uint64_t prog_full = 0;
+  std::uint64_t prog_sub = 0;
+  std::uint64_t erase = 0;
+};
+
+struct Episode {
+  std::string cause;
+  std::uint64_t detail = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  int depth = 0;  ///< nesting level at open (0 = outermost)
+};
+
+struct EpisodeStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct Analysis {
+  // Header.
+  bool have_header = false;
+  std::uint64_t schema = 0;
+  std::string ftl;
+  std::uint64_t chips = 0, blocks_per_chip = 0, pages_per_block = 0;
+  std::uint64_t subs = 1, page_bytes = 0, seed = 0;
+
+  // Host lane.
+  std::uint64_t host_write_requests = 0;
+  std::uint64_t host_write_sectors = 0;
+  std::uint64_t host_trims = 0, host_flushes = 0;
+
+  // Flash ops by cause (insertion-ordered by the canonical taxonomy).
+  std::map<std::string, CauseTally> by_cause;
+
+  // Block lifecycle.
+  std::map<std::string, std::uint64_t> blk_events;  ///< by event name
+  std::map<std::string, std::uint64_t> erases_by_pool;
+  std::map<std::string, std::uint64_t> conversions;  ///< "from->to"
+  std::uint64_t max_pe = 0;
+
+  // Mechanism episodes from scope B/E pairing.
+  std::vector<Episode> episodes;
+  std::map<std::string, EpisodeStats> episode_stats;
+  std::uint64_t unmatched_scopes = 0;
+
+  // Accounting.
+  std::uint64_t lines = 0, unknown_lines = 0;
+  bool have_end = false;
+  std::uint64_t end_events = 0, end_truncated = 0;
+};
+
+bool analyze(const std::string& path, Analysis* a) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "espreport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  // Seed the cause map in taxonomy order so table rows are stably ordered
+  // even for causes a run never exercised.
+  for (std::size_t c = 0; c < telemetry::kCauseCount; ++c)
+    a->by_cause[telemetry::cause_name(static_cast<telemetry::Cause>(c))];
+
+  std::vector<Episode> open;  // scope stack
+  std::string line;
+  while (std::getline(is, line)) {
+    ++a->lines;
+    std::string t;
+    if (!find_str(line, "t", &t)) {
+      ++a->unknown_lines;
+      continue;
+    }
+    if (t == "hdr") {
+      a->have_header = true;
+      find_u64(line, "v", &a->schema);
+      find_str(line, "ftl", &a->ftl);
+      find_u64(line, "chips", &a->chips);
+      find_u64(line, "blocks_per_chip", &a->blocks_per_chip);
+      find_u64(line, "pages_per_block", &a->pages_per_block);
+      find_u64(line, "subs", &a->subs);
+      find_u64(line, "page_bytes", &a->page_bytes);
+      find_u64(line, "seed", &a->seed);
+    } else if (t == "host") {
+      std::string op;
+      find_str(line, "op", &op);
+      if (op == "host_write") {
+        ++a->host_write_requests;
+        std::uint64_t sectors = 0;
+        find_u64(line, "sectors", &sectors);
+        a->host_write_sectors += sectors;
+      } else if (op == "host_trim") {
+        ++a->host_trims;
+      } else if (op == "host_flush") {
+        ++a->host_flushes;
+      }
+    } else if (t == "op") {
+      std::string op, cause;
+      find_str(line, "op", &op);
+      find_str(line, "cause", &cause);
+      CauseTally& tally = a->by_cause[cause];
+      if (op == "prog_full") ++tally.prog_full;
+      else if (op == "prog_sub") ++tally.prog_sub;
+      else if (op == "erase") {
+        ++tally.erase;
+        std::uint64_t pe = 0;
+        find_u64(line, "pe", &pe);
+        a->max_pe = std::max(a->max_pe, pe);
+      }
+    } else if (t == "mech") {
+      // Mechanism spans are summarized via their enclosing scopes; the
+      // raw lines need no standalone tally here.
+    } else if (t == "scope") {
+      std::string ph, cause;
+      find_str(line, "ph", &ph);
+      find_str(line, "cause", &cause);
+      double us = 0.0;
+      find_double(line, "us", &us);
+      if (ph == "B") {
+        Episode e;
+        e.cause = cause;
+        find_u64(line, "detail", &e.detail);
+        e.start_us = us;
+        e.depth = static_cast<int>(open.size());
+        open.push_back(e);
+      } else if (ph == "E") {
+        if (open.empty() || open.back().cause != cause) {
+          ++a->unmatched_scopes;
+          continue;
+        }
+        Episode e = open.back();
+        open.pop_back();
+        e.dur_us = us - e.start_us;
+        EpisodeStats& s = a->episode_stats[e.cause];
+        ++s.count;
+        s.total_us += e.dur_us;
+        s.max_us = std::max(s.max_us, e.dur_us);
+        a->episodes.push_back(std::move(e));
+      }
+    } else if (t == "blk") {
+      std::string ev, pool;
+      find_str(line, "ev", &ev);
+      find_str(line, "pool", &pool);
+      ++a->blk_events[ev];
+      if (ev == "erased") {
+        ++a->erases_by_pool[pool];
+        std::uint64_t pe = 0;
+        find_u64(line, "pe", &pe);
+        a->max_pe = std::max(a->max_pe, pe);
+      } else if (ev == "converted") {
+        std::string from;
+        find_str(line, "from", &from);
+        ++a->conversions[from + "->" + pool];
+      }
+    } else if (t == "end") {
+      a->have_end = true;
+      find_u64(line, "events", &a->end_events);
+      find_u64(line, "truncated", &a->end_truncated);
+    } else {
+      ++a->unknown_lines;
+    }
+  }
+  a->unmatched_scopes += open.size();  // still-open scopes at EOF
+  return true;
+}
+
+// ---- report sections ------------------------------------------------
+
+/// Per-cause WAF decomposition. Byte-stable: integer counts, integer
+/// flash bytes, and one division printed with fixed precision.
+void print_waf_table(const Analysis& a, const std::string& path) {
+  // Basename only: golden files must not depend on where CI puts the
+  // journal.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::printf("# %s  ftl=%s  seed=%" PRIu64 "\n", base.c_str(),
+              a.ftl.c_str(), a.seed);
+  const std::uint64_t sub_bytes = a.subs ? a.page_bytes / a.subs : 0;
+  const std::uint64_t host_bytes = a.host_write_sectors * sub_bytes;
+  std::printf("host writes: %" PRIu64 " requests, %" PRIu64
+              " sectors, %" PRIu64 " bytes\n",
+              a.host_write_requests, a.host_write_sectors, host_bytes);
+  std::printf("%-18s %10s %10s %8s %14s %10s\n", "cause", "prog_full",
+              "prog_sub", "erase", "flash_bytes", "waf_share");
+  CauseTally total;
+  for (const auto& [cause, tally] : a.by_cause) {
+    const std::uint64_t bytes =
+        tally.prog_full * a.page_bytes + tally.prog_sub * sub_bytes;
+    std::printf("%-18s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %14" PRIu64
+                " %10.6f\n",
+                cause.c_str(), tally.prog_full, tally.prog_sub, tally.erase,
+                bytes,
+                host_bytes ? static_cast<double>(bytes) /
+                                 static_cast<double>(host_bytes)
+                           : 0.0);
+    total.prog_full += tally.prog_full;
+    total.prog_sub += tally.prog_sub;
+    total.erase += tally.erase;
+  }
+  const std::uint64_t total_bytes =
+      total.prog_full * a.page_bytes + total.prog_sub * sub_bytes;
+  std::printf("%-18s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %14" PRIu64
+              " %10.6f\n",
+              "total", total.prog_full, total.prog_sub, total.erase,
+              total_bytes,
+              host_bytes ? static_cast<double>(total_bytes) /
+                               static_cast<double>(host_bytes)
+                         : 0.0);
+}
+
+void print_full(const Analysis& a, const std::string& path) {
+  print_waf_table(a, path);
+
+  std::printf("\nblock lifecycle:\n");
+  for (const auto& [ev, count] : a.blk_events)
+    std::printf("  %-16s %10" PRIu64 "\n", ev.c_str(), count);
+  for (const auto& [pool, count] : a.erases_by_pool)
+    std::printf("  erases in pool %-8s %8" PRIu64 "\n", pool.c_str(), count);
+  for (const auto& [conv, count] : a.conversions)
+    std::printf("  conversions %-12s %7" PRIu64 "\n", conv.c_str(), count);
+  std::printf("  max P/E cycles   %10" PRIu64 "\n", a.max_pe);
+
+  std::printf("\nmechanism episodes (cause scopes):\n");
+  if (a.episode_stats.empty()) std::printf("  (none)\n");
+  for (const auto& [cause, s] : a.episode_stats)
+    std::printf("  %-18s %8" PRIu64 " episodes, total %.1f us, max %.1f us\n",
+                cause.c_str(), s.count, s.total_us, s.max_us);
+  if (a.unmatched_scopes)
+    std::printf("  unmatched scope lines: %" PRIu64
+                " (journal truncated mid-episode?)\n",
+                a.unmatched_scopes);
+
+  std::printf("\njournal: %" PRIu64 " lines", a.lines);
+  if (a.have_end)
+    std::printf(", trailer: %" PRIu64 " events, %" PRIu64 " truncated",
+                a.end_events, a.end_truncated);
+  else
+    std::printf(", NO end trailer (run did not finish cleanly)");
+  if (a.unknown_lines)
+    std::printf(", %" PRIu64 " unknown lines", a.unknown_lines);
+  std::printf("\n");
+}
+
+// ---- Chrome trace export --------------------------------------------
+
+bool write_chrome(const Analysis& a, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "espreport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  os << "[\n";
+  {
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", std::uint64_t{0});
+    w.kv("tid", std::uint64_t{0});
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "espreport: " + a.ftl + " mechanism episodes");
+    w.end_object();
+    w.end_object();
+  }
+  for (const Episode& e : a.episodes) {
+    os << ",\n";
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.kv("name", e.cause);
+    w.kv("cat", "cause");
+    w.kv("ph", "X");
+    w.kv("ts", e.start_us);
+    w.kv("dur", e.dur_us);
+    w.kv("pid", std::uint64_t{0});
+    // One lane per nesting depth keeps parent/child episodes (e.g. a GC
+    // inside a flush) visually stacked.
+    w.kv("tid", static_cast<std::uint64_t>(e.depth));
+    w.key("args");
+    w.begin_object();
+    w.kv("detail", e.detail);
+    w.end_object();
+    w.end_object();
+  }
+  os << "\n]\n";
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool waf_only = false;
+  std::string chrome_out;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--waf-table") {
+      waf_only = true;
+    } else if (arg == "--chrome-out" && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  bool first = true;
+  Analysis last;
+  for (const auto& path : paths) {
+    Analysis a;
+    if (!analyze(path, &a)) return 1;
+    if (!a.have_header) {
+      std::fprintf(stderr, "espreport: %s has no journal header\n",
+                   path.c_str());
+      return 1;
+    }
+    if (!first) std::printf("\n");
+    first = false;
+    if (waf_only)
+      print_waf_table(a, path);
+    else
+      print_full(a, path);
+    last = std::move(a);
+  }
+
+  if (!chrome_out.empty()) {
+    if (!write_chrome(last, chrome_out)) return 1;
+    if (!waf_only)
+      std::printf("\nchrome trace: wrote %s (%zu episodes)\n",
+                  chrome_out.c_str(), last.episodes.size());
+  }
+  return 0;
+}

@@ -67,7 +67,15 @@ void usage(const char* argv0) {
       "  --samples-out PATH            write time-series rows (.csv or JSON)\n"
       "  --sample-interval SECONDS     time-series sampling period in\n"
       "                                simulated seconds (default 0 = off)\n"
-      "  --trace-capacity N            trace ring size (default 65536)\n",
+      "  --trace-capacity N            trace ring size (default 65536)\n"
+      "  --journal-out PATH            stream the causal-attribution journal\n"
+      "                                (JSONL; see docs/TELEMETRY.md); in\n"
+      "                                sweep mode each cell writes\n"
+      "                                PATH with its cell key spliced in\n"
+      "  --journal-max-events N        journal admission cap (0 = unlimited)\n"
+      "  --audit                       run the online invariant auditor;\n"
+      "                                violations abort with the offending\n"
+      "                                cause chain\n",
       argv0);
 }
 
@@ -86,6 +94,18 @@ std::optional<workload::Benchmark> parse_profile(const std::string& name) {
   if (name == "ycsb") return workload::Benchmark::kYcsb;
   if (name == "tpcc") return workload::Benchmark::kTpcc;
   return std::nullopt;
+}
+
+/// "journal.jsonl" + "espsim/varmail/sub" -> "journal.espsim-varmail-sub.jsonl"
+/// (cell key spliced before the extension, '/' flattened to '-').
+std::string cell_journal_path(const std::string& base, std::string key) {
+  for (auto& c : key)
+    if (c == '/') c = '-';
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + "." + key;
+  return base.substr(0, dot) + "." + key + base.substr(dot);
 }
 
 std::vector<std::string> split_list(const std::string& csv) {
@@ -130,6 +150,9 @@ int main(int argc, char** argv) {
   std::string samples_out;
   double sample_interval_s = 0.0;
   std::size_t trace_capacity = 1 << 16;
+  std::string journal_out;
+  std::uint64_t journal_max_events = 0;
+  bool audit = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -200,6 +223,12 @@ int main(int argc, char** argv) {
       sample_interval_s = std::atof(next());
     } else if (arg == "--trace-capacity") {
       trace_capacity = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--journal-out") {
+      journal_out = next();
+    } else if (arg == "--journal-max-events") {
+      journal_max_events = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--audit") {
+      audit = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
@@ -278,6 +307,10 @@ int main(int argc, char** argv) {
         cell.spec = spec;
         cell.spec.ssd.ftl = kind;
         cell.spec.workload = workload_for(bench);
+        if (!journal_out.empty())
+          cell.spec.journal_path = cell_journal_path(journal_out, cell.key);
+        cell.spec.journal_max_events = journal_max_events;
+        cell.spec.audit = audit;
         cells.push_back(std::move(cell));
       }
     }
@@ -337,6 +370,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "note: --manifest-out only applies to sweeps; ignored\n");
   spec.ssd.ftl = kinds.front();
+  spec.journal_path = journal_out;
+  spec.journal_max_events = journal_max_events;
+  spec.audit = audit;
   const std::optional<workload::Benchmark> profile =
       profiles.empty() ? std::nullopt
                        : std::optional<workload::Benchmark>(profiles.front());
@@ -367,8 +403,22 @@ int main(int argc, char** argv) {
     spec.telemetry = &*tel;
   }
 
-  const auto result = core::run_experiment(spec);
+  core::RunResult result;
+  try {
+    result = core::run_experiment(spec);
+  } catch (const std::exception& e) {
+    // Auditor violations (std::logic_error) and journal I/O failures land
+    // here; the message carries the offending cause chain.
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 1;
+  }
   const auto& stats = result.raw.ftl_stats;
+
+  if (!journal_out.empty())
+    std::printf("journal  : wrote %s (%llu events, %llu truncated)\n",
+                journal_out.c_str(),
+                static_cast<unsigned long long>(result.journal_events),
+                static_cast<unsigned long long>(result.journal_truncated));
 
   if (tel) {
     auto emit = [](const char* what, const std::string& path, bool ok) {
@@ -415,6 +465,13 @@ int main(int argc, char** argv) {
                  static_cast<double>(result.mapping_bytes) / 1024.0, 1) +
                  " KiB"});
   t.add_row({"verify failures", std::to_string(result.verify_failures)});
+  if (tel || !journal_out.empty() || audit)
+    t.add_row({"trace events dropped", std::to_string(result.trace_dropped)});
+  if (!journal_out.empty()) {
+    t.add_row({"journal events", std::to_string(result.journal_events)});
+    t.add_row({"journal truncated",
+               std::to_string(result.journal_truncated)});
+  }
   t.print(std::cout);
   return result.verify_failures == 0 ? 0 : 1;
 }
