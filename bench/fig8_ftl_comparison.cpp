@@ -43,11 +43,13 @@ struct Outcome {
   std::uint64_t erases = 0;
 };
 
-core::ExperimentCell make_cell(workload::Benchmark bench, core::FtlKind kind) {
+core::ExperimentCell make_cell(workload::Benchmark bench, core::FtlKind kind,
+                               const bench::GeometryOverrides& geo) {
   core::ExperimentCell cell;
   cell.key = "fig8/" + workload::benchmark_name(bench) + "/" +
              core::ftl_kind_name(kind);
   cell.spec.ssd = bench::scaled_config(kind);
+  cell.spec.ssd.geometry = geo.apply(cell.spec.ssd.geometry);
 
   // Seed per BENCHMARK, not per cell: every FTL of a benchmark must see
   // the identical request stream (the paper's comparison methodology).
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
   std::string journal_out;
   bool audit = false;
   unsigned jobs = 0;  // 0 = hardware concurrency
+  bench::GeometryOverrides geo;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -98,23 +101,26 @@ int main(int argc, char** argv) {
       journal_out = argv[++i];
     } else if (arg == "--audit") {
       audit = true;
+    } else if (geo.parse_flag(argc, argv, i)) {
+      // consumed a geometry override
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--jobs N] "
-                   "[--journal-out PATH] [--audit]\n",
-                   argv[0]);
+                   "[--journal-out PATH] [--audit]\n          %s\n",
+                   argv[0], bench::GeometryOverrides::kUsage);
       return 2;
     }
   }
 
-  bench::print_header("Fig. 8 -- cgmFTL vs fgmFTL vs subFTL on 5 benchmarks");
+  bench::print_header("Fig. 8 -- cgmFTL vs fgmFTL vs subFTL on 5 benchmarks",
+                      geo.apply(bench::scaled_geometry()));
 
   const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
                       core::FtlKind::kSub};
   std::vector<core::ExperimentCell> cells;
   for (const auto bench : workload::all_benchmarks()) {
     for (const auto kind : kinds) {
-      auto cell = make_cell(bench, kind);
+      auto cell = make_cell(bench, kind, geo);
       if (!journal_out.empty())
         cell.spec.journal_path = bench::cell_journal_path(journal_out,
                                                           cell.key);

@@ -1,0 +1,433 @@
+// Macro replay: production-scale end-to-end throughput of the whole stack.
+//
+// The figure/table benches run on a capacity-scaled device (bench_common.h)
+// because the paper's *simulated-time* results are capacity-insensitive.
+// Host-side replay speed is NOT: the maintenance paths the FTLs run between
+// requests -- retention scans, static wear leveling, idle-block release --
+// were O(device) linear scans, so wall-clock throughput collapsed once the
+// geometry grew to production block counts. This bench pins the fix: it
+// replays one seeded mixed workload (small sync updates + large cold writes
+// + reads + trims) through all four FTLs at two geometries,
+//
+//   paper: 8ch x 4chip, 128 blk/chip, 256 pg/blk  (16 GiB, 4096 blocks)
+//   prod:  8ch x 4chip, 2048 blk/chip, 64 pg/blk  (64 GiB, 65536 blocks)
+//
+// and for each cell runs BOTH maintenance implementations: the original
+// O(device) scans (--maintenance scan / reference_scan_maintenance) and the
+// incremental indices (retention queue, wear index, idle list). It reports
+// host-ops/sec of wall-clock replay and the share of wall time spent inside
+// each maintenance path (FtlStats::maint_*); the run aborts if the two
+// modes' simulated-side stats diverge at all, so the committed
+// BENCH_replay.json doubles as an equivalence witness.
+//
+// Maintenance cadence is deliberately aggressive (seconds, not the paper's
+// days) plus per-request think time for dilation, so retention eviction and
+// wear-leveling checks actually fire inside a minutes-long replay window;
+// the *decisions* stay workload-driven, only the clock is compressed.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/parallel_runner.h"
+#include "telemetry/json.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace esp;
+
+constexpr std::uint64_t kBaseSeed = 2017;
+
+struct Mode {
+  const char* name;
+  bool reference_scan;
+};
+constexpr Mode kModes[] = {{"scan", true}, {"index", false}};
+
+struct CellOut {
+  core::RunResult r;
+  double wall = 0.0;
+};
+
+double maint_share(const ftl::FtlStats& s, double wall_seconds) {
+  const double ns = static_cast<double>(s.maint_retention_ns +
+                                        s.maint_wear_level_ns +
+                                        s.maint_release_idle_ns);
+  return wall_seconds > 0.0 ? ns / (wall_seconds * 1e9) : 0.0;
+}
+
+double gc_share(const ftl::FtlStats& s, double wall_seconds) {
+  return wall_seconds > 0.0
+             ? static_cast<double>(s.maint_gc_ns) / (wall_seconds * 1e9)
+             : 0.0;
+}
+
+/// The replayed stream: a mixed profile rather than one of the paper's five
+/// benchmarks -- small hot sync updates over a confined working set, colder
+/// multi-page writes, a read-heavy tail and occasional trims, so every
+/// maintenance path (GC, retention, wear leveling, idle release) has work.
+workload::SyntheticParams mixed_workload(std::uint32_t sectors_per_page,
+                                         std::uint64_t seed) {
+  workload::SyntheticParams p;
+  p.sectors_per_page = sectors_per_page;
+  p.r_small = 0.6;
+  p.r_synch = 0.9;
+  p.read_fraction = 0.35;
+  p.trim_fraction = 0.02;
+  p.small_sectors_min = 1;
+  p.small_sectors_max = 3;
+  p.large_pages_min = 1;
+  p.large_pages_max = 4;
+  p.large_align_prob = 0.85;
+  p.small_footprint_fraction = 0.25;
+  p.think_us = 400.0;  // time dilation so retention scans fire mid-replay
+  p.seed = seed;
+  return p;
+}
+
+core::ExperimentCell make_cell(const std::string& geom_name,
+                               const nand::Geometry& geo, core::FtlKind kind,
+                               const Mode& mode, double budget_scale) {
+  core::ExperimentCell cell;
+  cell.key = "replay/" + geom_name + "/" + core::ftl_kind_name(kind) + "/" +
+             mode.name;
+  core::SsdConfig& ssd = cell.spec.ssd;
+  ssd.geometry = geo;
+  ssd.ftl = kind;
+  // A point under the 0.80 bound: quota rounding at reduced (--quick)
+  // block counts can push 0.80 + the 20% region over physical capacity.
+  ssd.logical_fraction = 0.79;
+  ssd.buffer_sectors = 1024;
+  ssd.gc_reserve_blocks = 16;
+  ssd.queue_depth = 128;
+  // Compressed maintenance clock (see header comment).
+  ssd.retention_scan_interval = 2 * sim_time::kSecond;
+  ssd.retention_evict_age = 8 * sim_time::kSecond;
+  ssd.wl_check_interval = 256;
+  ssd.wl_pe_threshold = 8;
+  ssd.reference_scan_maintenance = mode.reference_scan;
+
+  // Seed per GEOMETRY: every FTL and both maintenance modes of a geometry
+  // replay the identical request stream.
+  auto params =
+      mixed_workload(geo.subpages_per_page,
+                     core::stable_cell_seed("replay/" + geom_name, kBaseSeed));
+  const double write_fraction =
+      1.0 - params.read_fraction - params.trim_fraction;
+  const double avg_write_sectors =
+      params.r_small * 0.5 *
+          (params.small_sectors_min + params.small_sectors_max) +
+      (1.0 - params.r_small) * 0.5 *
+          (params.large_pages_min + params.large_pages_max) *
+          params.sectors_per_page;
+  const double warmup_sectors = 200000 * budget_scale;
+  const double measure_sectors = 400000 * budget_scale;
+  const auto reqs_for = [&](double budget) {
+    return static_cast<std::uint64_t>(budget /
+                                      (write_fraction * avg_write_sectors));
+  };
+  cell.spec.warmup_requests = reqs_for(warmup_sectors);
+  params.request_count = cell.spec.warmup_requests + reqs_for(measure_sectors);
+  cell.spec.workload = params;
+  return cell;
+}
+
+/// Simulated-side outcomes must be BIT-identical between scan and index
+/// maintenance -- the tentpole's equivalence contract. Compares everything
+/// deterministic in the result (wall times and maint_* are host-side).
+bool same_decisions(const core::RunResult& a, const core::RunResult& b) {
+  const ftl::FtlStats& sa = a.raw.ftl_stats;
+  const ftl::FtlStats& sb = b.raw.ftl_stats;
+  return a.gc_invocations == b.gc_invocations && a.erases == b.erases &&
+         a.rmw_ops == b.rmw_ops && a.verify_failures == b.verify_failures &&
+         a.overall_waf == b.overall_waf &&
+         a.small_request_waf == b.small_request_waf &&
+         a.raw.requests == b.raw.requests && a.raw.end_us == b.raw.end_us &&
+         sa.host_write_sectors == sb.host_write_sectors &&
+         sa.flash_prog_full == sb.flash_prog_full &&
+         sa.flash_prog_sub == sb.flash_prog_sub &&
+         sa.gc_copy_sectors == sb.gc_copy_sectors &&
+         sa.retention_evictions == sb.retention_evictions &&
+         sa.wear_level_relocations == sb.wear_level_relocations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  std::string geometry_filter = "both";
+  unsigned jobs = 0;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--geometry" && i + 1 < argc) {
+      geometry_filter = argv[++i];
+      if (geometry_filter != "paper" && geometry_filter != "prod" &&
+          geometry_filter != "both") {
+        std::fprintf(stderr, "--geometry must be paper|prod|both\n");
+        return 2;
+      }
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--jobs N] "
+                   "[--geometry paper|prod|both] [--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // --quick (the CI perf-smoke scale): quarter the block count of both
+  // profiles and an eighth of the request budget. Shares and speedups keep
+  // their shape; absolute numbers shrink.
+  std::vector<std::pair<std::string, nand::Geometry>> geometries;
+  for (const char* name : {"paper", "prod"}) {
+    if (geometry_filter != "both" && geometry_filter != name) continue;
+    nand::Geometry g = nand::geometry_profile(name);
+    if (quick) g.blocks_per_chip /= 4;
+    geometries.emplace_back(name, g);
+  }
+  const double budget_scale = quick ? 0.125 : 1.0;
+
+  std::printf("==============================================================\n");
+  std::printf("Macro replay -- wall-clock throughput, scan vs index maintenance\n");
+  for (const auto& [name, geo] : geometries)
+    std::printf("%-6s %s\n", name.c_str(), geo.describe().c_str());
+  std::printf("==============================================================\n");
+
+  const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
+                      core::FtlKind::kSub, core::FtlKind::kSectorLog};
+  std::vector<core::ExperimentCell> cells;
+  for (const auto& [name, geo] : geometries)
+    for (const auto kind : kinds)
+      for (const auto& mode : kModes)
+        cells.push_back(make_cell(name, geo, kind, mode, budget_scale));
+
+  core::ParallelRunnerConfig runner_cfg;
+  runner_cfg.jobs = jobs;
+  runner_cfg.base_seed = kBaseSeed;
+  runner_cfg.derive_seeds = false;  // seeds fixed per geometry above
+  core::ParallelRunner runner(runner_cfg);
+  const auto results = runner.run(cells);
+  std::printf("ran %zu cells on %u worker(s) in %.1fs\n", cells.size(),
+              runner.manifest().jobs_used, runner.manifest().wall_seconds);
+
+  // grid[geometry][ftl][mode]
+  std::map<std::string, std::map<std::string, std::map<std::string, CellOut>>>
+      grid;
+  {
+    std::size_t i = 0;
+    for (const auto& [name, geo] : geometries) {
+      (void)geo;
+      for (const auto kind : kinds) {
+        for (const auto& mode : kModes) {
+          const auto& cell = results[i++];
+          if (!cell.ok) {
+            std::fprintf(stderr, "FATAL: cell %s failed: %s\n",
+                         cell.key.c_str(), cell.error.c_str());
+            return 1;
+          }
+          if (cell.result.verify_failures != 0) {
+            std::fprintf(stderr, "FATAL: %llu verify failures (%s)\n",
+                         static_cast<unsigned long long>(
+                             cell.result.verify_failures),
+                         cell.key.c_str());
+            return 1;
+          }
+          grid[name][core::ftl_kind_name(kind)][mode.name] =
+              CellOut{cell.result, cell.wall_seconds};
+        }
+      }
+    }
+  }
+
+  bool identical = true;
+  for (const auto& [geom, per_ftl] : grid)
+    for (const auto& [ftl, per_mode] : per_ftl)
+      if (!same_decisions(per_mode.at("scan").r, per_mode.at("index").r)) {
+        std::fprintf(stderr,
+                     "FATAL: scan/index decisions diverged for %s/%s\n",
+                     geom.c_str(), ftl.c_str());
+        identical = false;
+      }
+  if (!identical) return 1;
+  std::printf("\nscan/index simulated decisions identical for all cells\n");
+
+  std::map<std::string, double> avg_speedup;
+  for (const auto& [geom, geo] : geometries) {
+    std::printf("\n%s geometry (%s)\n\n", geom.c_str(),
+                geo.describe().c_str());
+    util::TablePrinter t({"FTL", "scan ops/s", "index ops/s", "speedup",
+                          "maint% scan", "maint% index", "gc% index"});
+    double sum = 0.0;
+    for (const auto kind : kinds) {
+      const auto& per_mode = grid[geom][core::ftl_kind_name(kind)];
+      const auto& scan = per_mode.at("scan");
+      const auto& index = per_mode.at("index");
+      const double scan_ops =
+          scan.r.measure_wall_seconds > 0.0
+              ? static_cast<double>(scan.r.raw.requests) /
+                    scan.r.measure_wall_seconds
+              : 0.0;
+      const double index_ops =
+          index.r.measure_wall_seconds > 0.0
+              ? static_cast<double>(index.r.raw.requests) /
+                    index.r.measure_wall_seconds
+              : 0.0;
+      const double speedup = scan_ops > 0.0 ? index_ops / scan_ops : 0.0;
+      sum += speedup;
+      t.add_row({core::ftl_kind_name(kind),
+                 util::TablePrinter::num(scan_ops, 0),
+                 util::TablePrinter::num(index_ops, 0),
+                 util::TablePrinter::num(speedup, 2),
+                 util::TablePrinter::pct(
+                     maint_share(scan.r.raw.ftl_stats,
+                                 scan.r.measure_wall_seconds),
+                     1),
+                 util::TablePrinter::pct(
+                     maint_share(index.r.raw.ftl_stats,
+                                 index.r.measure_wall_seconds),
+                     1),
+                 util::TablePrinter::pct(
+                     gc_share(index.r.raw.ftl_stats,
+                              index.r.measure_wall_seconds),
+                     1)});
+    }
+    t.print(std::cout);
+    avg_speedup[geom] = sum / 4.0;
+    std::printf("avg host-replay speedup (index vs scan): %.2fx\n",
+                sum / 4.0);
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.kv("figure", "macro_replay");
+    w.newline();
+    // Host-side provenance AND the wall-clock measurements themselves are
+    // non-deterministic -- this artifact documents the machine it ran on;
+    // only "identical_decisions" is a stable invariant.
+    w.key("run");
+    w.begin_object();
+    w.kv("jobs", static_cast<std::uint64_t>(runner.manifest().jobs_used));
+    w.kv("base_seed", kBaseSeed);
+    w.kv("quick", quick);
+    w.kv("wall_seconds", runner.manifest().wall_seconds);
+    w.kv("identical_decisions", identical);
+    w.end_object();
+    w.newline();
+    w.key("geometries");
+    w.begin_object();
+    for (const auto& [name, geo] : geometries) {
+      w.key(name);
+      w.begin_object();
+      w.kv("describe", geo.describe());
+      w.kv("total_blocks", geo.total_blocks());
+      w.kv("pages_per_block",
+           static_cast<std::uint64_t>(geo.pages_per_block));
+      w.kv("capacity_gib", static_cast<double>(geo.capacity_bytes()) /
+                               (1024.0 * 1024.0 * 1024.0));
+      w.end_object();
+    }
+    w.end_object();
+    w.newline();
+    w.key("cells");
+    w.begin_object();
+    for (const auto& [name, geo] : geometries) {
+      (void)geo;
+      w.newline();
+      w.key(name);
+      w.begin_object();
+      for (const auto kind : kinds) {
+        const auto& per_mode = grid[name][core::ftl_kind_name(kind)];
+        w.newline();
+        w.key(core::ftl_kind_name(kind));
+        w.begin_object();
+        for (const auto& mode : kModes) {
+          const auto& c = per_mode.at(mode.name);
+          const ftl::FtlStats& s = c.r.raw.ftl_stats;
+          w.key(mode.name);
+          w.begin_object();
+          w.kv("host_ops_per_sec",
+               c.r.measure_wall_seconds > 0.0
+                   ? static_cast<double>(c.r.raw.requests) /
+                         c.r.measure_wall_seconds
+                   : 0.0);
+          w.kv("measure_wall_seconds", c.r.measure_wall_seconds);
+          w.kv("cell_wall_seconds", c.wall);
+          w.kv("requests", c.r.raw.requests);
+          w.kv("sim_host_mb_per_sec", c.r.host_mb_per_sec);
+          w.kv("maintenance_share",
+               maint_share(s, c.r.measure_wall_seconds));
+          w.kv("retention_share",
+               c.r.measure_wall_seconds > 0.0
+                   ? static_cast<double>(s.maint_retention_ns) /
+                         (c.r.measure_wall_seconds * 1e9)
+                   : 0.0);
+          w.kv("wear_level_share",
+               c.r.measure_wall_seconds > 0.0
+                   ? static_cast<double>(s.maint_wear_level_ns) /
+                         (c.r.measure_wall_seconds * 1e9)
+                   : 0.0);
+          w.kv("release_idle_share",
+               c.r.measure_wall_seconds > 0.0
+                   ? static_cast<double>(s.maint_release_idle_ns) /
+                         (c.r.measure_wall_seconds * 1e9)
+                   : 0.0);
+          w.kv("gc_share", gc_share(s, c.r.measure_wall_seconds));
+          w.kv("maint_retention_calls", s.maint_retention_calls);
+          w.kv("maint_wear_level_calls", s.maint_wear_level_calls);
+          w.kv("maint_release_idle_calls", s.maint_release_idle_calls);
+          w.kv("gc_invocations", c.r.gc_invocations);
+          w.kv("erases", c.r.erases);
+          w.kv("overall_waf", c.r.overall_waf);
+          w.kv("retention_evictions", s.retention_evictions);
+          w.kv("wear_level_relocations", s.wear_level_relocations);
+          w.end_object();
+        }
+        const double scan_ops =
+            per_mode.at("scan").r.measure_wall_seconds > 0.0
+                ? static_cast<double>(per_mode.at("scan").r.raw.requests) /
+                      per_mode.at("scan").r.measure_wall_seconds
+                : 0.0;
+        const double index_ops =
+            per_mode.at("index").r.measure_wall_seconds > 0.0
+                ? static_cast<double>(per_mode.at("index").r.raw.requests) /
+                      per_mode.at("index").r.measure_wall_seconds
+                : 0.0;
+        w.kv("speedup_host_ops", scan_ops > 0.0 ? index_ops / scan_ops : 0.0);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_object();
+    w.newline();
+    w.key("summary");
+    w.begin_object();
+    for (const auto& [name, geo] : geometries) {
+      (void)geo;
+      w.kv("avg_speedup_" + name, avg_speedup[name]);
+    }
+    w.end_object();
+    w.end_object();
+    os << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -3,7 +3,12 @@
 // accidental complexity regressions in the FTL data structures.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/ssd.h"
+#include "ftl/block_allocator.h"
+#include "ftl/fullpage_pool.h"
+#include "ftl/subpage_pool.h"
 #include "ftl/write_buffer.h"
 #include "nand/cell_model.h"
 #include "nand/device.h"
@@ -99,6 +104,145 @@ void BM_SsdSyncSmallWrite(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SsdSyncSmallWrite);
+
+// ---------------------------------------------------------------------------
+// Maintenance-path asymptotics (the production-scale replay work).
+//
+// Each BM_Maint* benchmark times ONE steady-state maintenance call --
+// retention scan, static wear leveling, idle-block release -- on a device
+// whose block count is the benchmark argument, in both implementations:
+// Arg(1) == 1 selects the original O(device)/O(owned) reference scans
+// (Config::reference_scan_maintenance), Arg(1) == 0 the incremental
+// indices. The interesting read-out is the growth ACROSS the block-count
+// range: the scan rows grow linearly, the index rows must stay flat.
+// Decisions are bit-identical between the two modes (see
+// docs/PERFORMANCE.md); here only the per-call cost differs.
+//
+// The harness populates a SubpagePool at level 0 with one live subpage per
+// page and never expires or unbalances anything, so every timed call is the
+// no-eviction fast path -- pure traversal/index overhead, no flash work.
+
+/// A standalone subpage region on an 8-chip device: Arg blocks per chip,
+/// half given to the pool. Kept small enough that setup (one write per
+/// page of every owned block) stays in the low milliseconds.
+struct MaintHarness {
+  nand::Geometry geo;
+  std::unique_ptr<nand::NandDevice> dev;
+  std::unique_ptr<ftl::BlockAllocator> allocator;
+  ftl::FtlStats stats;
+  std::unique_ptr<ftl::SubpagePool> pool;
+  SimTime now = 0.0;
+
+  MaintHarness(std::uint32_t blocks_per_chip, bool reference_scan) {
+    geo.channels = 4;
+    geo.chips_per_channel = 2;
+    geo.blocks_per_chip = blocks_per_chip;
+    geo.pages_per_block = 64;
+    dev = std::make_unique<nand::NandDevice>(geo);
+    allocator = std::make_unique<ftl::BlockAllocator>(geo);
+    ftl::SubpagePool::Config cfg;
+    cfg.quota_blocks = geo.total_blocks() / 2;
+    cfg.retention_evict_age = 15 * sim_time::kDay;
+    cfg.reference_scan_maintenance = reference_scan;
+    pool = std::make_unique<ftl::SubpagePool>(
+        *dev, *allocator, cfg, stats, /*place=*/
+        [](std::uint64_t, std::uint64_t) {},
+        /*evict=*/
+        [this](std::span<const ftl::SectorWrite>, SimTime t, bool) {
+          return t;
+        },
+        /*hot=*/[](std::uint64_t) { return false; },
+        /*kept=*/[](std::uint64_t) {});
+    // One live subpage per page of every quota block (level 0 fills the
+    // 0th slot of each page before any block advances).
+    const std::uint64_t sectors = cfg.quota_blocks * geo.pages_per_block;
+    for (std::uint64_t s = 0; s < sectors; ++s) {
+      now = pool->write_sector(s, ftl::make_token(s, 1), now).second;
+      now += 1.0;  // distinct written_at per page
+    }
+  }
+};
+
+void BM_MaintRetentionScan(benchmark::State& state) {
+  MaintHarness h(static_cast<std::uint32_t>(state.range(0)),
+                 state.range(1) != 0);
+  // Well before any page's eviction age: every call scans and finds
+  // nothing (the steady state between expiry waves).
+  const SimTime at = h.now + sim_time::kDay;
+  for (auto _ : state) benchmark::DoNotOptimize(h.pool->retention_scan(at));
+  state.SetLabel(state.range(1) ? "scan" : "index");
+}
+BENCHMARK(BM_MaintRetentionScan)
+    ->ArgsProduct({{128, 512, 2048}, {1, 0}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MaintStaticWearLevel(benchmark::State& state) {
+  MaintHarness h(static_cast<std::uint32_t>(state.range(0)),
+                 state.range(1) != 0);
+  // Uniform wear, huge threshold: the call locates the least-worn sealed
+  // block and decides "balanced" -- the every-wl_check_interval fast path.
+  for (auto _ : state)
+    benchmark::DoNotOptimize(h.pool->static_wear_level(h.now, 1u << 30));
+  state.SetLabel(state.range(1) ? "scan" : "index");
+}
+BENCHMARK(BM_MaintStaticWearLevel)
+    ->ArgsProduct({{128, 512, 2048}, {1, 0}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MaintReleaseIdleBlocks(benchmark::State& state) {
+  MaintHarness h(static_cast<std::uint32_t>(state.range(0)),
+                 state.range(1) != 0);
+  // Every owned block still holds valid data: each call is the "nothing to
+  // release" probe the owning FTL issues whenever free blocks run low.
+  for (auto _ : state)
+    benchmark::DoNotOptimize(h.pool->release_idle_blocks(h.now));
+  state.SetLabel(state.range(1) ? "scan" : "index");
+}
+BENCHMARK(BM_MaintReleaseIdleBlocks)
+    ->ArgsProduct({{128, 512, 2048}, {1, 0}})
+    ->Unit(benchmark::kMicrosecond);
+
+// GC allocation churn (FullPagePool::collect_block): steady-state greedy GC
+// driven by random full-page overwrites over a small logical space. Before
+// the BlockMeta arena (retire_meta_arrays/init_meta_arrays) and the pooled
+// GC-token scratch, every collected block freed and re-grew its per-page
+// vectors, so this benchmark's ns/op tracked the allocator; now the arrays
+// recycle and the timed loop is allocation-free after warm-up.
+void BM_FullPoolGcChurn(benchmark::State& state) {
+  nand::Geometry geo;
+  geo.channels = 4;
+  geo.chips_per_channel = 2;
+  geo.blocks_per_chip = 64;
+  geo.pages_per_block = 64;
+  nand::NandDevice dev(geo);
+  ftl::BlockAllocator allocator(geo);
+  ftl::FtlStats stats;
+  const std::uint64_t lpns =
+      geo.total_pages() * 7 / 10;  // 30% over-provisioning
+  std::vector<std::uint64_t> page_of(lpns, ~0ull);
+  ftl::FullPagePool::Config cfg;
+  cfg.reserve_free_blocks = 8;
+  ftl::FullPagePool pool(
+      dev, allocator, cfg, stats,
+      [&page_of](std::uint64_t lpn, std::uint64_t lin) {
+        page_of[lpn] = lin;
+      });
+  std::vector<std::uint64_t> tokens(geo.subpages_per_page);
+  util::Xoshiro256 rng(6);
+  SimTime now = 0.0;
+  auto write = [&](std::uint64_t lpn) {
+    for (std::uint32_t s = 0; s < geo.subpages_per_page; ++s)
+      tokens[s] = ftl::make_token(lpn * geo.subpages_per_page + s, 1);
+    if (page_of[lpn] != ~0ull) pool.invalidate(page_of[lpn]);
+    const auto [lin, done] = pool.write_page(lpn, tokens, now);
+    page_of[lpn] = lin;
+    now = done;
+  };
+  for (std::uint64_t lpn = 0; lpn < lpns; ++lpn) write(lpn);  // fill
+  for (auto _ : state) write(rng.below(lpns));  // steady-state GC
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullPoolGcChurn);
 
 void BM_CellModelProgram(benchmark::State& state) {
   nand::WordLine wl(4, 8192, nand::CellModelParams{}, util::Xoshiro256(5));

@@ -33,10 +33,12 @@ struct Row {
   std::uint64_t verify_failures = 0;
 };
 
-core::ExperimentCell make_cell(workload::Benchmark bench) {
+core::ExperimentCell make_cell(workload::Benchmark bench,
+                               const bench::GeometryOverrides& geo) {
   core::ExperimentCell cell;
   cell.key = "table1/" + workload::benchmark_name(bench);
   cell.spec.ssd = bench::scaled_config(core::FtlKind::kSub);
+  cell.spec.ssd.geometry = geo.apply(cell.spec.ssd.geometry);
   // Seed derived from the cell's stable key (matches fig8's per-benchmark
   // stream seeding), never from grid order.
   auto params = workload::benchmark_profile(
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
   std::string journal_out;
   bool audit = false;
   unsigned jobs = 0;  // 0 = hardware concurrency
+  bench::GeometryOverrides geo;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -76,20 +79,23 @@ int main(int argc, char** argv) {
       journal_out = argv[++i];
     } else if (arg == "--audit") {
       audit = true;
+    } else if (geo.parse_flag(argc, argv, i)) {
+      // consumed a geometry override
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--jobs N] "
-                   "[--journal-out PATH] [--audit]\n",
-                   argv[0]);
+                   "[--journal-out PATH] [--audit]\n          %s\n",
+                   argv[0], bench::GeometryOverrides::kUsage);
       return 2;
     }
   }
 
-  bench::print_header("Table 1 -- Detailed analysis of subFTL");
+  bench::print_header("Table 1 -- Detailed analysis of subFTL",
+                      geo.apply(bench::scaled_geometry()));
 
   std::vector<core::ExperimentCell> cells;
   for (const auto bench : workload::all_benchmarks()) {
-    auto cell = make_cell(bench);
+    auto cell = make_cell(bench, geo);
     if (!journal_out.empty())
       cell.spec.journal_path = bench::cell_journal_path(journal_out,
                                                         cell.key);

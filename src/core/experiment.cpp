@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <chrono>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
@@ -79,7 +80,12 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   // snapshot so preconditioning/warmup traffic is excluded.
   const ftl::FtlStats before = ssd.ftl().stats();
 
+  const auto wall_start = std::chrono::steady_clock::now();
   auto metrics = ssd.driver().run(stream, spec.verify);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   const ftl::FtlStats window = ftl::stats_delta(metrics.ftl_stats, before);
   metrics.ftl_stats = window;
 
@@ -99,6 +105,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   result.erases = metrics.erases_during_run;
   result.rmw_ops = window.rmw_ops;
   result.verify_failures = metrics.verify_failures;
+  result.measure_wall_seconds = wall_seconds;
   result.mapping_bytes = ssd.ftl().mapping_memory_bytes();
   if (tel) result.trace_dropped = tel->trace().dropped();
   if (journal) {

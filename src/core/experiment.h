@@ -26,6 +26,11 @@ struct RunResult {
   std::uint64_t rmw_ops = 0;
   std::uint64_t verify_failures = 0;
   std::uint64_t mapping_bytes = 0;
+  /// Host wall-clock seconds spent simulating the measured window (not
+  /// preconditioning or warmup). NOT deterministic -- feeds the replay
+  /// bench's host-ops/sec and maintenance-share numbers only; determinism
+  /// checks must never compare it.
+  double measure_wall_seconds = 0.0;
   /// Trace-ring evictions during the run (0 when no telemetry attached).
   std::uint64_t trace_dropped = 0;
   /// Journal lines written / admission-capped (0 when no journal).

@@ -55,6 +55,7 @@ Ssd::Ssd(const SsdConfig& config) : config_(config) {
       c.wl_pe_threshold = config_.wl_pe_threshold;
       c.wl_check_interval = config_.wl_check_interval;
       c.use_copyback = config_.use_copyback;
+      c.reference_scan_maintenance = config_.reference_scan_maintenance;
       ftl_ = std::make_unique<ftl::CgmFtl>(*device_, c);
       break;
     }
@@ -65,6 +66,7 @@ Ssd::Ssd(const SsdConfig& config) : config_(config) {
       c.buffer_sectors = config_.buffer_sectors;
       c.wl_pe_threshold = config_.wl_pe_threshold;
       c.wl_check_interval = config_.wl_check_interval;
+      c.reference_scan_maintenance = config_.reference_scan_maintenance;
       ftl_ = std::make_unique<ftl::FgmFtl>(*device_, c);
       break;
     }
@@ -79,6 +81,7 @@ Ssd::Ssd(const SsdConfig& config) : config_(config) {
       c.wl_pe_threshold = config_.wl_pe_threshold;
       c.wl_check_interval = config_.wl_check_interval;
       c.use_copyback = config_.use_copyback;
+      c.reference_scan_maintenance = config_.reference_scan_maintenance;
       ftl_ = std::make_unique<ftl::SubFtl>(*device_, c);
       break;
     }
@@ -91,6 +94,7 @@ Ssd::Ssd(const SsdConfig& config) : config_(config) {
       c.wl_pe_threshold = config_.wl_pe_threshold;
       c.wl_check_interval = config_.wl_check_interval;
       c.use_copyback = config_.use_copyback;
+      c.reference_scan_maintenance = config_.reference_scan_maintenance;
       ftl_ = std::make_unique<ftl::SectorLogFtl>(*device_, c);
       break;
     }

@@ -69,6 +69,13 @@ struct SsdConfig {
   /// destination stays on the source chip (saves both channel transfers).
   bool use_copyback = false;
 
+  /// Debug/differential mode: run FTL maintenance paths (retention scan,
+  /// static wear leveling, idle-block release) with the original O(device)
+  /// linear scans instead of the incrementally maintained indices.
+  /// Decisions are bit-identical either way -- pinned by the journal
+  /// byte-compare in tests and CI (see docs/PERFORMANCE.md).
+  bool reference_scan_maintenance = false;
+
   std::uint64_t logical_sectors() const;
 
   /// Throws std::invalid_argument on inconsistent settings.

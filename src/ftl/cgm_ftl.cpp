@@ -17,7 +17,8 @@ CgmFtl::CgmFtl(nand::NandDevice& dev, const Config& config)
       pool_(dev, allocator_,
             FullPagePool::Config{/*quota_blocks=*/~0ull,
                                  config.gc_reserve_blocks,
-                                 config.use_copyback},
+                                 config.use_copyback,
+                                 config.reference_scan_maintenance},
             stats_,
             [this](std::uint64_t lpn, std::uint64_t new_lin) {
               l2p_[lpn] = new_lin;

@@ -33,6 +33,11 @@ class CgmFtl : public Ftl {
     /// GC page moves use the NAND copy-back command when the destination
     /// stays on the source chip (no channel transfers).
     bool use_copyback = false;
+    /// Run maintenance paths (wear leveling, and for subFTL retention scan
+    /// + idle release) with the original O(device) linear scans instead of
+    /// the incremental indices. Decisions are bit-identical either way;
+    /// used by differential tests and CI to prove it.
+    bool reference_scan_maintenance = false;
   };
 
   CgmFtl(nand::NandDevice& dev, const Config& config);

@@ -14,7 +14,8 @@ FgmFtl::FgmFtl(nand::NandDevice& dev, const Config& config)
       codec_(geo_),
       allocator_(geo_),
       pool_(dev, allocator_,
-            FinePool::Config{/*quota_blocks=*/~0ull, config.gc_reserve_blocks},
+            FinePool::Config{/*quota_blocks=*/~0ull, config.gc_reserve_blocks,
+                             config.reference_scan_maintenance},
             stats_,
             [this](std::uint64_t sector, std::uint64_t new_lin) {
               l2p_[sector] = new_lin;

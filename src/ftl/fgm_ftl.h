@@ -31,6 +31,11 @@ class FgmFtl : public Ftl {
     /// Static wear leveling knobs (see CgmFtl::Config).
     std::uint32_t wl_pe_threshold = 64;
     std::uint32_t wl_check_interval = 1024;
+    /// Run maintenance paths (wear leveling, and for subFTL retention scan
+    /// + idle release) with the original O(device) linear scans instead of
+    /// the incremental indices. Decisions are bit-identical either way;
+    /// used by differential tests and CI to prove it.
+    bool reference_scan_maintenance = false;
   };
 
   FgmFtl(nand::NandDevice& dev, const Config& config);

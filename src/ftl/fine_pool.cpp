@@ -21,6 +21,25 @@ FinePool::FinePool(nand::NandDevice& dev, BlockAllocator& allocator,
   if (!place_) throw std::invalid_argument("FinePool: place callback required");
 }
 
+void FinePool::retire_meta_arrays(BlockMeta& m) {
+  auto& spare = spare_meta_.emplace_back();
+  spare.sector_of_slot = std::move(m.sector_of_slot);
+  spare.valid = std::move(m.valid);
+}
+
+void FinePool::init_meta_arrays(BlockMeta& m) {
+  if (!spare_meta_.empty()) {
+    auto& spare = spare_meta_.back();
+    m.sector_of_slot = std::move(spare.sector_of_slot);
+    m.valid = std::move(spare.valid);
+    spare_meta_.pop_back();
+  }
+  const std::size_t slots =
+      static_cast<std::size_t>(geo_.pages_per_block) * geo_.subpages_per_page;
+  m.sector_of_slot.assign(slots, nand::kUnmapped);
+  m.valid.assign(slots, false);
+}
+
 bool FinePool::space_pressure() const {
   return allocator_.total_free() <= config_.reserve_free_blocks ||
          blocks_in_use_ >= config_.quota_blocks;
@@ -39,6 +58,8 @@ bool FinePool::ensure_active(std::uint32_t* chip_out, SimTime now) {
       }
       m.active = false;
       push_victim_candidate(block_index(chip, *active));
+      wear_index_.push(dev_.block(chip, *active).pe_cycles(),
+                       block_index(chip, *active));
       active.reset();
     }
     const auto blk = allocator_.alloc(chip);
@@ -48,10 +69,7 @@ bool FinePool::ensure_active(std::uint32_t* chip_out, SimTime now) {
     m.active = true;
     m.next_page = 0;
     m.valid_count = 0;
-    const std::size_t slots =
-        static_cast<std::size_t>(geo_.pages_per_block) * geo_.subpages_per_page;
-    m.sector_of_slot.assign(slots, nand::kUnmapped);
-    m.valid.assign(slots, false);
+    init_meta_arrays(m);
     active = *blk;
     ++blocks_in_use_;
     if (sink_)
@@ -77,7 +95,8 @@ SimTime FinePool::write_group(std::span<const SectorWrite> group, SimTime now) {
   BlockMeta& m = meta_[block_index(chip, blk)];
   const std::uint32_t page = m.next_page++;
 
-  std::vector<std::uint64_t> tokens(geo_.subpages_per_page, 0);
+  std::vector<std::uint64_t>& tokens = write_tokens_;
+  tokens.assign(geo_.subpages_per_page, 0);
   for (std::size_t i = 0; i < group.size(); ++i) tokens[i] = group[i].token;
 
   const nand::PageAddr addr{chip, blk, page};
@@ -155,6 +174,7 @@ SimTime FinePool::collect(SimTime now) {
 
 SimTime FinePool::collect_block(std::size_t idx, SimTime now,
                                 bool for_wear_leveling) {
+  const MaintenanceTimer timer(stats_, nullptr, &stats_.maint_gc_ns);
   const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
   const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
   BlockMeta& victim = meta_[idx];
@@ -170,7 +190,8 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
 
   // Gather live sectors page by page (one flash read per page that still
   // holds anything live), then repack them densely into full pages.
-  std::vector<SectorWrite> live;
+  std::vector<SectorWrite>& live = gc_live_;
+  live.clear();
   live.reserve(victim.valid_count);
   SimTime t = now;
   for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
@@ -230,10 +251,7 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
                          "fine", 0, 0, pe, ack.done});
   }
   victim.owned = false;
-  victim.sector_of_slot.clear();
-  victim.sector_of_slot.shrink_to_fit();
-  victim.valid.clear();
-  victim.valid.shrink_to_fit();
+  retire_meta_arrays(victim);
   --blocks_in_use_;
   allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
   return ack.done;
@@ -241,21 +259,40 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
 
 SimTime FinePool::static_wear_level(SimTime now,
                                     std::uint32_t pe_threshold) {
+  const MaintenanceTimer timer(stats_, &stats_.maint_wear_level_calls,
+                               &stats_.maint_wear_level_ns);
   std::optional<std::size_t> coldest;
   std::uint32_t coldest_pe = ~0u;
-  // Device-wide maximum is tracked monotonically at erase time.
+  // Device-wide maximum is tracked monotonically at erase time; the coldest
+  // candidate comes from the wear index (or, in reference mode, the
+  // original full-device scan kept as the differential baseline).
   const std::uint32_t max_pe = dev_.max_pe_cycles();
-  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
-    for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk) {
-      const std::size_t idx = block_index(chip, blk);
+  if (config_.reference_scan_maintenance) {
+    for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+      for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk) {
+        const std::size_t idx = block_index(chip, blk);
+        const BlockMeta& m = meta_[idx];
+        if (!m.owned || m.active || m.next_page < geo_.pages_per_block)
+          continue;
+        const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
+        if (pe < coldest_pe) {
+          coldest_pe = pe;
+          coldest = idx;
+        }
+      }
+    }
+  } else {
+    const auto top = wear_index_.peek([&](std::uint32_t pe, std::size_t idx) {
       const BlockMeta& m = meta_[idx];
       if (!m.owned || m.active || m.next_page < geo_.pages_per_block)
-        continue;
-      const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
-      if (pe < coldest_pe) {
-        coldest_pe = pe;
-        coldest = idx;
-      }
+        return false;
+      const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
+      const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+      return dev_.block(chip, blk).pe_cycles() == pe;
+    });
+    if (top) {
+      coldest = top->idx;
+      coldest_pe = top->pe;
     }
   }
   if (!coldest || max_pe - coldest_pe <= pe_threshold) return now;

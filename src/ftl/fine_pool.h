@@ -19,6 +19,7 @@
 
 #include "ftl/block_allocator.h"
 #include "ftl/types.h"
+#include "ftl/wear_index.h"
 #include "nand/address.h"
 #include "nand/device.h"
 #include "telemetry/sink.h"
@@ -30,6 +31,10 @@ class FinePool {
   struct Config {
     std::uint64_t quota_blocks = ~0ull;
     std::size_t reserve_free_blocks = 8;
+    /// Debug/differential mode: find wear-leveling targets with the
+    /// original O(device) linear scan instead of the incremental wear
+    /// index (see FullPagePool::Config::reference_scan_maintenance).
+    bool reference_scan_maintenance = false;
   };
 
   /// Invoked whenever a sector lands on flash (initial write and GC moves):
@@ -89,6 +94,9 @@ class FinePool {
   SimTime collect_block(std::size_t idx, SimTime now, bool for_wear_leveling);
   void push_victim_candidate(std::size_t idx);
   std::optional<std::size_t> pop_victim();
+  /// BlockMeta per-slot array recycling (see SubpagePool::retire_meta_arrays).
+  void retire_meta_arrays(BlockMeta& m);
+  void init_meta_arrays(BlockMeta& m);
 
   nand::NandDevice& dev_;
   BlockAllocator& allocator_;
@@ -110,6 +118,19 @@ class FinePool {
                       std::vector<std::pair<std::uint32_t, std::size_t>>,
                       std::greater<>>
       victim_heap_;
+  /// Wear-leveling candidates, pushed at seal time (see wear_index.h).
+  WearIndex wear_index_;
+  /// Recycled per-slot arrays of released blocks.
+  struct SpareArrays {
+    std::vector<std::uint64_t> sector_of_slot;
+    std::vector<bool> valid;
+  };
+  std::vector<SpareArrays> spare_meta_;
+  /// Pooled scratch. collect_block never nests within itself, and a nested
+  /// write_group (GC repack) finishes with write_tokens_ before the outer
+  /// write_group starts filling it.
+  std::vector<SectorWrite> gc_live_;
+  std::vector<std::uint64_t> write_tokens_;
 };
 
 }  // namespace esp::ftl

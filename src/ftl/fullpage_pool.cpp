@@ -18,9 +18,38 @@ FullPagePool::FullPagePool(nand::NandDevice& dev, BlockAllocator& allocator,
       geo_(dev.geometry()),
       codec_(geo_),
       meta_(geo_.total_blocks()),
+      owned_by_chip_(geo_.total_chips()),
       active_block_(geo_.total_chips()) {
   if (!relocate_)
     throw std::invalid_argument("FullPagePool: relocate callback required");
+}
+
+void FullPagePool::index_add(std::uint32_t chip, std::uint32_t block) {
+  auto& owned = owned_by_chip_[chip];
+  owned.insert(std::lower_bound(owned.begin(), owned.end(), block), block);
+}
+
+void FullPagePool::index_remove(std::uint32_t chip, std::uint32_t block) {
+  auto& owned = owned_by_chip_[chip];
+  const auto it = std::lower_bound(owned.begin(), owned.end(), block);
+  if (it != owned.end() && *it == block) owned.erase(it);
+}
+
+void FullPagePool::retire_meta_arrays(BlockMeta& m) {
+  auto& spare = spare_meta_.emplace_back();
+  spare.lpn_of_page = std::move(m.lpn_of_page);
+  spare.valid = std::move(m.valid);
+}
+
+void FullPagePool::init_meta_arrays(BlockMeta& m) {
+  if (!spare_meta_.empty()) {
+    auto& spare = spare_meta_.back();
+    m.lpn_of_page = std::move(spare.lpn_of_page);
+    m.valid = std::move(spare.valid);
+    spare_meta_.pop_back();
+  }
+  m.lpn_of_page.assign(geo_.pages_per_block, nand::kUnmapped);
+  m.valid.assign(geo_.pages_per_block, false);
 }
 
 bool FullPagePool::space_pressure() const {
@@ -35,17 +64,19 @@ bool FullPagePool::ensure_active_on(std::uint32_t chip, SimTime now) {
     if (m.next_page < geo_.pages_per_block) return true;
     m.active = false;  // full: retire from active duty, becomes collectable
     push_victim_candidate(block_index(chip, *active));
+    wear_index_.push(dev_.block(chip, *active).pe_cycles(),
+                     block_index(chip, *active));
     active.reset();
   }
   const auto blk = allocator_.alloc(chip);
   if (!blk) return false;
   BlockMeta& m = meta_[block_index(chip, *blk)];
   m.owned = true;
+  index_add(chip, *blk);
   m.active = true;
   m.next_page = 0;
   m.valid_count = 0;
-  m.lpn_of_page.assign(geo_.pages_per_block, nand::kUnmapped);
-  m.valid.assign(geo_.pages_per_block, false);
+  init_meta_arrays(m);
   active = *blk;
   ++blocks_in_use_;
   if (sink_)
@@ -149,6 +180,7 @@ SimTime FullPagePool::collect(SimTime now) {
 
 SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
                                     bool for_wear_leveling) {
+  const MaintenanceTimer timer(stats_, nullptr, &stats_.maint_gc_ns);
   const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
   const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
   const SimTime collect_start = now;
@@ -194,7 +226,8 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
 
     const auto read = dev_.read_page(src, now);
     ++stats_.flash_reads;
-    std::vector<std::uint64_t> tokens(geo_.subpages_per_page);
+    std::vector<std::uint64_t>& tokens = gc_tokens_;
+    tokens.assign(geo_.subpages_per_page, 0);
     for (std::uint32_t s = 0; s < geo_.subpages_per_page; ++s) {
       tokens[s] = read.token[s];
       if (read.status[s] == nand::ReadStatus::kCorrupted ||
@@ -234,10 +267,8 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
                 static_cast<unsigned>(chip), static_cast<unsigned>(blk),
                 static_cast<unsigned long long>(moved_sectors));
   victim.owned = false;
-  victim.lpn_of_page.clear();
-  victim.lpn_of_page.shrink_to_fit();
-  victim.valid.clear();
-  victim.valid.shrink_to_fit();
+  index_remove(chip, blk);
+  retire_meta_arrays(victim);
   --blocks_in_use_;
   allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
   return ack.done;
@@ -245,24 +276,42 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
 
 SimTime FullPagePool::static_wear_level(SimTime now,
                                         std::uint32_t pe_threshold) {
+  const MaintenanceTimer timer(stats_, &stats_.maint_wear_level_calls,
+                               &stats_.maint_wear_level_ns);
   // Least-worn sealed block owned by this pool vs. the most-worn block on
   // the device: a big gap means this block pins cold data on young flash.
   std::optional<std::size_t> coldest;
   std::uint32_t coldest_pe = ~0u;
-  // Device-wide maximum is tracked monotonically at erase time, so the scan
-  // only has to find this pool's coldest sealed block.
+  // Device-wide maximum is tracked monotonically at erase time; the coldest
+  // candidate comes from the wear index (or, in reference mode, the
+  // original full-device scan kept as the differential baseline).
   const std::uint32_t max_pe = dev_.max_pe_cycles();
-  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
-    for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk) {
-      const std::size_t idx = block_index(chip, blk);
+  if (config_.reference_scan_maintenance) {
+    for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+      for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk) {
+        const std::size_t idx = block_index(chip, blk);
+        const BlockMeta& m = meta_[idx];
+        if (!m.owned || m.active || m.next_page < geo_.pages_per_block)
+          continue;
+        const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
+        if (pe < coldest_pe) {
+          coldest_pe = pe;
+          coldest = idx;
+        }
+      }
+    }
+  } else {
+    const auto top = wear_index_.peek([&](std::uint32_t pe, std::size_t idx) {
       const BlockMeta& m = meta_[idx];
       if (!m.owned || m.active || m.next_page < geo_.pages_per_block)
-        continue;
-      const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
-      if (pe < coldest_pe) {
-        coldest_pe = pe;
-        coldest = idx;
-      }
+        return false;
+      const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
+      const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+      return dev_.block(chip, blk).pe_cycles() == pe;
+    });
+    if (top) {
+      coldest = top->idx;
+      coldest_pe = top->pe;
     }
   }
   if (!coldest || max_pe - coldest_pe <= pe_threshold) return now;
@@ -272,10 +321,11 @@ SimTime FullPagePool::static_wear_level(SimTime now,
 
 std::vector<std::uint32_t> FullPagePool::owned_pe_cycles() const {
   std::vector<std::uint32_t> pes;
-  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip)
-    for (std::uint32_t blk = 0; blk < geo_.blocks_per_chip; ++blk)
-      if (meta_[block_index(chip, blk)].owned)
-        pes.push_back(dev_.block(chip, blk).pe_cycles());
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    pes.reserve(pes.size() + owned_by_chip_[chip].size());
+    for (const std::uint32_t blk : owned_by_chip_[chip])
+      pes.push_back(dev_.block(chip, blk).pe_cycles());
+  }
   return pes;
 }
 

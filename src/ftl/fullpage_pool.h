@@ -19,6 +19,7 @@
 
 #include "ftl/block_allocator.h"
 #include "ftl/types.h"
+#include "ftl/wear_index.h"
 #include "nand/address.h"
 #include "nand/device.h"
 #include "telemetry/sink.h"
@@ -35,6 +36,12 @@ class FullPagePool {
     /// Use the NAND copy-back command for GC page moves whose destination
     /// can stay on the source chip: saves both channel transfers per copy.
     bool use_copyback = false;
+    /// Debug/differential mode: find wear-leveling targets with the
+    /// original O(device) linear scan instead of the incremental wear
+    /// index. Decisions are bit-identical either way (see
+    /// docs/PERFORMANCE.md); the scan mode exists so tests and CI can keep
+    /// proving that on every change.
+    bool reference_scan_maintenance = false;
   };
 
   /// Invoked when GC moves a logical page: (lpn, new linear page address).
@@ -87,6 +94,13 @@ class FullPagePool {
   std::size_t block_index(std::uint32_t chip, std::uint32_t block) const {
     return static_cast<std::size_t>(chip) * geo_.blocks_per_chip + block;
   }
+  /// Owned-block index (ascending block id per chip): lets owned_pe_cycles
+  /// walk only this pool's blocks instead of the whole device.
+  void index_add(std::uint32_t chip, std::uint32_t block);
+  void index_remove(std::uint32_t chip, std::uint32_t block);
+  /// BlockMeta per-page array recycling (see SubpagePool::retire_meta_arrays).
+  void retire_meta_arrays(BlockMeta& m);
+  void init_meta_arrays(BlockMeta& m);
   bool space_pressure() const;
   SimTime collect(SimTime now);  ///< one greedy GC pass
   /// Relocates every valid page of the given sealed block, erases it, and
@@ -110,6 +124,7 @@ class FullPagePool {
   nand::AddressCodec codec_;
 
   std::vector<BlockMeta> meta_;  ///< indexed by chip*blocks_per_chip+block
+  std::vector<std::vector<std::uint32_t>> owned_by_chip_;
   std::vector<std::optional<std::uint32_t>> active_block_;  ///< per chip
   /// Lazy min-heap of GC candidates: (valid_count at push, block index).
   /// Stale entries (count changed, block re-erased, ...) are skipped at pop.
@@ -117,6 +132,16 @@ class FullPagePool {
                       std::vector<std::pair<std::uint32_t, std::size_t>>,
                       std::greater<>>
       victim_heap_;
+  /// Wear-leveling candidates, pushed at seal time (see wear_index.h).
+  WearIndex wear_index_;
+  /// Recycled per-page arrays of released blocks.
+  struct SpareArrays {
+    std::vector<std::uint64_t> lpn_of_page;
+    std::vector<bool> valid;
+  };
+  std::vector<SpareArrays> spare_meta_;
+  /// Pooled GC read buffer (collect_block never nests within itself).
+  std::vector<std::uint64_t> gc_tokens_;
   std::uint32_t rr_chip_ = 0;
   std::uint64_t blocks_in_use_ = 0;
   std::uint64_t valid_pages_ = 0;

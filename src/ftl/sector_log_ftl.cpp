@@ -26,14 +26,16 @@ SectorLogFtl::SectorLogFtl(nand::NandDevice& dev, const Config& config)
       pool_data_(dev, allocator_,
                  FullPagePool::Config{/*quota_blocks=*/~0ull,
                                       config.gc_reserve_blocks,
-                                      config.use_copyback},
+                                      config.use_copyback,
+                                      config.reference_scan_maintenance},
                  stats_,
                  [this](std::uint64_t lpn, std::uint64_t new_lin) {
                    l2p_[lpn] = new_lin;
                  }),
       pool_log_(dev, allocator_,
                 FinePool::Config{log_quota(geo_, config.log_region_fraction),
-                                 config.gc_reserve_blocks},
+                                 config.gc_reserve_blocks,
+                                 config.reference_scan_maintenance},
                 stats_,
                 [this](std::uint64_t sector, std::uint64_t new_lin) {
                   log_map_[sector] = new_lin;

@@ -32,7 +32,37 @@ FtlStats stats_delta(const FtlStats& after, const FtlStats& before) {
       after.small_service_flash_bytes - before.small_service_flash_bytes;
   d.small_extra_flash_bytes =
       after.small_extra_flash_bytes - before.small_extra_flash_bytes;
+  d.maint_retention_calls =
+      after.maint_retention_calls - before.maint_retention_calls;
+  d.maint_retention_ns = after.maint_retention_ns - before.maint_retention_ns;
+  d.maint_wear_level_calls =
+      after.maint_wear_level_calls - before.maint_wear_level_calls;
+  d.maint_wear_level_ns =
+      after.maint_wear_level_ns - before.maint_wear_level_ns;
+  d.maint_release_idle_calls =
+      after.maint_release_idle_calls - before.maint_release_idle_calls;
+  d.maint_release_idle_ns =
+      after.maint_release_idle_ns - before.maint_release_idle_ns;
+  d.maint_gc_ns = after.maint_gc_ns - before.maint_gc_ns;
   return d;
+}
+
+MaintenanceTimer::MaintenanceTimer(FtlStats& stats, std::uint64_t* calls,
+                                   std::uint64_t* ns)
+    : stats_(stats), ns_(ns), outer_(stats.maint_timer_depth == 0) {
+  ++stats_.maint_timer_depth;
+  if (!outer_) return;
+  if (calls) ++*calls;
+  start_ = std::chrono::steady_clock::now();
+}
+
+MaintenanceTimer::~MaintenanceTimer() {
+  --stats_.maint_timer_depth;
+  if (!outer_ || !ns_) return;
+  *ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
 }
 
 void bind_stats(telemetry::MetricsRegistry& registry, const std::string& scope,

@@ -31,7 +31,8 @@ SubFtl::SubFtl(nand::NandDevice& dev, const Config& config)
       pool_full_(dev, allocator_,
                  FullPagePool::Config{/*quota_blocks=*/~0ull,
                                       config.gc_reserve_blocks,
-                                      config.use_copyback},
+                                      config.use_copyback,
+                                      config.reference_scan_maintenance},
                  stats_,
                  [this](std::uint64_t lpn, std::uint64_t new_lin) {
                    l2p_[lpn] = new_lin;
@@ -48,7 +49,9 @@ SubFtl::SubFtl(nand::NandDevice& dev, const Config& config)
                     .retention_evict_age = config.retention_evict_age,
                     .gc_free_target = config.gc_free_target,
                     .advance_max_valid_fraction =
-                        config.advance_max_valid_fraction},
+                        config.advance_max_valid_fraction,
+                    .reference_scan_maintenance =
+                        config.reference_scan_maintenance},
                 stats_,
                 [this](std::uint64_t sector, std::uint64_t new_lin) {
                   if (sub_lin_[sector] == nand::kUnmapped) ++sub_entries_;

@@ -53,6 +53,11 @@ class SubFtl : public Ftl {
     std::uint32_t wl_check_interval = 1024;
     /// Copy-back GC in the full-page region (see CgmFtl::Config).
     bool use_copyback = false;
+    /// Run maintenance paths (wear leveling, and for subFTL retention scan
+    /// + idle release) with the original O(device) linear scans instead of
+    /// the incremental indices. Decisions are bit-identical either way;
+    /// used by differential tests and CI to prove it.
+    bool reference_scan_maintenance = false;
   };
 
   SubFtl(nand::NandDevice& dev, const Config& config);

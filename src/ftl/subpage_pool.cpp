@@ -22,7 +22,11 @@ SubpagePool::SubpagePool(nand::NandDevice& dev, BlockAllocator& allocator,
       codec_(geo_),
       meta_(geo_.total_blocks()),
       owned_by_chip_(geo_.total_chips()),
-      active_block_(geo_.total_chips()) {
+      active_block_(geo_.total_chips()),
+      // Bucket width: a fraction of the eviction age so the boundary
+      // bucket a scan re-examines holds only the youngest ~3% of the
+      // retention window's writes.
+      retention_queue_(config.retention_evict_age / 32.0) {
   if (!place_ || !evict_ || !hot_ || !kept_)
     throw std::invalid_argument("SubpagePool: all callbacks required");
   if (config_.quota_blocks == 0)
@@ -38,6 +42,38 @@ void SubpagePool::index_remove(std::uint32_t chip, std::uint32_t block) {
   auto& owned = owned_by_chip_[chip];
   const auto it = std::lower_bound(owned.begin(), owned.end(), block);
   if (it != owned.end() && *it == block) owned.erase(it);
+}
+
+void SubpagePool::note_sealed(std::size_t idx) {
+  const BlockMeta& m = meta_[idx];
+  const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
+  const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+  wear_index_.push(dev_.block(chip, blk).pe_cycles(), idx);
+  if (m.valid_count == 0) note_idle_candidate(idx);
+}
+
+void SubpagePool::note_idle_candidate(std::size_t idx) {
+  idle_candidates_.push_back(idx);
+}
+
+void SubpagePool::retire_meta_arrays(BlockMeta& m) {
+  auto& spare = spare_meta_.emplace_back();
+  spare.sector_of_page = std::move(m.sector_of_page);
+  spare.valid = std::move(m.valid);
+  spare.written_at = std::move(m.written_at);
+}
+
+void SubpagePool::init_meta_arrays(BlockMeta& m) {
+  if (!spare_meta_.empty()) {
+    auto& spare = spare_meta_.back();
+    m.sector_of_page = std::move(spare.sector_of_page);
+    m.valid = std::move(spare.valid);
+    m.written_at = std::move(spare.written_at);
+    spare_meta_.pop_back();
+  }
+  m.sector_of_page.assign(geo_.pages_per_block, nand::kUnmapped);
+  m.valid.assign(geo_.pages_per_block, false);
+  m.written_at.assign(geo_.pages_per_block, 0.0);
 }
 
 bool SubpagePool::can_alloc_fresh() const {
@@ -75,6 +111,8 @@ SimTime SubpagePool::forward_page(std::uint32_t chip, std::uint32_t blk,
   ++stats_.forward_migrations;
   stats_.small_extra_flash_bytes += geo_.subpage_bytes();
   m.written_at[page] = read.done;
+  if (!config_.reference_scan_maintenance)
+    retention_queue_.push(block_index(chip, blk), page, read.done);
   place_(m.sector_of_page[page],
          codec_.encode_subpage(nand::SubpageAddr{pa, to_slot}));
   if (sink_)
@@ -106,6 +144,7 @@ bool SubpagePool::acquire_slot(std::uint32_t chip, SimTime& t,
         return true;
       }
       m.active = false;  // sealed at this level
+      note_sealed(block_index(chip, *active));
       active.reset();
     }
     // Prefer opening a fresh block (keeps every block's 0th subpages in
@@ -120,9 +159,7 @@ bool SubpagePool::acquire_slot(std::uint32_t chip, SimTime& t,
         m.level = 0;
         m.cursor = 0;
         m.valid_count = 0;
-        m.sector_of_page.assign(geo_.pages_per_block, nand::kUnmapped);
-        m.valid.assign(geo_.pages_per_block, false);
-        m.written_at.assign(geo_.pages_per_block, 0.0);
+        init_meta_arrays(m);
         active = *fresh;
         ++blocks_in_use_;
         if (sink_)
@@ -185,6 +222,8 @@ std::optional<std::pair<std::uint64_t, SimTime>> SubpagePool::try_write_sector(
     m.sector_of_page[page] = sector;
     m.valid[page] = true;
     m.written_at[page] = t;
+    if (!config_.reference_scan_maintenance)
+      retention_queue_.push(block_index(chip, blk), page, t);
     ++m.valid_count;
     ++valid_sectors_;
     const std::uint64_t sub_lin =
@@ -247,6 +286,8 @@ void SubpagePool::invalidate(std::uint64_t sub_lin) {
   m.sector_of_page[addr.page.page] = nand::kUnmapped;
   --m.valid_count;
   --valid_sectors_;
+  if (m.valid_count == 0 && !m.active)
+    note_idle_candidate(block_index(addr.page.chip, addr.page.block));
 }
 
 SimTime SubpagePool::collect(SimTime now,
@@ -277,6 +318,7 @@ SimTime SubpagePool::collect(SimTime now,
 
 SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
                                    bool for_wear_leveling) {
+  const MaintenanceTimer timer(stats_, nullptr, &stats_.maint_gc_ns);
   in_gc_ = true;
   gc_dest_allocs_ = 0;
 
@@ -295,7 +337,8 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   victim.active = true;
   SimTime t = now;
   std::uint64_t kept_sectors = 0;
-  std::vector<SectorWrite> evictions;
+  std::vector<SectorWrite>& evictions = gc_evictions_;
+  evictions.clear();
   evictions.reserve(victim.valid_count);
   for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
     if (!victim.valid[page]) continue;
@@ -346,12 +389,7 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   victim.owned = false;
   index_remove(chip, blk);
   victim.active = false;
-  victim.sector_of_page.clear();
-  victim.sector_of_page.shrink_to_fit();
-  victim.valid.clear();
-  victim.valid.shrink_to_fit();
-  victim.written_at.clear();
-  victim.written_at.shrink_to_fit();
+  retire_meta_arrays(victim);
   --blocks_in_use_;
   allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
   in_gc_ = false;
@@ -368,62 +406,104 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   return ack.done;
 }
 
-SimTime SubpagePool::release_idle_blocks(SimTime now) {
-  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
-    auto& owned = owned_by_chip_[chip];
-    for (std::size_t i = 0; i < owned.size();) {
-      const std::uint32_t b = owned[i];
-      BlockMeta& m = meta_[block_index(chip, b)];
-      if (m.active || m.valid_count != 0) {
-        ++i;
-        continue;
-      }
-      // Keep pristine never-programmed blocks? They do not exist here: a
-      // block is only owned once it has received writes.
-      ++stats_.gc_invocations;  // garbage-only collection, zero copies
-      const telemetry::CauseScope cause(
-          sink_, telemetry::Cause::kGcCopy, block_index(chip, b), now);
-      const auto ack = dev_.erase_block(chip, b, now);
-      ++stats_.flash_erases;
-      if (sink_) {
-        const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
-        sink_->record_block({telemetry::BlockEventKind::kErased, chip, b,
-                             "sub", m.level, 0, pe, ack.done});
-        sink_->record_block({telemetry::BlockEventKind::kRetired, chip, b,
-                             "sub", 0, 0, pe, ack.done});
-      }
-      now = ack.done;
-      m.owned = false;
-      owned.erase(owned.begin() + static_cast<std::ptrdiff_t>(i));
-      m.sector_of_page.clear();
-      m.sector_of_page.shrink_to_fit();
-      m.valid.clear();
-      m.valid.shrink_to_fit();
-      m.written_at.clear();
-      m.written_at.shrink_to_fit();
-      --blocks_in_use_;
-      allocator_.release(chip, b, dev_.block(chip, b).pe_cycles());
-    }
+SimTime SubpagePool::release_idle_block(std::uint32_t chip, std::uint32_t b,
+                                        SimTime now) {
+  BlockMeta& m = meta_[block_index(chip, b)];
+  // Keep pristine never-programmed blocks? They do not exist here: a
+  // block is only owned once it has received writes.
+  ++stats_.gc_invocations;  // garbage-only collection, zero copies
+  const telemetry::CauseScope cause(sink_, telemetry::Cause::kGcCopy,
+                                    block_index(chip, b), now);
+  const auto ack = dev_.erase_block(chip, b, now);
+  ++stats_.flash_erases;
+  if (sink_) {
+    const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
+    sink_->record_block({telemetry::BlockEventKind::kErased, chip, b, "sub",
+                         m.level, 0, pe, ack.done});
+    sink_->record_block({telemetry::BlockEventKind::kRetired, chip, b, "sub",
+                         0, 0, pe, ack.done});
   }
+  m.owned = false;
+  index_remove(chip, b);
+  retire_meta_arrays(m);
+  --blocks_in_use_;
+  allocator_.release(chip, b, dev_.block(chip, b).pe_cycles());
+  return ack.done;
+}
+
+SimTime SubpagePool::release_idle_blocks(SimTime now) {
+  const MaintenanceTimer timer(stats_, &stats_.maint_release_idle_calls,
+                               &stats_.maint_release_idle_ns);
+  if (config_.reference_scan_maintenance) {
+    // Original O(owned) sweep, kept as the differential baseline.
+    for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+      auto& owned = owned_by_chip_[chip];
+      for (std::size_t i = 0; i < owned.size();) {
+        const std::uint32_t b = owned[i];
+        const BlockMeta& m = meta_[block_index(chip, b)];
+        if (m.active || m.valid_count != 0) {
+          ++i;
+          continue;
+        }
+        now = release_idle_block(chip, b, now);  // removes owned[i]
+      }
+    }
+    return now;
+  }
+  // Indexed: only blocks recorded at an idle transition since the last call
+  // are candidates. Sorting ascending reproduces the sweep's
+  // chip-asc/block-asc release order; stale entries (re-activated, refilled
+  // or released blocks) fail re-validation and drop out. Blocks skipped
+  // here are re-recorded at their next idle transition, so clearing the
+  // list afterwards loses nothing.
+  std::sort(idle_candidates_.begin(), idle_candidates_.end());
+  idle_candidates_.erase(
+      std::unique(idle_candidates_.begin(), idle_candidates_.end()),
+      idle_candidates_.end());
+  for (const std::size_t idx : idle_candidates_) {
+    const BlockMeta& m = meta_[idx];
+    if (!m.owned || m.active || m.valid_count != 0) continue;
+    now = release_idle_block(
+        static_cast<std::uint32_t>(idx / geo_.blocks_per_chip),
+        static_cast<std::uint32_t>(idx % geo_.blocks_per_chip), now);
+  }
+  idle_candidates_.clear();
   return now;
 }
 
 SimTime SubpagePool::static_wear_level(SimTime now,
                                        std::uint32_t pe_threshold) {
+  const MaintenanceTimer timer(stats_, &stats_.maint_wear_level_calls,
+                               &stats_.maint_wear_level_ns);
   std::optional<std::size_t> coldest;
   std::uint32_t coldest_pe = ~0u;
   // Device-wide maximum is tracked monotonically at erase time; the coldest
-  // candidate only needs a sweep over this pool's own blocks.
+  // candidate comes from the wear index (or, in reference mode, a sweep
+  // over this pool's own blocks).
   const std::uint32_t max_pe = dev_.max_pe_cycles();
-  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
-    for (const std::uint32_t b : owned_by_chip_[chip]) {
-      const std::size_t idx = block_index(chip, b);
-      if (meta_[idx].active) continue;
-      const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
-      if (pe < coldest_pe) {
-        coldest_pe = pe;
-        coldest = idx;
+  if (config_.reference_scan_maintenance) {
+    for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+      for (const std::uint32_t b : owned_by_chip_[chip]) {
+        const std::size_t idx = block_index(chip, b);
+        if (meta_[idx].active) continue;
+        const std::uint32_t pe = dev_.block(chip, b).pe_cycles();
+        if (pe < coldest_pe) {
+          coldest_pe = pe;
+          coldest = idx;
+        }
       }
+    }
+  } else {
+    const auto top = wear_index_.peek([&](std::uint32_t pe, std::size_t idx) {
+      const BlockMeta& m = meta_[idx];
+      if (!m.owned || m.active) return false;
+      const auto chip = static_cast<std::uint32_t>(idx / geo_.blocks_per_chip);
+      const auto blk = static_cast<std::uint32_t>(idx % geo_.blocks_per_chip);
+      return dev_.block(chip, blk).pe_cycles() == pe;
+    });
+    if (top) {
+      coldest = top->idx;
+      coldest_pe = top->pe;
     }
   }
   if (!coldest || max_pe - coldest_pe <= pe_threshold) return now;
@@ -431,42 +511,106 @@ SimTime SubpagePool::static_wear_level(SimTime now,
   return collect_block(*coldest, now, /*for_wear_leveling=*/true);
 }
 
+SimTime SubpagePool::retention_evict_pages(std::uint32_t chip, std::uint32_t b,
+                                           std::span<const std::uint32_t> pages,
+                                           SimTime t) {
+  BlockMeta& m = meta_[block_index(chip, b)];
+  const SimTime block_start = t;
+  retention_evictions_.clear();
+  for (const std::uint32_t page : pages) {
+    if (!m.valid[page]) continue;  // duplicate queue entries
+    const std::uint64_t sector = m.sector_of_page[page];
+    const auto live_slot = dev_.block(chip, b).slots_programmed(page) - 1;
+    const auto read = dev_.read_subpage(
+        nand::SubpageAddr{nand::PageAddr{chip, b, page}, live_slot}, t);
+    ++stats_.flash_reads;
+    if (read.status != nand::ReadStatus::kOk) ++stats_.read_failures;
+    m.valid[page] = false;
+    m.sector_of_page[page] = nand::kUnmapped;
+    --m.valid_count;
+    --valid_sectors_;
+    ++stats_.retention_evictions;
+    retention_evictions_.push_back(SectorWrite{sector, read.token});
+    t = std::max(t, read.done);
+  }
+  if (!retention_evictions_.empty()) {
+    const telemetry::CauseScope cause(sink_, telemetry::Cause::kRetentionEvict,
+                                      block_index(chip, b), block_start);
+    t = evict_(retention_evictions_, t, /*retention=*/true);
+    if (sink_)
+      sink_->record_op({telemetry::OpKind::kRetentionEvict, block_start, t,
+                        retention_evictions_.size()});
+  }
+  if (m.valid_count == 0 && !m.active) note_idle_candidate(block_index(chip, b));
+  return t;
+}
+
 SimTime SubpagePool::retention_scan(SimTime now) {
+  const MaintenanceTimer timer(stats_, &stats_.maint_retention_calls,
+                               &stats_.maint_retention_ns);
+  return config_.reference_scan_maintenance ? retention_scan_reference(now)
+                                            : retention_scan_indexed(now);
+}
+
+SimTime SubpagePool::retention_scan_reference(SimTime now) {
   SimTime t = now;
   for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
     for (const std::uint32_t b : owned_by_chip_[chip]) {
       BlockMeta& m = meta_[block_index(chip, b)];
       if (m.valid_count == 0) continue;
-      const SimTime block_start = t;
-      std::vector<SectorWrite> evictions;
-      evictions.reserve(m.valid_count);
+      retention_pages_.clear();
       for (std::uint32_t page = 0; page < geo_.pages_per_block; ++page) {
         if (!m.valid[page]) continue;
         if (now - m.written_at[page] <= config_.retention_evict_age) continue;
-        const std::uint64_t sector = m.sector_of_page[page];
-        const auto live_slot = dev_.block(chip, b).slots_programmed(page) - 1;
-        const auto read = dev_.read_subpage(
-            nand::SubpageAddr{nand::PageAddr{chip, b, page}, live_slot}, t);
-        ++stats_.flash_reads;
-        if (read.status != nand::ReadStatus::kOk) ++stats_.read_failures;
-        m.valid[page] = false;
-        m.sector_of_page[page] = nand::kUnmapped;
-        --m.valid_count;
-        --valid_sectors_;
-        ++stats_.retention_evictions;
-        evictions.push_back(SectorWrite{sector, read.token});
-        t = std::max(t, read.done);
+        retention_pages_.push_back(page);
       }
-      if (!evictions.empty()) {
-        const telemetry::CauseScope cause(sink_,
-                                          telemetry::Cause::kRetentionEvict,
-                                          block_index(chip, b), block_start);
-        t = evict_(evictions, t, /*retention=*/true);
-        if (sink_)
-          sink_->record_op({telemetry::OpKind::kRetentionEvict, block_start, t,
-                            evictions.size()});
-      }
+      if (!retention_pages_.empty())
+        t = retention_evict_pages(chip, b, retention_pages_, t);
     }
+  }
+  return t;
+}
+
+SimTime SubpagePool::retention_scan_indexed(SimTime now) {
+  retention_expired_.clear();
+  // Exact same age comparison as the reference walk -- the conservative
+  // bucket cutoff only bounds which buckets are examined.
+  retention_queue_.collect_expired(
+      now - config_.retention_evict_age,
+      [&](SimTime written_at) {
+        return now - written_at > config_.retention_evict_age;
+      },
+      retention_expired_);
+  // Drop stale entries: the decision depends only on (owned, valid,
+  // written_at), so an entry matching all three is exactly a page the
+  // reference walk would evict now.
+  std::size_t kept = 0;
+  for (const auto& e : retention_expired_) {
+    const BlockMeta& m = meta_[e.block_idx];
+    if (m.owned && m.valid[e.page] && m.written_at[e.page] == e.written_at)
+      retention_expired_[kept++] = e;
+  }
+  retention_expired_.resize(kept);
+  // (block, page) ascending == the reference walk's chip-asc/block-asc/
+  // page-asc eviction order; grouping per block reproduces its per-block
+  // eviction batches.
+  std::sort(retention_expired_.begin(), retention_expired_.end(),
+            [](const RetentionQueue::Entry& a, const RetentionQueue::Entry& b) {
+              return a.block_idx != b.block_idx ? a.block_idx < b.block_idx
+                                                : a.page < b.page;
+            });
+  SimTime t = now;
+  for (std::size_t i = 0; i < retention_expired_.size();) {
+    const std::size_t idx = retention_expired_[i].block_idx;
+    retention_pages_.clear();
+    for (; i < retention_expired_.size() &&
+           retention_expired_[i].block_idx == idx;
+         ++i)
+      retention_pages_.push_back(retention_expired_[i].page);
+    t = retention_evict_pages(
+        static_cast<std::uint32_t>(idx / geo_.blocks_per_chip),
+        static_cast<std::uint32_t>(idx % geo_.blocks_per_chip),
+        retention_pages_, t);
   }
   return t;
 }

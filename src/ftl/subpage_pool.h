@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "ftl/block_allocator.h"
+#include "ftl/retention_queue.h"
 #include "ftl/types.h"
+#include "ftl/wear_index.h"
 #include "nand/address.h"
 #include "nand/device.h"
 #include "telemetry/sink.h"
@@ -59,6 +61,12 @@ class SubpagePool {
     /// Denser blocks go to GC instead, whose hot/cold filter can actually
     /// shed load to the full-page region. Swept by bench/ablation_policy.
     double advance_max_valid_fraction = 0.25;
+    /// Debug/differential mode: run the maintenance paths (retention scan,
+    /// static wear leveling, idle release) with the original O(device)
+    /// linear scans instead of the incremental indices. Decisions are
+    /// bit-identical either way -- the scan mode exists so tests and CI can
+    /// keep proving that (journal byte-compare) on every change.
+    bool reference_scan_maintenance = false;
   };
 
   /// Mapping update: (sector, new linear subpage address).
@@ -161,6 +169,30 @@ class SubpagePool {
   /// returns it to the allocator (shared by GC and static wear leveling).
   SimTime collect_block(std::size_t idx, SimTime now, bool for_wear_leveling);
   bool can_alloc_fresh() const;
+  /// Records the block as a wear-leveling candidate and, when it holds no
+  /// valid data, an idle-release candidate. Called at every active ->
+  /// sealed transition and whenever a non-active block's valid_count
+  /// reaches zero (invalidate / retention eviction).
+  void note_sealed(std::size_t idx);
+  void note_idle_candidate(std::size_t idx);
+  /// BlockMeta per-page array recycling: on release the arrays move into
+  /// spare_meta_ (capacity preserved); on (re)allocation they move back and
+  /// are assign()ed to geometry size. Bounds allocation churn to the peak
+  /// number of simultaneously owned blocks instead of one heap cycle per
+  /// GC pass.
+  void retire_meta_arrays(BlockMeta& m);
+  void init_meta_arrays(BlockMeta& m);
+  /// Erases + releases one garbage-only block (shared body of the scan and
+  /// indexed release_idle_blocks variants).
+  SimTime release_idle_block(std::uint32_t chip, std::uint32_t blk,
+                             SimTime now);
+  SimTime retention_scan_reference(SimTime now);
+  SimTime retention_scan_indexed(SimTime now);
+  /// Evicts the expired pages of one block (identical op sequence for both
+  /// retention variants). `t` is the running completion time.
+  SimTime retention_evict_pages(std::uint32_t chip, std::uint32_t blk,
+                                std::span<const std::uint32_t> pages,
+                                SimTime t);
 
   nand::NandDevice& dev_;
   BlockAllocator& allocator_;
@@ -177,6 +209,29 @@ class SubpagePool {
   /// Blocks owned by this pool, per chip, ascending block id.
   std::vector<std::vector<std::uint32_t>> owned_by_chip_;
   std::vector<std::optional<std::uint32_t>> active_block_;  ///< per chip
+  /// Incremental maintenance indices (see docs/PERFORMANCE.md). The
+  /// retention queue records every subpage program; the wear index records
+  /// every seal; idle_candidates_ records every transition of a non-active
+  /// block to zero valid data. All three tolerate stale entries -- the
+  /// consumers re-validate against meta_ -- so no eager removal is needed
+  /// on invalidate/GC.
+  RetentionQueue retention_queue_;
+  WearIndex wear_index_;
+  std::vector<std::size_t> idle_candidates_;
+  /// Recycled per-page arrays of released blocks (see retire_meta_arrays).
+  struct SpareArrays {
+    std::vector<std::uint64_t> sector_of_page;
+    std::vector<bool> valid;
+    std::vector<SimTime> written_at;
+  };
+  std::vector<SpareArrays> spare_meta_;
+  /// Pooled scratch (capacity persists across passes; no per-pass heap
+  /// churn). GC and retention never nest within this pool, so each path
+  /// owns its vector outright.
+  std::vector<SectorWrite> gc_evictions_;
+  std::vector<SectorWrite> retention_evictions_;
+  std::vector<RetentionQueue::Entry> retention_expired_;
+  std::vector<std::uint32_t> retention_pages_;
   std::uint32_t rr_chip_ = 0;
   std::uint64_t blocks_in_use_ = 0;
   std::uint64_t valid_sectors_ = 0;

@@ -11,6 +11,7 @@
 // simulator's equivalent of end-to-end data-path CRC.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -80,6 +81,26 @@ struct FtlStats {
   std::uint64_t small_service_flash_bytes = 0;  ///< flash bytes to service them
   std::uint64_t small_extra_flash_bytes = 0;    ///< migrations + evictions
 
+  // Maintenance-path profiling: host wall-clock nanoseconds spent inside
+  // the periodic maintenance entry points (retention scan, static wear
+  // leveling, idle-block release, GC). MEASURED time, not simulated time:
+  // it varies run to run and across hosts, so these fields are
+  // deliberately NOT bound by bind_stats() -- exported metric sets must
+  // stay bit-deterministic. They feed macro_replay's maintenance-share
+  // report and the micro_ftl_ops asymptotic-regression benchmarks.
+  // Maintenance work nested inside another maintenance pass (e.g. a GC
+  // triggered by a retention eviction) attributes to the OUTER pass only
+  // (see MaintenanceTimer).
+  std::uint64_t maint_retention_calls = 0;
+  std::uint64_t maint_retention_ns = 0;
+  std::uint64_t maint_wear_level_calls = 0;
+  std::uint64_t maint_wear_level_ns = 0;
+  std::uint64_t maint_release_idle_calls = 0;
+  std::uint64_t maint_release_idle_ns = 0;
+  std::uint64_t maint_gc_ns = 0;  ///< calls tracked by gc_invocations
+  /// Live nesting depth of maintenance timers; bookkeeping, not a metric.
+  std::uint32_t maint_timer_depth = 0;
+
   /// Average request WAF of small writes (paper Table 1): flash bytes
   /// consumed on behalf of small writes / host bytes of small writes.
   double avg_small_request_waf() const {
@@ -104,6 +125,25 @@ struct FtlStats {
 /// of a longer run. Requires `after` to be a later snapshot of the same
 /// FTL than `before`.
 FtlStats stats_delta(const FtlStats& after, const FtlStats& before);
+
+/// RAII wall-clock timer for a maintenance entry point. The outermost
+/// timer on a stats struct accumulates elapsed steady-clock nanoseconds
+/// into *ns and bumps *calls (either may be nullptr); nested timers are
+/// no-ops so work triggered from inside a maintenance pass is attributed
+/// once, to the pass that caused it.
+class MaintenanceTimer {
+ public:
+  MaintenanceTimer(FtlStats& stats, std::uint64_t* calls, std::uint64_t* ns);
+  ~MaintenanceTimer();
+  MaintenanceTimer(const MaintenanceTimer&) = delete;
+  MaintenanceTimer& operator=(const MaintenanceTimer&) = delete;
+
+ private:
+  FtlStats& stats_;
+  std::uint64_t* ns_;
+  std::chrono::steady_clock::time_point start_;
+  bool outer_;
+};
 
 /// Binds every FtlStats field into `registry` as "<scope>/<field>" live
 /// counters (read at export; the hot path keeps incrementing the struct).

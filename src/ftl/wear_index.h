@@ -1,0 +1,68 @@
+// Lazy P/E-cycle-ordered index of wear-leveling candidates.
+//
+// The static wear levelers need "the least-worn sealed block this pool
+// owns" on every check. Scanning for it costs O(device blocks) per
+// invocation -- fine on the paper's 4,096-block toy device, prohibitive at
+// production geometry (64k+ blocks). This index keeps candidates in a
+// min-heap keyed on (pe_cycles, block index) instead:
+//
+//   * a block is pushed when it becomes a candidate (sealed / retired from
+//     active duty) with its P/E count at that moment -- the count cannot
+//     change while the block stays owned, because only an erase advances
+//     it and an erase always returns the block to the allocator;
+//   * entries are never removed eagerly. peek() lazily pops entries whose
+//     block no longer qualifies (caller-supplied freshness predicate) and
+//     returns the first live minimum WITHOUT consuming it, so a declined
+//     wear-level check (gap below threshold) keeps its candidate.
+//
+// Ordering is lexicographic on (pe, index), which reproduces the linear
+// scan's tie-break exactly: among equally-cold blocks the lowest block
+// index wins. Duplicate pushes of the same block are harmless -- both
+// entries carry the same key and the same freshness verdict.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace esp::ftl {
+
+class WearIndex {
+ public:
+  struct Entry {
+    std::uint32_t pe = 0;
+    std::size_t idx = 0;
+  };
+
+  /// Registers `idx` as a candidate with P/E count `pe`.
+  void push(std::uint32_t pe, std::size_t idx) { heap_.emplace(pe, idx); }
+
+  /// Returns the coldest live candidate without removing it; lazily
+  /// discards stale entries (fresh(pe, idx) == false) from the top.
+  /// nullopt when no live candidate remains.
+  template <typename Fresh>
+  std::optional<Entry> peek(Fresh&& fresh) {
+    while (!heap_.empty()) {
+      const auto [pe, idx] = heap_.top();
+      if (fresh(pe, idx)) return Entry{pe, idx};
+      heap_.pop();
+    }
+    return std::nullopt;
+  }
+
+  /// Entries currently queued, stale ones included (introspection/tests).
+  std::size_t size() const { return heap_.size(); }
+
+  void clear() { heap_ = {}; }
+
+ private:
+  std::priority_queue<std::pair<std::uint32_t, std::size_t>,
+                      std::vector<std::pair<std::uint32_t, std::size_t>>,
+                      std::greater<>>
+      heap_;
+};
+
+}  // namespace esp::ftl

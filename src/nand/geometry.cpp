@@ -21,6 +21,22 @@ void Geometry::validate() const {
           "page_bytes must be divisible by subpages_per_page");
 }
 
+Geometry paper_geometry() { return Geometry{}; }
+
+Geometry prod_geometry() {
+  Geometry g;
+  g.blocks_per_chip = 2048;
+  g.pages_per_block = 64;
+  return g;
+}
+
+Geometry geometry_profile(const std::string& name) {
+  if (name == "paper") return paper_geometry();
+  if (name == "prod") return prod_geometry();
+  throw std::invalid_argument("geometry_profile: unknown profile '" + name +
+                              "' (expected paper|prod)");
+}
+
 std::string Geometry::describe() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

@@ -60,4 +60,21 @@ struct Geometry {
 /// top out at 16-KB pages / 4-KB ECC chunks; 8 leaves headroom.
 inline constexpr std::uint32_t kMaxSubpagesPerPage = 8;
 
+/// The paper's evaluation platform: 8 channels x 4 TLC chips, 128 blocks
+/// per chip, 256 pages per block, 16-KB pages, 4 subpages = 16 GiB. This
+/// is Geometry's default -- provided by name so callers can be explicit.
+Geometry paper_geometry();
+
+/// Production-scale profile for asymptotic/maintenance-path evaluation:
+/// same channel/chip topology, 2048 blocks per chip with 64 pages per
+/// block = 65,536 blocks, ~16.8M subpage slots, 64 GiB. The block count is
+/// what stresses the per-scan maintenance paths (AERO, arXiv:2404.10355,
+/// argues lifetime mechanisms must be evaluated at full-capacity
+/// geometry); fewer pages per block keeps preconditioning runtimes sane.
+Geometry prod_geometry();
+
+/// Profile lookup by name ("paper" or "prod"); throws std::invalid_argument
+/// on anything else. Shared by espsim / bench --geometry flags.
+Geometry geometry_profile(const std::string& name);
+
 }  // namespace esp::nand

@@ -1,0 +1,155 @@
+// WearIndex: the lazy min-heap behind the static wear levelers. Contract
+// under test: peek() returns the (min pe, min idx) candidate among entries
+// the freshness predicate accepts, never consumes a live candidate, and
+// reproduces the original ascending-index strict-< linear scan exactly --
+// including tie-breaks and requeue-after-erase cycles.
+#include "ftl/wear_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esp::ftl {
+namespace {
+
+TEST(WearIndexTest, EmptyPeeksNothing) {
+  WearIndex w;
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.peek([](std::uint32_t, std::size_t) { return true; }));
+}
+
+TEST(WearIndexTest, ReturnsMinimumPe) {
+  WearIndex w;
+  w.push(7, 0);
+  w.push(3, 1);
+  w.push(5, 2);
+  const auto e = w.peek([](std::uint32_t, std::size_t) { return true; });
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->pe, 3u);
+  EXPECT_EQ(e->idx, 1u);
+}
+
+TEST(WearIndexTest, TieBreaksOnLowestIndex) {
+  // The reference scan walks indices ascending with strict <, so among
+  // equal P/E counts the LOWEST index wins. Push out of order.
+  WearIndex w;
+  w.push(4, 9);
+  w.push(4, 2);
+  w.push(4, 5);
+  const auto e = w.peek([](std::uint32_t, std::size_t) { return true; });
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->pe, 4u);
+  EXPECT_EQ(e->idx, 2u);
+}
+
+TEST(WearIndexTest, PeekDoesNotConsumeLiveCandidate) {
+  WearIndex w;
+  w.push(1, 3);
+  const auto accept = [](std::uint32_t, std::size_t) { return true; };
+  ASSERT_TRUE(w.peek(accept));
+  ASSERT_TRUE(w.peek(accept));  // still there: a declined wear-level
+  EXPECT_EQ(w.size(), 1u);      // check must not lose its candidate
+}
+
+TEST(WearIndexTest, LazilyDiscardsStaleEntries) {
+  WearIndex w;
+  w.push(1, 0);  // will be stale
+  w.push(2, 1);  // will be stale
+  w.push(6, 2);  // live
+  const auto e =
+      w.peek([](std::uint32_t, std::size_t idx) { return idx == 2; });
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->idx, 2u);
+  EXPECT_EQ(w.size(), 1u);  // stale prefix popped for good
+  EXPECT_FALSE(w.peek([](std::uint32_t, std::size_t) { return false; }));
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(WearIndexTest, RequeueAfterEraseSupersedesStaleEntry) {
+  // Block 4 sealed at pe=2, then erased+rewritten+resealed at pe=3: the
+  // old entry is stale (pe mismatch) and the re-seal pushed a new one.
+  // The pool's freshness check compares the entry's pe against the
+  // device's current count, modeled here with a map.
+  std::map<std::size_t, std::uint32_t> device_pe{{4, 2}, {8, 9}};
+  WearIndex w;
+  w.push(2, 4);
+  w.push(9, 8);
+  device_pe[4] = 3;  // erase cycle
+  w.push(3, 4);      // re-seal pushes again
+  const auto fresh = [&](std::uint32_t pe, std::size_t idx) {
+    return device_pe.at(idx) == pe;
+  };
+  const auto e = w.peek(fresh);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->idx, 4u);
+  EXPECT_EQ(e->pe, 3u);
+}
+
+TEST(WearIndexTest, DuplicatePushesAreHarmless) {
+  WearIndex w;
+  w.push(5, 1);
+  w.push(5, 1);
+  w.push(5, 1);
+  const auto accept = [](std::uint32_t, std::size_t) { return true; };
+  const auto e = w.peek(accept);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->idx, 1u);
+  // Rejecting everything drains all duplicates without error.
+  EXPECT_FALSE(w.peek([](std::uint32_t, std::size_t) { return false; }));
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(WearIndexTest, ClearEmptiesTheHeap) {
+  WearIndex w;
+  for (std::size_t i = 0; i < 50; ++i) w.push(static_cast<std::uint32_t>(i), i);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.peek([](std::uint32_t, std::size_t) { return true; }));
+}
+
+// Property: against a simulated population of blocks that seal, erase and
+// re-seal, peek() must always agree with the reference linear scan
+// (ascending idx, strict <) over the currently-live blocks.
+TEST(WearIndexTest, MatchesReferenceScanUnderChurn) {
+  util::Xoshiro256 rng(7);
+  constexpr std::size_t kBlocks = 64;
+  std::vector<std::uint32_t> pe(kBlocks, 0);
+  std::vector<bool> live(kBlocks, false);  // sealed & owned
+  WearIndex w;
+
+  const auto fresh = [&](std::uint32_t entry_pe, std::size_t idx) {
+    return live[idx] && pe[idx] == entry_pe;
+  };
+  const auto reference = [&]() -> std::optional<WearIndex::Entry> {
+    std::optional<WearIndex::Entry> best;
+    for (std::size_t i = 0; i < kBlocks; ++i)
+      if (live[i] && (!best || pe[i] < best->pe))
+        best = WearIndex::Entry{pe[i], i};
+    return best;
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t i = rng.below(kBlocks);
+    if (live[i]) {  // erase: leaves the pool, pe advances
+      live[i] = false;
+      ++pe[i];
+    } else {  // re-seal: becomes a candidate again at its current pe
+      live[i] = true;
+      w.push(pe[i], i);
+    }
+    const auto got = w.peek(fresh);
+    const auto want = reference();
+    ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+    if (got) {
+      EXPECT_EQ(got->pe, want->pe) << "step " << step;
+      EXPECT_EQ(got->idx, want->idx) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esp::ftl

@@ -53,7 +53,22 @@ void usage(const char* argv0) {
       "  --r-small F --r-synch F       workload mix (ignored with --profile)\n"
       "  --reads F                     read fraction (ignored with --profile)\n"
       "  --small-footprint F           small-write working-set fraction\n"
-      "  --capacity-gib F              raw capacity (default 1.0)\n"
+      "  --capacity-gib F              raw capacity (default 1.0); scales\n"
+      "                                block count, keeps the paper layout\n"
+      "  --geometry paper|prod         run a full named geometry profile\n"
+      "                                instead of the capacity-scaled\n"
+      "                                default (paper: 16 GiB / 4096 blocks,\n"
+      "                                prod: 64 GiB / 65536 blocks);\n"
+      "                                incompatible with --capacity-gib\n"
+      "  --channels N                  explicit device shape overrides,\n"
+      "  --chips-per-channel N         applied on top of --geometry (or the\n"
+      "  --blocks-per-chip N           paper channel/page layout when no\n"
+      "  --pages-per-block N           profile is named)\n"
+      "  --maintenance scan|index      FTL maintenance implementation:\n"
+      "                                original O(device) scans or the\n"
+      "                                incremental indices (default index;\n"
+      "                                decisions are bit-identical -- CI\n"
+      "                                diffs the journals to prove it)\n"
       "  --region F                    subpage/log region fraction (0.20)\n"
       "  --queue-depth N               host queue depth (default 128)\n"
       "  --precondition F              fraction of logical space pre-filled\n"
@@ -140,6 +155,9 @@ int main(int argc, char** argv) {
   std::uint64_t requests = 100000;
   std::optional<std::uint64_t> warmup;
   double capacity_gib = 1.0;
+  bool capacity_set = false;
+  std::string geometry_profile;
+  std::uint32_t ov_channels = 0, ov_chips = 0, ov_blocks = 0, ov_pages = 0;
   workload::SyntheticParams manual;
   manual.r_small = 1.0;
   manual.r_synch = 1.0;
@@ -202,6 +220,31 @@ int main(int argc, char** argv) {
       manual.small_footprint_fraction = std::atof(next());
     } else if (arg == "--capacity-gib") {
       capacity_gib = std::atof(next());
+      capacity_set = true;
+    } else if (arg == "--geometry") {
+      geometry_profile = next();
+      if (geometry_profile != "paper" && geometry_profile != "prod") {
+        std::fprintf(stderr, "--geometry must be paper|prod\n");
+        return 2;
+      }
+    } else if (arg == "--channels") {
+      ov_channels = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--chips-per-channel") {
+      ov_chips = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--blocks-per-chip") {
+      ov_blocks = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--pages-per-block") {
+      ov_pages = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--maintenance") {
+      const std::string mode = next();
+      if (mode == "scan") {
+        spec.ssd.reference_scan_maintenance = true;
+      } else if (mode == "index") {
+        spec.ssd.reference_scan_maintenance = false;
+      } else {
+        std::fprintf(stderr, "--maintenance must be scan|index\n");
+        return 2;
+      }
     } else if (arg == "--region") {
       spec.ssd.subpage_region_fraction = std::atof(next());
     } else if (arg == "--queue-depth") {
@@ -236,13 +279,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Scale block count to the requested capacity (keep the paper's channel
-  // layout and page geometry).
-  const double gib_per_block_row =  // one block on every chip
-      static_cast<double>(spec.ssd.geometry.total_chips()) *
-      spec.ssd.geometry.block_bytes() / (1024.0 * 1024.0 * 1024.0);
-  spec.ssd.geometry.blocks_per_chip = std::max(
-      4u, static_cast<std::uint32_t>(capacity_gib / gib_per_block_row + 0.5));
+  // Device shape. An explicit geometry (named profile and/or per-dimension
+  // overrides) is taken literally and bypasses the capacity scaling; the
+  // default path scales block count to the requested capacity (keeping the
+  // paper's channel layout and page geometry).
+  const bool geometry_explicit = !geometry_profile.empty() || ov_channels ||
+                                 ov_chips || ov_blocks || ov_pages;
+  if (geometry_explicit) {
+    if (capacity_set) {
+      std::fprintf(stderr,
+                   "--capacity-gib is incompatible with --geometry / "
+                   "explicit device-shape overrides\n");
+      return 2;
+    }
+    if (!geometry_profile.empty())
+      spec.ssd.geometry = nand::geometry_profile(geometry_profile);
+    if (ov_channels) spec.ssd.geometry.channels = ov_channels;
+    if (ov_chips) spec.ssd.geometry.chips_per_channel = ov_chips;
+    if (ov_blocks) spec.ssd.geometry.blocks_per_chip = ov_blocks;
+    if (ov_pages) spec.ssd.geometry.pages_per_block = ov_pages;
+    try {
+      spec.ssd.geometry.validate();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad geometry: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    const double gib_per_block_row =  // one block on every chip
+        static_cast<double>(spec.ssd.geometry.total_chips()) *
+        spec.ssd.geometry.block_bytes() / (1024.0 * 1024.0 * 1024.0);
+    spec.ssd.geometry.blocks_per_chip = std::max(
+        4u,
+        static_cast<std::uint32_t>(capacity_gib / gib_per_block_row + 0.5));
+  }
   // On tiny devices the region quota is floored at one block per chip,
   // which can exceed the requested fraction; shrink the logical exposure
   // so the subFTL/sectorLog feasibility bound (logical + region <= total)
