@@ -41,6 +41,9 @@ struct Outcome {
   double throughput = 0.0;
   std::uint64_t gc = 0;
   std::uint64_t erases = 0;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t journal_events = 0;
+  std::uint64_t journal_truncated = 0;
 };
 
 core::ExperimentCell make_cell(workload::Benchmark bench, core::FtlKind kind,
@@ -156,7 +159,8 @@ int main(int argc, char** argv) {
                        cell.key.c_str());
         grid[{bench, kind}] =
             Outcome{cell.result.host_mb_per_sec, cell.result.gc_invocations,
-                    cell.result.erases};
+                    cell.result.erases,         cell.result.trace_dropped,
+                    cell.result.journal_events, cell.result.journal_truncated};
       }
     }
   }
@@ -245,6 +249,11 @@ int main(int argc, char** argv) {
         w.kv("normalized_iops", cgm > 0.0 ? o.throughput / cgm : 0.0);
         w.kv("gc_invocations", o.gc);
         w.kv("erases", o.erases);
+        // Observability health of the measurement itself: nonzero drops or
+        // truncation mean the trace/journal under-reports this cell.
+        w.kv("trace_dropped", o.trace_dropped);
+        w.kv("journal_events", o.journal_events);
+        w.kv("journal_truncated", o.journal_truncated);
         w.end_object();
       }
       w.end_object();

@@ -24,18 +24,23 @@
 // days) plus per-request think time for dilation, so retention eviction and
 // wear-leveling checks actually fire inside a minutes-long replay window;
 // the *decisions* stay workload-driven, only the clock is compressed.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/parallel_runner.h"
+#include "sim/driver.h"
+#include "telemetry/health.h"
 #include "telemetry/json.h"
+#include "telemetry/telemetry.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -45,15 +50,31 @@ using namespace esp;
 constexpr std::uint64_t kBaseSeed = 2017;
 
 struct Mode {
-  const char* name;
-  bool reference_scan;
+  std::string name;
+  bool reference_scan = false;
+  bool health = false;
 };
-constexpr Mode kModes[] = {{"scan", true}, {"index", false}};
 
 struct CellOut {
   core::RunResult r;
   double wall = 0.0;
 };
+
+double ops_per_sec(const CellOut& c) {
+  return c.r.measure_wall_seconds > 0.0
+             ? static_cast<double>(c.r.raw.requests) / c.r.measure_wall_seconds
+             : 0.0;
+}
+
+/// CPU-time throughput: requests per CPU-second of the cell's worker
+/// thread. Falls back to wall time where the platform lacks a thread CPU
+/// clock. Informational in the per-cell JSON; the health gate uses the
+/// in-process duel below instead.
+double ops_per_cpu_sec(const CellOut& c) {
+  return c.r.measure_cpu_seconds > 0.0
+             ? static_cast<double>(c.r.raw.requests) / c.r.measure_cpu_seconds
+             : ops_per_sec(c);
+}
 
 double maint_share(const ftl::FtlStats& s, double wall_seconds) {
   const double ns = static_cast<double>(s.maint_retention_ns +
@@ -93,10 +114,17 @@ workload::SyntheticParams mixed_workload(std::uint32_t sectors_per_page,
 
 core::ExperimentCell make_cell(const std::string& geom_name,
                                const nand::Geometry& geo, core::FtlKind kind,
-                               const Mode& mode, double budget_scale) {
+                               const Mode& mode, double budget_scale,
+                               double measure_scale,
+                               const std::string& health_out,
+                               double health_interval_s) {
   core::ExperimentCell cell;
   cell.key = "replay/" + geom_name + "/" + core::ftl_kind_name(kind) + "/" +
              mode.name;
+  if (mode.health) {
+    cell.spec.health_path = bench::cell_journal_path(health_out, cell.key);
+    cell.spec.health_interval_us = health_interval_s * sim_time::kSecond;
+  }
   core::SsdConfig& ssd = cell.spec.ssd;
   ssd.geometry = geo;
   ssd.ftl = kind;
@@ -127,7 +155,7 @@ core::ExperimentCell make_cell(const std::string& geom_name,
           (params.large_pages_min + params.large_pages_max) *
           params.sectors_per_page;
   const double warmup_sectors = 200000 * budget_scale;
-  const double measure_sectors = 400000 * budget_scale;
+  const double measure_sectors = 400000 * budget_scale * measure_scale;
   const auto reqs_for = [&](double budget) {
     return static_cast<std::uint64_t>(budget /
                                       (write_fraction * avg_write_sectors));
@@ -157,6 +185,144 @@ bool same_decisions(const core::RunResult& a, const core::RunResult& b) {
          sa.wear_level_relocations == sb.wear_level_relocations;
 }
 
+/// Result of one paired health duel (see run_health_duel).
+struct DuelResult {
+  double cpu_index = 0.0;   ///< thread-CPU seconds, health-off side
+  double cpu_health = 0.0;  ///< thread-CPU seconds, health-on side
+  std::uint64_t requests = 0;
+  std::uint64_t health_epochs = 0;
+  std::uint64_t health_lines = 0;
+  bool same_decisions = true;
+};
+
+/// The health gate's measurement: two identical simulators -- health
+/// stream off (A) and on (B) -- stepped on ONE thread in alternating
+/// 1024-request chunks, accumulating each side's thread-CPU time.
+///
+/// Why not compare two whole cells? Per-cell CPU time on a shared,
+/// frequency-scaled host wanders by far more than the 3% gate threshold
+/// (the thread CPU clock counts seconds, not cycles, so it cannot see
+/// DVFS), and no estimator over serially-run cells cancels drift on that
+/// scale. Chunk interleaving makes both sides sample the same machine
+/// state at millisecond granularity; the chunk order also flips every
+/// iteration (A B | B A | ...) so linear drift cancels within each pair.
+/// The ratio of accumulated CPU times then isolates what the gate is
+/// actually after: the health stream's own per-op cost.
+DuelResult run_health_duel(const core::ExperimentSpec& index_spec,
+                           const core::ExperimentSpec& health_spec) {
+  // Sink lifetimes mirror run_experiment: stream, monitor and facade must
+  // outlive the Ssd (its destructor materializes the telemetry registry).
+  std::ofstream health_os(health_spec.health_path,
+                          std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!health_os)
+    throw std::runtime_error("duel: cannot open health file: " +
+                             health_spec.health_path);
+  const auto& geo = health_spec.ssd.geometry;
+  telemetry::HealthHeader hdr;
+  hdr.ftl = core::ftl_kind_name(health_spec.ssd.ftl);
+  hdr.chips = geo.total_chips();
+  hdr.blocks_per_chip = geo.blocks_per_chip;
+  hdr.pages_per_block = geo.pages_per_block;
+  hdr.subpages_per_page = geo.subpages_per_page;
+  hdr.seed = health_spec.workload.seed;
+  hdr.interval_us = health_spec.health_interval_us;
+  hdr.rated_pe = health_spec.health_rated_pe;
+  telemetry::HealthMonitor health(health_os, hdr);
+  telemetry::TelemetryConfig cfg;
+  cfg.trace_capacity = 256;
+  cfg.op_detail = false;  // the lean always-on facade run_experiment owns
+  telemetry::Telemetry tel(cfg);
+
+  core::Ssd a(index_spec.ssd);
+  core::Ssd b(health_spec.ssd);
+  a.precondition(index_spec.precondition_fraction);
+  b.precondition(health_spec.precondition_fraction);
+  tel.set_health(&health);
+  b.attach_telemetry(&tel);  // epoch 0: the post-precondition baseline
+
+  const auto stream_params = [](const core::ExperimentSpec& spec,
+                                const core::Ssd& ssd) {
+    // Footprint defaulting duplicated from run_experiment: the duel drives
+    // the drivers directly so chunk boundaries stay under its control.
+    workload::SyntheticParams p = spec.workload;
+    if (p.footprint_sectors == 0) {
+      const std::uint32_t subs = spec.ssd.geometry.subpages_per_page;
+      p.footprint_sectors =
+          static_cast<std::uint64_t>(
+              spec.precondition_fraction *
+              static_cast<double>(ssd.logical_sectors())) /
+          subs * subs;
+    }
+    return p;
+  };
+  workload::SyntheticWorkload sa(stream_params(index_spec, a));
+  workload::SyntheticWorkload sb(stream_params(health_spec, b));
+
+  if (index_spec.warmup_requests > 0) {
+    a.driver().run(sa, /*verify=*/false, index_spec.warmup_requests);
+    b.driver().run(sb, /*verify=*/false, health_spec.warmup_requests);
+  }
+  // The end-of-warmup epoch lands outside the timed chunks.
+  b.driver().close_health_epoch();
+
+  DuelResult out;
+  std::uint64_t failures_a = 0, failures_b = 0;
+  SimTime end_a = 0.0, end_b = 0.0;
+  std::uint64_t remaining =
+      index_spec.workload.request_count > index_spec.warmup_requests
+          ? index_spec.workload.request_count - index_spec.warmup_requests
+          : 0;
+  bool flip = false;
+  while (remaining > 0) {
+    const std::uint64_t n = std::min<std::uint64_t>(1024, remaining);
+    const auto step = [n](core::Ssd& ssd, workload::SyntheticWorkload& stream,
+                          double& cpu, std::uint64_t& failures,
+                          SimTime& end_us) {
+      const double t0 = core::thread_cpu_seconds();
+      const sim::RunMetrics m = ssd.driver().run(stream, /*verify=*/true, n);
+      cpu += core::thread_cpu_seconds() - t0;
+      failures += m.verify_failures;
+      end_us = m.end_us;
+      return m.requests;
+    };
+    if (flip) {
+      step(b, sb, out.cpu_health, failures_b, end_b);
+      out.requests += step(a, sa, out.cpu_index, failures_a, end_a);
+    } else {
+      out.requests += step(a, sa, out.cpu_index, failures_a, end_a);
+      step(b, sb, out.cpu_health, failures_b, end_b);
+    }
+    flip = !flip;
+    remaining -= n;
+  }
+
+  // End-of-run snapshot is teardown I/O, outside the timed chunks -- the
+  // same contract run_experiment applies to its wall/CPU window.
+  b.driver().close_health_epoch();
+  health.finish();
+  out.health_epochs = health.epochs_written();
+  out.health_lines = health.lines_written();
+
+  // Both sides must have replayed to the same simulated end state: the
+  // health stream is a passive observer even when polled mid-stream.
+  const ftl::FtlStats stats_a = a.ftl().stats();
+  const ftl::FtlStats stats_b = b.ftl().stats();
+  out.same_decisions =
+      end_a == end_b && failures_a == 0 && failures_b == 0 &&
+      stats_a.host_write_sectors == stats_b.host_write_sectors &&
+      stats_a.flash_prog_full == stats_b.flash_prog_full &&
+      stats_a.flash_prog_sub == stats_b.flash_prog_sub &&
+      stats_a.gc_copy_sectors == stats_b.gc_copy_sectors &&
+      stats_a.gc_invocations == stats_b.gc_invocations &&
+      stats_a.rmw_ops == stats_b.rmw_ops &&
+      stats_a.retention_evictions == stats_b.retention_evictions &&
+      stats_a.wear_level_relocations == stats_b.wear_level_relocations &&
+      a.device().counters().erases == b.device().counters().erases;
+
+  tel.set_health(nullptr);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,6 +330,15 @@ int main(int argc, char** argv) {
   std::string geometry_filter = "both";
   unsigned jobs = 0;
   bool quick = false;
+  double health_gate_pct = -1.0;  // <0 = no health cells
+  std::string health_out = "replay_health.jsonl";
+  // Endpoint epochs by default: the gate bounds the ALWAYS-ON per-op tax
+  // of the health stream. Snapshot cost is a separate, user-chosen knob --
+  // O(blocks) per epoch at whatever cadence --health-interval picks -- and
+  // this bench's deliberately compressed clock (400 us think time) would
+  // make any fixed simulated-seconds cadence absurdly aggressive: 1 sim-s
+  // is ~2500 requests here, vs minutes of real traffic on a device.
+  double health_interval_s = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -179,14 +354,29 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--health-gate" && i + 1 < argc) {
+      health_gate_pct = std::atof(argv[++i]);
+    } else if (arg == "--health-out" && i + 1 < argc) {
+      health_out = argv[++i];
+    } else if (arg == "--health-interval" && i + 1 < argc) {
+      health_interval_s = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--jobs N] "
-                   "[--geometry paper|prod|both] [--quick]\n",
+                   "[--geometry paper|prod|both] [--quick]\n"
+                   "          [--health-gate PCT] [--health-out PATH] "
+                   "[--health-interval SIM_SECONDS]\n"
+                   "--health-gate adds a third per-FTL mode (index "
+                   "maintenance + health\nstream enabled) plus, per "
+                   "(geometry, FTL), a paired in-process duel:\nhealth-on "
+                   "vs health-off simulators stepped in alternating 1024-"
+                   "request\nchunks on one thread. Fails if the avg over "
+                   "FTLs of the duel's\nCPU-time overhead exceeds PCT%%.\n",
                    argv[0]);
       return 2;
     }
   }
+  const bool with_health = health_gate_pct >= 0.0;
 
   // --quick (the CI perf-smoke scale): quarter the block count of both
   // profiles and an eighth of the request budget. Shares and speedups keep
@@ -208,11 +398,15 @@ int main(int argc, char** argv) {
 
   const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
                       core::FtlKind::kSub, core::FtlKind::kSectorLog};
+  std::vector<Mode> modes = {{"scan", true, false}, {"index", false, false}};
+  if (with_health) modes.push_back({"health", false, true});
   std::vector<core::ExperimentCell> cells;
   for (const auto& [name, geo] : geometries)
     for (const auto kind : kinds)
-      for (const auto& mode : kModes)
-        cells.push_back(make_cell(name, geo, kind, mode, budget_scale));
+      for (const auto& mode : modes)
+        cells.push_back(make_cell(name, geo, kind, mode, budget_scale,
+                                  /*measure_scale=*/1.0, health_out,
+                                  health_interval_s));
 
   core::ParallelRunnerConfig runner_cfg;
   runner_cfg.jobs = jobs;
@@ -223,15 +417,15 @@ int main(int argc, char** argv) {
   std::printf("ran %zu cells on %u worker(s) in %.1fs\n", cells.size(),
               runner.manifest().jobs_used, runner.manifest().wall_seconds);
 
-  // grid[geometry][ftl][mode]
+  // grid[geometry][ftl][mode] -> cell result.
   std::map<std::string, std::map<std::string, std::map<std::string, CellOut>>>
       grid;
   {
     std::size_t i = 0;
     for (const auto& [name, geo] : geometries) {
       (void)geo;
-      for (const auto kind : kinds) {
-        for (const auto& mode : kModes) {
+      for (const auto kind : kinds)
+        for (const auto& mode : modes) {
           const auto& cell = results[i++];
           if (!cell.ok) {
             std::fprintf(stderr, "FATAL: cell %s failed: %s\n",
@@ -248,19 +442,28 @@ int main(int argc, char** argv) {
           grid[name][core::ftl_kind_name(kind)][mode.name] =
               CellOut{cell.result, cell.wall_seconds};
         }
-      }
     }
   }
 
   bool identical = true;
   for (const auto& [geom, per_ftl] : grid)
-    for (const auto& [ftl, per_mode] : per_ftl)
-      if (!same_decisions(per_mode.at("scan").r, per_mode.at("index").r)) {
+    for (const auto& [ftl, per_mode] : per_ftl) {
+      const core::RunResult& index = per_mode.at("index").r;
+      if (!same_decisions(per_mode.at("scan").r, index)) {
         std::fprintf(stderr,
                      "FATAL: scan/index decisions diverged for %s/%s\n",
                      geom.c_str(), ftl.c_str());
         identical = false;
       }
+      // The health cell must make the same simulated decisions as the
+      // health-off index cell: the stream is a passive observer.
+      if (with_health && !same_decisions(per_mode.at("health").r, index)) {
+        std::fprintf(stderr,
+                     "FATAL: health observation changed decisions for %s/%s\n",
+                     geom.c_str(), ftl.c_str());
+        identical = false;
+      }
+    }
   if (!identical) return 1;
   std::printf("\nscan/index simulated decisions identical for all cells\n");
 
@@ -273,18 +476,10 @@ int main(int argc, char** argv) {
     double sum = 0.0;
     for (const auto kind : kinds) {
       const auto& per_mode = grid[geom][core::ftl_kind_name(kind)];
-      const auto& scan = per_mode.at("scan");
-      const auto& index = per_mode.at("index");
-      const double scan_ops =
-          scan.r.measure_wall_seconds > 0.0
-              ? static_cast<double>(scan.r.raw.requests) /
-                    scan.r.measure_wall_seconds
-              : 0.0;
-      const double index_ops =
-          index.r.measure_wall_seconds > 0.0
-              ? static_cast<double>(index.r.raw.requests) /
-                    index.r.measure_wall_seconds
-              : 0.0;
+      const CellOut& scan = per_mode.at("scan");
+      const CellOut& index = per_mode.at("index");
+      const double scan_ops = ops_per_sec(scan);
+      const double index_ops = ops_per_sec(index);
       const double speedup = scan_ops > 0.0 ? index_ops / scan_ops : 0.0;
       sum += speedup;
       t.add_row({core::ftl_kind_name(kind),
@@ -308,6 +503,74 @@ int main(int argc, char** argv) {
     avg_speedup[geom] = sum / 4.0;
     std::printf("avg host-replay speedup (index vs scan): %.2fx\n",
                 sum / 4.0);
+  }
+
+  // Health-observability gate: one paired in-process duel per (geometry,
+  // FTL) -- health-on vs health-off simulators stepped in alternating
+  // 1024-request chunks on this thread (see run_health_duel), compared in
+  // thread-CPU time so neither other tenants of the machine nor frequency
+  // scaling can move the ratio. Overheads are averaged over the four FTLs.
+  // The duel gets a 4x measure budget: a 3% ratio needs a few hundred
+  // milliseconds of CPU per side to be readable at all.
+  std::map<std::string, double> avg_health_overhead;
+  std::map<std::string, std::map<std::string, DuelResult>> duels;
+  bool health_pass = true;
+  if (with_health) {
+    const Mode index_mode{"index", false, false};
+    const Mode health_mode{"health", false, true};
+    for (const auto& [geom, geo] : geometries) {
+      std::printf("\n%s geometry -- health-stream overhead (gate %.1f%%)\n\n",
+                  geom.c_str(), health_gate_pct);
+      util::TablePrinter t({"FTL", "index ops/cpu-s", "health ops/cpu-s",
+                            "overhead", "epochs", "lines"});
+      double sum = 0.0;
+      for (const auto kind : kinds) {
+        const auto index_cell =
+            make_cell(geom, geo, kind, index_mode, budget_scale,
+                      /*measure_scale=*/4.0, health_out, health_interval_s);
+        auto health_cell =
+            make_cell(geom, geo, kind, health_mode, budget_scale,
+                      /*measure_scale=*/4.0, health_out, health_interval_s);
+        // Distinct stream path: the parallel health cell above already
+        // owns this key's artifact.
+        health_cell.spec.health_path =
+            bench::cell_journal_path(health_out, health_cell.key + "#duel");
+        const DuelResult d =
+            run_health_duel(index_cell.spec, health_cell.spec);
+        if (!d.same_decisions) {
+          std::fprintf(
+              stderr,
+              "FATAL: health observation changed duel decisions for %s/%s\n",
+              geom.c_str(), core::ftl_kind_name(kind).c_str());
+          return 1;
+        }
+        const double index_ops =
+            d.cpu_index > 0.0
+                ? static_cast<double>(d.requests) / d.cpu_index
+                : 0.0;
+        const double health_ops =
+            d.cpu_health > 0.0
+                ? static_cast<double>(d.requests) / d.cpu_health
+                : 0.0;
+        const double overhead =
+            d.cpu_index > 0.0 ? d.cpu_health / d.cpu_index - 1.0 : 0.0;
+        sum += overhead;
+        duels[geom][core::ftl_kind_name(kind)] = d;
+        t.add_row({core::ftl_kind_name(kind),
+                   util::TablePrinter::num(index_ops, 0),
+                   util::TablePrinter::num(health_ops, 0),
+                   util::TablePrinter::pct(overhead, 2),
+                   std::to_string(d.health_epochs),
+                   std::to_string(d.health_lines)});
+      }
+      t.print(std::cout);
+      const double avg = sum / 4.0;
+      avg_health_overhead[geom] = avg;
+      const bool ok = avg <= health_gate_pct / 100.0;
+      health_pass &= ok;
+      std::printf("avg health-stream overhead: %.2f%% -- %s\n", avg * 100.0,
+                  ok ? "PASS" : "FAIL");
+    }
   }
 
   if (!json_out.empty()) {
@@ -359,17 +622,15 @@ int main(int argc, char** argv) {
         w.newline();
         w.key(core::ftl_kind_name(kind));
         w.begin_object();
-        for (const auto& mode : kModes) {
-          const auto& c = per_mode.at(mode.name);
+        for (const auto& mode : modes) {
+          const CellOut& c = per_mode.at(mode.name);
           const ftl::FtlStats& s = c.r.raw.ftl_stats;
           w.key(mode.name);
           w.begin_object();
-          w.kv("host_ops_per_sec",
-               c.r.measure_wall_seconds > 0.0
-                   ? static_cast<double>(c.r.raw.requests) /
-                         c.r.measure_wall_seconds
-                   : 0.0);
+          w.kv("host_ops_per_sec", ops_per_sec(c));
+          w.kv("host_ops_per_cpu_sec", ops_per_cpu_sec(c));
           w.kv("measure_wall_seconds", c.r.measure_wall_seconds);
+          w.kv("measure_cpu_seconds", c.r.measure_cpu_seconds);
           w.kv("cell_wall_seconds", c.wall);
           w.kv("requests", c.r.raw.requests);
           w.kv("sim_host_mb_per_sec", c.r.host_mb_per_sec);
@@ -399,24 +660,44 @@ int main(int argc, char** argv) {
           w.kv("overall_waf", c.r.overall_waf);
           w.kv("retention_evictions", s.retention_evictions);
           w.kv("wear_level_relocations", s.wear_level_relocations);
+          if (mode.health) {
+            w.kv("health_epochs", c.r.health_epochs);
+            w.kv("health_lines", c.r.health_lines);
+          }
           w.end_object();
         }
-        const double scan_ops =
-            per_mode.at("scan").r.measure_wall_seconds > 0.0
-                ? static_cast<double>(per_mode.at("scan").r.raw.requests) /
-                      per_mode.at("scan").r.measure_wall_seconds
-                : 0.0;
-        const double index_ops =
-            per_mode.at("index").r.measure_wall_seconds > 0.0
-                ? static_cast<double>(per_mode.at("index").r.raw.requests) /
-                      per_mode.at("index").r.measure_wall_seconds
-                : 0.0;
+        const double scan_ops = ops_per_sec(per_mode.at("scan"));
+        const double index_ops = ops_per_sec(per_mode.at("index"));
         w.kv("speedup_host_ops", scan_ops > 0.0 ? index_ops / scan_ops : 0.0);
         w.end_object();
       }
       w.end_object();
     }
     w.end_object();
+    if (with_health) {
+      w.newline();
+      // The gate's raw duel measurements (non-deterministic, documentary).
+      w.key("health_gate");
+      w.begin_object();
+      for (const auto& [name, per_ftl] : duels) {
+        w.key(name);
+        w.begin_object();
+        for (const auto& [ftl, d] : per_ftl) {
+          w.key(ftl);
+          w.begin_object();
+          w.kv("cpu_index_seconds", d.cpu_index);
+          w.kv("cpu_health_seconds", d.cpu_health);
+          w.kv("requests", d.requests);
+          w.kv("overhead",
+               d.cpu_index > 0.0 ? d.cpu_health / d.cpu_index - 1.0 : 0.0);
+          w.kv("health_epochs", d.health_epochs);
+          w.kv("health_lines", d.health_lines);
+          w.end_object();
+        }
+        w.end_object();
+      }
+      w.end_object();
+    }
     w.newline();
     w.key("summary");
     w.begin_object();
@@ -424,10 +705,23 @@ int main(int argc, char** argv) {
       (void)geo;
       w.kv("avg_speedup_" + name, avg_speedup[name]);
     }
+    if (with_health) {
+      for (const auto& [name, geo] : geometries) {
+        (void)geo;
+        w.kv("avg_health_overhead_" + name, avg_health_overhead[name]);
+      }
+      w.kv("health_gate_pct", health_gate_pct);
+      w.kv("health_gate_pass", health_pass);
+    }
     w.end_object();
     w.end_object();
     os << "\n";
     std::printf("wrote %s\n", json_out.c_str());
+  }
+  if (with_health && !health_pass) {
+    std::fprintf(stderr, "FATAL: health-stream overhead above %.1f%% gate\n",
+                 health_gate_pct);
+    return 1;
   }
   return 0;
 }

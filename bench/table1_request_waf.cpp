@@ -31,6 +31,9 @@ struct Row {
   double small_pct = 0.0;
   double request_waf = 0.0;
   std::uint64_t verify_failures = 0;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t journal_events = 0;
+  std::uint64_t journal_truncated = 0;
 };
 
 core::ExperimentCell make_cell(workload::Benchmark bench,
@@ -135,6 +138,9 @@ int main(int argc, char** argv) {
                           : 0.0;
       row.request_waf = cell.result.small_request_waf;
       row.verify_failures = cell.result.verify_failures;
+      row.trace_dropped = cell.result.trace_dropped;
+      row.journal_events = cell.result.journal_events;
+      row.journal_truncated = cell.result.journal_truncated;
       rows.emplace_back(bench, row);
       pct_row.push_back(util::TablePrinter::pct(row.small_pct, 1));
       waf_row.push_back(util::TablePrinter::num(row.request_waf, 3));
@@ -176,6 +182,11 @@ int main(int argc, char** argv) {
       w.kv("small_write_fraction", row.small_pct);
       w.kv("request_waf", row.request_waf);
       w.kv("verify_failures", row.verify_failures);
+      // Observability health of the measurement itself: nonzero drops or
+      // truncation mean the trace/journal under-reports this cell.
+      w.kv("trace_dropped", row.trace_dropped);
+      w.kv("journal_events", row.journal_events);
+      w.kv("journal_truncated", row.journal_truncated);
       w.end_object();
     }
     w.end_object();

@@ -1,0 +1,24 @@
+// Build provenance for artifact self-description: version, git describe,
+// and the geometry profiles this binary knows. Printed by `espsim
+// --version` and embedded in every run manifest so sweep outputs can be
+// traced back to the exact tree that produced them.
+#pragma once
+
+#include <string>
+
+namespace esp::core {
+
+/// Project version (CMake PROJECT_VERSION).
+const char* build_version();
+
+/// `git describe --always --dirty` at configure time; "unknown" when the
+/// tree was built outside git.
+const char* build_git_describe();
+
+/// Comma-separated list of named geometry profiles compiled in.
+const char* build_geometry_profiles();
+
+/// One-line summary: "espnand <version> (<git>) geometries=<profiles>".
+std::string build_info_line();
+
+}  // namespace esp::core

@@ -1,14 +1,28 @@
 #include "core/experiment.h"
 
 #include <chrono>
+#include <ctime>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
 
 #include "telemetry/auditor.h"
+#include "telemetry/health.h"
 #include "telemetry/journal.h"
 
 namespace esp::core {
+
+// Each experiment cell runs single-threaded on its worker, so the thread
+// CPU clock is exactly the cell's compute cost, immune to preemption.
+double thread_cpu_seconds() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+  return 0.0;
+}
 
 RunResult run_experiment(const ExperimentSpec& spec) {
   // Declared before the Ssd: the Ssd destructor materializes the telemetry
@@ -17,17 +31,24 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   std::optional<std::ofstream> journal_os;
   std::optional<telemetry::Journal> journal;
   std::optional<telemetry::Auditor> auditor;
+  std::optional<std::ofstream> health_os;
+  std::optional<telemetry::HealthMonitor> health;
 
   Ssd ssd(spec.ssd);
   ssd.precondition(spec.precondition_fraction);
 
   telemetry::Telemetry* tel = spec.telemetry;
   const bool want_journal = !spec.journal_path.empty();
-  if ((want_journal || spec.audit) && tel == nullptr) {
-    // Journal/audit requested without an external facade: own a private
-    // one. A tiny trace ring keeps memory bounded; the journal streams.
+  const bool want_health = !spec.health_path.empty();
+  if ((want_journal || spec.audit || want_health) && tel == nullptr) {
+    // Journal/audit/health requested without an external facade: own a
+    // private one. A tiny trace ring keeps memory bounded; the streams do
+    // their own I/O. Per-op latency detail is off — nothing reads the
+    // histograms of a facade that exists only to feed streaming sinks,
+    // and an always-on health stream must not pay for them.
     telemetry::TelemetryConfig cfg;
     cfg.trace_capacity = 256;
+    cfg.op_detail = false;
     owned_tel.emplace(cfg);
     tel = &*owned_tel;
   }
@@ -59,6 +80,24 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     auditor.emplace(cfg);
     tel->set_auditor(&*auditor);
   }
+  if (tel && want_health) {
+    health_os.emplace(spec.health_path,
+                      std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!*health_os)
+      throw std::runtime_error("run_experiment: cannot open health file: " +
+                               spec.health_path);
+    telemetry::HealthHeader hdr;
+    hdr.ftl = ftl_kind_name(spec.ssd.ftl);
+    hdr.chips = geo.total_chips();
+    hdr.blocks_per_chip = geo.blocks_per_chip;
+    hdr.pages_per_block = geo.pages_per_block;
+    hdr.subpages_per_page = geo.subpages_per_page;
+    hdr.seed = spec.workload.seed;
+    hdr.interval_us = spec.health_interval_us;
+    hdr.rated_pe = spec.health_rated_pe;
+    health.emplace(*health_os, hdr);
+    tel->set_health(&*health);
+  }
   if (tel) ssd.attach_telemetry(tel);
 
   // Default the workload footprint to the preconditioned LBA range -- the
@@ -75,17 +114,25 @@ RunResult run_experiment(const ExperimentSpec& spec) {
 
   if (spec.warmup_requests > 0)
     ssd.driver().run(stream, /*verify=*/false, spec.warmup_requests);
+  // End-of-warmup health epoch lands before the wall clock starts.
+  ssd.driver().close_health_epoch();
 
   // Measure only the steady-state window: diff against a post-warmup
   // snapshot so preconditioning/warmup traffic is excluded.
   const ftl::FtlStats before = ssd.ftl().stats();
 
   const auto wall_start = std::chrono::steady_clock::now();
+  const double cpu_start = thread_cpu_seconds();
   auto metrics = ssd.driver().run(stream, spec.verify);
+  const double cpu_seconds = thread_cpu_seconds() - cpu_start;
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  // The end-of-run snapshot is teardown I/O (one O(blocks) dump), not
+  // steady-state work -- cut it after the wall clock stops, like the
+  // journal/health trailers below.
+  ssd.driver().close_health_epoch();
   const ftl::FtlStats window = ftl::stats_delta(metrics.ftl_stats, before);
   metrics.ftl_stats = window;
 
@@ -106,6 +153,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   result.rmw_ops = window.rmw_ops;
   result.verify_failures = metrics.verify_failures;
   result.measure_wall_seconds = wall_seconds;
+  result.measure_cpu_seconds = cpu_seconds;
   result.mapping_bytes = ssd.ftl().mapping_memory_bytes();
   if (tel) result.trace_dropped = tel->trace().dropped();
   if (journal) {
@@ -113,11 +161,17 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     result.journal_events = journal->events_written();
     result.journal_truncated = journal->truncated();
   }
+  if (health) {
+    health->finish();
+    result.health_epochs = health->epochs_written();
+    result.health_lines = health->lines_written();
+  }
   // Detach downstream sinks before the optionals above are destroyed:
   // the Ssd destructor still records registry materialization through tel.
   if (tel) {
     tel->set_journal(nullptr);
     tel->set_auditor(nullptr);
+    tel->set_health(nullptr);
   }
   result.raw = metrics;
   return result;

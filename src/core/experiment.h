@@ -31,11 +31,19 @@ struct RunResult {
   /// bench's host-ops/sec and maintenance-share numbers only; determinism
   /// checks must never compare it.
   double measure_wall_seconds = 0.0;
+  /// CPU seconds of the calling thread over the same window. Unlike wall
+  /// time this excludes involuntary descheduling, so overhead *ratios*
+  /// between two cells (e.g. the replay bench's health gate) stay readable
+  /// on a loaded machine. 0 when the platform lacks a thread CPU clock.
+  double measure_cpu_seconds = 0.0;
   /// Trace-ring evictions during the run (0 when no telemetry attached).
   std::uint64_t trace_dropped = 0;
   /// Journal lines written / admission-capped (0 when no journal).
   std::uint64_t journal_events = 0;
   std::uint64_t journal_truncated = 0;
+  /// Health-stream epochs / total lines written (0 when no health stream).
+  std::uint64_t health_epochs = 0;
+  std::uint64_t health_lines = 0;
   sim::RunMetrics raw;
 };
 
@@ -65,9 +73,24 @@ struct ExperimentSpec {
   /// Runs the online invariant auditor over the post-precondition window;
   /// violations throw std::logic_error with the offending cause chain.
   bool audit = false;
+  /// When non-empty, streams a device-health snapshot stream (JSONL) to
+  /// this path: per-block delta rows plus a SMART-style attribute line per
+  /// epoch. Shares the private-facade fallback with journal_path.
+  std::string health_path;
+  /// Health epoch period in simulated microseconds; 0 = endpoint epochs
+  /// only (attach baseline + end of each run).
+  SimTime health_interval_us = 0.0;
+  /// Rated P/E endurance for the health stream's media-wear % and
+  /// exhaustion-horizon attributes.
+  std::uint32_t health_rated_pe = 3000;
 };
 
 /// Builds the SSD, preconditions it, runs the workload, returns metrics.
 RunResult run_experiment(const ExperimentSpec& spec);
+
+/// CPU seconds consumed by the calling thread (0.0 where unsupported).
+/// The clock behind RunResult::measure_cpu_seconds, exported for benches
+/// that time sub-run work (e.g. the replay bench's paired health duel).
+double thread_cpu_seconds();
 
 }  // namespace esp::core

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <thread>
 
+#include "core/build_info.h"
 #include "telemetry/json.h"
 #include "telemetry/telemetry.h"
 #include "util/logger.h"
@@ -196,6 +197,10 @@ void ParallelRunner::write_manifest_json(const RunManifest& manifest,
                                          std::ostream& os) {
   telemetry::JsonWriter w(os);
   w.begin_object();
+  w.kv("version", build_version());
+  w.kv("git", build_git_describe());
+  w.kv("geometry_profiles", build_geometry_profiles());
+  w.newline();
   w.kv("jobs_requested", static_cast<std::uint64_t>(manifest.jobs_requested));
   w.kv("jobs_used", static_cast<std::uint64_t>(manifest.jobs_used));
   w.kv("base_seed", manifest.base_seed);

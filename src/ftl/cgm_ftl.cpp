@@ -87,7 +87,7 @@ SimTime CgmFtl::write_lpn(std::uint64_t lpn, std::uint32_t first_slot,
   l2p_[lpn] = new_lin;
   if (small_request)
     stats_.small_service_flash_bytes += geo_.page_bytes;
-  if (sink_ && is_rmw)
+  if (sink_ && is_rmw && sink_->wants_op(telemetry::OpKind::kRmw))
     sink_->record_op({telemetry::OpKind::kRmw, now, done, slot_count});
   return done;
 }

@@ -56,6 +56,12 @@ class CgmFtl : public Ftl {
   std::uint64_t mapping_memory_bytes() const override;
   std::string name() const override { return "cgmFTL"; }
   void set_telemetry(telemetry::Sink* sink) override;
+  void collect_health(std::span<telemetry::BlockHealth> out) const override {
+    pool_.fill_health(out);
+  }
+  std::uint64_t free_blocks() const override {
+    return allocator_.total_free();
+  }
 
  private:
   /// Services one logical page's worth of the request; returns completion.

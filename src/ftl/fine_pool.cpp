@@ -241,9 +241,10 @@ SimTime FinePool::collect_block(std::size_t idx, SimTime now,
   const auto ack = dev_.erase_block(chip, blk, t);
   ++stats_.flash_erases;
   if (sink_) {
-    sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
-                                        : telemetry::OpKind::kGcCopy,
-                      now, ack.done, copied, evicted});
+    const auto copy_kind = for_wear_leveling ? telemetry::OpKind::kWearLevel
+                                             : telemetry::OpKind::kGcCopy;
+    if (sink_->wants_op(copy_kind))
+      sink_->record_op({copy_kind, now, ack.done, copied, evicted});
     const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
     sink_->record_block({telemetry::BlockEventKind::kErased, chip, blk,
                          "fine", 0, victim.valid_count, pe, ack.done});
@@ -298,6 +299,16 @@ SimTime FinePool::static_wear_level(SimTime now,
   if (!coldest || max_pe - coldest_pe <= pe_threshold) return now;
   if (allocator_.total_free() == 0) return now;
   return collect_block(*coldest, now, /*for_wear_leveling=*/true);
+}
+
+void FinePool::fill_health(std::span<telemetry::BlockHealth> out) const {
+  const std::size_t n = std::min(out.size(), meta_.size());
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (!meta_[idx].owned) continue;
+    out[idx].pool = static_cast<std::uint8_t>(telemetry::HealthPool::kFine);
+    out[idx].valid = meta_[idx].valid_count;
+    out[idx].valid_cap = geo_.pages_per_block * geo_.subpages_per_page;
+  }
 }
 
 }  // namespace esp::ftl

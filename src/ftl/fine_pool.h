@@ -70,6 +70,10 @@ class FinePool {
   std::uint64_t blocks_in_use() const { return blocks_in_use_; }
   std::uint64_t valid_sectors() const { return valid_sectors_; }
 
+  /// Health snapshot: marks owned blocks as pool "fine" with their live
+  /// sector count (capacity = sectors per block).
+  void fill_health(std::span<telemetry::BlockHealth> out) const;
+
   /// Attaches a telemetry sink (nullptr detaches); GC / wear-leveling
   /// block collections are recorded as mechanism-lane op events.
   void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "ftl/types.h"
+#include "telemetry/health.h"
 #include "telemetry/sink.h"
 #include "util/sim_time.h"
 
@@ -67,6 +69,17 @@ class Ftl {
   /// and forward the sink to their pools so mechanism-level op events
   /// (GC copies, migrations, evictions) get recorded. Default: no-op.
   virtual void set_telemetry(telemetry::Sink* /*sink*/) {}
+
+  /// Fills the ownership/validity fields (pool, ESP level, valid count and
+  /// capacity) of a health snapshot; `out` holds one row per physical
+  /// block, indexed chip * blocks_per_chip + block. Blocks not owned by any
+  /// pool stay at their defaults (pool "free"). Default: no-op.
+  virtual void collect_health(std::span<telemetry::BlockHealth> /*out*/) const {
+  }
+
+  /// Current free-block count of the shared allocator (the health stream's
+  /// spare-block SMART attribute). Default: 0 for FTLs without one.
+  virtual std::uint64_t free_blocks() const { return 0; }
 };
 
 }  // namespace esp::ftl

@@ -253,9 +253,10 @@ SimTime FullPagePool::collect_block(std::size_t idx, SimTime now,
   const auto ack = dev_.erase_block(chip, blk, now);
   ++stats_.flash_erases;
   if (sink_) {
-    sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
-                                        : telemetry::OpKind::kGcCopy,
-                      collect_start, ack.done, moved_sectors});
+    const auto copy_kind = for_wear_leveling ? telemetry::OpKind::kWearLevel
+                                             : telemetry::OpKind::kGcCopy;
+    if (sink_->wants_op(copy_kind))
+      sink_->record_op({copy_kind, collect_start, ack.done, moved_sectors});
     const std::uint32_t pe = dev_.block(chip, blk).pe_cycles();
     sink_->record_block({telemetry::BlockEventKind::kErased, chip, blk,
                          "full", 0, victim.valid_count, pe, ack.done});
@@ -327,6 +328,20 @@ std::vector<std::uint32_t> FullPagePool::owned_pe_cycles() const {
       pes.push_back(dev_.block(chip, blk).pe_cycles());
   }
   return pes;
+}
+
+void FullPagePool::fill_health(
+    std::span<telemetry::BlockHealth> out) const {
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    for (const std::uint32_t blk : owned_by_chip_[chip]) {
+      const std::size_t idx = block_index(chip, blk);
+      if (idx >= out.size()) continue;
+      out[idx].pool =
+          static_cast<std::uint8_t>(telemetry::HealthPool::kFull);
+      out[idx].valid = meta_[idx].valid_count;
+      out[idx].valid_cap = geo_.pages_per_block;
+    }
+  }
 }
 
 }  // namespace esp::ftl

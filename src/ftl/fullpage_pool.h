@@ -77,6 +77,10 @@ class FullPagePool {
   /// For wear metrics: P/E counts of blocks currently owned by this pool.
   std::vector<std::uint32_t> owned_pe_cycles() const;
 
+  /// Health snapshot: marks owned blocks as pool "full" with their valid
+  /// page count (capacity = pages per block).
+  void fill_health(std::span<telemetry::BlockHealth> out) const;
+
   /// Attaches a telemetry sink (nullptr detaches); GC / wear-leveling
   /// block collections are recorded as mechanism-lane op events.
   void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }

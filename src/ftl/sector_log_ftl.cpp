@@ -155,7 +155,7 @@ SimTime SectorLogFtl::merge_batch(std::span<const SectorWrite> batch,
     const auto [new_lin, page_done] = pool_data_.write_page(lpn, tokens, t);
     l2p_[lpn] = new_lin;
     stats_.small_extra_flash_bytes += geo_.page_bytes;
-    if (sink_ && merges_old_page)
+    if (sink_ && merges_old_page && sink_->wants_op(telemetry::OpKind::kRmw))
       sink_->record_op({telemetry::OpKind::kRmw, now, page_done,
                         static_cast<std::uint64_t>(j - i)});
     done = std::max(done, page_done);

@@ -64,6 +64,13 @@ class SectorLogFtl : public Ftl {
   std::uint64_t mapping_memory_bytes() const override;
   std::string name() const override { return "sectorLogFTL"; }
   void set_telemetry(telemetry::Sink* sink) override;
+  void collect_health(std::span<telemetry::BlockHealth> out) const override {
+    pool_data_.fill_health(out);
+    pool_log_.fill_health(out);
+  }
+  std::uint64_t free_blocks() const override {
+    return allocator_.total_free();
+  }
 
   std::size_t log_mapping_entries() const { return log_map_.size(); }
 

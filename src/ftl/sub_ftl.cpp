@@ -200,7 +200,7 @@ SimTime SubFtl::rmw_into_fullpage(std::uint64_t sector, std::uint64_t token,
   tokens[sector % subs] = token;
   const auto [new_lin, done] = pool_full_.write_page(lpn, tokens, t);
   l2p_[lpn] = new_lin;
-  if (sink_ && merges_old_page)
+  if (sink_ && merges_old_page && sink_->wants_op(telemetry::OpKind::kRmw))
     sink_->record_op({telemetry::OpKind::kRmw, now, done, 1});
   return done;
 }
@@ -253,7 +253,7 @@ SimTime SubFtl::evict_batch(std::span<const SectorWrite> batch, SimTime now,
     const auto [new_lin, page_done] = pool_full_.write_page(lpn, tokens, t);
     l2p_[lpn] = new_lin;
     stats_.small_extra_flash_bytes += geo_.page_bytes;
-    if (sink_ && merges_old_page)
+    if (sink_ && merges_old_page && sink_->wants_op(telemetry::OpKind::kRmw))
       sink_->record_op({telemetry::OpKind::kRmw, now, page_done,
                         static_cast<std::uint64_t>(j - i)});
     done = std::max(done, page_done);

@@ -77,6 +77,13 @@ class SubFtl : public Ftl {
   std::uint64_t mapping_memory_bytes() const override;
   std::string name() const override { return "subFTL"; }
   void set_telemetry(telemetry::Sink* sink) override;
+  void collect_health(std::span<telemetry::BlockHealth> out) const override {
+    pool_full_.fill_health(out);
+    pool_sub_.fill_health(out);
+  }
+  std::uint64_t free_blocks() const override {
+    return allocator_.total_free();
+  }
 
   // Introspection for tests and wear metrics.
   const SubpagePool& subpage_pool() const { return pool_sub_; }

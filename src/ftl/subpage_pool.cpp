@@ -115,7 +115,7 @@ SimTime SubpagePool::forward_page(std::uint32_t chip, std::uint32_t blk,
     retention_queue_.push(block_index(chip, blk), page, read.done);
   place_(m.sector_of_page[page],
          codec_.encode_subpage(nand::SubpageAddr{pa, to_slot}));
-  if (sink_)
+  if (sink_ && sink_->wants_op(telemetry::OpKind::kForwardMigration))
     sink_->record_op(
         {telemetry::OpKind::kForwardMigration, now, ack.done, to_slot});
   return ack.done;
@@ -393,10 +393,13 @@ SimTime SubpagePool::collect_block(std::size_t idx, SimTime now,
   --blocks_in_use_;
   allocator_.release(chip, blk, dev_.block(chip, blk).pe_cycles());
   in_gc_ = false;
-  if (sink_)
-    sink_->record_op({for_wear_leveling ? telemetry::OpKind::kWearLevel
-                                        : telemetry::OpKind::kGcCopy,
-                      now, ack.done, kept_sectors, evictions.size()});
+  if (sink_) {
+    const auto copy_kind = for_wear_leveling ? telemetry::OpKind::kWearLevel
+                                             : telemetry::OpKind::kGcCopy;
+    if (sink_->wants_op(copy_kind))
+      sink_->record_op({copy_kind, now, ack.done, kept_sectors,
+                        evictions.size()});
+  }
   ESP_LOG_DEBUG("%s collected subpage block chip=%u blk=%u kept=%llu "
                 "evicted=%zu",
                 for_wear_leveling ? "wear-level" : "gc",
@@ -623,6 +626,20 @@ std::vector<std::uint32_t> SubpagePool::owned_pe_cycles() const {
       pes.push_back(dev_.block(chip, b).pe_cycles());
   }
   return pes;
+}
+
+void SubpagePool::fill_health(
+    std::span<telemetry::BlockHealth> out) const {
+  for (std::uint32_t chip = 0; chip < geo_.total_chips(); ++chip) {
+    for (const std::uint32_t blk : owned_by_chip_[chip]) {
+      const std::size_t idx = block_index(chip, blk);
+      if (idx >= out.size()) continue;
+      out[idx].pool = static_cast<std::uint8_t>(telemetry::HealthPool::kSub);
+      out[idx].level = meta_[idx].level;
+      out[idx].valid = meta_[idx].valid_count;
+      out[idx].valid_cap = geo_.pages_per_block;
+    }
+  }
 }
 
 }  // namespace esp::ftl

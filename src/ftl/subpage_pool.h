@@ -125,6 +125,11 @@ class SubpagePool {
   /// For wear metrics: P/E counts of blocks currently owned by this pool.
   std::vector<std::uint32_t> owned_pe_cycles() const;
 
+  /// Health snapshot: marks owned blocks as pool "sub" with their ESP
+  /// level and valid subpage count (capacity = pages per block -- a page
+  /// holds at most one valid subpage).
+  void fill_health(std::span<telemetry::BlockHealth> out) const;
+
   /// Attaches a telemetry sink (nullptr detaches); forward migrations,
   /// GC collections and retention evictions become mechanism-lane events.
   void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }

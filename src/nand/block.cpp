@@ -23,6 +23,7 @@ Block::Block(std::uint32_t pages_per_block, std::uint32_t subpages_per_page)
 void Block::erase() {
   ++pe_cycles_;
   programmed_pages_ = 0;
+  first_program_us_ = -1.0;
   std::fill(mode_.begin(), mode_.end(), PageMode::kErased);
   std::fill(programmed_.begin(), programmed_.end(), 0);
   std::fill(state_.begin(), state_.end(), SlotState::kEmpty);
@@ -47,7 +48,7 @@ void Block::program_full(std::uint32_t page,
         "Block::program_full: page already programmed this erase cycle");
   mode_[page] = PageMode::kFull;
   programmed_[page] = static_cast<std::uint8_t>(subs_);
-  ++programmed_pages_;
+  if (programmed_pages_++ == 0) first_program_us_ = now;
   for (std::uint32_t s = 0; s < subs_; ++s) {
     const std::size_t i = idx(page, s);
     state_[i] = SlotState::kStored;
@@ -83,7 +84,7 @@ void Block::program_subpage(std::uint32_t page, std::uint32_t slot,
   written_at_[i] = now;
   if (programmed_[page] == 0) {
     mode_[page] = PageMode::kEsp;
-    ++programmed_pages_;
+    if (programmed_pages_++ == 0) first_program_us_ = now;
   }
   ++programmed_[page];
 }

@@ -78,6 +78,12 @@ class Block {
   std::uint32_t pe_cycles() const { return pe_cycles_; }
   std::uint32_t pages() const { return pages_; }
   std::uint32_t subpages_per_page() const { return subs_; }
+  /// Pages with at least one program this erase cycle.
+  std::uint32_t programmed_pages() const { return programmed_pages_; }
+  /// Simulated time of the first program since the last erase; negative
+  /// when the block is erased. Retention age of the oldest data is
+  /// `now - first_program_us()`.
+  SimTime first_program_us() const { return first_program_us_; }
   /// True when no page has been programmed since the last erase.
   bool is_erased() const;
 
@@ -91,6 +97,7 @@ class Block {
   std::uint32_t subs_;
   std::uint32_t pe_cycles_ = 0;
   std::uint32_t programmed_pages_ = 0;  ///< pages with >=1 program this cycle
+  SimTime first_program_us_ = -1.0;     ///< first program since erase (<0: none)
 
   std::vector<PageMode> mode_;
   std::vector<std::uint8_t> programmed_;  ///< per page: slots programmed

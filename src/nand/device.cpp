@@ -142,7 +142,7 @@ ReadAck NandDevice::read_subpage(const SubpageAddr& addr, SimTime now) {
   ++counters_.reads_sub;
   ack.done = schedule(addr.page.chip, timing_.read_sub_us,
                       geo_.subpage_bytes(), /*transfer_first=*/false, now);
-  if (sink_)
+  if (sink_ && sink_->wants_op(telemetry::OpKind::kRead))
     sink_->record_op({telemetry::OpKind::kRead, now, ack.done, 1, 0,
                       addr.page.chip, addr.page.block});
   return ack;
@@ -158,7 +158,7 @@ PageReadAck NandDevice::read_page(const PageAddr& addr, SimTime now) {
   ++counters_.reads_full;
   ack.done = schedule(addr.chip, timing_.read_full_us, geo_.page_bytes,
                       /*transfer_first=*/false, now);
-  if (sink_)
+  if (sink_ && sink_->wants_op(telemetry::OpKind::kRead))
     sink_->record_op({telemetry::OpKind::kRead, now, ack.done,
                       geo_.subpages_per_page, 0, addr.chip, addr.block});
   return ack;
@@ -210,6 +210,17 @@ void NandDevice::set_telemetry(telemetry::Sink* sink) {
   reg.bind_counter("nand/erases", &counters_.erases);
   reg.bind_counter("nand/uncorrectable_reads", &counters_.uncorrectable_reads);
   reg.bind_counter("nand/corrupted_reads", &counters_.corrupted_reads);
+}
+
+void NandDevice::fill_block_health(
+    std::span<telemetry::BlockHealth> out) const {
+  const std::size_t n = std::min(out.size(), blocks_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Block& blk = blocks_[i];
+    out[i].pe = blk.pe_cycles();
+    out[i].programmed_pages = blk.programmed_pages();
+    out[i].first_program_us = blk.first_program_us();
+  }
 }
 
 void NandDevice::set_read_fault_injection(double probability,

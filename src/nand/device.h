@@ -24,6 +24,7 @@
 #include "nand/geometry.h"
 #include "nand/retention_model.h"
 #include "nand/timing.h"
+#include "telemetry/health.h"
 #include "telemetry/sink.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -136,6 +137,12 @@ class NandDevice {
   /// Attaches a telemetry sink (nullptr detaches). Binds the device
   /// counters under "nand/" and records one op event per flash command.
   void set_telemetry(telemetry::Sink* sink);
+
+  /// Fills the physical fields (P/E cycles, programmed pages, first-program
+  /// time) of a health snapshot; `out` must hold one row per block, indexed
+  /// chip * blocks_per_chip + block. Ownership/validity fields are the
+  /// FTL's to fill.
+  void fill_block_health(std::span<telemetry::BlockHealth> out) const;
 
  private:
   Block& block_ref(std::uint32_t chip, std::uint32_t blk);

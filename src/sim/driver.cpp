@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ftl/types.h"
+#include "telemetry/health.h"
 #include "telemetry/telemetry.h"
 #include "util/logger.h"
 
@@ -124,6 +125,7 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
     tel_->end_request(host_op_kind(request.type), issue, result.done,
                       request.count, request.sector);
     maybe_sample();
+    maybe_health();
   }
   return result;
 }
@@ -151,12 +153,16 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
 
   // Flush the final (partial) sampling window so short runs still produce
   // a closing snapshot; guarded so zero-length windows are not pushed.
+  // The health stream's final epoch is NOT closed here: the harness calls
+  // close_health_epoch() explicitly, outside its wall-clock measurement,
+  // because the end-of-run snapshot is teardown I/O, not steady-state work.
   if (tel_ && tel_->sampler().enabled() && now_ > tel_last_sample_us_)
     take_sample();
 
   metrics.end_us = now_;
   metrics.latency_p50_us = latency_.percentile(0.50);
   metrics.latency_p99_us = latency_.percentile(0.99);
+  metrics.latency_p999_us = latency_.percentile(0.999);
   metrics.latency_hist = latency_;
   metrics.verify_failures = verify_failures_ - failures_before;
   metrics.io_errors = io_errors_ - io_errors_before;
@@ -174,10 +180,34 @@ void Driver::set_telemetry(telemetry::Telemetry* telemetry) {
   tel_last_requests_ = requests_submitted_;
   tel_last_sample_us_ = now_;
   tel_->sampler().start(now_);
+  if (telemetry::HealthMonitor* hm = tel_->health()) {
+    // Epoch 0 at attach: the absolute baseline (preconditioning wear
+    // included) every later delta row builds on.
+    hm->start(now_);
+    take_health();
+  }
 }
 
 void Driver::maybe_sample() {
   if (tel_->sampler().due(now_)) take_sample();
+}
+
+void Driver::close_health_epoch() {
+  if (tel_ && tel_->health() && now_ > tel_->health()->last_epoch_us())
+    take_health();
+}
+
+void Driver::maybe_health() {
+  telemetry::HealthMonitor* hm = tel_->health();
+  if (hm && hm->due(now_)) take_health();
+}
+
+void Driver::take_health() {
+  telemetry::HealthMonitor* hm = tel_->health();
+  const std::span<telemetry::BlockHealth> rows = hm->begin_epoch();
+  dev_.fill_block_health(rows);
+  ftl_.collect_health(rows);
+  hm->commit_epoch(now_, ftl_.free_blocks());
 }
 
 void Driver::take_sample() {

@@ -34,6 +34,7 @@ struct RunMetrics {
   std::uint64_t io_errors = 0;          ///< reads reporting !ok
   double latency_p50_us = 0.0;          ///< request service-time percentiles
   double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
   /// Full service-time distribution at end of run (cumulative across runs
   /// of the same driver); mergeable across cells via Histogram::merge.
   util::Histogram latency_hist{0.0, 200000.0, 2000};
@@ -72,6 +73,14 @@ class Driver {
   /// Drains the FTL's write buffer (advances the clock).
   void flush();
 
+  /// Closes the health stream's final (partial) epoch at the current
+  /// clock, if one is open -- so endpoint mode (interval 0) gets exactly
+  /// attach + one epoch per run. Callers invoke it AFTER a run, outside
+  /// any wall-clock window: the end-of-run snapshot is teardown I/O.
+  /// No-op without an attached health monitor or when an epoch was
+  /// already cut at now().
+  void close_health_epoch();
+
   SimTime now() const { return now_; }
   /// Advances the clock (idle time); never moves backwards.
   void advance_to(SimTime t);
@@ -88,7 +97,10 @@ class Driver {
   /// Attaches the telemetry facade (nullptr detaches). The driver opens a
   /// span per host request and closes sampling windows on the facade's
   /// TimeSeriesSampler cadence; the final partial window is flushed at the
-  /// end of each run().
+  /// end of each run(). When the facade carries a HealthMonitor, an
+  /// epoch-0 baseline snapshot is committed immediately at attach, epochs
+  /// follow the monitor's sim-time cadence, and a closing epoch is taken at
+  /// the end of each run().
   void set_telemetry(telemetry::Telemetry* telemetry);
 
  private:
@@ -104,6 +116,10 @@ class Driver {
   void maybe_sample();
   /// Unconditionally closes the current sampling window at now().
   void take_sample();
+  /// Commits a health epoch if one is due.
+  void maybe_health();
+  /// Unconditionally snapshots device + FTL state into a health epoch.
+  void take_health();
 
   ftl::Ftl& ftl_;
   nand::NandDevice& dev_;

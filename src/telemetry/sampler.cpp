@@ -45,7 +45,7 @@ std::string TimeSeriesSampler::csv_header() {
     h += name;
     h += "_p99_us";
   }
-  h += ",all_ops_p50_us,all_ops_p99_us";
+  h += ",all_ops_p50_us,all_ops_p99_us,all_ops_p999_us";
   return h;
 }
 
@@ -76,6 +76,8 @@ void TimeSeriesSampler::write_csv(std::ostream& os) const {
     append_num(os, s.all_ops_p50_us);
     os << ',';
     append_num(os, s.all_ops_p99_us);
+    os << ',';
+    append_num(os, s.all_ops_p999_us);
     os << '\n';
   }
 }
@@ -115,6 +117,7 @@ void TimeSeriesSampler::write_json(std::ostream& os) const {
     w.end_object();
     w.kv("all_ops_p50_us", s.all_ops_p50_us);
     w.kv("all_ops_p99_us", s.all_ops_p99_us);
+    w.kv("all_ops_p999_us", s.all_ops_p999_us);
     w.end_object();
   }
   w.end_array();

@@ -41,6 +41,7 @@ struct Sample {
   double op_p99_us[kOpKindCount] = {};
   double all_ops_p50_us = 0.0;  ///< merged across every op lane
   double all_ops_p99_us = 0.0;
+  double all_ops_p999_us = 0.0;
 };
 
 class TimeSeriesSampler {

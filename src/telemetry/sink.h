@@ -101,6 +101,16 @@ class Sink {
   /// Records one completed operation (trace ring + per-op histograms).
   virtual void record_op(const OpEvent& event) = 0;
 
+  /// Non-virtual per-op interest filter: true when some attached consumer
+  /// wants events of this kind. High-frequency call sites (the device's
+  /// read path, the FTLs' RMW/GC-copy records) may check it first and skip
+  /// constructing + dispatching an OpEvent nobody will read — e.g. an
+  /// always-on health stream consumes programs and erases but not reads.
+  /// Conservative by default (everything); implementations narrow it.
+  bool wants_op(OpKind kind) const {
+    return (op_mask_ & (1u << static_cast<unsigned>(kind))) != 0;
+  }
+
   /// Registry for attach-time metric registration.
   virtual MetricsRegistry& registry() = 0;
 
@@ -114,6 +124,15 @@ class Sink {
 
   /// Records one block lifecycle transition. Base default: no-op.
   virtual void record_block(const BlockLifecycleEvent& /*event*/) {}
+
+ protected:
+  /// Narrows (or restores) the wants_op() filter; static_assert keeps the
+  /// kind bits inside the mask word.
+  static_assert(kOpKindCount <= 32);
+  void set_op_mask(std::uint32_t mask) { op_mask_ = mask; }
+
+ private:
+  std::uint32_t op_mask_ = ~0u;
 };
 
 /// Null-safe RAII cause scope: pushes on construction, pops on

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "telemetry/auditor.h"
+#include "telemetry/health.h"
 #include "telemetry/journal.h"
 
 namespace esp::telemetry {
@@ -19,7 +20,9 @@ constexpr std::size_t kLatBuckets = 4000;
 }  // namespace
 
 Telemetry::Telemetry(const TelemetryConfig& config)
-    : trace_(config.trace_capacity), sampler_(config.sample_interval_us) {
+    : trace_(config.trace_capacity),
+      sampler_(config.sample_interval_us),
+      op_detail_(config.op_detail) {
   window_.reserve(kOpKindCount);
   for (std::size_t k = 0; k < kOpKindCount; ++k) {
     const std::string name =
@@ -36,16 +39,41 @@ Telemetry::Telemetry(const TelemetryConfig& config)
     cause_latency_[c] = &registry_.histogram(prefix + "/latency_us", kLatLoUs,
                                              kLatHiUs, kLatBuckets);
   }
+  recompute_op_mask();
+}
+
+void Telemetry::recompute_op_mask() {
+  // With per-op detail on (trace + latency histograms) or a journal /
+  // auditor attached, every kind matters. Otherwise the facade needs only
+  // the kinds that feed its per-cause counters (programs, erases — the
+  // cause_count() contract holds regardless of consumers) plus the kinds
+  // the health monitor folds into its window (host writes, retention
+  // evictions). Reads, RMW and copy records can be skipped at the source.
+  std::uint32_t mask;
+  if (op_detail_ || journal_ != nullptr || auditor_ != nullptr) {
+    mask = ~0u;
+  } else {
+    const auto bit = [](OpKind k) {
+      return 1u << static_cast<unsigned>(k);
+    };
+    mask = bit(OpKind::kProgFull) | bit(OpKind::kProgSub) |
+           bit(OpKind::kErase);
+    if (health_ != nullptr)
+      mask |= bit(OpKind::kHostWrite) | bit(OpKind::kRetentionEvict);
+  }
+  set_op_mask(mask);
 }
 
 void Telemetry::record_op(const OpEvent& event) {
   const auto k = static_cast<std::size_t>(event.kind);
   if (k >= kOpKindCount) return;
-  const double dur = event.end - event.start;
-  cumulative_[k]->add(dur);
-  window_[k].add(dur);
-  trace_.push(TraceEvent{event.kind, current_request_, event.start, dur,
-                         event.arg0, event.arg1});
+  if (op_detail_) {
+    const double dur = event.end - event.start;
+    cumulative_[k]->add(dur);
+    window_[k].add(dur);
+    trace_.push(TraceEvent{event.kind, current_request_, event.start, dur,
+                           event.arg0, event.arg1});
+  }
 
   // Causal attribution: every flash program/erase lands in exactly one
   // per-cause bucket (the innermost open scope; host when none).
@@ -60,7 +88,7 @@ void Telemetry::record_op(const OpEvent& event) {
         ++cause_progs_sub_[c];
       else
         ++cause_erases_[c];
-      cause_latency_[c]->add(dur);
+      if (op_detail_) cause_latency_[c]->add(event.end - event.start);
       break;
     }
     default:
@@ -70,6 +98,7 @@ void Telemetry::record_op(const OpEvent& event) {
   if (journal_)
     journal_->on_op(event, current_cause(), cause_stack_, current_request_);
   if (auditor_) auditor_->on_op(event, cause_stack_);
+  if (health_) health_->on_op(event, current_cause());
 }
 
 void Telemetry::push_cause(Cause cause, std::uint64_t detail, SimTime at) {
@@ -107,7 +136,7 @@ std::uint32_t Telemetry::begin_request(SimTime /*issue*/) {
 
 void Telemetry::end_request(OpKind kind, SimTime issue, SimTime done,
                             std::uint64_t arg0, std::uint64_t arg1) {
-  record_op(OpEvent{kind, issue, done, arg0, arg1});
+  if (wants_op(kind)) record_op(OpEvent{kind, issue, done, arg0, arg1});
   current_request_ = 0;
 }
 
@@ -125,6 +154,7 @@ void Telemetry::harvest_window(Sample& sample) {
   if (all.total() > 0) {
     sample.all_ops_p50_us = all.percentile(0.50);
     sample.all_ops_p99_us = all.percentile(0.99);
+    sample.all_ops_p999_us = all.percentile(0.999);
   }
 }
 

@@ -30,11 +30,18 @@ namespace esp::telemetry {
 
 class Journal;
 class Auditor;
+class HealthMonitor;
 
 struct TelemetryConfig {
   std::size_t trace_capacity = 1 << 16;
   /// Sampling period in simulated microseconds; 0 disables sampling.
   SimTime sample_interval_us = 0.0;
+  /// Per-op latency detail: the cumulative + window + per-cause latency
+  /// histograms and the trace-ring push. Downstream sinks (journal,
+  /// auditor, health) and the per-cause op counters are fed either way.
+  /// Turn off when the facade exists only to feed a streaming sink, so an
+  /// always-on stream does not pay for histograms nobody will read.
+  bool op_detail = true;
 };
 
 class Telemetry : public Sink {
@@ -78,12 +85,24 @@ class Telemetry : public Sink {
   /// kErase (anything else returns 0).
   std::uint64_t cause_count(Cause cause, OpKind kind) const;
 
-  /// Attaches a Journal / Auditor downstream sink (nullptr detaches).
-  /// Both must outlive their attachment; detach before destroying them.
-  void set_journal(Journal* journal) { journal_ = journal; }
-  void set_auditor(Auditor* auditor) { auditor_ = auditor; }
+  /// Attaches a Journal / Auditor / HealthMonitor downstream sink
+  /// (nullptr detaches). All must outlive their attachment; detach before
+  /// destroying them.
+  void set_journal(Journal* journal) {
+    journal_ = journal;
+    recompute_op_mask();
+  }
+  void set_auditor(Auditor* auditor) {
+    auditor_ = auditor;
+    recompute_op_mask();
+  }
+  void set_health(HealthMonitor* health) {
+    health_ = health;
+    recompute_op_mask();
+  }
   Journal* journal() const { return journal_; }
   Auditor* auditor() const { return auditor_; }
+  HealthMonitor* health() const { return health_; }
 
   // --- Sampler integration (driver only) ----------------------------
   /// Fills `sample`'s per-op and merged latency percentiles from the
@@ -95,9 +114,13 @@ class Telemetry : public Sink {
     return window_[static_cast<std::size_t>(kind)];
   }
 
+  /// Recomputes the Sink op-interest mask from the attached consumers.
+  void recompute_op_mask();
+
   MetricsRegistry registry_;
   TraceRing trace_;
   TimeSeriesSampler sampler_;
+  bool op_detail_ = true;
   std::uint32_t next_request_id_ = 1;
   std::uint32_t current_request_ = 0;
   /// Registry-owned cumulative per-op latency histograms, indexed by kind.
@@ -115,6 +138,7 @@ class Telemetry : public Sink {
   util::Histogram* cause_latency_[kCauseCount] = {};
   Journal* journal_ = nullptr;
   Auditor* auditor_ = nullptr;
+  HealthMonitor* health_ = nullptr;
 };
 
 }  // namespace esp::telemetry

@@ -62,9 +62,10 @@ double Histogram::percentile(double q) const noexcept {
 
 std::string Histogram::summary() const {
   char buf[160];
-  std::snprintf(buf, sizeof(buf), "n=%llu p50=%.3g p95=%.3g p99=%.3g",
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu p50=%.3g p95=%.3g p99=%.3g p999=%.3g",
                 static_cast<unsigned long long>(total_), percentile(0.50),
-                percentile(0.95), percentile(0.99));
+                percentile(0.95), percentile(0.99), percentile(0.999));
   std::string out = buf;
   if (underflow_ || overflow_) {
     // Clamped samples distort the edge buckets; surface them instead of

@@ -46,7 +46,7 @@ TEST(TimeSeriesSampler, CsvSchemaIsStable) {
     ops += "," + name + "_p50_us," + name + "_p99_us";
   }
   EXPECT_EQ(TimeSeriesSampler::csv_header(),
-            fixed + ops + ",all_ops_p50_us,all_ops_p99_us");
+            fixed + ops + ",all_ops_p50_us,all_ops_p99_us,all_ops_p999_us");
 }
 
 TEST(TimeSeriesSampler, CsvRowsMatchHeaderArity) {
@@ -79,7 +79,7 @@ TEST(TimeSeriesSampler, CsvRowsMatchHeaderArity) {
   }
   EXPECT_EQ(rows, 2u);
   EXPECT_EQ(header_cols,
-            15u + 2u * kOpKindCount + 2u);  // fixed + per-op + merged
+            15u + 2u * kOpKindCount + 3u);  // fixed + per-op + merged
 }
 
 TEST(TimeSeriesSampler, JsonRowsContainFixedFields) {

@@ -88,6 +88,33 @@ TEST(Histogram, PercentileMonotone) {
   }
 }
 
+TEST(Histogram, P999InterpolatesLinearlyWithinBucket) {
+  // 990 fast samples, 10 slow ones in the last bucket [9, 10): the p999
+  // rank (floor(0.999 * 999) = 998) falls 8/10 into that bucket, so the
+  // interpolated value is exactly 9.8 -- not the bucket edge.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 990; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(9.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 9.8);
+}
+
+TEST(Histogram, P999InterpolatesInsideTerminalBucketWhenClamped) {
+  // Overflow samples clamp into the terminal bucket; the p999 estimate
+  // still interpolates within that bucket and never exceeds the range.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 990; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(1000.0);
+  EXPECT_EQ(h.overflow(), 10u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 9.8);
+  EXPECT_LE(h.percentile(0.9999), 10.0);
+}
+
+TEST(Histogram, SummaryReportsP999) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(i % 10 + 0.5);
+  EXPECT_NE(h.summary().find("p999="), std::string::npos);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h(0.0, 10.0, 5);
   h.add(1.0);

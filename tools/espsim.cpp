@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/build_info.h"
 #include "core/experiment.h"
 #include "core/parallel_runner.h"
 #include "core/ssd.h"
@@ -90,7 +91,18 @@ void usage(const char* argv0) {
       "  --journal-max-events N        journal admission cap (0 = unlimited)\n"
       "  --audit                       run the online invariant auditor;\n"
       "                                violations abort with the offending\n"
-      "                                cause chain\n",
+      "                                cause chain\n"
+      "  --health-out PATH             stream device-health snapshots (JSONL\n"
+      "                                per-block deltas + SMART attributes;\n"
+      "                                see docs/HEALTH.md); in sweep mode\n"
+      "                                each cell writes PATH with its cell\n"
+      "                                key spliced in\n"
+      "  --health-interval SECONDS     health epoch period in simulated\n"
+      "                                seconds (default 0 = endpoint epochs\n"
+      "                                only: attach baseline + run end)\n"
+      "  --health-rated-pe N           rated P/E endurance for media-wear %%\n"
+      "                                and the exhaustion horizon (3000)\n"
+      "  --version                     print build provenance and exit\n",
       argv0);
 }
 
@@ -171,6 +183,9 @@ int main(int argc, char** argv) {
   std::string journal_out;
   std::uint64_t journal_max_events = 0;
   bool audit = false;
+  std::string health_out;
+  double health_interval_s = 0.0;
+  std::uint32_t health_rated_pe = 3000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -183,6 +198,9 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
+      return 0;
+    } else if (arg == "--version") {
+      std::printf("%s\n", core::build_info_line().c_str());
       return 0;
     } else if (arg == "--ftl") {
       for (const auto& name : split_list(next())) {
@@ -272,6 +290,13 @@ int main(int argc, char** argv) {
       journal_max_events = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--health-out") {
+      health_out = next();
+    } else if (arg == "--health-interval") {
+      health_interval_s = std::atof(next());
+    } else if (arg == "--health-rated-pe") {
+      health_rated_pe =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
@@ -380,6 +405,10 @@ int main(int argc, char** argv) {
           cell.spec.journal_path = cell_journal_path(journal_out, cell.key);
         cell.spec.journal_max_events = journal_max_events;
         cell.spec.audit = audit;
+        if (!health_out.empty())
+          cell.spec.health_path = cell_journal_path(health_out, cell.key);
+        cell.spec.health_interval_us = health_interval_s * sim_time::kSecond;
+        cell.spec.health_rated_pe = health_rated_pe;
         cells.push_back(std::move(cell));
       }
     }
@@ -442,6 +471,9 @@ int main(int argc, char** argv) {
   spec.journal_path = journal_out;
   spec.journal_max_events = journal_max_events;
   spec.audit = audit;
+  spec.health_path = health_out;
+  spec.health_interval_us = health_interval_s * sim_time::kSecond;
+  spec.health_rated_pe = health_rated_pe;
   const std::optional<workload::Benchmark> profile =
       profiles.empty() ? std::nullopt
                        : std::optional<workload::Benchmark>(profiles.front());
@@ -488,6 +520,11 @@ int main(int argc, char** argv) {
                 journal_out.c_str(),
                 static_cast<unsigned long long>(result.journal_events),
                 static_cast<unsigned long long>(result.journal_truncated));
+  if (!health_out.empty())
+    std::printf("health   : wrote %s (%llu epochs, %llu lines)\n",
+                health_out.c_str(),
+                static_cast<unsigned long long>(result.health_epochs),
+                static_cast<unsigned long long>(result.health_lines));
 
   if (tel) {
     auto emit = [](const char* what, const std::string& path, bool ok) {
@@ -515,9 +552,11 @@ int main(int argc, char** argv) {
   t.add_row({"host throughput", util::TablePrinter::num(
                                     result.host_mb_per_sec, 1) + " MB/s"});
   t.add_row({"IOPS", util::TablePrinter::num(result.iops, 0)});
-  t.add_row({"latency p50 / p99",
+  t.add_row({"latency p50 / p99 / p999",
              util::TablePrinter::num(result.raw.latency_p50_us, 0) + " / " +
                  util::TablePrinter::num(result.raw.latency_p99_us, 0) +
+                 " / " +
+                 util::TablePrinter::num(result.raw.latency_p999_us, 0) +
                  " us"});
   t.add_row({"overall WAF", util::TablePrinter::num(result.overall_waf, 3)});
   t.add_row({"small-write request WAF",
@@ -540,6 +579,10 @@ int main(int argc, char** argv) {
     t.add_row({"journal events", std::to_string(result.journal_events)});
     t.add_row({"journal truncated",
                std::to_string(result.journal_truncated)});
+  }
+  if (!health_out.empty()) {
+    t.add_row({"health epochs", std::to_string(result.health_epochs)});
+    t.add_row({"health lines", std::to_string(result.health_lines)});
   }
   t.print(std::cout);
   return result.verify_failures == 0 ? 0 : 1;
