@@ -1,10 +1,13 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <ctime>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "telemetry/auditor.h"
 #include "telemetry/health.h"
@@ -100,20 +103,63 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   }
   if (tel) ssd.attach_telemetry(tel);
 
-  // Default the workload footprint to the preconditioned LBA range -- the
-  // paper's benchmarks run over the files laid down during preconditioning.
-  workload::SyntheticParams params = spec.workload;
-  if (params.footprint_sectors == 0) {
-    const std::uint32_t subs = spec.ssd.geometry.subpages_per_page;
-    params.footprint_sectors =
-        static_cast<std::uint64_t>(spec.precondition_fraction *
-                                   static_cast<double>(ssd.logical_sectors())) /
-        subs * subs;
-  }
-  workload::SyntheticWorkload stream(params);
+  const std::uint32_t subs = spec.ssd.geometry.subpages_per_page;
 
-  if (spec.warmup_requests > 0)
-    ssd.driver().run(stream, /*verify=*/false, spec.warmup_requests);
+  // Single-tenant: one stream over the whole logical space. Default the
+  // workload footprint to the preconditioned LBA range -- the paper's
+  // benchmarks run over the files laid down during preconditioning.
+  std::optional<workload::SyntheticWorkload> stream;
+  // Multi-tenant: each tenant's stream over its namespace slice, muxed by
+  // the QoS scheduler.
+  std::vector<workload::SyntheticWorkload> tenant_streams;
+  std::optional<sim::TenantMux> mux;
+  if (spec.tenants.empty()) {
+    workload::SyntheticParams params = spec.workload;
+    if (params.footprint_sectors == 0) {
+      params.footprint_sectors =
+          static_cast<std::uint64_t>(
+              spec.precondition_fraction *
+              static_cast<double>(ssd.logical_sectors())) /
+          subs * subs;
+    }
+    stream.emplace(params);
+  } else {
+    const std::vector<sim::TenantNamespace> slices = sim::partition_namespaces(
+        ssd.logical_sectors(), spec.tenants.size(), subs);
+    tenant_streams.reserve(spec.tenants.size());
+    std::vector<sim::TenantMux::Lane> lanes;
+    lanes.reserve(spec.tenants.size());
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+      const TenantSpec& t = spec.tenants[i];
+      workload::SyntheticParams params = t.workload;
+      if (params.footprint_sectors == 0) {
+        params.footprint_sectors =
+            static_cast<std::uint64_t>(
+                spec.precondition_fraction *
+                static_cast<double>(slices[i].sectors)) /
+            subs * subs;
+      }
+      params.footprint_sectors =
+          std::min(params.footprint_sectors, slices[i].sectors);
+      tenant_streams.emplace_back(params);
+      sim::TenantMux::Lane lane;
+      lane.config.name = t.name.empty() ? "t" + std::to_string(i) : t.name;
+      lane.config.weight = t.weight;
+      lane.config.queue_depth = t.queue_depth;
+      lane.ns = slices[i];
+      lane.source = &tenant_streams.back();
+      lanes.push_back(std::move(lane));
+    }
+    mux.emplace(ssd.driver(), spec.qos, std::move(lanes));
+    if (tel) mux->set_registry(&tel->registry());
+  }
+
+  if (spec.warmup_requests > 0) {
+    if (mux)
+      mux->run(/*verify=*/false, spec.warmup_requests);
+    else
+      ssd.driver().run(*stream, /*verify=*/false, spec.warmup_requests);
+  }
   // End-of-warmup health epoch lands before the wall clock starts.
   ssd.driver().close_health_epoch();
 
@@ -121,9 +167,43 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   // snapshot so preconditioning/warmup traffic is excluded.
   const ftl::FtlStats before = ssd.ftl().stats();
 
+  sim::MuxRunMetrics mux_metrics;
+  sim::RunMetrics metrics;
   const auto wall_start = std::chrono::steady_clock::now();
   const double cpu_start = thread_cpu_seconds();
-  auto metrics = ssd.driver().run(stream, spec.verify);
+  if (mux) {
+    // The mux reports per-tenant windows; reconstruct the aggregate
+    // RunMetrics the same way Driver::run does -- snapshot/delta of the
+    // driver's cumulative state around the measured window.
+    const util::Histogram latency_before = ssd.driver().latency_histogram();
+    const util::Histogram response_before = ssd.driver().response_histogram();
+    const std::uint64_t failures_before = ssd.driver().verify_failures();
+    const std::uint64_t erases_before = ssd.device().counters().erases;
+    mux_metrics = mux->run(spec.verify);
+    metrics.requests = mux_metrics.requests;
+    for (const sim::TenantMetrics& t : mux_metrics.tenants) {
+      metrics.write_requests += t.write_requests;
+      metrics.read_requests += t.read_requests;
+    }
+    metrics.start_us = mux_metrics.start_us;
+    metrics.end_us = mux_metrics.end_us;
+    metrics.latency_hist =
+        ssd.driver().latency_histogram().delta_since(latency_before);
+    metrics.response_hist =
+        ssd.driver().response_histogram().delta_since(response_before);
+    metrics.latency_p50_us = metrics.latency_hist.percentile(0.50);
+    metrics.latency_p99_us = metrics.latency_hist.percentile(0.99);
+    metrics.latency_p999_us = metrics.latency_hist.percentile(0.999);
+    metrics.response_p50_us = metrics.response_hist.percentile(0.50);
+    metrics.response_p99_us = metrics.response_hist.percentile(0.99);
+    metrics.response_p999_us = metrics.response_hist.percentile(0.999);
+    metrics.verify_failures = ssd.driver().verify_failures() - failures_before;
+    metrics.ftl_stats = ssd.ftl().stats();
+    metrics.device_erases = ssd.device().counters().erases;
+    metrics.erases_during_run = metrics.device_erases - erases_before;
+  } else {
+    metrics = ssd.driver().run(*stream, spec.verify);
+  }
   const double cpu_seconds = thread_cpu_seconds() - cpu_start;
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -174,6 +254,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     tel->set_health(nullptr);
   }
   result.raw = metrics;
+  if (mux) result.tenants = std::move(mux_metrics.tenants);
   return result;
 }
 

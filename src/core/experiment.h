@@ -6,8 +6,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/ssd.h"
+#include "sim/qos.h"
+#include "sim/tenant_mux.h"
 #include "workload/synthetic.h"
 
 namespace esp::core {
@@ -45,11 +48,33 @@ struct RunResult {
   std::uint64_t health_epochs = 0;
   std::uint64_t health_lines = 0;
   sim::RunMetrics raw;
+  /// Per-tenant metrics for the measured window (empty on single-tenant
+  /// runs). Order matches ExperimentSpec::tenants.
+  std::vector<sim::TenantMetrics> tenants;
+};
+
+/// One tenant of a multi-tenant experiment: its own workload stream over
+/// its own namespace slice, plus its QoS parameters.
+struct TenantSpec {
+  std::string name;
+  /// Tenant-local workload; sector addresses are namespace-relative.
+  /// footprint_sectors == 0 defaults to the preconditioned share of the
+  /// tenant's slice; larger values are clamped to the slice.
+  workload::SyntheticParams workload;
+  double weight = 1.0;            ///< weighted-share allocation
+  std::uint32_t queue_depth = 8;  ///< per-tenant in-flight window
 };
 
 struct ExperimentSpec {
   SsdConfig ssd;
   workload::SyntheticParams workload;
+  /// Multi-tenant mode: when non-empty, `workload` above is ignored and
+  /// each tenant drives its own stream over a page-aligned equal slice of
+  /// the logical space, scheduled by `qos` (see sim/tenant_mux.h).
+  /// warmup_requests and the run budget count requests across all tenants.
+  std::vector<TenantSpec> tenants;
+  /// Scheduling policy between tenants (multi-tenant mode only).
+  sim::QosPolicy qos = sim::QosPolicy::kFifo;
   /// Fraction of logical space filled before measuring. The default
   /// reproduces the paper's methodology: 10 GB of data on the 16-GB
   /// device: 62.5% of physical = 0.78 of the 80% logical space.

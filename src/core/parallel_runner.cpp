@@ -128,6 +128,7 @@ std::vector<CellResult> ParallelRunner::run(
 
   merged_registry_ = telemetry::MetricsRegistry{};
   merged_latency_.reset();
+  merged_response_.reset();
   manifest_ = RunManifest{};
   manifest_.jobs_requested = config_.jobs;
   manifest_.base_seed = config_.base_seed;
@@ -149,8 +150,14 @@ std::vector<CellResult> ParallelRunner::run(
     out.key = cells[i].key;
     out.worker = worker;
     ExperimentSpec spec = cells[i].spec;
-    if (config_.derive_seeds)
+    if (config_.derive_seeds) {
       spec.workload.seed = stable_cell_seed(cells[i].key, config_.base_seed);
+      // Tenants get independent streams: seed each from the cell key plus
+      // the tenant index, so no two lanes replay the same sequence.
+      for (std::size_t t = 0; t < spec.tenants.size(); ++t)
+        spec.tenants[t].workload.seed = stable_cell_seed(
+            cells[i].key + "#tenant" + std::to_string(t), config_.base_seed);
+    }
     out.seed = spec.workload.seed;
     telemetry::Telemetry tel;
     if (config_.collect_telemetry) spec.telemetry = &tel;
@@ -184,7 +191,10 @@ std::vector<CellResult> ParallelRunner::run(
   // doubles and merged histograms come out bit-identical for any --jobs.
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& r = results[i];
-    if (r.ok) merged_latency_.merge(r.result.raw.latency_hist);
+    if (r.ok) {
+      merged_latency_.merge(r.result.raw.latency_hist);
+      merged_response_.merge(r.result.raw.response_hist);
+    }
     if (config_.collect_telemetry)
       merged_registry_.merge_from(cell_registries[i]);
     manifest_.cells.push_back(RunManifest::Cell{r.key, r.seed, r.ok, r.error,

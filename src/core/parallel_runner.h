@@ -127,6 +127,8 @@ class ParallelRunner {
   }
   /// All cells' request service-time distributions merged in input order.
   const util::Histogram& merged_latency() const { return merged_latency_; }
+  /// All cells' response-time (arrival -> done) distributions, ditto.
+  const util::Histogram& merged_response() const { return merged_response_; }
 
   const RunManifest& manifest() const { return manifest_; }
 
@@ -140,6 +142,7 @@ class ParallelRunner {
   ParallelRunnerConfig config_;
   telemetry::MetricsRegistry merged_registry_;
   util::Histogram merged_latency_{0.0, 200000.0, 2000};
+  util::Histogram merged_response_{0.0, 200000.0, 2000};
   RunManifest manifest_;
 };
 

@@ -31,11 +31,11 @@ Driver::Driver(ftl::Ftl& ftl, nand::NandDevice& dev,
       shadow_version_(ftl.logical_sectors(), 0),
       shadow_trimmed_(ftl.logical_sectors(), false) {}
 
-SimTime Driver::next_issue_slot() {
-  if (inflight_.size() < queue_depth_) return arrival_;
+SimTime Driver::next_issue_slot(SimTime earliest) {
+  if (inflight_.size() < queue_depth_) return earliest;
   const SimTime slot = inflight_.top();
   inflight_.pop();
-  return std::max(arrival_, slot);
+  return std::max(earliest, slot);
 }
 
 void Driver::check_sector_range(std::uint64_t sector,
@@ -64,9 +64,25 @@ void Driver::advance_to(SimTime t) {
 }
 
 ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
-  using workload::Request;
+  // Arrival semantics: think_us > 0 paces an OPEN-LOOP arrival process --
+  // the request arrives think_us after the previous one regardless of
+  // device state, so time spent waiting for a window slot is visible
+  // queueing delay. think_us == 0 marks CLOSED-LOOP generation: the host
+  // emits the next request the moment it can submit again, so when the
+  // window is saturated the arrival clock rides the oldest in-flight
+  // completion instead of falling unboundedly behind.
   arrival_ += request.think_us;
-  const SimTime issue = next_issue_slot();
+  if (request.think_us <= 0.0 && inflight_.size() >= queue_depth_)
+    arrival_ = std::max(arrival_, inflight_.top());
+  const Completion c = submit_at(request, arrival_, arrival_, verify);
+  return {c.done, c.ok};
+}
+
+Completion Driver::submit_at(const workload::Request& request, SimTime arrival,
+                             SimTime earliest_issue, bool verify) {
+  using workload::Request;
+  const SimTime issue =
+      next_issue_slot(std::max(arrival, earliest_issue));
   if (tel_) tel_->begin_request(issue);
   ftl::IoResult result{issue, true};
   switch (request.type) {
@@ -117,6 +133,7 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
       break;
   }
   latency_.add(result.done - issue);
+  response_.add(result.done - arrival);
   inflight_.push(result.done);
   now_ = std::max(now_, result.done);
   now_ = std::max(now_, ftl_.tick(now_));
@@ -127,10 +144,14 @@ ftl::IoResult Driver::submit(const workload::Request& request, bool verify) {
     maybe_sample();
     maybe_health();
   }
-  return result;
+  return {arrival, issue, result.done, result.ok};
 }
 
-void Driver::flush() { now_ = std::max(now_, ftl_.flush(now_).done); }
+void Driver::flush() {
+  submit(workload::Request{workload::Request::Type::kFlush, 0, 0,
+                           /*sync=*/false, /*think_us=*/0.0},
+         /*verify=*/false);
+}
 
 RunMetrics Driver::run(workload::RequestSource& source, bool verify,
                        std::uint64_t max_requests) {
@@ -139,6 +160,10 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
   const std::uint64_t failures_before = verify_failures_;
   const std::uint64_t io_errors_before = io_errors_;
   const std::uint64_t erases_before = dev_.counters().erases;
+  // Snapshot the cumulative histograms: the reported percentiles must
+  // cover THIS run only, not preconditioning/warmup traffic.
+  const util::Histogram latency_before = latency_;
+  const util::Histogram response_before = response_;
 
   while (max_requests == 0 || metrics.requests < max_requests) {
     const auto request = source.next();
@@ -160,10 +185,14 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
     take_sample();
 
   metrics.end_us = now_;
-  metrics.latency_p50_us = latency_.percentile(0.50);
-  metrics.latency_p99_us = latency_.percentile(0.99);
-  metrics.latency_p999_us = latency_.percentile(0.999);
-  metrics.latency_hist = latency_;
+  metrics.latency_hist = latency_.delta_since(latency_before);
+  metrics.response_hist = response_.delta_since(response_before);
+  metrics.latency_p50_us = metrics.latency_hist.percentile(0.50);
+  metrics.latency_p99_us = metrics.latency_hist.percentile(0.99);
+  metrics.latency_p999_us = metrics.latency_hist.percentile(0.999);
+  metrics.response_p50_us = metrics.response_hist.percentile(0.50);
+  metrics.response_p99_us = metrics.response_hist.percentile(0.99);
+  metrics.response_p999_us = metrics.response_hist.percentile(0.999);
   metrics.verify_failures = verify_failures_ - failures_before;
   metrics.io_errors = io_errors_ - io_errors_before;
   metrics.ftl_stats = ftl_.stats();

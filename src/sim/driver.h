@@ -24,6 +24,18 @@ class Telemetry;
 namespace esp::sim {
 
 /// Outcome of one driven run.
+///
+/// Two latency definitions, both covering THIS run's requests only (the
+/// driver snapshots its cumulative histograms at run start and reports the
+/// delta, so warmup/preconditioning traffic never pollutes a measured
+/// window):
+///   * service time  = issue -> completion (the device's work);
+///   * response time = arrival -> completion (what the host experiences,
+///     including the wait for a free queue-depth slot).
+/// Arrivals are open-loop (paced) for requests with think_us > 0 --
+/// queueing behind a saturated window or a GC stall shows up in response
+/// time -- and closed-loop for think_us == 0, where generation is gated by
+/// window availability and response converges to service time.
 struct RunMetrics {
   std::uint64_t requests = 0;
   std::uint64_t write_requests = 0;
@@ -35,9 +47,14 @@ struct RunMetrics {
   double latency_p50_us = 0.0;          ///< request service-time percentiles
   double latency_p99_us = 0.0;
   double latency_p999_us = 0.0;
-  /// Full service-time distribution at end of run (cumulative across runs
-  /// of the same driver); mergeable across cells via Histogram::merge.
+  double response_p50_us = 0.0;         ///< response-time percentiles
+  double response_p99_us = 0.0;
+  double response_p999_us = 0.0;
+  /// Service-time distribution of this run's requests; mergeable across
+  /// cells via Histogram::merge.
   util::Histogram latency_hist{0.0, 200000.0, 2000};
+  /// Response-time (arrival -> completion) distribution of this run.
+  util::Histogram response_hist{0.0, 200000.0, 2000};
   ftl::FtlStats ftl_stats;              ///< snapshot at end of run
   std::uint64_t device_erases = 0;      ///< snapshot of device counter
   std::uint64_t erases_during_run = 0;  ///< erases attributable to this run
@@ -47,6 +64,14 @@ struct RunMetrics {
     const double secs = sim_time::to_seconds(elapsed_us());
     return secs > 0.0 ? static_cast<double>(requests) / secs : 0.0;
   }
+};
+
+/// Full timing of one request through the queue-depth pipeline.
+struct Completion {
+  SimTime arrival = 0.0;  ///< host generated the request (think-time clock)
+  SimTime issue = 0.0;    ///< entered the device (a window slot was free)
+  SimTime done = 0.0;     ///< simulated completion
+  bool ok = true;
 };
 
 class Driver {
@@ -70,7 +95,18 @@ class Driver {
   /// Issues one request; advances the internal clock to its completion.
   ftl::IoResult submit(const workload::Request& request, bool verify = true);
 
-  /// Drains the FTL's write buffer (advances the clock).
+  /// Submission with an externally supplied arrival clock: used by the
+  /// multi-tenant mux, whose tenants each carry their own arrival time.
+  /// The request issues no earlier than max(arrival, earliest_issue) --
+  /// `earliest_issue` carries per-tenant window constraints -- and no
+  /// earlier than the device window allows. Does NOT advance the driver's
+  /// own arrival clock; think_us is the caller's to apply.
+  Completion submit_at(const workload::Request& request, SimTime arrival,
+                       SimTime earliest_issue, bool verify = true);
+
+  /// Drains the FTL's write buffer. Routed through the submit path as a
+  /// kFlush request, so explicit flushes and in-stream kFlush requests
+  /// produce identical clocks, in-flight accounting and latency samples.
   void flush();
 
   /// Closes the health stream's final (partial) epoch at the current
@@ -85,6 +121,13 @@ class Driver {
   /// Advances the clock (idle time); never moves backwards.
   void advance_to(SimTime t);
 
+  /// Earliest time the device window can accept another request: the
+  /// oldest in-flight completion when the window is full, the current
+  /// clock otherwise. Scheduling hint for the tenant mux (does not pop).
+  SimTime next_slot_hint() const {
+    return inflight_.size() >= queue_depth_ ? inflight_.top() : now_;
+  }
+
   std::uint64_t verify_failures() const { return verify_failures_; }
 
   /// Expected token of a sector's latest version (0 = never written).
@@ -93,6 +136,11 @@ class Driver {
   /// Service-time distribution (issue -> completion) of all requests
   /// submitted so far.
   const util::Histogram& latency_histogram() const { return latency_; }
+
+  /// Response-time distribution (arrival -> completion) of all requests
+  /// submitted so far. Under a saturated queue-depth window this includes
+  /// the host-side wait for a free slot that service time cannot see.
+  const util::Histogram& response_histogram() const { return response_; }
 
   /// Attaches the telemetry facade (nullptr detaches). The driver opens a
   /// span per host request and closes sampling windows on the facade's
@@ -110,8 +158,9 @@ class Driver {
   void check_sector_range(std::uint64_t sector, std::uint32_t count) const;
   /// expected_token without the range check (caller guarantees bounds).
   std::uint64_t expected_token_unchecked(std::uint64_t sector) const;
-  /// Issue time for the next request under the queue-depth window.
-  SimTime next_issue_slot();
+  /// Issue time for the next request under the queue-depth window; the
+  /// request cannot issue before `earliest`.
+  SimTime next_issue_slot(SimTime earliest);
   /// Closes the current sampling window if it is due.
   void maybe_sample();
   /// Unconditionally closes the current sampling window at now().
@@ -137,6 +186,8 @@ class Driver {
   std::uint64_t io_errors_ = 0;
   /// 0..200 ms in 2000 buckets: covers buffered hits through GC stalls.
   util::Histogram latency_{0.0, 200000.0, 2000};
+  /// Response time (arrival -> done); same shape as latency_.
+  util::Histogram response_{0.0, 200000.0, 2000};
   std::vector<std::uint64_t> read_tokens_;  // scratch
   std::uint64_t requests_submitted_ = 0;
 

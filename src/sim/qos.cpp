@@ -1,0 +1,84 @@
+#include "sim/qos.h"
+
+#include <cassert>
+#include <limits>
+
+namespace esp::sim {
+
+std::string qos_policy_name(QosPolicy policy) {
+  switch (policy) {
+    case QosPolicy::kFifo: return "fifo";
+    case QosPolicy::kRoundRobin: return "rr";
+    case QosPolicy::kWeightedShare: return "wshare";
+  }
+  return "?";
+}
+
+std::optional<QosPolicy> parse_qos_policy(const std::string& name) {
+  if (name == "fifo") return QosPolicy::kFifo;
+  if (name == "rr" || name == "round-robin") return QosPolicy::kRoundRobin;
+  if (name == "wshare" || name == "weighted") return QosPolicy::kWeightedShare;
+  return std::nullopt;
+}
+
+QosScheduler::QosScheduler(QosPolicy policy, std::size_t lanes)
+    : policy_(policy), finish_(lanes, 0.0) {}
+
+std::size_t QosScheduler::pick(const std::vector<LaneState>& lanes,
+                               SimTime horizon) {
+  assert(lanes.size() == finish_.size());
+  constexpr auto kNone = std::numeric_limits<std::size_t>::max();
+
+  // Eligibility: a lane whose request can issue by the time the device
+  // frees a slot. If every pending lane is still in the future, fall back
+  // to the earliest-ready one (device idles until it arrives).
+  SimTime min_ready = std::numeric_limits<double>::infinity();
+  for (const LaneState& l : lanes)
+    if (l.pending) min_ready = std::min(min_ready, l.ready);
+  const SimTime cutoff = std::max(horizon, min_ready);
+  const auto eligible = [&](std::size_t i) {
+    return lanes[i].pending && lanes[i].ready <= cutoff;
+  };
+
+  std::size_t best = kNone;
+  switch (policy_) {
+    case QosPolicy::kFifo:
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (!eligible(i)) continue;
+        if (best == kNone || lanes[i].arrival < lanes[best].arrival) best = i;
+      }
+      break;
+    case QosPolicy::kRoundRobin:
+      for (std::size_t step = 1; step <= lanes.size(); ++step) {
+        const std::size_t i = (cursor_ + step) % lanes.size();
+        if (eligible(i)) { best = i; break; }
+      }
+      break;
+    case QosPolicy::kWeightedShare:
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (!eligible(i)) continue;
+        // Start tag: resume at the virtual clock if the lane was idle.
+        const double start = std::max(virtual_time_, finish_[i]);
+        if (best == kNone ||
+            start < std::max(virtual_time_, finish_[best])) {
+          best = i;
+        }
+      }
+      break;
+  }
+  assert(best != kNone && "pick() requires at least one pending lane");
+  return best;
+}
+
+void QosScheduler::charge(std::size_t lane, const LaneState& state) {
+  assert(lane < finish_.size());
+  cursor_ = lane;
+  if (policy_ != QosPolicy::kWeightedShare) return;
+  const double start = std::max(virtual_time_, finish_[lane]);
+  const double weight = state.weight > 0.0 ? state.weight : 1.0;
+  virtual_time_ = start;
+  finish_[lane] =
+      start + static_cast<double>(state.cost < 1 ? 1 : state.cost) / weight;
+}
+
+}  // namespace esp::sim

@@ -42,6 +42,22 @@ bool Histogram::merge(const Histogram& other) noexcept {
   return true;
 }
 
+Histogram Histogram::delta_since(const Histogram& earlier) const {
+  Histogram out = *this;
+  if (earlier.lo_ != lo_ || earlier.hi_ != hi_ ||
+      earlier.counts_.size() != counts_.size()) {
+    return out;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    assert(counts_[i] >= earlier.counts_[i]);
+    out.counts_[i] -= earlier.counts_[i];
+  }
+  out.total_ -= earlier.total_;
+  out.underflow_ -= earlier.underflow_;
+  out.overflow_ -= earlier.overflow_;
+  return out;
+}
+
 double Histogram::percentile(double q) const noexcept {
   if (total_ == 0) return lo_;
   q = std::clamp(q, 0.0, 1.0);

@@ -26,6 +26,13 @@ class Histogram {
   /// unchanged) on a shape mismatch.
   bool merge(const Histogram& other) noexcept;
 
+  /// Per-bucket difference against an EARLIER SNAPSHOT of this histogram:
+  /// returns a histogram holding only the samples added since `earlier`
+  /// was copied. `earlier` must have the same shape and bucket counts
+  /// <= this one's (it was this histogram at some earlier point); on a
+  /// shape mismatch a copy of *this is returned unchanged.
+  Histogram delta_since(const Histogram& earlier) const;
+
   std::uint64_t total() const noexcept { return total_; }
 
   /// Samples that fell below lo() and were clamped into the first bucket.

@@ -16,6 +16,10 @@ struct Request {
   std::uint32_t count = 0;   ///< sectors (0 allowed only for kFlush)
   bool sync = false;         ///< writes: must be durable at completion
   SimTime think_us = 0.0;    ///< host think time before issuing this request
+  /// Originating namespace (tenant). 0 for single-tenant streams; the
+  /// multi-tenant mux stamps it when it rebases a tenant-local request
+  /// into the shared LBA space (see sim/tenant_mux.h).
+  std::uint16_t tenant = 0;
 
   std::uint64_t bytes(std::uint32_t sector_bytes) const {
     return static_cast<std::uint64_t>(count) * sector_bytes;

@@ -30,6 +30,9 @@ void SyntheticParams::validate() const {
           "large_align_prob out of [0,1]");
   require(small_footprint_fraction > 0.0 && small_footprint_fraction <= 1.0,
           "small_footprint_fraction out of (0,1]");
+  require(burst_gap_us >= 0.0, "burst_gap_us must be >= 0");
+  require(burst_len == 0 || think_us > 0.0,
+          "burst pacing requires open-loop arrivals (think_us > 0)");
 }
 
 SyntheticWorkload::SyntheticWorkload(const SyntheticParams& params)
@@ -149,6 +152,8 @@ std::optional<Request> SyntheticWorkload::next() {
     req = make_large_write();
   }
   req.think_us = params_.think_us;
+  if (params_.burst_len > 0 && (emitted_ - 1) % params_.burst_len == 0)
+    req.think_us += params_.burst_gap_us;
   return req;
 }
 

@@ -51,6 +51,18 @@ struct SyntheticParams {
   bool reads_follow_small = false;
 
   SimTime think_us = 0.0;  ///< host think time per request (time dilation)
+
+  /// Burst pacing (0 = steady stream): requests arrive in bursts of
+  /// `burst_len`, spaced `think_us` apart WITHIN a burst, with
+  /// `burst_gap_us` of host idle before each burst. Models duty-cycled
+  /// bulk writers -- checkpoints, log segment flushes, compactions --
+  /// whose arrival pattern is a deep backlog followed by silence, rather
+  /// than a steady drizzle. Requires think_us > 0: intra-burst arrivals
+  /// must stay open-loop (think 0 would flip the driver into closed-loop
+  /// arrival clamping and erase the backlog's arrival ages).
+  std::uint64_t burst_len = 0;
+  SimTime burst_gap_us = 0.0;
+
   std::uint64_t seed = 42;
 
   void validate() const;  ///< throws std::invalid_argument on nonsense

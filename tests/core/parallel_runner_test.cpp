@@ -109,6 +109,70 @@ TEST(ParallelRunner, DerivedSeedsComeFromKeysNotOrder) {
   }
 }
 
+TEST(ParallelRunner, TenantCellsBitIdenticalAcrossJobCounts) {
+  // Multi-tenant cells add a scheduler and per-tenant streams to the
+  // pipeline; their per-tenant metrics must stay byte-identical across
+  // job counts, like everything else.
+  std::vector<ExperimentCell> cells;
+  for (const auto policy : {sim::QosPolicy::kFifo, sim::QosPolicy::kRoundRobin,
+                            sim::QosPolicy::kWeightedShare}) {
+    ExperimentCell cell;
+    cell.key = "grid/tenants/" + sim::qos_policy_name(policy);
+    cell.spec.ssd = test::tiny_config(FtlKind::kSub);
+    cell.spec.qos = policy;
+    cell.spec.precondition_fraction = 0.3;
+    cell.spec.warmup_requests = 100;
+    TenantSpec reader;
+    reader.name = "reader";
+    reader.weight = 4.0;
+    reader.workload = quick_workload();
+    reader.workload.request_count = 600;
+    reader.workload.read_fraction = 0.8;
+    reader.workload.think_us = 50.0;
+    TenantSpec writer;
+    writer.name = "writer";
+    writer.workload = quick_workload();
+    writer.workload.request_count = 600;
+    writer.workload.r_small = 0.0;
+    cell.spec.tenants = {reader, writer};
+    cells.push_back(std::move(cell));
+  }
+
+  ParallelRunnerConfig seq_cfg;
+  seq_cfg.jobs = 1;
+  ParallelRunner seq(seq_cfg);
+  const auto baseline = seq.run(cells);
+
+  ParallelRunnerConfig par_cfg;
+  par_cfg.jobs = 3;
+  ParallelRunner par(par_cfg);
+  const auto got = par.run(cells);
+  ASSERT_EQ(got.size(), baseline.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE(cells[i].key);
+    ASSERT_TRUE(baseline[i].ok) << baseline[i].error;
+    ASSERT_TRUE(got[i].ok) << got[i].error;
+    ASSERT_EQ(got[i].result.tenants.size(), 2u);
+    ASSERT_EQ(baseline[i].result.tenants.size(), 2u);
+    for (std::size_t t = 0; t < 2; ++t) {
+      const auto& a = baseline[i].result.tenants[t];
+      const auto& b = got[i].result.tenants[t];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.requests, b.requests);
+      EXPECT_EQ(a.host_write_sectors, b.host_write_sectors);
+      EXPECT_EQ(a.host_read_sectors, b.host_read_sectors);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(a.service_p99_us, b.service_p99_us);
+      EXPECT_EQ(a.response_p99_us, b.response_p99_us);
+      EXPECT_EQ(a.response_hist.total(), b.response_hist.total());
+    }
+    // The runner derives distinct per-tenant seeds from the cell key, so
+    // the two lanes never replay the same request sequence.
+    EXPECT_NE(baseline[i].result.tenants[0].host_write_sectors,
+              baseline[i].result.tenants[1].host_write_sectors);
+  }
+}
+
 TEST(ParallelRunner, FailingCellIsIsolated) {
   auto cells = grid();
   ExperimentCell bad;

@@ -166,5 +166,95 @@ TEST(Driver, ZeroQueueDepthClampedToOne) {
       fx.driver->submit({Request::Type::kWrite, 0, 4, false, 0.0}));
 }
 
+/// Fixed request sequence, for tests that need exact latency populations.
+class FixedSource final : public workload::RequestSource {
+ public:
+  explicit FixedSource(std::vector<Request> requests)
+      : requests_(std::move(requests)) {}
+  std::optional<Request> next() override {
+    if (next_ >= requests_.size()) return std::nullopt;
+    return requests_[next_++];
+  }
+
+ private:
+  std::vector<Request> requests_;
+  std::size_t next_ = 0;
+};
+
+TEST(Driver, WarmupDoesNotPolluteMeasurePercentiles) {
+  // Regression: RunMetrics percentiles were once computed over the
+  // driver's CUMULATIVE histogram, so a slow warmup shifted the measured
+  // run's percentiles. Two cleanly separable service-time populations:
+  // warmup full-page programs (~1.6 ms) vs measured page reads (~150 us).
+  DriverFixture fx(1);  // QD 1: service times are exact, no chip queueing
+  std::vector<Request> warm, meas;
+  for (int i = 0; i < 300; ++i)
+    warm.push_back({Request::Type::kWrite, (i % 512) * 4ull, 4, false, 0.0});
+  for (int i = 0; i < 100; ++i)
+    meas.push_back({Request::Type::kRead, (i % 512) * 4ull, 4, false, 0.0});
+  FixedSource warm_src(std::move(warm));
+  FixedSource meas_src(std::move(meas));
+
+  const auto warmup = fx.driver->run(warm_src, false);
+  const auto measure = fx.driver->run(meas_src, false);
+  // Each run's histogram holds exactly its own requests...
+  EXPECT_EQ(warmup.latency_hist.total(), 300u);
+  EXPECT_EQ(measure.latency_hist.total(), 100u);
+  // ...so the 3x-larger millisecond-class warmup population cannot drag
+  // the measured p50 out of its sub-200-us bucket.
+  EXPECT_GT(warmup.latency_p50_us, 1000.0);
+  EXPECT_LT(measure.latency_p50_us, 200.0);
+}
+
+TEST(Driver, ResponseIncludesQueueingDelayUnderSaturation) {
+  // Open-loop arrivals every 10 us against a ~1.6 ms full-page program on
+  // a QD-1 window: the backlog grows linearly, so response time (arrival
+  // -> done) diverges from service time (issue -> done) by design.
+  DriverFixture fx(1);
+  std::vector<Request> reqs(50, {Request::Type::kWrite, 0, 4, false, 10.0});
+  FixedSource src(std::move(reqs));
+  const auto m = fx.driver->run(src, false);
+  EXPECT_GE(m.response_p50_us, m.latency_p50_us);
+  EXPECT_GT(m.response_p99_us, m.latency_p99_us * 5.0);
+  // Closed-loop (think 0) instead rides the window: response ~ service.
+  DriverFixture closed(1);
+  std::vector<Request> cl(50, {Request::Type::kWrite, 0, 4, false, 0.0});
+  FixedSource cl_src(std::move(cl));
+  const auto c = closed.driver->run(cl_src, false);
+  EXPECT_GE(c.response_p99_us, c.latency_p99_us);
+  EXPECT_LT(c.response_p99_us, c.latency_p99_us * 1.5);
+}
+
+struct BufferedRig {
+  BufferedRig() : dev(tiny_geo()) {
+    ftl::SubFtl::Config cfg;
+    cfg.logical_sectors = 2048;
+    ftl = std::make_unique<ftl::SubFtl>(dev, cfg);
+    driver = std::make_unique<Driver>(*ftl, dev);
+    driver->submit({Request::Type::kWrite, 0, 1, false, 0.0});
+  }
+  nand::NandDevice dev;
+  std::unique_ptr<ftl::SubFtl> ftl;
+  std::unique_ptr<Driver> driver;
+};
+
+TEST(Driver, FlushMatchesInStreamFlushRequest) {
+  // Driver::flush() is routed through the submit path, so it must be
+  // indistinguishable from an in-stream kFlush request: same clock, same
+  // latency accounting, same FTL state.
+  BufferedRig a;
+  a.driver->flush();
+  BufferedRig b;
+  b.driver->submit({Request::Type::kFlush, 0, 0, false, 0.0}, false);
+
+  EXPECT_EQ(a.driver->now(), b.driver->now());
+  EXPECT_EQ(a.driver->latency_histogram().total(),
+            b.driver->latency_histogram().total());
+  EXPECT_EQ(a.driver->latency_histogram().percentile(0.99),
+            b.driver->latency_histogram().percentile(0.99));
+  EXPECT_EQ(a.ftl->stats().flash_prog_full, b.ftl->stats().flash_prog_full);
+  EXPECT_EQ(a.ftl->stats().flash_prog_sub, b.ftl->stats().flash_prog_sub);
+}
+
 }  // namespace
 }  // namespace esp::sim

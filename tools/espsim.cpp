@@ -72,6 +72,18 @@ void usage(const char* argv0) {
       "                                diffs the journals to prove it)\n"
       "  --region F                    subpage/log region fraction (0.20)\n"
       "  --queue-depth N               host queue depth (default 128)\n"
+      "  --tenants N                   multi-tenant mode: N tenants, each on\n"
+      "                                its own namespace slice of the shared\n"
+      "                                device (see docs/QOS.md)\n"
+      "  --qos fifo|rr|wshare          scheduler between tenants (fifo)\n"
+      "  --tenant-profile LIST         per-tenant workload profiles (comma\n"
+      "                                list, cycled over tenants; default:\n"
+      "                                the run's --profile / manual mix)\n"
+      "  --tenant-weights LIST         per-tenant wshare weights (cycled)\n"
+      "  --tenant-qd LIST              per-tenant queue depths (cycled,\n"
+      "                                default 8)\n"
+      "  --tenant-think LIST           per-tenant think time us/request\n"
+      "                                (cycled; paces a tenant's arrivals)\n"
       "  --precondition F              fraction of logical space pre-filled\n"
       "  --seed N                      workload seed (default 42)\n"
       "  --no-verify                   skip end-to-end data verification\n"
@@ -186,6 +198,12 @@ int main(int argc, char** argv) {
   std::string health_out;
   double health_interval_s = 0.0;
   std::uint32_t health_rated_pe = 3000;
+  std::size_t tenants = 0;
+  sim::QosPolicy qos = sim::QosPolicy::kFifo;
+  std::vector<workload::Benchmark> tenant_profiles;
+  std::vector<double> tenant_weights;
+  std::vector<std::uint32_t> tenant_qds;
+  std::vector<double> tenant_thinks;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -297,6 +315,37 @@ int main(int argc, char** argv) {
     } else if (arg == "--health-rated-pe") {
       health_rated_pe =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--tenants") {
+      tenants = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--qos") {
+      const std::string name = next();
+      const auto policy = sim::parse_qos_policy(name);
+      if (!policy) {
+        std::fprintf(stderr, "--qos must be fifo|rr|wshare, got '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      qos = *policy;
+    } else if (arg == "--tenant-profile") {
+      for (const auto& name : split_list(next())) {
+        const auto bench = parse_profile(name);
+        if (!bench) {
+          std::fprintf(stderr, "unknown --tenant-profile value '%s'\n",
+                       name.c_str());
+          return 2;
+        }
+        tenant_profiles.push_back(*bench);
+      }
+    } else if (arg == "--tenant-weights") {
+      for (const auto& v : split_list(next()))
+        tenant_weights.push_back(std::atof(v.c_str()));
+    } else if (arg == "--tenant-qd") {
+      for (const auto& v : split_list(next()))
+        tenant_qds.push_back(
+            static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10)));
+    } else if (arg == "--tenant-think") {
+      for (const auto& v : split_list(next()))
+        tenant_thinks.push_back(std::atof(v.c_str()));
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
@@ -372,6 +421,38 @@ int main(int argc, char** argv) {
         return params;
       };
 
+  // Multi-tenant mode: replace the single stream with N tenant lanes. The
+  // request budget is split evenly; per-tenant seeds derive from the run
+  // seed so no two lanes replay the same sequence. List-valued flags cycle
+  // over tenants (one value = all tenants).
+  if (tenants > 0) {
+    const std::uint64_t total = spec.warmup_requests + requests;
+    const std::uint64_t per_tenant = (total + tenants - 1) / tenants;
+    for (std::size_t i = 0; i < tenants; ++i) {
+      core::TenantSpec t;
+      std::optional<workload::Benchmark> bench;
+      if (!tenant_profiles.empty())
+        bench = tenant_profiles[i % tenant_profiles.size()];
+      else if (!profiles.empty())
+        bench = profiles.front();
+      t.name = (bench ? workload::benchmark_name(*bench)
+                      : std::string("manual")) +
+               "-" + std::to_string(i);
+      t.workload = workload_for(bench);
+      t.workload.footprint_sectors = 0;  // default: the tenant's slice share
+      t.workload.request_count = per_tenant;
+      t.workload.seed =
+          core::stable_cell_seed("tenant/" + std::to_string(i), seed);
+      if (!tenant_thinks.empty())
+        t.workload.think_us = tenant_thinks[i % tenant_thinks.size()];
+      if (!tenant_weights.empty())
+        t.weight = tenant_weights[i % tenant_weights.size()];
+      if (!tenant_qds.empty()) t.queue_depth = tenant_qds[i % tenant_qds.size()];
+      spec.tenants.push_back(std::move(t));
+    }
+    spec.qos = qos;
+  }
+
   const std::size_t cell_count =
       kinds.size() * std::max<std::size_t>(profiles.size(), 1);
   if (cell_count > 1) {
@@ -428,8 +509,9 @@ int main(int argc, char** argv) {
     std::printf("ran %zu cells on %u worker(s) in %.1fs\n\n", cells.size(),
                 runner.manifest().jobs_used, runner.manifest().wall_seconds);
 
-    util::TablePrinter t({"cell", "MB/s", "IOPS", "p50/p99 us", "WAF",
-                          "req WAF", "GC", "erases", "verify"});
+    util::TablePrinter t({"cell", "MB/s", "IOPS", "svc p50/p99",
+                          "resp p50/p99", "WAF", "req WAF", "GC", "erases",
+                          "verify"});
     int exit_code = 0;
     for (const auto& cell : results) {
       if (!cell.ok) {
@@ -443,6 +525,8 @@ int main(int argc, char** argv) {
                  util::TablePrinter::num(r.iops, 0),
                  util::TablePrinter::num(r.raw.latency_p50_us, 0) + "/" +
                      util::TablePrinter::num(r.raw.latency_p99_us, 0),
+                 util::TablePrinter::num(r.raw.response_p50_us, 0) + "/" +
+                     util::TablePrinter::num(r.raw.response_p99_us, 0),
                  util::TablePrinter::num(r.overall_waf, 3),
                  util::TablePrinter::num(r.small_request_waf, 3),
                  std::to_string(r.gc_invocations), std::to_string(r.erases),
@@ -483,6 +567,9 @@ int main(int argc, char** argv) {
   std::printf("ftl      : %s   queue depth %u\n",
               core::ftl_kind_name(spec.ssd.ftl).c_str(),
               spec.ssd.queue_depth);
+  if (!spec.tenants.empty())
+    std::printf("tenants  : %zu, qos %s\n", spec.tenants.size(),
+                sim::qos_policy_name(spec.qos).c_str());
   std::printf("workload : %s, %llu measured requests (+%llu warmup), "
               "r_small %.2f r_synch %.2f reads %.2f\n\n",
               profile ? workload::benchmark_name(*profile).c_str()
@@ -558,6 +645,12 @@ int main(int argc, char** argv) {
                  " / " +
                  util::TablePrinter::num(result.raw.latency_p999_us, 0) +
                  " us"});
+  t.add_row({"response p50 / p99 / p999",
+             util::TablePrinter::num(result.raw.response_p50_us, 0) + " / " +
+                 util::TablePrinter::num(result.raw.response_p99_us, 0) +
+                 " / " +
+                 util::TablePrinter::num(result.raw.response_p999_us, 0) +
+                 " us"});
   t.add_row({"overall WAF", util::TablePrinter::num(result.overall_waf, 3)});
   t.add_row({"small-write request WAF",
              util::TablePrinter::num(result.small_request_waf, 3)});
@@ -585,5 +678,32 @@ int main(int argc, char** argv) {
     t.add_row({"health lines", std::to_string(result.health_lines)});
   }
   t.print(std::cout);
+
+  if (!result.tenants.empty()) {
+    const double secs = sim_time::to_seconds(result.raw.elapsed_us());
+    const std::uint64_t total_writes = [&] {
+      std::uint64_t sum = 0;
+      for (const auto& tm : result.tenants) sum += tm.host_write_sectors;
+      return sum;
+    }();
+    std::printf("\nper-tenant (%s):\n",
+                sim::qos_policy_name(spec.qos).c_str());
+    util::TablePrinter tt({"tenant", "reqs", "IOPS", "svc p50/p99",
+                           "resp p50/p99/p999", "wr share"});
+    for (const auto& tm : result.tenants) {
+      const double iops =
+          secs > 0.0 ? static_cast<double>(tm.requests) / secs : 0.0;
+      tt.add_row(
+          {tm.name, std::to_string(tm.requests),
+           util::TablePrinter::num(iops, 0),
+           util::TablePrinter::num(tm.service_p50_us, 0) + "/" +
+               util::TablePrinter::num(tm.service_p99_us, 0),
+           util::TablePrinter::num(tm.response_p50_us, 0) + "/" +
+               util::TablePrinter::num(tm.response_p99_us, 0) + "/" +
+               util::TablePrinter::num(tm.response_p999_us, 0),
+           util::TablePrinter::num(tm.write_share(total_writes), 3)});
+    }
+    tt.print(std::cout);
+  }
   return result.verify_failures == 0 ? 0 : 1;
 }
