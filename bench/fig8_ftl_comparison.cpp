@@ -44,6 +44,8 @@ struct Outcome {
   std::uint64_t trace_dropped = 0;
   std::uint64_t journal_events = 0;
   std::uint64_t journal_truncated = 0;
+  double chip_util = 0.0;     ///< mean per-chip busy/elapsed, measured window
+  double channel_util = 0.0;  ///< mean per-channel transfer occupancy
 };
 
 core::ExperimentCell make_cell(workload::Benchmark bench, core::FtlKind kind,
@@ -92,7 +94,8 @@ int main(int argc, char** argv) {
   std::string json_out;
   std::string journal_out;
   bool audit = false;
-  unsigned jobs = 0;  // 0 = hardware concurrency
+  unsigned jobs = 0;    // 0 = hardware concurrency
+  unsigned shards = 1;  // >1 = shared-nothing intra-cell sharding
   bench::GeometryOverrides geo;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,6 +103,8 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--journal-out" && i + 1 < argc) {
       journal_out = argv[++i];
     } else if (arg == "--audit") {
@@ -108,7 +113,7 @@ int main(int argc, char** argv) {
       // consumed a geometry override
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json PATH] [--jobs N] "
+                   "usage: %s [--json PATH] [--jobs N] [--shards N] "
                    "[--journal-out PATH] [--audit]\n          %s\n",
                    argv[0], bench::GeometryOverrides::kUsage);
       return 2;
@@ -128,6 +133,10 @@ int main(int argc, char** argv) {
         cell.spec.journal_path = bench::cell_journal_path(journal_out,
                                                           cell.key);
       cell.spec.audit = audit;
+      // Grid cells are the parallelism unit; a sharded cell runs its
+      // shards serially on its own worker (results identical either way).
+      cell.spec.shards = shards;
+      cell.spec.shard_jobs = 1;
       cells.push_back(std::move(cell));
     }
   }
@@ -157,10 +166,11 @@ int main(int argc, char** argv) {
                        static_cast<unsigned long long>(
                            cell.result.verify_failures),
                        cell.key.c_str());
-        grid[{bench, kind}] =
-            Outcome{cell.result.host_mb_per_sec, cell.result.gc_invocations,
-                    cell.result.erases,         cell.result.trace_dropped,
-                    cell.result.journal_events, cell.result.journal_truncated};
+        grid[{bench, kind}] = Outcome{
+            cell.result.host_mb_per_sec, cell.result.gc_invocations,
+            cell.result.erases,          cell.result.trace_dropped,
+            cell.result.journal_events,  cell.result.journal_truncated,
+            cell.result.chip_util_mean,  cell.result.channel_util_mean};
       }
     }
   }
@@ -230,6 +240,7 @@ int main(int argc, char** argv) {
     w.key("run");
     w.begin_object();
     w.kv("jobs", static_cast<std::uint64_t>(runner.manifest().jobs_used));
+    w.kv("shards", static_cast<std::uint64_t>(shards));
     w.kv("base_seed", kBaseSeed);
     w.kv("wall_seconds", runner.manifest().wall_seconds);
     w.end_object();
@@ -254,6 +265,8 @@ int main(int argc, char** argv) {
         w.kv("trace_dropped", o.trace_dropped);
         w.kv("journal_events", o.journal_events);
         w.kv("journal_truncated", o.journal_truncated);
+        w.kv("chip_util", o.chip_util);
+        w.kv("channel_util", o.channel_util);
         w.end_object();
       }
       w.end_object();

@@ -31,17 +31,21 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/parallel_runner.h"
+#include "core/shard.h"
 #include "sim/driver.h"
 #include "telemetry/health.h"
 #include "telemetry/json.h"
 #include "telemetry/telemetry.h"
 #include "util/table_printer.h"
+#include "workload/splitter.h"
 
 namespace {
 
@@ -53,6 +57,10 @@ struct Mode {
   std::string name;
   bool reference_scan = false;
   bool health = false;
+  /// > 1: run the cell as N shared-nothing shard simulations (core/shard.h)
+  /// with index maintenance; the merged result is deterministic and the
+  /// wall clock is the fork-to-join measure window.
+  unsigned shards = 1;
 };
 
 struct CellOut {
@@ -140,6 +148,7 @@ core::ExperimentCell make_cell(const std::string& geom_name,
   ssd.wl_check_interval = 256;
   ssd.wl_pe_threshold = 8;
   ssd.reference_scan_maintenance = mode.reference_scan;
+  cell.spec.shards = mode.shards;  // shard_jobs patched in by the caller
 
   // Seed per GEOMETRY: every FTL and both maintenance modes of a geometry
   // replay the identical request stream.
@@ -183,6 +192,38 @@ bool same_decisions(const core::RunResult& a, const core::RunResult& b) {
          sa.gc_copy_sectors == sb.gc_copy_sectors &&
          sa.retention_evictions == sb.retention_evictions &&
          sa.wear_level_relocations == sb.wear_level_relocations;
+}
+
+/// Shard-merge reconciliation: the merged top-level counters of a sharded
+/// run must equal the sums over its shard_results -- the join is pure
+/// bookkeeping, never a re-simulation.
+bool merged_equals_sum(const core::RunResult& m) {
+  std::uint64_t requests = 0, erases = 0, gc = 0, rmw = 0, verify = 0;
+  std::uint64_t host_writes = 0, prog_full = 0, prog_sub = 0;
+  for (const core::RunResult& r : m.shard_results) {
+    requests += r.raw.requests;
+    erases += r.erases;
+    gc += r.gc_invocations;
+    rmw += r.rmw_ops;
+    verify += r.verify_failures;
+    host_writes += r.raw.ftl_stats.host_write_sectors;
+    prog_full += r.raw.ftl_stats.flash_prog_full;
+    prog_sub += r.raw.ftl_stats.flash_prog_sub;
+  }
+  return m.raw.requests == requests && m.erases == erases &&
+         m.gc_invocations == gc && m.rmw_ops == rmw &&
+         m.verify_failures == verify &&
+         m.raw.ftl_stats.host_write_sectors == host_writes &&
+         m.raw.ftl_stats.flash_prog_full == prog_full &&
+         m.raw.ftl_stats.flash_prog_sub == prog_sub;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
 }
 
 /// Result of one paired health duel (see run_health_duel).
@@ -339,12 +380,28 @@ int main(int argc, char** argv) {
   // make any fixed simulated-seconds cadence absurdly aggressive: 1 sim-s
   // is ~2500 requests here, vs minutes of real traffic on a device.
   double health_interval_s = 0.0;
+  std::vector<unsigned> shard_counts;  // --shards 4,8: extra sharded modes
+  unsigned shard_jobs = 0;             // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      std::stringstream ss(argv[++i]);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(item.c_str(), nullptr, 10));
+        if (n < 2) {
+          std::fprintf(stderr, "--shards values must be >= 2\n");
+          return 2;
+        }
+        shard_counts.push_back(n);
+      }
+    } else if (arg == "--shard-jobs" && i + 1 < argc) {
+      shard_jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--geometry" && i + 1 < argc) {
       geometry_filter = argv[++i];
       if (geometry_filter != "paper" && geometry_filter != "prod" &&
@@ -364,8 +421,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--jobs N] "
                    "[--geometry paper|prod|both] [--quick]\n"
+                   "          [--shards N[,N...]] [--shard-jobs N]\n"
                    "          [--health-gate PCT] [--health-out PATH] "
                    "[--health-interval SIM_SECONDS]\n"
+                   "--shards adds one sharded mode per listed count (index "
+                   "maintenance,\nN shared-nothing shard simulations merged "
+                   "deterministically; see\ndocs/PERFORMANCE.md) plus FATAL "
+                   "shard-invariance gates: merged counters\nmust equal the "
+                   "sum of shards, and a shard re-run alone must write a\n"
+                   "byte-identical journal. --shard-jobs caps the shard "
+                   "worker pool\n(0 = hardware concurrency). Measure sharded "
+                   "speedup with --jobs 1.\n"
                    "--health-gate adds a third per-FTL mode (index "
                    "maintenance + health\nstream enabled) plus, per "
                    "(geometry, FTL), a paired in-process duel:\nhealth-on "
@@ -399,14 +465,18 @@ int main(int argc, char** argv) {
   const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
                       core::FtlKind::kSub, core::FtlKind::kSectorLog};
   std::vector<Mode> modes = {{"scan", true, false}, {"index", false, false}};
+  for (const unsigned n : shard_counts)
+    modes.push_back({"shard" + std::to_string(n), false, false, n});
   if (with_health) modes.push_back({"health", false, true});
   std::vector<core::ExperimentCell> cells;
   for (const auto& [name, geo] : geometries)
     for (const auto kind : kinds)
-      for (const auto& mode : modes)
+      for (const auto& mode : modes) {
         cells.push_back(make_cell(name, geo, kind, mode, budget_scale,
                                   /*measure_scale=*/1.0, health_out,
                                   health_interval_s));
+        cells.back().spec.shard_jobs = shard_jobs;
+      }
 
   core::ParallelRunnerConfig runner_cfg;
   runner_cfg.jobs = jobs;
@@ -463,9 +533,80 @@ int main(int argc, char** argv) {
                      geom.c_str(), ftl.c_str());
         identical = false;
       }
+      // Sharded cells are a different (reproducible) model point, so they
+      // are not compared against the unsharded decisions; their gate is
+      // the merge reconciliation: merged counters == sum of shards.
+      for (const unsigned n : shard_counts) {
+        const core::RunResult& sharded =
+            per_mode.at("shard" + std::to_string(n)).r;
+        if (sharded.shard_results.size() != n ||
+            !merged_equals_sum(sharded)) {
+          std::fprintf(stderr,
+                       "FATAL: sharded merge != sum of shards for %s/%s "
+                       "(shards %u)\n",
+                       geom.c_str(), ftl.c_str(), n);
+          identical = false;
+        }
+      }
     }
   if (!identical) return 1;
   std::printf("\nscan/index simulated decisions identical for all cells\n");
+  if (!shard_counts.empty())
+    std::printf("sharded merges reconcile (merged == sum of shards) for all "
+                "cells\n");
+
+  // Shard-invariance journal gate: one subFTL sharded cell per (geometry,
+  // shard count), re-run at reduced budget with journal sidecars; shard 0
+  // is then re-run ALONE through the same leaf-spec construction and must
+  // write a byte-identical journal -- a shard's simulation cannot depend
+  // on its siblings or the thread schedule.
+  for (const auto& [geom, geo] : geometries)
+    for (const unsigned n : shard_counts) {
+      const Mode gate_mode{"shard" + std::to_string(n) + "-gate", false,
+                           false, n};
+      auto gate = make_cell(geom, geo, core::FtlKind::kSub, gate_mode,
+                            budget_scale, /*measure_scale=*/0.25, health_out,
+                            health_interval_s);
+      gate.spec.shard_jobs = shard_jobs;
+      gate.spec.journal_path =
+          "replay_shard_gate_" + geom + "_s" + std::to_string(n) + ".jsonl";
+      gate.spec.journal_max_events = 500000;  // per-shard cap, bounds disk
+      const core::RunResult joint = core::run_experiment(gate.spec);
+
+      core::ExperimentSpec alone_base = gate.spec;
+      alone_base.journal_path = "replay_shard_gate_" + geom + "_s" +
+                                std::to_string(n) + "_alone.jsonl";
+      const core::ShardPlan plan = core::make_shard_plan(alone_base);
+      const workload::SyntheticParams params =
+          core::sharded_workload_params(alone_base, plan);
+      workload::SyntheticWorkload generator(params);
+      const workload::ShardSplitter splitter(
+          plan.shards, plan.stripe_pages,
+          alone_base.ssd.geometry.subpages_per_page, plan.shard_sectors);
+      auto streams = workload::partition_stream(generator, splitter, 0,
+                                                alone_base.warmup_requests);
+      core::ExperimentSpec leaf = core::make_shard_spec(alone_base, plan, 0);
+      leaf.warmup_requests = streams[0].warmup_requests;
+      leaf.workload.request_count = streams[0].requests.size();
+      workload::VectorSource source(std::move(streams[0].requests));
+      leaf.stream = &source;
+      const core::RunResult alone = core::run_experiment(leaf);
+
+      const std::string joint_journal =
+          slurp(core::shard_sidecar_path(gate.spec.journal_path, 0));
+      const std::string alone_journal = slurp(leaf.journal_path);
+      if (joint_journal.empty() || joint_journal != alone_journal ||
+          !same_decisions(alone, joint.shard_results.at(0))) {
+        std::fprintf(stderr,
+                     "FATAL: shard 0 alone diverged from shard 0 among "
+                     "siblings for %s (shards %u)\n",
+                     geom.c_str(), n);
+        return 1;
+      }
+    }
+  if (!shard_counts.empty())
+    std::printf("shard-invariance journal gate passed (alone == among "
+                "siblings)\n");
 
   std::map<std::string, double> avg_speedup;
   for (const auto& [geom, geo] : geometries) {
@@ -503,6 +644,49 @@ int main(int argc, char** argv) {
     avg_speedup[geom] = sum / 4.0;
     std::printf("avg host-replay speedup (index vs scan): %.2fx\n",
                 sum / 4.0);
+  }
+
+  // Intra-cell sharding: fork-to-join wall-clock throughput of each
+  // sharded mode vs the unsharded index cell, plus shard balance (mean
+  // per-chip utilization over the merged measured window).
+  std::map<std::string, std::map<unsigned, double>> avg_shard_speedup;
+  if (!shard_counts.empty()) {
+    for (const auto& [geom, geo] : geometries) {
+      std::printf("\n%s geometry -- intra-cell sharding (%s)\n\n",
+                  geom.c_str(), geo.describe().c_str());
+      std::vector<std::string> header = {"FTL", "index ops/s"};
+      for (const unsigned n : shard_counts) {
+        header.push_back("s" + std::to_string(n) + " ops/s");
+        header.push_back("speedup");
+        header.push_back("chip util");
+      }
+      util::TablePrinter t(header);
+      std::map<unsigned, double> sums;
+      for (const auto kind : kinds) {
+        const auto& per_mode = grid[geom][core::ftl_kind_name(kind)];
+        const double index_ops = ops_per_sec(per_mode.at("index"));
+        std::vector<std::string> row = {
+            core::ftl_kind_name(kind), util::TablePrinter::num(index_ops, 0)};
+        for (const unsigned n : shard_counts) {
+          const CellOut& c = per_mode.at("shard" + std::to_string(n));
+          const double ops = ops_per_sec(c);
+          const double speedup = index_ops > 0.0 ? ops / index_ops : 0.0;
+          sums[n] += speedup;
+          row.push_back(util::TablePrinter::num(ops, 0));
+          row.push_back(util::TablePrinter::num(speedup, 2) + "x");
+          row.push_back(
+              util::TablePrinter::pct(c.r.chip_util_mean, 1));
+        }
+        t.add_row(row);
+      }
+      t.print(std::cout);
+      for (const unsigned n : shard_counts) {
+        avg_shard_speedup[geom][n] = sums[n] / 4.0;
+        std::printf("avg sharded speedup (shards %u vs unsharded index): "
+                    "%.2fx\n",
+                    n, sums[n] / 4.0);
+      }
+    }
   }
 
   // Health-observability gate: one paired in-process duel per (geometry,
@@ -589,6 +773,9 @@ int main(int argc, char** argv) {
     w.key("run");
     w.begin_object();
     w.kv("jobs", static_cast<std::uint64_t>(runner.manifest().jobs_used));
+    w.kv("host_cores",
+         static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    w.kv("shard_jobs", static_cast<std::uint64_t>(shard_jobs));
     w.kv("base_seed", kBaseSeed);
     w.kv("quick", quick);
     w.kv("wall_seconds", runner.manifest().wall_seconds);
@@ -660,6 +847,10 @@ int main(int argc, char** argv) {
           w.kv("overall_waf", c.r.overall_waf);
           w.kv("retention_evictions", s.retention_evictions);
           w.kv("wear_level_relocations", s.wear_level_relocations);
+          w.kv("chip_util", c.r.chip_util_mean);
+          w.kv("channel_util", c.r.channel_util_mean);
+          if (mode.shards > 1)
+            w.kv("shards", static_cast<std::uint64_t>(mode.shards));
           if (mode.health) {
             w.kv("health_epochs", c.r.health_epochs);
             w.kv("health_lines", c.r.health_lines);
@@ -669,6 +860,12 @@ int main(int argc, char** argv) {
         const double scan_ops = ops_per_sec(per_mode.at("scan"));
         const double index_ops = ops_per_sec(per_mode.at("index"));
         w.kv("speedup_host_ops", scan_ops > 0.0 ? index_ops / scan_ops : 0.0);
+        for (const unsigned n : shard_counts) {
+          const double ops =
+              ops_per_sec(per_mode.at("shard" + std::to_string(n)));
+          w.kv("speedup_shard" + std::to_string(n),
+               index_ops > 0.0 ? ops / index_ops : 0.0);
+        }
         w.end_object();
       }
       w.end_object();
@@ -704,6 +901,9 @@ int main(int argc, char** argv) {
     for (const auto& [name, geo] : geometries) {
       (void)geo;
       w.kv("avg_speedup_" + name, avg_speedup[name]);
+      for (const unsigned n : shard_counts)
+        w.kv("avg_speedup_shard" + std::to_string(n) + "_" + name,
+             avg_shard_speedup[name][n]);
     }
     if (with_health) {
       for (const auto& [name, geo] : geometries) {

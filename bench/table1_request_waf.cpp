@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
   std::string json_out;
   std::string journal_out;
   bool audit = false;
-  unsigned jobs = 0;  // 0 = hardware concurrency
+  unsigned jobs = 0;    // 0 = hardware concurrency
+  unsigned shards = 1;  // >1 = shared-nothing intra-cell sharding
   bench::GeometryOverrides geo;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +79,8 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--journal-out" && i + 1 < argc) {
       journal_out = argv[++i];
     } else if (arg == "--audit") {
@@ -86,7 +89,7 @@ int main(int argc, char** argv) {
       // consumed a geometry override
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json PATH] [--jobs N] "
+                   "usage: %s [--json PATH] [--jobs N] [--shards N] "
                    "[--journal-out PATH] [--audit]\n          %s\n",
                    argv[0], bench::GeometryOverrides::kUsage);
       return 2;
@@ -103,6 +106,10 @@ int main(int argc, char** argv) {
       cell.spec.journal_path = bench::cell_journal_path(journal_out,
                                                         cell.key);
     cell.spec.audit = audit;
+    // Grid cells are the parallelism unit; a sharded cell runs its shards
+    // serially on its own worker (results identical either way).
+    cell.spec.shards = shards;
+    cell.spec.shard_jobs = 1;
     cells.push_back(std::move(cell));
   }
 
@@ -169,6 +176,7 @@ int main(int argc, char** argv) {
     w.key("run");
     w.begin_object();
     w.kv("jobs", static_cast<std::uint64_t>(runner.manifest().jobs_used));
+    w.kv("shards", static_cast<std::uint64_t>(shards));
     w.kv("base_seed", kBaseSeed);
     w.kv("wall_seconds", runner.manifest().wall_seconds);
     w.end_object();

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/shard.h"
 #include "telemetry/auditor.h"
 #include "telemetry/health.h"
 #include "telemetry/journal.h"
@@ -28,6 +29,14 @@ double thread_cpu_seconds() {
 }
 
 RunResult run_experiment(const ExperimentSpec& spec) {
+  // Sharded cells take the orchestrated path: N shared-nothing leaf runs
+  // (each back through this function with shards == 1) merged in
+  // shard-index order. See core/shard.h.
+  if (spec.shards > 1) return run_sharded_experiment(spec);
+  if (spec.stream != nullptr && !spec.tenants.empty())
+    throw std::invalid_argument(
+        "run_experiment: stream override is single-tenant only");
+
   // Declared before the Ssd: the Ssd destructor materializes the telemetry
   // registry, so every sink it may reach must still be alive then.
   std::optional<telemetry::Telemetry> owned_tel;
@@ -71,6 +80,8 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     hdr.subpages_per_page = geo.subpages_per_page;
     hdr.page_bytes = geo.page_bytes;
     hdr.seed = spec.workload.seed;
+    hdr.shard = spec.shard_index;
+    hdr.shards = spec.shard_count;
     journal.emplace(*journal_os, hdr, spec.journal_max_events);
     tel->set_journal(&*journal);
   }
@@ -98,6 +109,8 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     hdr.seed = spec.workload.seed;
     hdr.interval_us = spec.health_interval_us;
     hdr.rated_pe = spec.health_rated_pe;
+    hdr.shard = spec.shard_index;
+    hdr.shards = spec.shard_count;
     health.emplace(*health_os, hdr);
     tel->set_health(&*health);
   }
@@ -109,20 +122,26 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   // workload footprint to the preconditioned LBA range -- the paper's
   // benchmarks run over the files laid down during preconditioning.
   std::optional<workload::SyntheticWorkload> stream;
+  // Stream override (shard slices, recorded traces) replaces the
+  // generator; the synthetic params then only stamp headers.
+  workload::RequestSource* source = spec.stream;
   // Multi-tenant: each tenant's stream over its namespace slice, muxed by
   // the QoS scheduler.
   std::vector<workload::SyntheticWorkload> tenant_streams;
   std::optional<sim::TenantMux> mux;
   if (spec.tenants.empty()) {
-    workload::SyntheticParams params = spec.workload;
-    if (params.footprint_sectors == 0) {
-      params.footprint_sectors =
-          static_cast<std::uint64_t>(
-              spec.precondition_fraction *
-              static_cast<double>(ssd.logical_sectors())) /
-          subs * subs;
+    if (source == nullptr) {
+      workload::SyntheticParams params = spec.workload;
+      if (params.footprint_sectors == 0) {
+        params.footprint_sectors =
+            static_cast<std::uint64_t>(
+                spec.precondition_fraction *
+                static_cast<double>(ssd.logical_sectors())) /
+            subs * subs;
+      }
+      stream.emplace(params);
+      source = &*stream;
     }
-    stream.emplace(params);
   } else {
     const std::vector<sim::TenantNamespace> slices = sim::partition_namespaces(
         ssd.logical_sectors(), spec.tenants.size(), subs);
@@ -158,7 +177,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     if (mux)
       mux->run(/*verify=*/false, spec.warmup_requests);
     else
-      ssd.driver().run(*stream, /*verify=*/false, spec.warmup_requests);
+      ssd.driver().run(*source, /*verify=*/false, spec.warmup_requests);
   }
   // End-of-warmup health epoch lands before the wall clock starts.
   ssd.driver().close_health_epoch();
@@ -166,6 +185,12 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   // Measure only the steady-state window: diff against a post-warmup
   // snapshot so preconditioning/warmup traffic is excluded.
   const ftl::FtlStats before = ssd.ftl().stats();
+  std::vector<SimTime> chip_busy_before(geo.total_chips());
+  for (std::uint32_t c = 0; c < geo.total_chips(); ++c)
+    chip_busy_before[c] = ssd.device().chip_busy_us(c);
+  std::vector<SimTime> channel_busy_before(geo.channels);
+  for (std::uint32_t c = 0; c < geo.channels; ++c)
+    channel_busy_before[c] = ssd.device().channel_busy_us(c);
 
   sim::MuxRunMetrics mux_metrics;
   sim::RunMetrics metrics;
@@ -202,13 +227,12 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     metrics.device_erases = ssd.device().counters().erases;
     metrics.erases_during_run = metrics.device_erases - erases_before;
   } else {
-    metrics = ssd.driver().run(*stream, spec.verify);
+    metrics = ssd.driver().run(*source, spec.verify);
   }
   const double cpu_seconds = thread_cpu_seconds() - cpu_start;
+  const auto wall_end = std::chrono::steady_clock::now();
   const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+      std::chrono::duration<double>(wall_end - wall_start).count();
   // The end-of-run snapshot is teardown I/O (one O(blocks) dump), not
   // steady-state work -- cut it after the wall clock stops, like the
   // journal/health trailers below.
@@ -234,7 +258,41 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   result.verify_failures = metrics.verify_failures;
   result.measure_wall_seconds = wall_seconds;
   result.measure_cpu_seconds = cpu_seconds;
+  result.measure_wall_start_s =
+      std::chrono::duration<double>(wall_start.time_since_epoch()).count();
+  result.measure_wall_end_s =
+      std::chrono::duration<double>(wall_end.time_since_epoch()).count();
   result.mapping_bytes = ssd.ftl().mapping_memory_bytes();
+
+  // Device utilization over the measured window: busy-time delta divided
+  // by the window's simulated duration.
+  const SimTime elapsed_us = metrics.elapsed_us();
+  const auto util_stats = [elapsed_us](const std::vector<SimTime>& before_v,
+                                       const auto& busy_of, double& lo,
+                                       double& mean, double& hi) {
+    if (elapsed_us <= 0.0 || before_v.empty()) return;
+    double sum = 0.0;
+    lo = 0.0;
+    hi = 0.0;
+    for (std::uint32_t c = 0; c < before_v.size(); ++c) {
+      const double u = (busy_of(c) - before_v[c]) / elapsed_us;
+      sum += u;
+      if (c == 0 || u < lo) lo = u;
+      if (c == 0 || u > hi) hi = u;
+    }
+    mean = sum / static_cast<double>(before_v.size());
+  };
+  result.chips = geo.total_chips();
+  result.channels = geo.channels;
+  util_stats(
+      chip_busy_before,
+      [&ssd](std::uint32_t c) { return ssd.device().chip_busy_us(c); },
+      result.chip_util_min, result.chip_util_mean, result.chip_util_max);
+  util_stats(
+      channel_busy_before,
+      [&ssd](std::uint32_t c) { return ssd.device().channel_busy_us(c); },
+      result.channel_util_min, result.channel_util_mean,
+      result.channel_util_max);
   if (tel) result.trace_dropped = tel->trace().dropped();
   if (journal) {
     journal->finish();

@@ -47,10 +47,34 @@ struct RunResult {
   /// Health-stream epochs / total lines written (0 when no health stream).
   std::uint64_t health_epochs = 0;
   std::uint64_t health_lines = 0;
+  /// Device busy-time utilization over the measured window: per-chip
+  /// (array + transfer occupancy) and per-channel (transfer occupancy)
+  /// busy time divided by elapsed simulated time. Shows shard balance and
+  /// device idle headroom without a journal pass. Sharded runs aggregate
+  /// across every shard's chips/channels in shard-index order.
+  std::uint32_t chips = 0;
+  std::uint32_t channels = 0;
+  double chip_util_min = 0.0;
+  double chip_util_mean = 0.0;
+  double chip_util_max = 0.0;
+  double channel_util_min = 0.0;
+  double channel_util_mean = 0.0;
+  double channel_util_max = 0.0;
+  /// Host-side steady-clock stamps (seconds since the clock's epoch) of
+  /// the measured window; the shard orchestrator derives the merged
+  /// fork-to-join measure wall from them. Non-deterministic -- never
+  /// compared by determinism checks.
+  double measure_wall_start_s = 0.0;
+  double measure_wall_end_s = 0.0;
   sim::RunMetrics raw;
   /// Per-tenant metrics for the measured window (empty on single-tenant
   /// runs). Order matches ExperimentSpec::tenants.
   std::vector<sim::TenantMetrics> tenants;
+  /// Per-shard standalone results of a sharded run, in shard-index order
+  /// (empty when shards == 1). The merged top-level counters equal the
+  /// sums over this vector -- the shard-invariance reconciliation tests
+  /// pin that.
+  std::vector<RunResult> shard_results;
 };
 
 /// One tenant of a multi-tenant experiment: its own workload stream over
@@ -108,6 +132,33 @@ struct ExperimentSpec {
   /// Rated P/E endurance for the health stream's media-wear % and
   /// exhaustion-horizon attributes.
   std::uint32_t health_rated_pe = 3000;
+
+  // --- Intra-cell sharding (core/shard.h; docs/PERFORMANCE.md) ----------
+  /// Shards > 1 partitions this cell into `shards` shared-nothing
+  /// sub-simulations -- each owns a channel group of the device and a
+  /// page-striped slice of the LBA space -- run in parallel and merged
+  /// deterministically. Requires single-tenant mode and a channel count
+  /// divisible by `shards`. 1 = the unsharded path, bit-identical to
+  /// before this knob existed.
+  unsigned shards = 1;
+  /// Worker threads for the shard tasks (0 = hardware concurrency; the
+  /// pool never spawns more workers than shards). Any value yields
+  /// bit-identical merged results.
+  unsigned shard_jobs = 0;
+  /// LBA-routing stripe unit in full pages. Part of the sharded run's
+  /// identity: changing it changes which shard serves which LBA.
+  std::uint32_t shard_stripe_pages = 64;
+  /// Stream override: when set, replaces the synthetic generator (single-
+  /// tenant only; `workload` then only contributes its seed to headers).
+  /// warmup_requests counts against this stream. The shard orchestrator
+  /// feeds each shard its pre-split slice through this; public so tests
+  /// can re-run one shard standalone and byte-compare its journal.
+  workload::RequestSource* stream = nullptr;
+  /// Shard identity stamped into journal/health headers ((0, 1) =
+  /// unsharded, headers keep their legacy bytes). Set by the shard
+  /// orchestrator on each leaf shard spec.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
 
 /// Builds the SSD, preconditions it, runs the workload, returns metrics.

@@ -1,0 +1,295 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/parallel_runner.h"
+#include "telemetry/telemetry.h"
+#include "workload/splitter.h"
+
+namespace esp::core {
+namespace {
+
+/// Appends every shard's sidecar stream to `dest` in shard-index order.
+/// The sidecars stay on disk: the invariance gates byte-compare them
+/// against standalone re-runs.
+void concat_sidecars(const std::string& dest,
+                     const std::vector<std::string>& sidecars) {
+  std::ofstream os(dest, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!os)
+    throw std::runtime_error("run_sharded_experiment: cannot open " + dest);
+  for (const std::string& path : sidecars) {
+    std::ifstream is(path, std::ios::in | std::ios::binary);
+    if (!is)
+      throw std::runtime_error("run_sharded_experiment: cannot read " + path);
+    os << is.rdbuf();
+  }
+}
+
+}  // namespace
+
+ShardPlan make_shard_plan(const ExperimentSpec& spec) {
+  if (spec.shards < 2)
+    throw std::invalid_argument("make_shard_plan: shards must be >= 2");
+  if (!spec.tenants.empty())
+    throw std::invalid_argument(
+        "make_shard_plan: sharding is single-tenant only");
+  if (spec.stream != nullptr)
+    throw std::invalid_argument(
+        "make_shard_plan: sharding generates its own split streams; "
+        "stream override is for leaf shard specs");
+  if (spec.ssd.geometry.channels % spec.shards != 0)
+    throw std::invalid_argument(
+        "make_shard_plan: shards must divide the channel count (each "
+        "shard owns a whole channel group)");
+
+  ShardPlan plan;
+  plan.shards = spec.shards;
+  plan.stripe_pages = spec.shard_stripe_pages;
+  const std::uint32_t subs = spec.ssd.geometry.subpages_per_page;
+  const std::uint64_t shard_capacity =
+      shard_ssd_config(spec.ssd, spec.shards).logical_sectors();
+  const workload::ShardSplitter splitter(plan.shards, plan.stripe_pages, subs,
+                                         shard_capacity);
+  plan.stripe_sectors = splitter.stripe_sectors();
+  plan.shard_sectors = splitter.shard_sectors();
+  plan.usable_sectors = splitter.usable_sectors();
+  return plan;
+}
+
+SsdConfig shard_ssd_config(const SsdConfig& full, std::uint32_t shards) {
+  if (shards == 0 || full.geometry.channels % shards != 0)
+    throw std::invalid_argument(
+        "shard_ssd_config: shards must divide the channel count");
+  SsdConfig cfg = full;
+  cfg.geometry.channels /= shards;
+  // Aggregate-preserving split of the host/FTL resources. Floors keep
+  // degenerate divisions functional (a 1-deep window, a one-page buffer,
+  // a 2-block GC reserve).
+  cfg.queue_depth = std::max(1u, full.queue_depth / shards);
+  cfg.buffer_sectors =
+      std::max<std::size_t>(full.geometry.subpages_per_page,
+                            full.buffer_sectors / shards);
+  cfg.gc_reserve_blocks =
+      std::max<std::size_t>(2, full.gc_reserve_blocks / shards);
+  // The wear-leveling check counts HOST WRITES, and a shard sees ~1/N of
+  // them: divide the interval so cadence relative to global traffic
+  // holds. Sim-time cadences (retention scans) stay untouched -- the
+  // splitter's think-time conservation keeps shard clocks on the global
+  // arrival timeline.
+  if (full.wl_check_interval > 0)
+    cfg.wl_check_interval = std::max(1u, full.wl_check_interval / shards);
+  return cfg;
+}
+
+std::uint64_t shard_seed(const ExperimentSpec& spec, std::uint32_t index) {
+  return stable_cell_seed("shard/" + std::to_string(index),
+                          spec.workload.seed);
+}
+
+std::string shard_sidecar_path(const std::string& path, std::uint32_t index) {
+  const std::string tag = ".shard" + std::to_string(index);
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+workload::SyntheticParams sharded_workload_params(const ExperimentSpec& spec,
+                                                  const ShardPlan& plan) {
+  workload::SyntheticParams params = spec.workload;
+  const std::uint32_t subs = spec.ssd.geometry.subpages_per_page;
+  if (params.footprint_sectors == 0) {
+    params.footprint_sectors =
+        static_cast<std::uint64_t>(
+            spec.precondition_fraction *
+            static_cast<double>(plan.usable_sectors)) /
+        subs * subs;
+  }
+  // Every global LBA must land inside its shard's addressed slice.
+  params.footprint_sectors =
+      std::min(params.footprint_sectors, plan.usable_sectors);
+  return params;
+}
+
+ExperimentSpec make_shard_spec(const ExperimentSpec& spec,
+                               const ShardPlan& plan, std::uint32_t index) {
+  ExperimentSpec leaf = spec;
+  leaf.shards = 1;
+  leaf.shard_jobs = 0;
+  leaf.stream = nullptr;     // the caller attaches the shard's slice
+  leaf.telemetry = nullptr;  // ditto (per-shard facades, merged at join)
+  leaf.ssd = shard_ssd_config(spec.ssd, plan.shards);
+  leaf.workload.seed = shard_seed(spec, index);
+  leaf.workload.footprint_sectors = plan.shard_sectors;
+  leaf.shard_index = index;
+  leaf.shard_count = plan.shards;
+  if (!spec.journal_path.empty())
+    leaf.journal_path = shard_sidecar_path(spec.journal_path, index);
+  if (!spec.health_path.empty())
+    leaf.health_path = shard_sidecar_path(spec.health_path, index);
+  return leaf;
+}
+
+RunResult run_sharded_experiment(const ExperimentSpec& spec) {
+  const ShardPlan plan = make_shard_plan(spec);
+  const std::uint32_t n = plan.shards;
+  const auto& geo = spec.ssd.geometry;
+
+  // One serial pass generates the global stream and deals it across
+  // shards -- routing depends only on the splitter's mapping, never on
+  // the schedule the shards will later run under.
+  const workload::SyntheticParams params = sharded_workload_params(spec, plan);
+  workload::SyntheticWorkload generator(params);
+  const workload::ShardSplitter splitter(n, plan.stripe_pages,
+                                         geo.subpages_per_page,
+                                         plan.shard_sectors);
+  std::vector<workload::ShardStream> streams = workload::partition_stream(
+      generator, splitter, /*max_requests=*/0, spec.warmup_requests);
+
+  std::vector<ExperimentSpec> leaves;
+  std::vector<workload::VectorSource> sources;
+  std::vector<std::unique_ptr<telemetry::Telemetry>> shard_tels(n);
+  leaves.reserve(n);
+  sources.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaves.push_back(make_shard_spec(spec, plan, i));
+    leaves.back().warmup_requests = streams[i].warmup_requests;
+    leaves.back().workload.request_count = streams[i].requests.size();
+    sources.emplace_back(std::move(streams[i].requests));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaves[i].stream = &sources[i];
+    if (spec.telemetry != nullptr) {
+      // Per-shard facades, reconciled into the caller's registry at join.
+      // The small trace ring bounds memory; op-detail histograms stay on
+      // so per-op metric sets merge like the parallel runner's cells do.
+      telemetry::TelemetryConfig cfg;
+      cfg.trace_capacity = 256;
+      shard_tels[i] = std::make_unique<telemetry::Telemetry>(cfg);
+      leaves[i].telemetry = shard_tels[i].get();
+    }
+  }
+
+  // Fan out on the work-stealing pool. Each task writes only its own
+  // pre-allocated slot; the first exception (if any) rethrows after all
+  // workers drain.
+  std::vector<RunResult> shard_results(n);
+  run_tasks(spec.shard_jobs, n,
+            [&](std::size_t i) { shard_results[i] = run_experiment(leaves[i]); });
+
+  // ---- join: everything merges in shard-index order ---------------------
+  if (spec.telemetry != nullptr)
+    for (std::uint32_t i = 0; i < n; ++i) {
+      shard_tels[i]->registry().materialize();
+      spec.telemetry->registry().merge_from(shard_tels[i]->registry());
+    }
+  if (!spec.journal_path.empty()) {
+    std::vector<std::string> sidecars;
+    for (const ExperimentSpec& leaf : leaves)
+      sidecars.push_back(leaf.journal_path);
+    concat_sidecars(spec.journal_path, sidecars);
+  }
+  if (!spec.health_path.empty()) {
+    std::vector<std::string> sidecars;
+    for (const ExperimentSpec& leaf : leaves)
+      sidecars.push_back(leaf.health_path);
+    concat_sidecars(spec.health_path, sidecars);
+  }
+
+  RunResult merged;
+  merged.ftl_name = shard_results.front().ftl_name;
+  sim::RunMetrics& m = merged.raw;
+  ftl::FtlStats stats;
+  SimTime min_start_us = std::numeric_limits<double>::infinity();
+  SimTime max_elapsed_us = 0.0;
+  double min_wall_start = std::numeric_limits<double>::infinity();
+  double max_wall_end = 0.0;
+  double chip_mean_weighted = 0.0;
+  double channel_mean_weighted = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const RunResult& r = shard_results[i];
+    m.requests += r.raw.requests;
+    m.write_requests += r.raw.write_requests;
+    m.read_requests += r.raw.read_requests;
+    m.verify_failures += r.raw.verify_failures;
+    m.io_errors += r.raw.io_errors;
+    m.latency_hist.merge(r.raw.latency_hist);
+    m.response_hist.merge(r.raw.response_hist);
+    m.device_erases += r.raw.device_erases;
+    m.erases_during_run += r.raw.erases_during_run;
+    stats = ftl::stats_sum(stats, r.raw.ftl_stats);
+    min_start_us = std::min(min_start_us, r.raw.start_us);
+    max_elapsed_us = std::max(max_elapsed_us, r.raw.elapsed_us());
+    merged.gc_invocations += r.gc_invocations;
+    merged.erases += r.erases;
+    merged.rmw_ops += r.rmw_ops;
+    merged.verify_failures += r.verify_failures;
+    merged.mapping_bytes += r.mapping_bytes;
+    merged.trace_dropped += r.trace_dropped;
+    merged.journal_events += r.journal_events;
+    merged.journal_truncated += r.journal_truncated;
+    merged.health_epochs += r.health_epochs;
+    merged.health_lines += r.health_lines;
+    merged.measure_cpu_seconds += r.measure_cpu_seconds;
+    min_wall_start = std::min(min_wall_start, r.measure_wall_start_s);
+    max_wall_end = std::max(max_wall_end, r.measure_wall_end_s);
+    chip_mean_weighted += r.chip_util_mean * r.chips;
+    channel_mean_weighted += r.channel_util_mean * r.channels;
+    merged.chip_util_min =
+        i == 0 ? r.chip_util_min
+               : std::min(merged.chip_util_min, r.chip_util_min);
+    merged.chip_util_max = std::max(merged.chip_util_max, r.chip_util_max);
+    merged.channel_util_min =
+        i == 0 ? r.channel_util_min
+               : std::min(merged.channel_util_min, r.channel_util_min);
+    merged.channel_util_max =
+        std::max(merged.channel_util_max, r.channel_util_max);
+    merged.chips += r.chips;
+    merged.channels += r.channels;
+  }
+  m.ftl_stats = stats;
+  // The merged window models N channel groups running concurrently: it
+  // spans the slowest shard's measured window.
+  m.start_us = min_start_us;
+  m.end_us = min_start_us + max_elapsed_us;
+  m.latency_p50_us = m.latency_hist.percentile(0.50);
+  m.latency_p99_us = m.latency_hist.percentile(0.99);
+  m.latency_p999_us = m.latency_hist.percentile(0.999);
+  m.response_p50_us = m.response_hist.percentile(0.50);
+  m.response_p99_us = m.response_hist.percentile(0.99);
+  m.response_p999_us = m.response_hist.percentile(0.999);
+
+  merged.iops = m.iops();
+  const double secs = sim_time::to_seconds(max_elapsed_us);
+  const double host_bytes = static_cast<double>(
+      (stats.host_write_sectors + stats.host_read_sectors) *
+      geo.subpage_bytes());
+  merged.host_mb_per_sec =
+      secs > 0.0 ? host_bytes / (1024.0 * 1024.0) / secs : 0.0;
+  // Merged WAFs recompute from the SUMMED window counters, so they are by
+  // construction the sum-of-shards reconciliation the invariance tests pin.
+  merged.overall_waf = stats.overall_waf(geo.page_bytes, geo.subpage_bytes());
+  merged.small_request_waf = stats.avg_small_request_waf();
+  // Fork-to-join wall of the measured phase: first shard entering its
+  // window to last shard leaving its own. With workers >= shards this is
+  // the parallel measure wall; serialized it degrades honestly toward the
+  // sum (plus any sibling setup interleaved between windows).
+  merged.measure_wall_seconds = max_wall_end - min_wall_start;
+  merged.measure_wall_start_s = min_wall_start;
+  merged.measure_wall_end_s = max_wall_end;
+  if (merged.chips > 0) chip_mean_weighted /= merged.chips;
+  if (merged.channels > 0) channel_mean_weighted /= merged.channels;
+  merged.chip_util_mean = chip_mean_weighted;
+  merged.channel_util_mean = channel_mean_weighted;
+  merged.shard_results = std::move(shard_results);
+  return merged;
+}
+
+}  // namespace esp::core

@@ -47,6 +47,44 @@ FtlStats stats_delta(const FtlStats& after, const FtlStats& before) {
   return d;
 }
 
+FtlStats stats_sum(const FtlStats& a, const FtlStats& b) {
+  FtlStats s;
+  s.host_write_requests = a.host_write_requests + b.host_write_requests;
+  s.host_read_requests = a.host_read_requests + b.host_read_requests;
+  s.host_write_sectors = a.host_write_sectors + b.host_write_sectors;
+  s.host_read_sectors = a.host_read_sectors + b.host_read_sectors;
+  s.flash_prog_full = a.flash_prog_full + b.flash_prog_full;
+  s.flash_prog_sub = a.flash_prog_sub + b.flash_prog_sub;
+  s.flash_reads = a.flash_reads + b.flash_reads;
+  s.flash_erases = a.flash_erases + b.flash_erases;
+  s.rmw_ops = a.rmw_ops + b.rmw_ops;
+  s.gc_invocations = a.gc_invocations + b.gc_invocations;
+  s.gc_copy_sectors = a.gc_copy_sectors + b.gc_copy_sectors;
+  s.forward_migrations = a.forward_migrations + b.forward_migrations;
+  s.cold_evictions = a.cold_evictions + b.cold_evictions;
+  s.retention_evictions = a.retention_evictions + b.retention_evictions;
+  s.wear_level_relocations =
+      a.wear_level_relocations + b.wear_level_relocations;
+  s.buffer_hits = a.buffer_hits + b.buffer_hits;
+  s.read_failures = a.read_failures + b.read_failures;
+  s.small_write_requests = a.small_write_requests + b.small_write_requests;
+  s.small_write_bytes = a.small_write_bytes + b.small_write_bytes;
+  s.small_service_flash_bytes =
+      a.small_service_flash_bytes + b.small_service_flash_bytes;
+  s.small_extra_flash_bytes =
+      a.small_extra_flash_bytes + b.small_extra_flash_bytes;
+  s.maint_retention_calls = a.maint_retention_calls + b.maint_retention_calls;
+  s.maint_retention_ns = a.maint_retention_ns + b.maint_retention_ns;
+  s.maint_wear_level_calls =
+      a.maint_wear_level_calls + b.maint_wear_level_calls;
+  s.maint_wear_level_ns = a.maint_wear_level_ns + b.maint_wear_level_ns;
+  s.maint_release_idle_calls =
+      a.maint_release_idle_calls + b.maint_release_idle_calls;
+  s.maint_release_idle_ns = a.maint_release_idle_ns + b.maint_release_idle_ns;
+  s.maint_gc_ns = a.maint_gc_ns + b.maint_gc_ns;
+  return s;
+}
+
 MaintenanceTimer::MaintenanceTimer(FtlStats& stats, std::uint64_t* calls,
                                    std::uint64_t* ns)
     : stats_(stats), ns_(ns), outer_(stats.maint_timer_depth == 0) {

@@ -126,6 +126,11 @@ struct FtlStats {
 /// FTL than `before`.
 FtlStats stats_delta(const FtlStats& after, const FtlStats& before);
 
+/// Counter-wise sum: aggregate stats of independent FTL instances (the
+/// shard-merge reconciliation -- merged counters are BY CONSTRUCTION the
+/// sum of the shards). Field-for-field dual of stats_delta.
+FtlStats stats_sum(const FtlStats& a, const FtlStats& b);
+
 /// RAII wall-clock timer for a maintenance entry point. The outermost
 /// timer on a stats struct accumulates elapsed steady-clock nanoseconds
 /// into *ns and bumps *calls (either may be nullptr); nested timers are

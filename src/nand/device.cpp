@@ -14,7 +14,8 @@ NandDevice::NandDevice(const Geometry& geo, const TimingSpec& timing,
       retention_(retention),
       channel_busy_until_(geo.channels, 0.0),
       chip_busy_until_(geo.total_chips(), 0.0),
-      chip_busy_accum_(geo.total_chips(), 0.0) {
+      chip_busy_accum_(geo.total_chips(), 0.0),
+      channel_busy_accum_(geo.channels, 0.0) {
   geo_.validate();
   blocks_.reserve(static_cast<std::size_t>(geo_.total_chips()) *
                   geo_.blocks_per_chip);
@@ -55,6 +56,7 @@ SimTime NandDevice::schedule(std::uint32_t chip, SimTime array_us,
   }
   chip_busy_until_[chip] = done;
   chip_busy_accum_[chip] += done - start;
+  channel_busy_accum_[ch] += xfer;
   return done;
 }
 

@@ -134,6 +134,13 @@ class NandDevice {
     return chip_busy_accum_.at(chip);
   }
 
+  /// Accumulated transfer occupancy of one channel (the data-movement
+  /// window only; array time the channel merely reserves is not counted).
+  /// Divide by elapsed simulated time for channel utilization.
+  SimTime channel_busy_us(std::uint32_t channel) const {
+    return channel_busy_accum_.at(channel);
+  }
+
   /// Attaches a telemetry sink (nullptr detaches). Binds the device
   /// counters under "nand/" and records one op event per flash command.
   void set_telemetry(telemetry::Sink* sink);
@@ -160,6 +167,7 @@ class NandDevice {
   std::vector<SimTime> channel_busy_until_;
   std::vector<SimTime> chip_busy_until_;
   std::vector<SimTime> chip_busy_accum_;
+  std::vector<SimTime> channel_busy_accum_;
   DeviceCounters counters_;
   std::uint32_t max_pe_cycles_ = 0;
   double fault_prob_ = 0.0;

@@ -29,7 +29,18 @@ Driver::Driver(ftl::Ftl& ftl, nand::NandDevice& dev,
       dev_(dev),
       queue_depth_(queue_depth == 0 ? 1 : queue_depth),
       shadow_version_(ftl.logical_sectors(), 0),
-      shadow_trimmed_(ftl.logical_sectors(), false) {}
+      shadow_trimmed_(ftl.logical_sectors(), false) {
+  // Pre-size the hot-path scratch so steady-state submission never
+  // reallocates: the in-flight window tops out at queue_depth slots, and
+  // the read-token buffer at the largest multi-page read a workload
+  // issues (16 pages is beyond every generator/trace in the tree).
+  std::vector<SimTime> slots;
+  slots.reserve(queue_depth_);
+  inflight_ = std::priority_queue<SimTime, std::vector<SimTime>,
+                                  std::greater<>>(std::greater<>{},
+                                                  std::move(slots));
+  read_tokens_.reserve(16ull * dev.geometry().subpages_per_page);
+}
 
 SimTime Driver::next_issue_slot(SimTime earliest) {
   if (inflight_.size() < queue_depth_) return earliest;

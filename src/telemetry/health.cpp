@@ -42,17 +42,21 @@ HealthMonitor::HealthMonitor(std::ostream& os, const HealthHeader& header)
       pe_scratch_(total_blocks_, 0) {
   char interval_s[32];
   fmt_time(interval_s, sizeof interval_s, header_.interval_us);
+  char shard_tag[64] = "";
+  if (header_.shards > 1)
+    std::snprintf(shard_tag, sizeof shard_tag, ",\"shard\":%u,\"shards\":%u",
+                  header_.shard, header_.shards);
   char buf[kLineCap];
   std::snprintf(buf, sizeof buf,
                 "{\"v\":%d,\"t\":\"hdr\",\"kind\":\"health\",\"ftl\":\"%s\","
                 "\"chips\":%u,\"blocks_per_chip\":%u,\"pages_per_block\":%u,"
                 "\"subs\":%u,\"seed\":%llu,\"interval_us\":%s,"
-                "\"rated_pe\":%u}",
+                "\"rated_pe\":%u%s}",
                 kSchemaVersion, header_.ftl.c_str(), header_.chips,
                 header_.blocks_per_chip, header_.pages_per_block,
                 header_.subpages_per_page,
                 static_cast<unsigned long long>(header_.seed), interval_s,
-                header_.rated_pe);
+                header_.rated_pe, shard_tag);
   write_line(buf);
 }
 

@@ -89,6 +89,11 @@ struct HealthHeader {
   SimTime interval_us = 0.0;
   /// Rated P/E endurance used for media-wear % and the exhaustion horizon.
   std::uint32_t rated_pe = 3000;
+  /// Shard identity of a sharded run's per-shard stream (core/shard.h):
+  /// emitted in the hdr line only when shards > 1, so unsharded health
+  /// streams keep their legacy bytes.
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 1;
 };
 
 class HealthMonitor {

@@ -23,16 +23,20 @@ Journal::Journal(std::ostream& os, const JournalHeader& header,
       max_events_(max_events),
       last_pool_(static_cast<std::size_t>(header.chips) *
                  header.blocks_per_chip) {
+  char shard_tag[64] = "";
+  if (header.shards > 1)
+    std::snprintf(shard_tag, sizeof shard_tag, ",\"shard\":%u,\"shards\":%u",
+                  header.shard, header.shards);
   char buf[kLineCap];
   std::snprintf(buf, sizeof buf,
                 "{\"v\":%d,\"t\":\"hdr\",\"ftl\":\"%s\",\"chips\":%u,"
                 "\"blocks_per_chip\":%u,\"pages_per_block\":%u,\"subs\":%u,"
-                "\"page_bytes\":%llu,\"seed\":%llu}",
+                "\"page_bytes\":%llu,\"seed\":%llu%s}",
                 kSchemaVersion, header.ftl.c_str(), header.chips,
                 header.blocks_per_chip, header.pages_per_block,
                 header.subpages_per_page,
                 static_cast<unsigned long long>(header.page_bytes),
-                static_cast<unsigned long long>(header.seed));
+                static_cast<unsigned long long>(header.seed), shard_tag);
   write_line(buf);
 }
 

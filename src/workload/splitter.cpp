@@ -1,0 +1,87 @@
+#include "workload/splitter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp::workload {
+
+ShardSplitter::ShardSplitter(std::uint32_t shards, std::uint32_t stripe_pages,
+                             std::uint32_t sectors_per_page,
+                             std::uint64_t shard_capacity_sectors)
+    : shards_(shards),
+      stripe_pages_(stripe_pages),
+      stripe_sectors_(static_cast<std::uint64_t>(stripe_pages) *
+                      sectors_per_page) {
+  if (shards == 0) throw std::invalid_argument("ShardSplitter: shards == 0");
+  if (stripe_pages == 0 || sectors_per_page == 0)
+    throw std::invalid_argument("ShardSplitter: zero stripe/page size");
+  const std::uint64_t stripes_per_shard =
+      shard_capacity_sectors / stripe_sectors_;
+  if (stripes_per_shard == 0)
+    throw std::invalid_argument(
+        "ShardSplitter: stripe larger than a shard's logical space "
+        "(lower shard_stripe_pages or the shard count)");
+  shard_sectors_ = stripes_per_shard * stripe_sectors_;
+  usable_sectors_ = shard_sectors_ * shards_;
+}
+
+void ShardSplitter::split(const Request& request,
+                          std::vector<Sub>& out) const {
+  out.clear();
+  if (request.type == Request::Type::kFlush) {
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      Sub sub;
+      sub.shard = i;
+      sub.request = request;
+      if (i != 0) sub.request.think_us = 0.0;
+      out.push_back(sub);
+    }
+    return;
+  }
+  std::uint64_t sector = request.sector;
+  std::uint64_t remaining = request.count;
+  bool first = true;
+  while (remaining > 0) {
+    const std::uint64_t stripe_end =
+        (sector / stripe_sectors_ + 1) * stripe_sectors_;
+    const std::uint64_t take = std::min(remaining, stripe_end - sector);
+    Sub sub;
+    sub.shard = shard_of(sector);
+    sub.request = request;
+    sub.request.sector = to_local(sector);
+    sub.request.count = static_cast<std::uint32_t>(take);
+    if (!first) sub.request.think_us = 0.0;
+    out.push_back(sub);
+    sector += take;
+    remaining -= take;
+    first = false;
+  }
+}
+
+std::vector<ShardStream> partition_stream(RequestSource& source,
+                                          const ShardSplitter& splitter,
+                                          std::uint64_t max_requests,
+                                          std::uint64_t warmup_requests) {
+  const std::uint32_t n = splitter.shards();
+  std::vector<ShardStream> streams(n);
+  std::vector<SimTime> pending_think(n, 0.0);
+  std::vector<ShardSplitter::Sub> scratch;
+  std::uint64_t emitted = 0;
+  while (max_requests == 0 || emitted < max_requests) {
+    const std::optional<Request> request = source.next();
+    if (!request) break;
+    for (std::uint32_t i = 0; i < n; ++i)
+      pending_think[i] += request->think_us;
+    splitter.split(*request, scratch);
+    for (ShardSplitter::Sub& sub : scratch) {
+      sub.request.think_us = pending_think[sub.shard];
+      pending_think[sub.shard] = 0.0;
+      streams[sub.shard].requests.push_back(sub.request);
+      if (emitted < warmup_requests) ++streams[sub.shard].warmup_requests;
+    }
+    ++emitted;
+  }
+  return streams;
+}
+
+}  // namespace esp::workload

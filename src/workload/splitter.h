@@ -1,0 +1,126 @@
+// Workload splitter for shared-nothing intra-cell sharding.
+//
+// A sharded experiment partitions one simulated device into N independent
+// sub-simulations (see core/shard.h); this file owns the host-side half of
+// that split: a STABLE mapping from global LBA to (shard, local LBA) and
+// the machinery to partition one generated request stream into N per-shard
+// streams.
+//
+// Routing is page-striped: the global logical space is divided into
+// stripes of `stripe_pages` full pages, dealt round-robin across shards --
+//
+//   stripe(g)       = g / stripe_pages            (g = global page number)
+//   shard(g)        = stripe(g) % shards
+//   local_page(g)   = (stripe(g) / shards) * stripe_pages + g % stripe_pages
+//
+// -- so the mapping depends only on (shards, stripe_pages), never on
+// thread schedule or request order, and a sequential global fill arrives
+// at every shard as a sequential local fill. Stripe boundaries are
+// page-aligned, so page-granular semantics (trim alignment, RMW edges)
+// are preserved verbatim inside each sub-request.
+//
+// Requests that span a stripe boundary are split into per-shard
+// sub-requests in ascending address order; flushes broadcast to every
+// shard. Host think time is conserved per shard: every shard's arrival
+// clock advances by the think time of EVERY original request (accumulated
+// and attached to the shard's next sub-request), so each shard's simulated
+// clock tracks the global stream's arrival timeline and sim-time-driven
+// maintenance (retention scans) keeps its cadence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace esp::workload {
+
+class ShardSplitter {
+ public:
+  /// One routed piece of a global request.
+  struct Sub {
+    std::uint32_t shard = 0;
+    Request request;  ///< shard-local addresses
+  };
+
+  /// @param shards           number of shards (>= 1)
+  /// @param stripe_pages     stripe unit in full pages (>= 1)
+  /// @param sectors_per_page subpages per page (Nsub)
+  /// @param shard_capacity_sectors  logical sectors each shard can address;
+  ///        the usable global space is the largest whole number of stripe
+  ///        rounds that fits (throws std::invalid_argument if none does)
+  ShardSplitter(std::uint32_t shards, std::uint32_t stripe_pages,
+                std::uint32_t sectors_per_page,
+                std::uint64_t shard_capacity_sectors);
+
+  std::uint32_t shards() const { return shards_; }
+  std::uint32_t stripe_pages() const { return stripe_pages_; }
+  std::uint64_t stripe_sectors() const { return stripe_sectors_; }
+  /// Global sectors the split stream may address: shards() whole stripes
+  /// per round, every round fully resident on every shard.
+  std::uint64_t usable_sectors() const { return usable_sectors_; }
+  /// Shard-local sectors actually addressed (uniform across shards).
+  std::uint64_t shard_sectors() const { return shard_sectors_; }
+
+  std::uint32_t shard_of(std::uint64_t sector) const {
+    return static_cast<std::uint32_t>((sector / stripe_sectors_) % shards_);
+  }
+  std::uint64_t to_local(std::uint64_t sector) const {
+    const std::uint64_t stripe = sector / stripe_sectors_;
+    return (stripe / shards_) * stripe_sectors_ + sector % stripe_sectors_;
+  }
+
+  /// Splits one global request into per-shard sub-requests, appended to
+  /// `out` (cleared first) in ascending global-address order. Flushes
+  /// produce one sub-request per shard. The original think time rides on
+  /// the FIRST sub-request (later pieces of the same request arrive at the
+  /// same host instant); partition_stream() below re-assigns think times
+  /// with the per-shard conservation rule.
+  void split(const Request& request, std::vector<Sub>& out) const;
+
+ private:
+  std::uint32_t shards_;
+  std::uint32_t stripe_pages_;
+  std::uint64_t stripe_sectors_;
+  std::uint64_t shard_sectors_;
+  std::uint64_t usable_sectors_;
+};
+
+/// One shard's slice of a partitioned stream.
+struct ShardStream {
+  std::vector<Request> requests;
+  /// Sub-requests produced by the global warmup prefix (the first
+  /// `warmup_requests` ORIGINAL requests): the shard's own warmup budget.
+  std::uint64_t warmup_requests = 0;
+};
+
+/// Drains `source` (up to `max_requests` originals; 0 = to exhaustion) and
+/// deals every request across shards with think-time conservation: each
+/// original request's think time is credited to ALL shards, and a shard's
+/// accumulated credit is attached to its next sub-request. Deterministic:
+/// depends only on the source's sequence and the splitter's mapping.
+std::vector<ShardStream> partition_stream(RequestSource& source,
+                                          const ShardSplitter& splitter,
+                                          std::uint64_t max_requests,
+                                          std::uint64_t warmup_requests);
+
+/// Replays a pre-materialized request vector (a ShardStream, a recorded
+/// trace slice) through the RequestSource interface.
+class VectorSource final : public RequestSource {
+ public:
+  explicit VectorSource(std::vector<Request> requests)
+      : requests_(std::move(requests)) {}
+
+  std::optional<Request> next() override {
+    if (next_ >= requests_.size()) return std::nullopt;
+    return requests_[next_++];
+  }
+  void reset() { next_ = 0; }
+  std::size_t size() const { return requests_.size(); }
+
+ private:
+  std::vector<Request> requests_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace esp::workload

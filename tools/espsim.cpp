@@ -65,6 +65,15 @@ void usage(const char* argv0) {
       "  --chips-per-channel N         applied on top of --geometry (or the\n"
       "  --blocks-per-chip N           paper channel/page layout when no\n"
       "  --pages-per-block N           profile is named)\n"
+      "  --shards N                    split the cell into N shared-nothing\n"
+      "                                shard simulations (channel groups +\n"
+      "                                page-striped LBA slices) run in\n"
+      "                                parallel and merged deterministically\n"
+      "                                (default 1 = unsharded; N must divide\n"
+      "                                the channel count; single-tenant only)\n"
+      "  --shard-stripe-pages N        LBA-routing stripe unit in full pages\n"
+      "                                (default 64; part of the sharded\n"
+      "                                run's identity)\n"
       "  --maintenance scan|index      FTL maintenance implementation:\n"
       "                                original O(device) scans or the\n"
       "                                incremental indices (default index;\n"
@@ -198,6 +207,8 @@ int main(int argc, char** argv) {
   std::string health_out;
   double health_interval_s = 0.0;
   std::uint32_t health_rated_pe = 3000;
+  unsigned shards = 1;
+  std::uint32_t shard_stripe_pages = 64;
   std::size_t tenants = 0;
   sim::QosPolicy qos = sim::QosPolicy::kFifo;
   std::vector<workload::Benchmark> tenant_profiles;
@@ -315,6 +326,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--health-rated-pe") {
       health_rated_pe =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      shards = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+      if (shards == 0) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--shard-stripe-pages") {
+      shard_stripe_pages =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--tenants") {
       tenants = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--qos") {
@@ -403,6 +423,8 @@ int main(int argc, char** argv) {
 
   if (kinds.empty()) kinds.push_back(core::FtlKind::kSub);
   spec.warmup_requests = warmup.value_or(requests);
+  spec.shards = shards;
+  spec.shard_stripe_pages = shard_stripe_pages;
 
   // Builds the workload for one cell. Every cell of a sweep uses the SAME
   // seed, so all FTLs of a profile replay the identical request stream
@@ -471,6 +493,9 @@ int main(int argc, char** argv) {
     } else {
       for (const auto bench : profiles) sweep_profiles.emplace_back(bench);
     }
+    // Sweep workers are the parallelism unit; each sharded cell runs its
+    // shards serially on its own worker (results identical either way).
+    spec.shard_jobs = 1;
     std::vector<core::ExperimentCell> cells;
     for (const auto& bench : sweep_profiles) {
       for (const auto kind : kinds) {
@@ -511,7 +536,7 @@ int main(int argc, char** argv) {
 
     util::TablePrinter t({"cell", "MB/s", "IOPS", "svc p50/p99",
                           "resp p50/p99", "WAF", "req WAF", "GC", "erases",
-                          "verify"});
+                          "chip/chan util", "verify"});
     int exit_code = 0;
     for (const auto& cell : results) {
       if (!cell.ok) {
@@ -530,6 +555,9 @@ int main(int argc, char** argv) {
                  util::TablePrinter::num(r.overall_waf, 3),
                  util::TablePrinter::num(r.small_request_waf, 3),
                  std::to_string(r.gc_invocations), std::to_string(r.erases),
+                 util::TablePrinter::num(r.chip_util_mean * 100.0, 1) + "/" +
+                     util::TablePrinter::num(r.channel_util_mean * 100.0, 1) +
+                     "%",
                  std::to_string(r.verify_failures)});
       if (r.verify_failures != 0) exit_code = 1;
     }
@@ -552,6 +580,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "note: --manifest-out only applies to sweeps; ignored\n");
   spec.ssd.ftl = kinds.front();
+  spec.shard_jobs = jobs;  // single run: shards are the parallelism unit
   spec.journal_path = journal_out;
   spec.journal_max_events = journal_max_events;
   spec.audit = audit;
@@ -570,6 +599,9 @@ int main(int argc, char** argv) {
   if (!spec.tenants.empty())
     std::printf("tenants  : %zu, qos %s\n", spec.tenants.size(),
                 sim::qos_policy_name(spec.qos).c_str());
+  if (spec.shards > 1)
+    std::printf("shards   : %u (stripe %u pages)\n", spec.shards,
+                spec.shard_stripe_pages);
   std::printf("workload : %s, %llu measured requests (+%llu warmup), "
               "r_small %.2f r_synch %.2f reads %.2f\n\n",
               profile ? workload::benchmark_name(*profile).c_str()
@@ -661,6 +693,19 @@ int main(int argc, char** argv) {
   t.add_row({"evictions (cold+retention)",
              std::to_string(stats.cold_evictions +
                             stats.retention_evictions)});
+  t.add_row({"chip util min/mean/max",
+             util::TablePrinter::num(result.chip_util_min * 100.0, 1) + " / " +
+                 util::TablePrinter::num(result.chip_util_mean * 100.0, 1) +
+                 " / " +
+                 util::TablePrinter::num(result.chip_util_max * 100.0, 1) +
+                 " %"});
+  t.add_row({"channel util min/mean/max",
+             util::TablePrinter::num(result.channel_util_min * 100.0, 1) +
+                 " / " +
+                 util::TablePrinter::num(result.channel_util_mean * 100.0, 1) +
+                 " / " +
+                 util::TablePrinter::num(result.channel_util_max * 100.0, 1) +
+                 " %"});
   t.add_row({"mapping memory",
              util::TablePrinter::num(
                  static_cast<double>(result.mapping_bytes) / 1024.0, 1) +
