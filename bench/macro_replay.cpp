@@ -41,6 +41,7 @@
 #include "core/parallel_runner.h"
 #include "core/shard.h"
 #include "sim/driver.h"
+#include "telemetry/forensics.h"
 #include "telemetry/health.h"
 #include "telemetry/json.h"
 #include "telemetry/telemetry.h"
@@ -61,6 +62,7 @@ struct Mode {
   /// with index maintenance; the merged result is deterministic and the
   /// wall clock is the fork-to-join measure window.
   unsigned shards = 1;
+  bool forensics = false;
 };
 
 struct CellOut {
@@ -226,13 +228,17 @@ std::string slurp(const std::string& path) {
   return os.str();
 }
 
-/// Result of one paired health duel (see run_health_duel).
+/// Result of one paired observer duel (see run_health_duel and
+/// run_forensics_duel): cpu_index is always the stream-off side, cpu_stream
+/// the stream-on side; only the counters of the stream under test are set.
 struct DuelResult {
-  double cpu_index = 0.0;   ///< thread-CPU seconds, health-off side
-  double cpu_health = 0.0;  ///< thread-CPU seconds, health-on side
+  double cpu_index = 0.0;   ///< thread-CPU seconds, stream-off side
+  double cpu_health = 0.0;  ///< thread-CPU seconds, stream-on side
   std::uint64_t requests = 0;
   std::uint64_t health_epochs = 0;
   std::uint64_t health_lines = 0;
+  std::uint64_t forensics_requests = 0;
+  std::uint64_t forensics_exemplars = 0;
   bool same_decisions = true;
 };
 
@@ -364,6 +370,126 @@ DuelResult run_health_duel(const core::ExperimentSpec& index_spec,
   return out;
 }
 
+/// The forensics gate's measurement: the same one-thread alternating-chunk
+/// duel as run_health_duel, but side B attaches the per-request latency
+/// forensics collector (phase attribution + top-K exemplars). Unlike the
+/// health duel, BOTH sides carry the lean always-on facade run_experiment
+/// would attach anyway: the gate bounds the *marginal* cost of switching
+/// --forensics-out on, which is the decision a user actually makes (the
+/// facade itself is priced by the health gate's bare baseline). Proves the
+/// collector is a passive observer whose per-request tax stays under the
+/// gate.
+DuelResult run_forensics_duel(const core::ExperimentSpec& index_spec,
+                              const core::ExperimentSpec& forensics_spec) {
+  std::ofstream forensics_os(
+      forensics_spec.forensics_path,
+      std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!forensics_os)
+    throw std::runtime_error("duel: cannot open forensics file: " +
+                             forensics_spec.forensics_path);
+  const auto& geo = forensics_spec.ssd.geometry;
+  telemetry::ForensicsHeader hdr;
+  hdr.ftl = core::ftl_kind_name(forensics_spec.ssd.ftl);
+  hdr.chips = geo.total_chips();
+  hdr.blocks_per_chip = geo.blocks_per_chip;
+  hdr.pages_per_block = geo.pages_per_block;
+  hdr.subpages_per_page = geo.subpages_per_page;
+  hdr.page_bytes = geo.page_bytes;
+  hdr.seed = forensics_spec.workload.seed;
+  telemetry::ForensicsCollector::Config fcfg;
+  fcfg.top_k = forensics_spec.forensics_top;
+  fcfg.audit = forensics_spec.audit;
+  telemetry::ForensicsCollector forensics(forensics_os, hdr, fcfg);
+  telemetry::TelemetryConfig cfg;
+  cfg.trace_capacity = 256;
+  cfg.op_detail = false;  // the lean always-on facade run_experiment owns
+  telemetry::Telemetry tel_a(cfg);
+  telemetry::Telemetry tel(cfg);
+
+  core::Ssd a(index_spec.ssd);
+  core::Ssd b(forensics_spec.ssd);
+  a.precondition(index_spec.precondition_fraction);
+  b.precondition(forensics_spec.precondition_fraction);
+  a.attach_telemetry(&tel_a);
+  tel.set_forensics(&forensics);
+  b.attach_telemetry(&tel);
+
+  const auto stream_params = [](const core::ExperimentSpec& spec,
+                                const core::Ssd& ssd) {
+    workload::SyntheticParams p = spec.workload;
+    if (p.footprint_sectors == 0) {
+      const std::uint32_t subs = spec.ssd.geometry.subpages_per_page;
+      p.footprint_sectors =
+          static_cast<std::uint64_t>(
+              spec.precondition_fraction *
+              static_cast<double>(ssd.logical_sectors())) /
+          subs * subs;
+    }
+    return p;
+  };
+  workload::SyntheticWorkload sa(stream_params(index_spec, a));
+  workload::SyntheticWorkload sb(stream_params(forensics_spec, b));
+
+  if (index_spec.warmup_requests > 0) {
+    a.driver().run(sa, /*verify=*/false, index_spec.warmup_requests);
+    b.driver().run(sb, /*verify=*/false, forensics_spec.warmup_requests);
+  }
+
+  DuelResult out;
+  std::uint64_t failures_a = 0, failures_b = 0;
+  SimTime end_a = 0.0, end_b = 0.0;
+  std::uint64_t remaining =
+      index_spec.workload.request_count > index_spec.warmup_requests
+          ? index_spec.workload.request_count - index_spec.warmup_requests
+          : 0;
+  bool flip = false;
+  while (remaining > 0) {
+    const std::uint64_t n = std::min<std::uint64_t>(1024, remaining);
+    const auto step = [n](core::Ssd& ssd, workload::SyntheticWorkload& stream,
+                          double& cpu, std::uint64_t& failures,
+                          SimTime& end_us) {
+      const double t0 = core::thread_cpu_seconds();
+      const sim::RunMetrics m = ssd.driver().run(stream, /*verify=*/true, n);
+      cpu += core::thread_cpu_seconds() - t0;
+      failures += m.verify_failures;
+      end_us = m.end_us;
+      return m.requests;
+    };
+    if (flip) {
+      step(b, sb, out.cpu_health, failures_b, end_b);
+      out.requests += step(a, sa, out.cpu_index, failures_a, end_a);
+    } else {
+      out.requests += step(a, sa, out.cpu_index, failures_a, end_a);
+      step(b, sb, out.cpu_health, failures_b, end_b);
+    }
+    flip = !flip;
+    remaining -= n;
+  }
+
+  // The trailing exemplar/blame dump is teardown I/O, outside the timed
+  // chunks -- same contract as the health duel's end-of-run snapshot.
+  forensics.finish();
+  out.forensics_requests = forensics.requests();
+  out.forensics_exemplars = forensics.exemplars_retained();
+
+  const ftl::FtlStats stats_a = a.ftl().stats();
+  const ftl::FtlStats stats_b = b.ftl().stats();
+  out.same_decisions =
+      end_a == end_b && failures_a == 0 && failures_b == 0 &&
+      stats_a.host_write_sectors == stats_b.host_write_sectors &&
+      stats_a.flash_prog_full == stats_b.flash_prog_full &&
+      stats_a.flash_prog_sub == stats_b.flash_prog_sub &&
+      stats_a.gc_copy_sectors == stats_b.gc_copy_sectors &&
+      stats_a.gc_invocations == stats_b.gc_invocations &&
+      stats_a.rmw_ops == stats_b.rmw_ops &&
+      stats_a.retention_evictions == stats_b.retention_evictions &&
+      stats_a.wear_level_relocations == stats_b.wear_level_relocations &&
+      a.device().counters().erases == b.device().counters().erases;
+
+  tel.set_forensics(nullptr);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -380,6 +506,9 @@ int main(int argc, char** argv) {
   // make any fixed simulated-seconds cadence absurdly aggressive: 1 sim-s
   // is ~2500 requests here, vs minutes of real traffic on a device.
   double health_interval_s = 0.0;
+  double forensics_gate_pct = -1.0;  // <0 = no forensics cells
+  std::string forensics_out = "replay_forensics.jsonl";
+  std::uint32_t forensics_top = 16;
   std::vector<unsigned> shard_counts;  // --shards 4,8: extra sharded modes
   unsigned shard_jobs = 0;             // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
@@ -417,6 +546,13 @@ int main(int argc, char** argv) {
       health_out = argv[++i];
     } else if (arg == "--health-interval" && i + 1 < argc) {
       health_interval_s = std::atof(argv[++i]);
+    } else if (arg == "--forensics-gate" && i + 1 < argc) {
+      forensics_gate_pct = std::atof(argv[++i]);
+    } else if (arg == "--forensics-out" && i + 1 < argc) {
+      forensics_out = argv[++i];
+    } else if (arg == "--forensics-top" && i + 1 < argc) {
+      forensics_top =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--jobs N] "
@@ -437,12 +573,18 @@ int main(int argc, char** argv) {
                    "(geometry, FTL), a paired in-process duel:\nhealth-on "
                    "vs health-off simulators stepped in alternating 1024-"
                    "request\nchunks on one thread. Fails if the avg over "
-                   "FTLs of the duel's\nCPU-time overhead exceeds PCT%%.\n",
+                   "FTLs of the duel's\nCPU-time overhead exceeds PCT%%.\n"
+                   "--forensics-gate PCT does the same for the latency-"
+                   "forensics collector\n(per-request phase attribution + "
+                   "top-K exemplars): a forensics mode cell\nplus a paired "
+                   "duel per (geometry, FTL). --forensics-out/--forensics-"
+                   "top\nset the sidecar path and exemplar count.\n",
                    argv[0]);
       return 2;
     }
   }
   const bool with_health = health_gate_pct >= 0.0;
+  const bool with_forensics = forensics_gate_pct >= 0.0;
 
   // --quick (the CI perf-smoke scale): quarter the block count of both
   // profiles and an eighth of the request budget. Shares and speedups keep
@@ -468,6 +610,7 @@ int main(int argc, char** argv) {
   for (const unsigned n : shard_counts)
     modes.push_back({"shard" + std::to_string(n), false, false, n});
   if (with_health) modes.push_back({"health", false, true});
+  if (with_forensics) modes.push_back({"forensics", false, false, 1, true});
   std::vector<core::ExperimentCell> cells;
   for (const auto& [name, geo] : geometries)
     for (const auto kind : kinds)
@@ -476,6 +619,11 @@ int main(int argc, char** argv) {
                                   /*measure_scale=*/1.0, health_out,
                                   health_interval_s));
         cells.back().spec.shard_jobs = shard_jobs;
+        if (mode.forensics) {
+          cells.back().spec.forensics_path =
+              bench::cell_journal_path(forensics_out, cells.back().key);
+          cells.back().spec.forensics_top = forensics_top;
+        }
       }
 
   core::ParallelRunnerConfig runner_cfg;
@@ -531,6 +679,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "FATAL: health observation changed decisions for %s/%s\n",
                      geom.c_str(), ftl.c_str());
+        identical = false;
+      }
+      // Same contract for the forensics collector: per-request phase
+      // attribution must never perturb the simulation it observes.
+      if (with_forensics &&
+          !same_decisions(per_mode.at("forensics").r, index)) {
+        std::fprintf(
+            stderr,
+            "FATAL: forensics observation changed decisions for %s/%s\n",
+            geom.c_str(), ftl.c_str());
         identical = false;
       }
       // Sharded cells are a different (reproducible) model point, so they
@@ -757,6 +915,72 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Forensics-overhead gate: the same paired-duel design, with the latency
+  // forensics collector (phase attribution, windowed blame, top-K exemplar
+  // heap) as the stream under test.
+  std::map<std::string, double> avg_forensics_overhead;
+  std::map<std::string, std::map<std::string, DuelResult>> forensics_duels;
+  bool forensics_pass = true;
+  if (with_forensics) {
+    const Mode index_mode{"index", false, false};
+    const Mode forensics_mode{"forensics", false, false, 1, true};
+    for (const auto& [geom, geo] : geometries) {
+      std::printf(
+          "\n%s geometry -- forensics-stream overhead (gate %.1f%%)\n\n",
+          geom.c_str(), forensics_gate_pct);
+      util::TablePrinter t({"FTL", "index ops/cpu-s", "forensics ops/cpu-s",
+                            "overhead", "requests", "exemplars"});
+      double sum = 0.0;
+      for (const auto kind : kinds) {
+        const auto index_cell =
+            make_cell(geom, geo, kind, index_mode, budget_scale,
+                      /*measure_scale=*/4.0, health_out, health_interval_s);
+        auto forensics_cell =
+            make_cell(geom, geo, kind, forensics_mode, budget_scale,
+                      /*measure_scale=*/4.0, health_out, health_interval_s);
+        // Distinct stream path: the parallel forensics cell above already
+        // owns this key's artifact.
+        forensics_cell.spec.forensics_path = bench::cell_journal_path(
+            forensics_out, forensics_cell.key + "#duel");
+        forensics_cell.spec.forensics_top = forensics_top;
+        const DuelResult d =
+            run_forensics_duel(index_cell.spec, forensics_cell.spec);
+        if (!d.same_decisions) {
+          std::fprintf(stderr,
+                       "FATAL: forensics observation changed duel decisions "
+                       "for %s/%s\n",
+                       geom.c_str(), core::ftl_kind_name(kind).c_str());
+          return 1;
+        }
+        const double index_ops =
+            d.cpu_index > 0.0
+                ? static_cast<double>(d.requests) / d.cpu_index
+                : 0.0;
+        const double forensics_ops =
+            d.cpu_health > 0.0
+                ? static_cast<double>(d.requests) / d.cpu_health
+                : 0.0;
+        const double overhead =
+            d.cpu_index > 0.0 ? d.cpu_health / d.cpu_index - 1.0 : 0.0;
+        sum += overhead;
+        forensics_duels[geom][core::ftl_kind_name(kind)] = d;
+        t.add_row({core::ftl_kind_name(kind),
+                   util::TablePrinter::num(index_ops, 0),
+                   util::TablePrinter::num(forensics_ops, 0),
+                   util::TablePrinter::pct(overhead, 2),
+                   std::to_string(d.forensics_requests),
+                   std::to_string(d.forensics_exemplars)});
+      }
+      t.print(std::cout);
+      const double avg = sum / 4.0;
+      avg_forensics_overhead[geom] = avg;
+      const bool ok = avg <= forensics_gate_pct / 100.0;
+      forensics_pass &= ok;
+      std::printf("avg forensics-stream overhead: %.2f%% -- %s\n",
+                  avg * 100.0, ok ? "PASS" : "FAIL");
+    }
+  }
+
   if (!json_out.empty()) {
     std::ofstream os(json_out);
     if (!os) {
@@ -855,6 +1079,11 @@ int main(int argc, char** argv) {
             w.kv("health_epochs", c.r.health_epochs);
             w.kv("health_lines", c.r.health_lines);
           }
+          if (mode.forensics) {
+            w.kv("forensics_requests", c.r.forensics_requests);
+            w.kv("forensics_exemplars", c.r.forensics_exemplars);
+            w.kv("forensics_truncated", c.r.forensics_truncated);
+          }
           w.end_object();
         }
         const double scan_ops = ops_per_sec(per_mode.at("scan"));
@@ -895,6 +1124,30 @@ int main(int argc, char** argv) {
       }
       w.end_object();
     }
+    if (with_forensics) {
+      w.newline();
+      // The gate's raw duel measurements (non-deterministic, documentary).
+      w.key("forensics_gate");
+      w.begin_object();
+      for (const auto& [name, per_ftl] : forensics_duels) {
+        w.key(name);
+        w.begin_object();
+        for (const auto& [ftl, d] : per_ftl) {
+          w.key(ftl);
+          w.begin_object();
+          w.kv("cpu_index_seconds", d.cpu_index);
+          w.kv("cpu_forensics_seconds", d.cpu_health);
+          w.kv("requests", d.requests);
+          w.kv("overhead",
+               d.cpu_index > 0.0 ? d.cpu_health / d.cpu_index - 1.0 : 0.0);
+          w.kv("forensics_requests", d.forensics_requests);
+          w.kv("forensics_exemplars", d.forensics_exemplars);
+          w.end_object();
+        }
+        w.end_object();
+      }
+      w.end_object();
+    }
     w.newline();
     w.key("summary");
     w.begin_object();
@@ -913,6 +1166,14 @@ int main(int argc, char** argv) {
       w.kv("health_gate_pct", health_gate_pct);
       w.kv("health_gate_pass", health_pass);
     }
+    if (with_forensics) {
+      for (const auto& [name, geo] : geometries) {
+        (void)geo;
+        w.kv("avg_forensics_overhead_" + name, avg_forensics_overhead[name]);
+      }
+      w.kv("forensics_gate_pct", forensics_gate_pct);
+      w.kv("forensics_gate_pass", forensics_pass);
+    }
     w.end_object();
     w.end_object();
     os << "\n";
@@ -921,6 +1182,12 @@ int main(int argc, char** argv) {
   if (with_health && !health_pass) {
     std::fprintf(stderr, "FATAL: health-stream overhead above %.1f%% gate\n",
                  health_gate_pct);
+    return 1;
+  }
+  if (with_forensics && !forensics_pass) {
+    std::fprintf(stderr,
+                 "FATAL: forensics-stream overhead above %.1f%% gate\n",
+                 forensics_gate_pct);
     return 1;
   }
   return 0;

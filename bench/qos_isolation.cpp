@@ -223,18 +223,27 @@ const sim::TenantMetrics* find_tenant(const core::RunResult& r,
 
 int main(int argc, char** argv) {
   std::string json_out;
+  std::string forensics_out;
+  std::uint32_t forensics_top = 16;
   unsigned jobs = 0;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--forensics-out" && i + 1 < argc) {
+      forensics_out = argv[++i];
+    } else if (arg == "--forensics-top" && i + 1 < argc) {
+      forensics_top =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--quick") {
       quick = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH] [--jobs N] [--quick]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--jobs N] [--quick] "
+                   "[--forensics-out PATH] [--forensics-top N]\n",
                    argv[0]);
       return 2;
     }
@@ -261,6 +270,12 @@ int main(int argc, char** argv) {
     for (const auto policy : policies)
       cells.push_back(make_duet_cell(kind, policy, budget));
   }
+  if (!forensics_out.empty())
+    for (auto& cell : cells) {
+      cell.spec.forensics_path =
+          bench::cell_journal_path(forensics_out, cell.key);
+      cell.spec.forensics_top = forensics_top;
+    }
 
   core::ParallelRunnerConfig runner_cfg;
   runner_cfg.jobs = jobs;
@@ -341,6 +356,42 @@ int main(int argc, char** argv) {
               kGate);
   t.print(std::cout);
 
+  // Per-tenant tail blame (forensics runs): which phase each tenant's
+  // slowest retained requests spent their time in, per scheduler -- the
+  // "who is the reader actually stalled behind" answer next to the p99s.
+  if (!forensics_out.empty()) {
+    std::printf("\nper-tenant tail blame (slowest %u retained per tenant):\n",
+                forensics_top);
+    util::TablePrinter bt({"cell", "tenant", "reqs", "tail", "worst us",
+                           "dominant phase", "share"});
+    for (const auto kind : kinds) {
+      const std::string ftl = core::ftl_kind_name(kind);
+      for (const char* mode : {"fifo", "rr", "wshare"}) {
+        const core::RunResult& r = grid[ftl].at(mode);
+        for (const auto& tb : r.tenant_blame) {
+          double tail_total = 0.0;
+          std::size_t dom = 0;
+          for (std::size_t p = 0; p < telemetry::kPhaseCount; ++p) {
+            tail_total += tb.tail_phase_us[p];
+            if (tb.tail_phase_us[p] > tb.tail_phase_us[dom]) dom = p;
+          }
+          bt.add_row(
+              {ftl + "/" + mode,
+               r.tenants.size() > tb.tenant ? r.tenants[tb.tenant].name
+                                            : std::to_string(tb.tenant),
+               std::to_string(tb.requests), std::to_string(tb.tail_requests),
+               util::TablePrinter::num(tb.worst_response_us, 0),
+               telemetry::phase_name(static_cast<telemetry::Phase>(dom)),
+               tail_total > 0.0
+                   ? util::TablePrinter::num(
+                         tb.tail_phase_us[dom] / tail_total * 100.0, 1) + "%"
+                   : "-"});
+        }
+      }
+    }
+    bt.print(std::cout);
+  }
+
   if (!json_out.empty()) {
     std::ofstream os(json_out);
     if (!os) {
@@ -393,6 +444,9 @@ int main(int argc, char** argv) {
           w.kv("response_p50_us", tm.response_p50_us);
           w.kv("response_p99_us", tm.response_p99_us);
           w.kv("response_p999_us", tm.response_p999_us);
+          w.kv("wait_p50_us", tm.wait_p50_us);
+          w.kv("wait_p99_us", tm.wait_p99_us);
+          w.kv("wait_p999_us", tm.wait_p999_us);
           w.kv("write_share",
                tm.write_share(r.raw.ftl_stats.host_write_sectors));
           w.end_object();

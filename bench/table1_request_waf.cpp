@@ -69,6 +69,8 @@ core::ExperimentCell make_cell(workload::Benchmark bench,
 int main(int argc, char** argv) {
   std::string json_out;
   std::string journal_out;
+  std::string forensics_out;
+  std::uint32_t forensics_top = 16;
   bool audit = false;
   unsigned jobs = 0;    // 0 = hardware concurrency
   unsigned shards = 1;  // >1 = shared-nothing intra-cell sharding
@@ -83,6 +85,11 @@ int main(int argc, char** argv) {
       shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--journal-out" && i + 1 < argc) {
       journal_out = argv[++i];
+    } else if (arg == "--forensics-out" && i + 1 < argc) {
+      forensics_out = argv[++i];
+    } else if (arg == "--forensics-top" && i + 1 < argc) {
+      forensics_top =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--audit") {
       audit = true;
     } else if (geo.parse_flag(argc, argv, i)) {
@@ -90,7 +97,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--jobs N] [--shards N] "
-                   "[--journal-out PATH] [--audit]\n          %s\n",
+                   "[--journal-out PATH] [--forensics-out PATH] "
+                   "[--forensics-top N] [--audit]\n          %s\n",
                    argv[0], bench::GeometryOverrides::kUsage);
       return 2;
     }
@@ -105,6 +113,10 @@ int main(int argc, char** argv) {
     if (!journal_out.empty())
       cell.spec.journal_path = bench::cell_journal_path(journal_out,
                                                         cell.key);
+    if (!forensics_out.empty())
+      cell.spec.forensics_path = bench::cell_journal_path(forensics_out,
+                                                          cell.key);
+    cell.spec.forensics_top = forensics_top;
     cell.spec.audit = audit;
     // Grid cells are the parallelism unit; a sharded cell runs its shards
     // serially on its own worker (results identical either way).

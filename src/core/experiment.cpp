@@ -11,6 +11,7 @@
 
 #include "core/shard.h"
 #include "telemetry/auditor.h"
+#include "telemetry/forensics.h"
 #include "telemetry/health.h"
 #include "telemetry/journal.h"
 
@@ -45,6 +46,8 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   std::optional<telemetry::Auditor> auditor;
   std::optional<std::ofstream> health_os;
   std::optional<telemetry::HealthMonitor> health;
+  std::optional<std::ofstream> forensics_os;
+  std::optional<telemetry::ForensicsCollector> forensics;
 
   Ssd ssd(spec.ssd);
   ssd.precondition(spec.precondition_fraction);
@@ -52,7 +55,9 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   telemetry::Telemetry* tel = spec.telemetry;
   const bool want_journal = !spec.journal_path.empty();
   const bool want_health = !spec.health_path.empty();
-  if ((want_journal || spec.audit || want_health) && tel == nullptr) {
+  const bool want_forensics = !spec.forensics_path.empty();
+  if ((want_journal || spec.audit || want_health || want_forensics) &&
+      tel == nullptr) {
     // Journal/audit/health requested without an external facade: own a
     // private one. A tiny trace ring keeps memory bounded; the streams do
     // their own I/O. Per-op latency detail is off — nothing reads the
@@ -113,6 +118,30 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     hdr.shards = spec.shard_count;
     health.emplace(*health_os, hdr);
     tel->set_health(&*health);
+  }
+  if (tel && want_forensics) {
+    forensics_os.emplace(spec.forensics_path,
+                         std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!*forensics_os)
+      throw std::runtime_error(
+          "run_experiment: cannot open forensics file: " +
+          spec.forensics_path);
+    telemetry::ForensicsHeader hdr;
+    hdr.ftl = ftl_kind_name(spec.ssd.ftl);
+    hdr.chips = geo.total_chips();
+    hdr.blocks_per_chip = geo.blocks_per_chip;
+    hdr.pages_per_block = geo.pages_per_block;
+    hdr.subpages_per_page = geo.subpages_per_page;
+    hdr.page_bytes = geo.page_bytes;
+    hdr.seed = spec.workload.seed;
+    hdr.shard = spec.shard_index;
+    hdr.shards = spec.shard_count;
+    telemetry::ForensicsCollector::Config cfg;
+    cfg.top_k = spec.forensics_top;
+    cfg.audit = spec.audit;
+    cfg.tenant_hists = spec.tenants.size() > 1;
+    forensics.emplace(*forensics_os, hdr, cfg);
+    tel->set_forensics(&*forensics);
   }
   if (tel) ssd.attach_telemetry(tel);
 
@@ -304,12 +333,20 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     result.health_epochs = health->epochs_written();
     result.health_lines = health->lines_written();
   }
+  if (forensics) {
+    forensics->finish();
+    result.forensics_requests = forensics->requests();
+    result.forensics_exemplars = forensics->exemplars_retained();
+    result.forensics_truncated = forensics->truncated();
+    result.tenant_blame = forensics->tenant_blame();
+  }
   // Detach downstream sinks before the optionals above are destroyed:
   // the Ssd destructor still records registry materialization through tel.
   if (tel) {
     tel->set_journal(nullptr);
     tel->set_auditor(nullptr);
     tel->set_health(nullptr);
+    tel->set_forensics(nullptr);
   }
   result.raw = metrics;
   if (mux) result.tenants = std::move(mux_metrics.tenants);

@@ -11,6 +11,7 @@
 #include "core/ssd.h"
 #include "sim/qos.h"
 #include "sim/tenant_mux.h"
+#include "telemetry/forensics.h"
 #include "workload/synthetic.h"
 
 namespace esp::core {
@@ -47,6 +48,16 @@ struct RunResult {
   /// Health-stream epochs / total lines written (0 when no health stream).
   std::uint64_t health_epochs = 0;
   std::uint64_t health_lines = 0;
+  /// Forensics stream: requests decomposed / exemplar lines written /
+  /// requests that produced no exemplar line (the stream's admission-cap
+  /// analogue of journal_truncated). 0 when no forensics stream.
+  std::uint64_t forensics_requests = 0;
+  std::uint64_t forensics_exemplars = 0;
+  std::uint64_t forensics_truncated = 0;
+  /// Per-tenant phase-blame summaries (empty without a forensics stream;
+  /// one entry for tenant 0 on single-tenant runs). Sharded runs keep the
+  /// per-shard summaries inside shard_results.
+  std::vector<telemetry::TenantBlame> tenant_blame;
   /// Device busy-time utilization over the measured window: per-chip
   /// (array + transfer occupancy) and per-channel (transfer occupancy)
   /// busy time divided by elapsed simulated time. Shows shard balance and
@@ -132,6 +143,15 @@ struct ExperimentSpec {
   /// Rated P/E endurance for the health stream's media-wear % and
   /// exhaustion-horizon attributes.
   std::uint32_t health_rated_pe = 3000;
+  /// When non-empty, streams tail-latency forensics (JSONL) to this path:
+  /// per-window p99/p999 blame rows plus slowest-N exemplars with full
+  /// phase breakdowns (see telemetry/forensics.h). Shares the
+  /// private-facade fallback with journal_path; with `audit` set, a
+  /// request whose phase fold fails to reconcile with its response time
+  /// throws.
+  std::string forensics_path;
+  /// Slowest-N exemplars retained by the forensics stream.
+  std::uint32_t forensics_top = 16;
 
   // --- Intra-cell sharding (core/shard.h; docs/PERFORMANCE.md) ----------
   /// Shards > 1 partitions this cell into `shards` shared-nothing

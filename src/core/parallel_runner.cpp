@@ -197,8 +197,17 @@ std::vector<CellResult> ParallelRunner::run(
     }
     if (config_.collect_telemetry)
       merged_registry_.merge_from(cell_registries[i]);
-    manifest_.cells.push_back(RunManifest::Cell{r.key, r.seed, r.ok, r.error,
-                                                r.wall_seconds, r.worker});
+    RunManifest::Cell cell{r.key,  r.seed,         r.ok,
+                           r.error, r.wall_seconds, r.worker};
+    cell.trace_dropped = r.result.trace_dropped;
+    cell.journal_events = r.result.journal_events;
+    cell.journal_truncated = r.result.journal_truncated;
+    cell.health_epochs = r.result.health_epochs;
+    cell.health_lines = r.result.health_lines;
+    cell.forensics_requests = r.result.forensics_requests;
+    cell.forensics_exemplars = r.result.forensics_exemplars;
+    cell.forensics_truncated = r.result.forensics_truncated;
+    manifest_.cells.push_back(std::move(cell));
   }
   return results;
 }
@@ -228,6 +237,22 @@ void ParallelRunner::write_manifest_json(const RunManifest& manifest,
     if (!cell.error.empty()) w.kv("error", cell.error);
     w.kv("wall_seconds", cell.wall_seconds);
     w.kv("worker", static_cast<std::uint64_t>(cell.worker));
+    // Sidecar accounting appears uniformly whenever the cell ran with any
+    // stream attached; stream-less sweeps keep the legacy cell bytes.
+    if (cell.trace_dropped != 0 || cell.journal_events != 0 ||
+        cell.health_lines != 0 || cell.forensics_requests != 0) {
+      w.key("sidecars");
+      w.begin_object();
+      w.kv("trace_dropped", cell.trace_dropped);
+      w.kv("journal_events", cell.journal_events);
+      w.kv("journal_truncated", cell.journal_truncated);
+      w.kv("health_epochs", cell.health_epochs);
+      w.kv("health_lines", cell.health_lines);
+      w.kv("forensics_requests", cell.forensics_requests);
+      w.kv("forensics_exemplars", cell.forensics_exemplars);
+      w.kv("forensics_truncated", cell.forensics_truncated);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

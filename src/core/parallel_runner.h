@@ -107,6 +107,18 @@ struct RunManifest {
     std::string error;
     double wall_seconds = 0.0;
     unsigned worker = 0;
+    /// Sidecar-stream write/truncation accounting, copied from the cell's
+    /// RunResult so sweep manifests answer "did any stream drop data?"
+    /// without re-reading the JSONL files. All zero (and omitted from the
+    /// JSON) when the cell ran without streams.
+    std::uint64_t trace_dropped = 0;
+    std::uint64_t journal_events = 0;
+    std::uint64_t journal_truncated = 0;
+    std::uint64_t health_epochs = 0;
+    std::uint64_t health_lines = 0;
+    std::uint64_t forensics_requests = 0;
+    std::uint64_t forensics_exemplars = 0;
+    std::uint64_t forensics_truncated = 0;
   };
   std::vector<Cell> cells;  ///< input order
 };

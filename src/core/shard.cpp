@@ -134,6 +134,8 @@ ExperimentSpec make_shard_spec(const ExperimentSpec& spec,
     leaf.journal_path = shard_sidecar_path(spec.journal_path, index);
   if (!spec.health_path.empty())
     leaf.health_path = shard_sidecar_path(spec.health_path, index);
+  if (!spec.forensics_path.empty())
+    leaf.forensics_path = shard_sidecar_path(spec.forensics_path, index);
   return leaf;
 }
 
@@ -202,6 +204,12 @@ RunResult run_sharded_experiment(const ExperimentSpec& spec) {
       sidecars.push_back(leaf.health_path);
     concat_sidecars(spec.health_path, sidecars);
   }
+  if (!spec.forensics_path.empty()) {
+    std::vector<std::string> sidecars;
+    for (const ExperimentSpec& leaf : leaves)
+      sidecars.push_back(leaf.forensics_path);
+    concat_sidecars(spec.forensics_path, sidecars);
+  }
 
   RunResult merged;
   merged.ftl_name = shard_results.front().ftl_name;
@@ -237,6 +245,9 @@ RunResult run_sharded_experiment(const ExperimentSpec& spec) {
     merged.journal_truncated += r.journal_truncated;
     merged.health_epochs += r.health_epochs;
     merged.health_lines += r.health_lines;
+    merged.forensics_requests += r.forensics_requests;
+    merged.forensics_exemplars += r.forensics_exemplars;
+    merged.forensics_truncated += r.forensics_truncated;
     merged.measure_cpu_seconds += r.measure_cpu_seconds;
     min_wall_start = std::min(min_wall_start, r.measure_wall_start_s);
     max_wall_end = std::max(max_wall_end, r.measure_wall_end_s);

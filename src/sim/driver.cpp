@@ -94,7 +94,7 @@ Completion Driver::submit_at(const workload::Request& request, SimTime arrival,
   using workload::Request;
   const SimTime issue =
       next_issue_slot(std::max(arrival, earliest_issue));
-  if (tel_) tel_->begin_request(issue);
+  if (tel_) tel_->begin_request(issue, arrival, request.tenant);
   ftl::IoResult result{issue, true};
   switch (request.type) {
     case Request::Type::kWrite:

@@ -144,6 +144,7 @@ MuxRunMetrics TenantMux::run(bool verify, std::uint64_t max_requests) {
     ++tm.requests;
     tm.service_hist.add(c.done - c.issue);
     tm.response_hist.add(c.done - c.arrival);
+    tm.wait_hist.add(c.issue - c.arrival);
     if (lane.c_requests) lane.c_requests->inc();
     if (request.type == workload::Request::Type::kWrite) {
       ++tm.write_requests;
@@ -164,6 +165,9 @@ MuxRunMetrics TenantMux::run(bool verify, std::uint64_t max_requests) {
     tm.response_p50_us = tm.response_hist.percentile(0.50);
     tm.response_p99_us = tm.response_hist.percentile(0.99);
     tm.response_p999_us = tm.response_hist.percentile(0.999);
+    tm.wait_p50_us = tm.wait_hist.percentile(0.50);
+    tm.wait_p99_us = tm.wait_hist.percentile(0.99);
+    tm.wait_p999_us = tm.wait_hist.percentile(0.999);
   }
   return out;
 }

@@ -73,8 +73,14 @@ struct TenantMetrics {
   double response_p50_us = 0.0;
   double response_p99_us = 0.0;
   double response_p999_us = 0.0;
+  /// Queue wait (issue - arrival = response - service): time the request
+  /// sat waiting for scheduling + a window slot before the device saw it.
+  double wait_p50_us = 0.0;
+  double wait_p99_us = 0.0;
+  double wait_p999_us = 0.0;
   util::Histogram service_hist{0.0, 200000.0, 2000};
   util::Histogram response_hist{0.0, 200000.0, 2000};
+  util::Histogram wait_hist{0.0, 200000.0, 2000};
 
   /// This tenant's share of host-written sectors; the experiment layer
   /// multiplies it into the shared FTL's WAF for per-tenant attribution.

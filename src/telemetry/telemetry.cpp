@@ -3,6 +3,7 @@
 #include <string>
 
 #include "telemetry/auditor.h"
+#include "telemetry/forensics.h"
 #include "telemetry/health.h"
 #include "telemetry/journal.h"
 
@@ -29,6 +30,13 @@ Telemetry::Telemetry(const TelemetryConfig& config)
         std::string("op/") + op_name(static_cast<OpKind>(k)) + "/latency_us";
     cumulative_[k] = &registry_.histogram(name, kLatLoUs, kLatHiUs, kLatBuckets);
     window_.emplace_back(kLatLoUs, kLatHiUs, kLatBuckets);
+  }
+  // Queue-wait (response - service) distributions for the host lane; the
+  // flash/FTL lanes have no arrival clock, so only kinds 0..3 get one.
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::string name =
+        std::string("op/") + op_name(static_cast<OpKind>(k)) + "/wait_us";
+    wait_[k] = &registry_.histogram(name, kLatLoUs, kLatHiUs, kLatBuckets);
   }
   for (std::size_t c = 0; c < kCauseCount; ++c) {
     const std::string prefix =
@@ -60,6 +68,9 @@ void Telemetry::recompute_op_mask() {
            bit(OpKind::kErase);
     if (health_ != nullptr)
       mask |= bit(OpKind::kHostWrite) | bit(OpKind::kRetentionEvict);
+    // The forensics collector sweeps every flash-lane interval, so it is
+    // the one lean-facade consumer that also needs device reads.
+    if (forensics_ != nullptr) mask |= bit(OpKind::kRead);
   }
   set_op_mask(mask);
 }
@@ -99,6 +110,8 @@ void Telemetry::record_op(const OpEvent& event) {
     journal_->on_op(event, current_cause(), cause_stack_, current_request_);
   if (auditor_) auditor_->on_op(event, cause_stack_);
   if (health_) health_->on_op(event, current_cause());
+  if (forensics_ && current_request_ != 0)
+    forensics_->on_op(event, current_cause(), cause_stack_);
 }
 
 void Telemetry::push_cause(Cause cause, std::uint64_t detail, SimTime at) {
@@ -129,15 +142,31 @@ std::uint64_t Telemetry::cause_count(Cause cause, OpKind kind) const {
   }
 }
 
-std::uint32_t Telemetry::begin_request(SimTime /*issue*/) {
+std::uint32_t Telemetry::begin_request(SimTime issue, SimTime arrival,
+                                       std::uint16_t tenant) {
   current_request_ = next_request_id_++;
+  current_arrival_ = arrival < 0.0 ? issue : arrival;
+  if (forensics_)
+    forensics_->begin_request(current_request_, current_arrival_, issue,
+                              tenant);
   return current_request_;
 }
 
 void Telemetry::end_request(OpKind kind, SimTime issue, SimTime done,
                             std::uint64_t arg0, std::uint64_t arg1) {
+  // Forensics closes BEFORE the host-lane record so the exemplar sweep
+  // never sees the request's own span as a flash segment.
+  if (forensics_) forensics_->end_request(kind, done);
+  if (op_detail_ && static_cast<std::size_t>(kind) < 4)
+    wait_[static_cast<std::size_t>(kind)]->add(issue - current_arrival_);
   if (wants_op(kind)) record_op(OpEvent{kind, issue, done, arg0, arg1});
   current_request_ = 0;
+}
+
+void Telemetry::set_forensics(ForensicsCollector* forensics) {
+  forensics_ = forensics;
+  if (forensics_) forensics_->bind_registry(&registry_);
+  recompute_op_mask();
 }
 
 void Telemetry::harvest_window(Sample& sample) {

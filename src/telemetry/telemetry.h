@@ -31,6 +31,7 @@ namespace esp::telemetry {
 class Journal;
 class Auditor;
 class HealthMonitor;
+class ForensicsCollector;
 
 struct TelemetryConfig {
   std::size_t trace_capacity = 1 << 16;
@@ -63,8 +64,12 @@ class Telemetry : public Sink {
 
   // --- Host-request lifecycle (driver only) -------------------------
   /// Opens a span for a new host request and returns its id; child ops
-  /// recorded until end_request() are tagged with it.
-  std::uint32_t begin_request(SimTime issue);
+  /// recorded until end_request() are tagged with it. `arrival` is the
+  /// host-side arrival time (defaults to issue when the caller has no
+  /// arrival clock) and `tenant` the originating namespace -- both feed
+  /// the forensics collector and the queue-wait histograms.
+  std::uint32_t begin_request(SimTime issue, SimTime arrival = -1.0,
+                              std::uint16_t tenant = 0);
   /// Closes the current request span, emitting the host-lane trace event
   /// and latency sample. `arg0`/`arg1` follow the op's arg schema
   /// (sectors / start sector for reads and writes).
@@ -100,9 +105,14 @@ class Telemetry : public Sink {
     health_ = health;
     recompute_op_mask();
   }
+  /// Attaches a latency-forensics collector: the facade feeds it request
+  /// begin/end plus every flash-lane op (with cause + chain), and binds
+  /// its phase histograms into this registry.
+  void set_forensics(ForensicsCollector* forensics);
   Journal* journal() const { return journal_; }
   Auditor* auditor() const { return auditor_; }
   HealthMonitor* health() const { return health_; }
+  ForensicsCollector* forensics() const { return forensics_; }
 
   // --- Sampler integration (driver only) ----------------------------
   /// Fills `sample`'s per-op and merged latency percentiles from the
@@ -123,8 +133,12 @@ class Telemetry : public Sink {
   bool op_detail_ = true;
   std::uint32_t next_request_id_ = 1;
   std::uint32_t current_request_ = 0;
+  SimTime current_arrival_ = 0.0;  ///< arrival of the open request
   /// Registry-owned cumulative per-op latency histograms, indexed by kind.
   util::Histogram* cumulative_[kOpKindCount] = {};
+  /// Queue-wait (issue - arrival) histograms for the four host-lane kinds,
+  /// registered as "op/<kind>/wait_us" (op_detail only).
+  util::Histogram* wait_[4] = {};
   /// Per-sampling-window latency histograms, reset on harvest.
   std::vector<util::Histogram> window_;
 
@@ -139,6 +153,7 @@ class Telemetry : public Sink {
   Journal* journal_ = nullptr;
   Auditor* auditor_ = nullptr;
   HealthMonitor* health_ = nullptr;
+  ForensicsCollector* forensics_ = nullptr;
 };
 
 }  // namespace esp::telemetry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <unordered_map>
 
 #include "telemetry/json.h"
 
@@ -72,6 +73,27 @@ void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
   w.end_object();
 }
 
+// Chrome flow event ("s" start / "t" step / "f" finish) linking a host
+// request's span to the FTL/NAND child spans executed on its behalf, so
+// Perfetto draws causality arrows across the three lanes instead of three
+// disconnected tracks. Steps/finishes bind to the enclosing slice
+// ("bp":"e") that starts at the same timestamp.
+void write_flow(std::ostream& os, char phase, std::uint32_t request_id,
+                SimTime ts, std::uint32_t tid) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "req");
+  w.kv("cat", "flow");
+  char ph[2] = {phase, 0};
+  w.kv("ph", ph);
+  if (phase != 's') w.kv("bp", "e");
+  w.kv("id", static_cast<std::uint64_t>(request_id));
+  w.kv("ts", ts);
+  w.kv("pid", 0);
+  w.kv("tid", static_cast<std::uint64_t>(tid));
+  w.end_object();
+}
+
 // Chrome trace metadata ("M") event naming the process or a lane thread,
 // so Perfetto/chrome://tracing show host/ftl/nand labels instead of bare
 // tids.
@@ -134,9 +156,40 @@ void TraceRing::dump_chrome(std::ostream& os) const {
     os << ",\n";
     write_metadata(os, "thread_name", tid, kLaneNames[tid]);
   }
+  // Per-request flow bookkeeping: a flow is emitted only for requests
+  // whose host span AND at least one child span are still in the ring
+  // (wraparound can orphan either side).
+  struct FlowInfo {
+    bool host = false;
+    std::uint32_t children = 0;
+  };
+  std::unordered_map<std::uint32_t, FlowInfo> flows;
   for (std::size_t i = 0; i < size(); ++i) {
+    const TraceEvent& e = at(i);
+    if (e.request_id == 0) continue;
+    FlowInfo& info = flows[e.request_id];
+    if (op_lane(e.kind) == 0)
+      info.host = true;
+    else
+      ++info.children;
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    const TraceEvent& e = at(i);
     os << ",\n";
-    write_event(os, at(i));
+    write_event(os, e);
+    if (e.request_id == 0) continue;
+    auto it = flows.find(e.request_id);
+    if (it == flows.end() || !it->second.host || it->second.children == 0)
+      continue;
+    if (op_lane(e.kind) == 0) {
+      os << ",\n";
+      write_flow(os, 's', e.request_id, e.start_us, 0);
+    } else {
+      --it->second.children;
+      os << ",\n";
+      write_flow(os, it->second.children == 0 ? 'f' : 't', e.request_id,
+                 e.start_us, op_lane(e.kind));
+    }
   }
   os << "\n]\n";
 }

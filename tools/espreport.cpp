@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "telemetry/causes.h"
+#include "telemetry/forensics.h"
 #include "telemetry/json.h"
 
 namespace {
@@ -43,11 +44,18 @@ using namespace esp;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--waf-table] [--chrome-out PATH] JOURNAL...\n"
+               "       %s --blame-table FORENSICS...\n"
                "  --waf-table        print only the per-cause WAF table(s)\n"
+               "                     (byte-stable; used for golden diffs)\n"
+               "  --blame-table      analyze tail-latency forensics streams\n"
+               "                     (docs/FORENSICS.md) instead of journals:\n"
+               "                     p99 phase-blame shares + the slowest-N\n"
+               "                     exemplars, re-ranked deterministically\n"
+               "                     across concatenated shard sidecars\n"
                "                     (byte-stable; used for golden diffs)\n"
                "  --chrome-out PATH  export mechanism episodes of the LAST\n"
                "                     journal as a Chrome trace_event file\n",
-               argv0);
+               argv0, argv0);
 }
 
 // ---- flat field extraction ------------------------------------------
@@ -331,6 +339,154 @@ void print_full(const Analysis& a, const std::string& path) {
   std::printf("\n");
 }
 
+// ---- forensics blame tables -----------------------------------------
+
+/// One retained exemplar parsed off an "ex" line. The raw response string
+/// is kept verbatim so re-printing it is byte-exact regardless of
+/// float-formatting round trips.
+struct BlameExemplar {
+  std::uint64_t req = 0;
+  std::string op;
+  std::string response_raw;
+  double response = 0.0;
+  std::array<double, telemetry::kPhaseCount> phase_us{};
+};
+
+struct BlameAnalysis {
+  bool have_header = false;
+  std::string ftl;
+  std::uint64_t seed = 0;
+  std::uint64_t top_k = 0;
+  std::uint64_t sections = 0;  ///< hdr count (> 1 for shard sidecar concats)
+  std::uint64_t windows = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t tail_requests = 0;
+  /// Summed per-phase tail microseconds across every blame window, in
+  /// file order (deterministic accumulation).
+  std::array<double, telemetry::kPhaseCount> tail_phase_us{};
+  std::vector<BlameExemplar> exemplars;
+  std::uint64_t reconcile_failures = 0;
+  std::uint64_t lines = 0, unknown_lines = 0;
+};
+
+/// Extracts the eight "<phase>_us" fields of a blame/ex line (they live in
+/// a flat nested object, so substring extraction still works).
+void find_phases(const std::string& line,
+                 std::array<double, telemetry::kPhaseCount>* out) {
+  for (std::size_t p = 0; p < telemetry::kPhaseCount; ++p) {
+    const std::string key =
+        std::string(telemetry::phase_name(static_cast<telemetry::Phase>(p))) +
+        "_us";
+    find_double(line, key.c_str(), &(*out)[p]);
+  }
+}
+
+bool analyze_blame(const std::string& path, BlameAnalysis* a) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "espreport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    ++a->lines;
+    std::string t;
+    if (!find_str(line, "t", &t)) {
+      ++a->unknown_lines;
+      continue;
+    }
+    if (t == "hdr") {
+      std::string stream;
+      if (!find_str(line, "stream", &stream) || stream != "forensics") {
+        std::fprintf(stderr,
+                     "espreport: %s is not a forensics stream (use "
+                     "--blame-table on --forensics-out files)\n",
+                     path.c_str());
+        return false;
+      }
+      ++a->sections;
+      if (!a->have_header) {
+        a->have_header = true;
+        find_str(line, "ftl", &a->ftl);
+        find_u64(line, "seed", &a->seed);
+        find_u64(line, "top_k", &a->top_k);
+      }
+    } else if (t == "blame") {
+      std::uint64_t n = 0;
+      find_u64(line, "requests", &n);
+      a->requests += n;
+      n = 0;
+      find_u64(line, "tail_requests", &n);
+      a->tail_requests += n;
+      ++a->windows;
+      std::array<double, telemetry::kPhaseCount> phases{};
+      find_phases(line, &phases);
+      for (std::size_t p = 0; p < telemetry::kPhaseCount; ++p)
+        a->tail_phase_us[p] += phases[p];
+    } else if (t == "ex") {
+      BlameExemplar ex;
+      find_u64(line, "req", &ex.req);
+      find_str(line, "op", &ex.op);
+      find_raw(line, "response_us", &ex.response_raw);
+      ex.response = std::strtod(ex.response_raw.c_str(), nullptr);
+      find_phases(line, &ex.phase_us);
+      a->exemplars.push_back(std::move(ex));
+    } else if (t == "end") {
+      std::uint64_t n = 0;
+      find_u64(line, "reconcile_failures", &n);
+      a->reconcile_failures += n;
+    } else if (t != "tnt") {
+      ++a->unknown_lines;
+    }
+  }
+  // Deterministic merged ranking: concatenated shard sidecars contribute
+  // their per-shard top-Ks; re-sort slowest-first with the stream's own
+  // tie-break (response desc, request id asc) and keep the global top-K.
+  std::sort(a->exemplars.begin(), a->exemplars.end(),
+            [](const BlameExemplar& x, const BlameExemplar& y) {
+              if (x.response != y.response) return x.response > y.response;
+              return x.req < y.req;
+            });
+  if (a->top_k > 0 && a->exemplars.size() > a->top_k)
+    a->exemplars.resize(a->top_k);
+  return true;
+}
+
+/// Byte-stable blame report: integer counts plus fixed-precision shares.
+void print_blame_table(const BlameAnalysis& a, const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::printf("# %s  ftl=%s  seed=%" PRIu64 "\n", base.c_str(), a.ftl.c_str(),
+              a.seed);
+  std::printf("sections: %" PRIu64 ", windows: %" PRIu64 ", requests: %" PRIu64
+              ", tail requests: %" PRIu64 "\n",
+              a.sections, a.windows, a.requests, a.tail_requests);
+  double tail_total = 0.0;
+  for (const double us : a.tail_phase_us) tail_total += us;
+  std::printf("%-12s %10s\n", "phase", "p99_share");
+  for (std::size_t p = 0; p < telemetry::kPhaseCount; ++p)
+    std::printf("%-12s %10.6f\n",
+                telemetry::phase_name(static_cast<telemetry::Phase>(p)),
+                tail_total > 0.0 ? a.tail_phase_us[p] / tail_total : 0.0);
+  std::printf("slowest %zu:\n", a.exemplars.size());
+  std::printf("%4s %10s %-12s %14s %-12s\n", "rank", "req", "op",
+              "response_us", "dominant");
+  for (std::size_t i = 0; i < a.exemplars.size(); ++i) {
+    const BlameExemplar& ex = a.exemplars[i];
+    // Dominant phase: largest share of the exemplar's breakdown; ties
+    // resolve to the first phase in enum order.
+    std::size_t dom = 0;
+    for (std::size_t p = 1; p < telemetry::kPhaseCount; ++p)
+      if (ex.phase_us[p] > ex.phase_us[dom]) dom = p;
+    std::printf("%4zu %10" PRIu64 " %-12s %14s %-12s\n", i + 1, ex.req,
+                ex.op.c_str(), ex.response_raw.c_str(),
+                telemetry::phase_name(static_cast<telemetry::Phase>(dom)));
+  }
+  if (a.reconcile_failures)
+    std::printf("RECONCILE FAILURES: %" PRIu64 "\n", a.reconcile_failures);
+}
+
 // ---- Chrome trace export --------------------------------------------
 
 bool write_chrome(const Analysis& a, const std::string& path) {
@@ -380,6 +536,7 @@ bool write_chrome(const Analysis& a, const std::string& path) {
 
 int main(int argc, char** argv) {
   bool waf_only = false;
+  bool blame = false;
   std::string chrome_out;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -389,6 +546,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--waf-table") {
       waf_only = true;
+    } else if (arg == "--blame-table") {
+      blame = true;
     } else if (arg == "--chrome-out" && i + 1 < argc) {
       chrome_out = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
@@ -401,6 +560,25 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     usage(argv[0]);
     return 2;
+  }
+
+  if (blame) {
+    bool first_blame = true;
+    int exit_code = 0;
+    for (const auto& path : paths) {
+      BlameAnalysis a;
+      if (!analyze_blame(path, &a)) return 1;
+      if (!a.have_header) {
+        std::fprintf(stderr, "espreport: %s has no forensics header\n",
+                     path.c_str());
+        return 1;
+      }
+      if (!first_blame) std::printf("\n");
+      first_blame = false;
+      print_blame_table(a, path);
+      if (a.reconcile_failures) exit_code = 1;
+    }
+    return exit_code;
   }
 
   bool first = true;

@@ -123,6 +123,12 @@ void usage(const char* argv0) {
       "                                only: attach baseline + run end)\n"
       "  --health-rated-pe N           rated P/E endurance for media-wear %%\n"
       "                                and the exhaustion horizon (3000)\n"
+      "  --forensics-out PATH          stream tail-latency forensics (JSONL\n"
+      "                                blame windows + slowest-N exemplars;\n"
+      "                                see docs/FORENSICS.md); in sweep mode\n"
+      "                                each cell writes PATH with its cell\n"
+      "                                key spliced in\n"
+      "  --forensics-top N             slowest-N exemplars retained (16)\n"
       "  --version                     print build provenance and exit\n",
       argv0);
 }
@@ -207,6 +213,8 @@ int main(int argc, char** argv) {
   std::string health_out;
   double health_interval_s = 0.0;
   std::uint32_t health_rated_pe = 3000;
+  std::string forensics_out;
+  std::uint32_t forensics_top = 16;
   unsigned shards = 1;
   std::uint32_t shard_stripe_pages = 64;
   std::size_t tenants = 0;
@@ -325,6 +333,11 @@ int main(int argc, char** argv) {
       health_interval_s = std::atof(next());
     } else if (arg == "--health-rated-pe") {
       health_rated_pe =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--forensics-out") {
+      forensics_out = next();
+    } else if (arg == "--forensics-top") {
+      forensics_top =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--shards") {
       shards = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
@@ -515,6 +528,10 @@ int main(int argc, char** argv) {
           cell.spec.health_path = cell_journal_path(health_out, cell.key);
         cell.spec.health_interval_us = health_interval_s * sim_time::kSecond;
         cell.spec.health_rated_pe = health_rated_pe;
+        if (!forensics_out.empty())
+          cell.spec.forensics_path =
+              cell_journal_path(forensics_out, cell.key);
+        cell.spec.forensics_top = forensics_top;
         cells.push_back(std::move(cell));
       }
     }
@@ -587,6 +604,8 @@ int main(int argc, char** argv) {
   spec.health_path = health_out;
   spec.health_interval_us = health_interval_s * sim_time::kSecond;
   spec.health_rated_pe = health_rated_pe;
+  spec.forensics_path = forensics_out;
+  spec.forensics_top = forensics_top;
   const std::optional<workload::Benchmark> profile =
       profiles.empty() ? std::nullopt
                        : std::optional<workload::Benchmark>(profiles.front());
@@ -644,6 +663,11 @@ int main(int argc, char** argv) {
                 health_out.c_str(),
                 static_cast<unsigned long long>(result.health_epochs),
                 static_cast<unsigned long long>(result.health_lines));
+  if (!forensics_out.empty())
+    std::printf("forensics: wrote %s (%llu requests, %llu exemplars)\n",
+                forensics_out.c_str(),
+                static_cast<unsigned long long>(result.forensics_requests),
+                static_cast<unsigned long long>(result.forensics_exemplars));
 
   if (tel) {
     auto emit = [](const char* what, const std::string& path, bool ok) {
@@ -722,6 +746,14 @@ int main(int argc, char** argv) {
     t.add_row({"health epochs", std::to_string(result.health_epochs)});
     t.add_row({"health lines", std::to_string(result.health_lines)});
   }
+  if (!forensics_out.empty()) {
+    t.add_row({"forensics requests",
+               std::to_string(result.forensics_requests)});
+    t.add_row({"forensics exemplars",
+               std::to_string(result.forensics_exemplars)});
+    t.add_row({"forensics truncated",
+               std::to_string(result.forensics_truncated)});
+  }
   t.print(std::cout);
 
   if (!result.tenants.empty()) {
@@ -734,7 +766,7 @@ int main(int argc, char** argv) {
     std::printf("\nper-tenant (%s):\n",
                 sim::qos_policy_name(spec.qos).c_str());
     util::TablePrinter tt({"tenant", "reqs", "IOPS", "svc p50/p99",
-                           "resp p50/p99/p999", "wr share"});
+                           "wait p50/p99", "resp p50/p99/p999", "wr share"});
     for (const auto& tm : result.tenants) {
       const double iops =
           secs > 0.0 ? static_cast<double>(tm.requests) / secs : 0.0;
@@ -743,12 +775,41 @@ int main(int argc, char** argv) {
            util::TablePrinter::num(iops, 0),
            util::TablePrinter::num(tm.service_p50_us, 0) + "/" +
                util::TablePrinter::num(tm.service_p99_us, 0),
+           util::TablePrinter::num(tm.wait_p50_us, 0) + "/" +
+               util::TablePrinter::num(tm.wait_p99_us, 0),
            util::TablePrinter::num(tm.response_p50_us, 0) + "/" +
                util::TablePrinter::num(tm.response_p99_us, 0) + "/" +
                util::TablePrinter::num(tm.response_p999_us, 0),
            util::TablePrinter::num(tm.write_share(total_writes), 3)});
     }
     tt.print(std::cout);
+  }
+
+  // Per-tenant tail blame: which phase the slowest retained requests of
+  // each tenant spent their time in (multi-tenant forensics runs only).
+  if (!result.tenant_blame.empty() && result.tenant_blame.size() > 1) {
+    std::printf("\nper-tenant tail blame (slowest %u retained):\n",
+                forensics_top);
+    std::vector<std::string> cols = {"tenant", "reqs", "tail", "worst us"};
+    for (std::size_t p = 0; p < telemetry::kPhaseCount; ++p)
+      cols.push_back(phase_name(static_cast<telemetry::Phase>(p)));
+    util::TablePrinter bt(cols);
+    for (const auto& tb : result.tenant_blame) {
+      double tail_total = 0.0;
+      for (const double us : tb.tail_phase_us) tail_total += us;
+      std::vector<std::string> row = {
+          result.tenants.size() > tb.tenant ? result.tenants[tb.tenant].name
+                                            : std::to_string(tb.tenant),
+          std::to_string(tb.requests), std::to_string(tb.tail_requests),
+          util::TablePrinter::num(tb.worst_response_us, 0)};
+      for (const double us : tb.tail_phase_us)
+        row.push_back(
+            tail_total > 0.0
+                ? util::TablePrinter::num(us / tail_total * 100.0, 1) + "%"
+                : "-");
+      bt.add_row(std::move(row));
+    }
+    bt.print(std::cout);
   }
   return result.verify_failures == 0 ? 0 : 1;
 }
