@@ -1,96 +1,597 @@
-// Extension bench: device-lifetime projection (TBW).
+// Extension bench: measured device-lifetime projection (wear-out curves).
 //
-// The paper reports lifetime via GC/erase counts; SSD datasheets quote
-// Terabytes-Written. Both views are the same measurement: with E erases
-// consumed for H host bytes at steady state, a device with B blocks rated
-// R P/E cycles can absorb
+// The old version of this bench projected TBW with a closed form from one
+// steady-state window (TBW = H * B * R / E). This version MEASURES the
+// wear-out: core/lifetime.h drives each FTL from preconditioned steady
+// state to rated endurance, alternating full-fidelity measurement windows
+// with epoch-compressed aging (per-block synthetic P/E accrual scaled from
+// the rates the preceding window observed + an analytic retention-clock
+// advance). The output is a trajectory per FTL -- WAF, latency, IOPS,
+// retention expiry vs P/E consumed -- instead of a single extrapolated
+// number, at production geometry (65,536 blocks) in minutes of wall clock.
 //
-//   TBW = H * (B * R) / E
+// Three committed measurements (BENCH_lifetime.json):
+//   * curves:     fast-forward wear-out per FTL at --geometry, with the
+//                 represented host-TB-written to rated endurance;
+//   * speedup:    wall seconds per mean-P/E-cycle, fast-forward vs a
+//                 full-fidelity reference resumed from the SAME snapshot
+//                 anchor -- the acceptance gate is >= 25x;
+//   * validation: at paper geometry, fast-forward window metrics (WAF,
+//                 p99, wear rate) vs a dense full-fidelity reference over
+//                 the same P/E span (docs/LIFETIME.md, methodology).
 //
-// before the rated endurance is spent (wear leveling keeps per-block wear
-// near the mean, which the wear ablation verifies). This bench projects
-// TBW per FTL per benchmark on the scaled device; the RATIO between FTLs
-// is the scale-free lifetime claim of the paper's Fig. 8(b).
+// End-of-life measurement legs: each curve checkpoints its aged device;
+// a ParallelRunner then fans independent freshly-seeded measurement legs
+// out of those anchors (ExperimentSpec::snapshot_in) -- the distribution
+// across legs is the end-of-life performance claim.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/lifetime.h"
+#include "core/parallel_runner.h"
+#include "telemetry/json.h"
 #include "util/table_printer.h"
 
 namespace {
 
 using namespace esp;
 
-struct Outcome {
-  double host_gb = 0.0;
-  std::uint64_t erases = 0;
+constexpr std::uint64_t kBaseSeed = 2017;
+
+/// Mixed write-heavy profile (same shape as macro_replay's): small hot
+/// sync updates, colder multi-page writes, reads and occasional trims, so
+/// GC, eviction and wear leveling all operate while the device ages.
+/// Closed-loop (no think time): wear-out wall clock is simulator-bound.
+workload::SyntheticParams mixed_workload(std::uint32_t sectors_per_page) {
+  workload::SyntheticParams p;
+  p.sectors_per_page = sectors_per_page;
+  p.r_small = 0.6;
+  p.r_synch = 0.9;
+  p.read_fraction = 0.35;
+  p.trim_fraction = 0.02;
+  p.small_sectors_min = 1;
+  p.small_sectors_max = 3;
+  p.large_pages_min = 1;
+  p.large_pages_max = 4;
+  p.large_align_prob = 0.85;
+  p.small_footprint_fraction = 0.25;
+  p.seed = kBaseSeed;
+  return p;
+}
+
+core::LifetimeSpec base_spec(const nand::Geometry& geo, core::FtlKind kind,
+                             std::uint64_t window_requests,
+                             std::uint64_t warmup_requests) {
+  core::LifetimeSpec spec;
+  spec.ssd.geometry = geo;
+  spec.ssd.ftl = kind;
+  spec.ssd.logical_fraction = 0.79;
+  spec.ssd.buffer_sectors = 1024;
+  spec.ssd.gc_reserve_blocks = 16;
+  spec.ssd.queue_depth = 128;
+  // Well-filled logical space: wear-out measures a device in service, not
+  // a fresh one, and windows must run at GC steady state (the epoch model
+  // scales each window's erase rates -- a window with no erases cannot age
+  // the device). 0.85 keeps GC active without the overfill thrash regime
+  // where every victim is near-full and stalls saturate the histograms.
+  spec.precondition_fraction = 0.85;
+  spec.workload = mixed_workload(geo.subpages_per_page);
+  spec.window_requests = window_requests;
+  if (warmup_requests > 0) {
+    spec.warmup_requests = warmup_requests;
+  } else {
+    // Auto warmup: enough random-write traffic to consume the post-fill
+    // free space (with 25% slack), so GC is in steady state at window 0.
+    const workload::SyntheticParams& p = spec.workload;
+    const double fill_bytes = spec.precondition_fraction *
+                              static_cast<double>(spec.ssd.logical_sectors()) *
+                              geo.subpage_bytes();
+    const double free_bytes =
+        static_cast<double>(geo.capacity_bytes()) - fill_bytes;
+    const double write_fraction =
+        1.0 - p.read_fraction - p.trim_fraction;
+    const double avg_write_sectors =
+        p.r_small * 0.5 * (p.small_sectors_min + p.small_sectors_max) +
+        (1.0 - p.r_small) * 0.5 * (p.large_pages_min + p.large_pages_max) *
+            geo.subpages_per_page;
+    spec.warmup_requests = static_cast<std::uint64_t>(
+        1.25 * free_bytes / geo.subpage_bytes() /
+        (write_fraction * avg_write_sectors));
+  }
+  return spec;
+}
+
+/// Wall seconds per mean-P/E-cycle advanced -- the rate both modes are
+/// compared on (preconditioning/warmup excluded on both sides).
+double seconds_per_pe(const core::LifetimeResult& r) {
+  const double dpe = r.final_mean_pe - r.start_mean_pe;
+  return dpe > 0.0 ? r.wall_seconds / dpe : 0.0;
+}
+
+/// Host-byte-weighted mean window WAF and request-weighted mean p99 of a
+/// trajectory: the scalars the validation compares across modes.
+struct TrajectorySummary {
+  double waf = 0.0;
+  double p99_us = 0.0;
+  double cycles_per_gb = 0.0;  ///< wear rate: P/E block-cycles per host GB
 };
 
-Outcome run_one(workload::Benchmark bench, core::FtlKind kind) {
-  core::ExperimentSpec spec;
-  spec.ssd = bench::scaled_config(kind);
-  auto params = workload::benchmark_profile(
-      bench, 0, 0, spec.ssd.geometry.subpages_per_page, 2017);
-  const double write_fraction = 1.0 - params.read_fraction;
-  const double avg_large =
-      0.5 * (params.large_pages_min + params.large_pages_max) *
-      params.sectors_per_page;
-  const double avg_small =
-      0.5 * (params.small_sectors_min + params.small_sectors_max);
-  const double avg_write =
-      params.r_small * avg_small + (1.0 - params.r_small) * avg_large;
-  const auto reqs = [&](double budget) {
-    return static_cast<std::uint64_t>(budget / (write_fraction * avg_write));
-  };
-  spec.warmup_requests = reqs(120000);
-  params.request_count = spec.warmup_requests + reqs(60000);
-  spec.workload = params;
-  const auto result = core::run_experiment(spec);
-  Outcome outcome;
-  outcome.host_gb =
-      static_cast<double>(result.raw.ftl_stats.host_write_sectors) * 4096.0 /
-      (1024.0 * 1024.0 * 1024.0);
-  outcome.erases = result.erases;
-  return outcome;
+TrajectorySummary summarize(const core::LifetimeResult& r) {
+  TrajectorySummary s;
+  double waf_wsum = 0.0, p99_sum = 0.0, bytes = 0.0;
+  std::uint64_t cycles = 0;
+  for (const core::LifetimeWindow& w : r.windows) {
+    const auto b = static_cast<double>(w.host_write_bytes);
+    waf_wsum += w.waf * b;
+    p99_sum += w.latency_p99_us;
+    bytes += b;
+    cycles += w.erases;
+  }
+  if (bytes > 0.0) s.waf = waf_wsum / bytes;
+  if (!r.windows.empty())
+    s.p99_us = p99_sum / static_cast<double>(r.windows.size());
+  if (bytes > 0.0)
+    s.cycles_per_gb = static_cast<double>(cycles) / (bytes / 1e9);
+  return s;
+}
+
+double rel_dev(double a, double ref) {
+  return ref != 0.0 ? std::fabs(a - ref) / std::fabs(ref) : 0.0;
+}
+
+void write_windows_json(telemetry::JsonWriter& w,
+                        const core::LifetimeResult& r) {
+  w.key("windows");
+  w.begin_array();
+  for (const core::LifetimeWindow& win : r.windows) {
+    w.begin_object();
+    w.kv("index", static_cast<std::uint64_t>(win.index));
+    w.kv("mean_pe_start", win.mean_pe_start);
+    w.kv("max_pe_start", win.max_pe_start);
+    w.kv("waf", win.waf);
+    w.kv("iops", win.iops);
+    w.kv("host_mb_per_sec", win.host_mb_per_sec);
+    w.kv("latency_p50_us", win.latency_p50_us);
+    w.kv("latency_p99_us", win.latency_p99_us);
+    w.kv("response_p99_us", win.response_p99_us);
+    w.kv("erases", win.erases);
+    w.kv("gc_invocations", win.gc_invocations);
+    w.kv("retention_evictions", win.retention_evictions);
+    w.kv("host_write_bytes", win.host_write_bytes);
+    w.kv("synthetic_cycles", win.synthetic_cycles);
+    w.kv("epoch_scale", win.epoch_scale);
+    w.kv("sim_hours_advanced", win.sim_hours_advanced);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_result_json(telemetry::JsonWriter& w,
+                       const core::LifetimeResult& r, bool with_windows) {
+  w.kv("start_mean_pe", r.start_mean_pe);
+  w.kv("final_mean_pe", r.final_mean_pe);
+  w.kv("final_max_pe", r.final_max_pe);
+  w.kv("target_mean_pe", r.target_mean_pe);
+  w.kv("reached_target", r.reached_target);
+  w.kv("window_count", static_cast<std::uint64_t>(r.windows.size()));
+  w.kv("wall_seconds", r.wall_seconds);
+  w.kv("host_tb_written", r.host_tb_written);
+  w.kv("real_erases", r.real_erases);
+  w.kv("synthetic_cycles", r.synthetic_cycles);
+  w.kv("verify_failures", r.verify_failures);
+  w.kv("io_errors", r.io_errors);
+  if (with_windows) {
+    w.newline();
+    write_windows_json(w, r);
+  }
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Extension -- lifetime projection (TBW at 1K rated P/E)");
-
-  const auto& geo = bench::scaled_geometry();
-  const double block_budget = static_cast<double>(geo.total_blocks()) * 1000;
-
-  util::TablePrinter t({"benchmark", "cgm TBW", "fgm TBW", "sub TBW",
-                        "sub/fgm lifetime"});
-  for (const auto bench :
-       {workload::Benchmark::kSysbench, workload::Benchmark::kVarmail,
-        workload::Benchmark::kPostmark, workload::Benchmark::kYcsb,
-        workload::Benchmark::kTpcc}) {
-    std::map<core::FtlKind, double> tbw;
-    for (const auto kind :
-         {core::FtlKind::kCgm, core::FtlKind::kFgm, core::FtlKind::kSub}) {
-      const auto o = run_one(bench, kind);
-      tbw[kind] = o.erases
-                      ? o.host_gb * block_budget /
-                            static_cast<double>(o.erases) / 1024.0
-                      : 0.0;  // TB
+int main(int argc, char** argv) {
+  std::string json_out;
+  std::string geometry_name = "prod";
+  double target_pe = 0.0;     // 0 = rated endurance
+  double pe_step = 0.0;       // 0 = (target - start) / 40
+  std::uint64_t window_requests = 20000;
+  std::uint64_t warmup_requests = 0;  // 0 = auto (free-space budget)
+  std::uint32_t reference_windows = 3;  // 0 skips the speedup baseline
+  double validate_pe = 8.0;             // paper-geometry span; 0 skips
+  std::uint32_t legs = 3;               // end-of-life legs per FTL; 0 skips
+  bool quick = false;
+  std::string snapshot_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--geometry" && i + 1 < argc) {
+      geometry_name = argv[++i];
+    } else if (arg == "--target-pe" && i + 1 < argc) {
+      target_pe = std::atof(argv[++i]);
+    } else if (arg == "--pe-step" && i + 1 < argc) {
+      pe_step = std::atof(argv[++i]);
+    } else if (arg == "--window" && i + 1 < argc) {
+      window_requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--warmup" && i + 1 < argc) {
+      warmup_requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--reference-windows" && i + 1 < argc) {
+      reference_windows =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--validate-pe" && i + 1 < argc) {
+      validate_pe = std::atof(argv[++i]);
+    } else if (arg == "--legs" && i + 1 < argc) {
+      legs = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--snapshot-dir" && i + 1 < argc) {
+      snapshot_dir = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--json PATH] [--geometry paper|prod] [--quick]\n"
+          "          [--target-pe N] [--pe-step N] [--window N] [--warmup N]\n"
+          "          [--reference-windows N] [--validate-pe SPAN] [--legs N]\n"
+          "          [--snapshot-dir DIR]\n"
+          "Measured wear-out to --target-pe (0 = rated endurance) per FTL\n"
+          "with epoch-compressed aging; full-fidelity speedup baseline over\n"
+          "--reference-windows windows from the same snapshot anchor;\n"
+          "fast-forward validation against a dense full-fidelity reference\n"
+          "over --validate-pe cycles at paper geometry; --legs end-of-life\n"
+          "measurement legs fanned from each aged anchor (0 skips any "
+          "stage).\n",
+          argv[0]);
+      return 2;
     }
-    t.add_row({workload::benchmark_name(bench),
-               util::TablePrinter::num(tbw[core::FtlKind::kCgm], 1) + " TB",
-               util::TablePrinter::num(tbw[core::FtlKind::kFgm], 1) + " TB",
-               util::TablePrinter::num(tbw[core::FtlKind::kSub], 1) + " TB",
-               util::TablePrinter::num(
-                   tbw[core::FtlKind::kSub] / tbw[core::FtlKind::kFgm], 2) +
-                   "x"});
+  }
+
+  nand::Geometry geo = nand::geometry_profile(geometry_name);
+  if (quick) {
+    // CI scale: quarter block count, smaller budgets, shorter wear-out.
+    geo.blocks_per_chip /= 4;
+    window_requests = std::min<std::uint64_t>(window_requests, 6000);
+    if (target_pe == 0.0) target_pe = 120.0;
+    validate_pe = std::min(validate_pe, 3.0);
+  }
+
+  bench::print_header("Extension -- measured lifetime (epoch fast-forward)",
+                      geo);
+  std::printf("%s geometry: %s\n", geometry_name.c_str(),
+              geo.describe().c_str());
+
+  const auto kinds = {core::FtlKind::kCgm, core::FtlKind::kFgm,
+                     core::FtlKind::kSub, core::FtlKind::kSectorLog};
+
+  struct FtlOut {
+    core::LifetimeResult curve;
+    core::LifetimeResult reference;  // short full-fidelity rate baseline
+    double speedup = 0.0;
+    std::string anchor;  // end-of-life snapshot path
+  };
+  std::map<std::string, FtlOut> outs;
+
+  // --- Wear-out curves + speedup baselines ------------------------------
+  for (const auto kind : kinds) {
+    const std::string name = core::ftl_kind_name(kind);
+    core::LifetimeSpec prep =
+        base_spec(geo, kind, window_requests, warmup_requests);
+    const std::string base_anchor =
+        snapshot_dir + "/lifetime_" + geometry_name + "_" + name + "_base.snap";
+
+    // One full-fidelity window from fresh precondition + warmup, saved as
+    // the shared anchor both modes resume -- they are compared from the
+    // IDENTICAL device state, and neither pays preconditioning twice.
+    prep.fast_forward = false;
+    prep.max_windows = 1;
+    prep.snapshot_out = base_anchor;
+    const core::LifetimeResult prep_out = core::run_lifetime(prep);
+
+    FtlOut out;
+    core::LifetimeSpec ff =
+        base_spec(geo, kind, window_requests, warmup_requests);
+    ff.snapshot_in = base_anchor;
+    ff.target_mean_pe =
+        target_pe > 0.0
+            ? target_pe
+            : static_cast<double>(ff.ssd.retention.rated_pe_cycles);
+    ff.pe_step = pe_step > 0.0
+                     ? pe_step
+                     : std::max(1.0, (ff.target_mean_pe -
+                                      prep_out.final_mean_pe) /
+                                         40.0);
+    out.anchor = snapshot_dir + "/lifetime_" + geometry_name + "_" + name +
+                 "_eol.snap";
+    ff.snapshot_out = out.anchor;
+    out.curve = core::run_lifetime(ff);
+
+    if (reference_windows > 0) {
+      core::LifetimeSpec ref =
+          base_spec(geo, kind, window_requests, warmup_requests);
+      ref.snapshot_in = base_anchor;
+      ref.fast_forward = false;
+      ref.max_windows = reference_windows;
+      ref.target_mean_pe = ff.target_mean_pe;
+      out.reference = core::run_lifetime(ref);
+      const double ref_rate = seconds_per_pe(out.reference);
+      const double ff_rate = seconds_per_pe(out.curve);
+      out.speedup = ff_rate > 0.0 ? ref_rate / ff_rate : 0.0;
+    }
+    std::printf(
+        "%-13s windows %3zu  P/E %.1f -> %.1f  TBW %.2f TB  wall %.1fs"
+        "  speedup %.0fx\n",
+        name.c_str(), out.curve.windows.size(), out.curve.start_mean_pe,
+        out.curve.final_mean_pe, out.curve.host_tb_written,
+        out.curve.wall_seconds, out.speedup);
+    if (out.curve.verify_failures || out.curve.io_errors) {
+      std::fprintf(stderr, "FATAL: %s wear-out saw %llu verify failures, "
+                   "%llu io errors\n", name.c_str(),
+                   static_cast<unsigned long long>(out.curve.verify_failures),
+                   static_cast<unsigned long long>(out.curve.io_errors));
+      return 1;
+    }
+    outs[name] = std::move(out);
+  }
+
+  std::printf("\nwear-out trajectories (%s geometry)\n\n",
+              geometry_name.c_str());
+  util::TablePrinter t({"FTL", "windows", "final P/E", "TBW", "WAF",
+                        "p99 us", "wall s", "speedup"});
+  double min_speedup = 0.0;
+  bool first = true;
+  for (const auto kind : kinds) {
+    const std::string name = core::ftl_kind_name(kind);
+    const FtlOut& o = outs[name];
+    const TrajectorySummary s = summarize(o.curve);
+    if (first || o.speedup < min_speedup) min_speedup = o.speedup;
+    first = false;
+    t.add_row({name, std::to_string(o.curve.windows.size()),
+               util::TablePrinter::num(o.curve.final_mean_pe, 1),
+               util::TablePrinter::num(o.curve.host_tb_written, 2) + " TB",
+               util::TablePrinter::num(s.waf, 2),
+               util::TablePrinter::num(s.p99_us, 0),
+               util::TablePrinter::num(o.curve.wall_seconds, 1),
+               util::TablePrinter::num(o.speedup, 0) + "x"});
   }
   t.print(std::cout);
-  std::printf(
-      "\n(1-GiB device, 1K-cycle TLC. TBW scales linearly with capacity;\n"
-      "the sub/fgm ratio is the capacity-independent lifetime improvement,\n"
-      "the paper's 'up to 177%% fewer GC invocations' expressed as life.)\n");
+  if (reference_windows > 0)
+    std::printf("min fast-forward speedup vs full fidelity: %.0fx "
+                "(gate >= 25x%s)\n", min_speedup,
+                quick ? ", advisory under --quick" : "");
+
+  // --- Fast-forward validation at paper geometry ------------------------
+  // Same span of P/E consumed, two ways: epoch-compressed (sparse windows)
+  // vs full fidelity (every cycle simulated). The trajectory summaries
+  // must agree -- the committed deviations are the model's error bars.
+  struct Validation {
+    TrajectorySummary ff, ref;
+    double waf_dev = 0.0, p99_dev = 0.0, wear_rate_dev = 0.0;
+  };
+  std::map<std::string, Validation> validations;
+  if (validate_pe > 0.0) {
+    nand::Geometry vgeo = nand::geometry_profile("paper");
+    if (quick) vgeo.blocks_per_chip /= 4;
+    std::printf("\nvalidation -- fast-forward vs full fidelity over %.1f "
+                "P/E cycles (paper geometry)\n\n", validate_pe);
+    util::TablePrinter vt({"FTL", "WAF ff", "WAF ref", "dev", "p99 ff",
+                           "p99 ref", "dev", "wear-rate dev"});
+    for (const auto kind : kinds) {
+      const std::string name = core::ftl_kind_name(kind);
+      core::LifetimeSpec prep =
+          base_spec(vgeo, kind, window_requests, warmup_requests);
+      const std::string anchor =
+          snapshot_dir + "/lifetime_validate_" + name + "_base.snap";
+      prep.fast_forward = false;
+      prep.max_windows = 1;
+      prep.snapshot_out = anchor;
+      const core::LifetimeResult prep_out = core::run_lifetime(prep);
+      const double vtarget = prep_out.final_mean_pe + validate_pe;
+
+      core::LifetimeSpec ff =
+          base_spec(vgeo, kind, window_requests, warmup_requests);
+      ff.snapshot_in = anchor;
+      ff.target_mean_pe = vtarget;
+      ff.pe_step = validate_pe / 4.0;  // 4 epochs across the span
+
+      core::LifetimeSpec ref =
+          base_spec(vgeo, kind, window_requests, warmup_requests);
+      ref.snapshot_in = anchor;
+      ref.fast_forward = false;
+      ref.target_mean_pe = vtarget;
+
+      Validation v;
+      v.ff = summarize(core::run_lifetime(ff));
+      v.ref = summarize(core::run_lifetime(ref));
+      v.waf_dev = rel_dev(v.ff.waf, v.ref.waf);
+      v.p99_dev = rel_dev(v.ff.p99_us, v.ref.p99_us);
+      v.wear_rate_dev = rel_dev(v.ff.cycles_per_gb, v.ref.cycles_per_gb);
+      vt.add_row({name, util::TablePrinter::num(v.ff.waf, 3),
+                  util::TablePrinter::num(v.ref.waf, 3),
+                  util::TablePrinter::pct(v.waf_dev, 1),
+                  util::TablePrinter::num(v.ff.p99_us, 0),
+                  util::TablePrinter::num(v.ref.p99_us, 0),
+                  util::TablePrinter::pct(v.p99_dev, 1),
+                  util::TablePrinter::pct(v.wear_rate_dev, 1)});
+      validations[name] = v;
+    }
+    vt.print(std::cout);
+  }
+
+  // --- End-of-life measurement legs from the aged anchors ---------------
+  // The ISSUE's fan-out: one aged snapshot per FTL, N independent
+  // freshly-seeded legs restored from it by the ParallelRunner (the
+  // fresh-seed restore path of ExperimentSpec::snapshot_in).
+  std::map<std::string, std::vector<core::RunResult>> leg_results;
+  if (legs > 0) {
+    std::vector<core::ExperimentCell> cells;
+    for (const auto kind : kinds) {
+      const std::string name = core::ftl_kind_name(kind);
+      for (std::uint32_t l = 0; l < legs; ++l) {
+        core::ExperimentCell cell;
+        cell.key = "lifetime/leg/" + name + "/" + std::to_string(l);
+        const core::LifetimeSpec base =
+            base_spec(geo, kind, window_requests, warmup_requests);
+        cell.spec.ssd = base.ssd;
+        cell.spec.workload = base.workload;
+        cell.spec.snapshot_in = outs[name].anchor;
+        cell.spec.warmup_requests = window_requests / 4;
+        cell.spec.workload.request_count =
+            cell.spec.warmup_requests + window_requests;
+        cells.push_back(std::move(cell));
+      }
+    }
+    core::ParallelRunnerConfig runner_cfg;
+    runner_cfg.base_seed = kBaseSeed;  // legs seeded from their cell keys
+    core::ParallelRunner runner(runner_cfg);
+    const auto results = runner.run(cells);
+    std::printf("\nend-of-life legs (%u per FTL, fresh seeds from the aged "
+                "anchor)\n\n", legs);
+    util::TablePrinter lt({"FTL", "leg", "WAF", "IOPS", "p99 us"});
+    std::size_t i = 0;
+    for (const auto kind : kinds) {
+      const std::string name = core::ftl_kind_name(kind);
+      for (std::uint32_t l = 0; l < legs; ++l, ++i) {
+        if (!results[i].ok) {
+          std::fprintf(stderr, "FATAL: leg %s failed: %s\n",
+                       results[i].key.c_str(), results[i].error.c_str());
+          return 1;
+        }
+        const core::RunResult& r = results[i].result;
+        leg_results[name].push_back(r);
+        lt.add_row({name, std::to_string(l),
+                    util::TablePrinter::num(r.overall_waf, 2),
+                    util::TablePrinter::num(r.iops, 0),
+                    util::TablePrinter::num(r.raw.latency_p99_us, 0)});
+      }
+    }
+    lt.print(std::cout);
+  }
+
+  // --- JSON artifact ----------------------------------------------------
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    w.kv("figure", "lifetime_fastforward");
+    w.newline();
+    w.key("run");
+    w.begin_object();
+    w.kv("geometry", geometry_name);
+    w.kv("describe", geo.describe());
+    w.kv("total_blocks", geo.total_blocks());
+    w.kv("base_seed", kBaseSeed);
+    w.kv("quick", quick);
+    w.kv("window_requests", window_requests);
+    w.kv("warmup_requests", warmup_requests);
+    w.kv("reference_windows", static_cast<std::uint64_t>(reference_windows));
+    w.kv("validate_pe", validate_pe);
+    w.kv("legs", static_cast<std::uint64_t>(legs));
+    w.kv("host_cores",
+         static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    w.end_object();
+    w.newline();
+    w.key("curves");
+    w.begin_object();
+    for (const auto kind : kinds) {
+      const std::string name = core::ftl_kind_name(kind);
+      const FtlOut& o = outs[name];
+      const TrajectorySummary s = summarize(o.curve);
+      w.newline();
+      w.key(name);
+      w.begin_object();
+      write_result_json(w, o.curve, /*with_windows=*/true);
+      w.kv("mean_window_waf", s.waf);
+      w.kv("mean_window_p99_us", s.p99_us);
+      if (reference_windows > 0) {
+        w.newline();
+        w.key("reference");
+        w.begin_object();
+        write_result_json(w, o.reference, /*with_windows=*/false);
+        w.kv("seconds_per_pe", seconds_per_pe(o.reference));
+        w.end_object();
+        w.kv("seconds_per_pe", seconds_per_pe(o.curve));
+        w.kv("speedup", o.speedup);
+        // What the reference would have cost run to the same target.
+        w.kv("projected_full_fidelity_hours",
+             seconds_per_pe(o.reference) *
+                 (o.curve.final_mean_pe - o.curve.start_mean_pe) / 3600.0);
+      }
+      w.end_object();
+    }
+    w.end_object();
+    if (!validations.empty()) {
+      w.newline();
+      w.key("validation");
+      w.begin_object();
+      for (const auto& [name, v] : validations) {
+        w.key(name);
+        w.begin_object();
+        w.kv("waf_ff", v.ff.waf);
+        w.kv("waf_ref", v.ref.waf);
+        w.kv("waf_rel_dev", v.waf_dev);
+        w.kv("p99_ff_us", v.ff.p99_us);
+        w.kv("p99_ref_us", v.ref.p99_us);
+        w.kv("p99_rel_dev", v.p99_dev);
+        w.kv("cycles_per_gb_ff", v.ff.cycles_per_gb);
+        w.kv("cycles_per_gb_ref", v.ref.cycles_per_gb);
+        w.kv("wear_rate_rel_dev", v.wear_rate_dev);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    if (!leg_results.empty()) {
+      w.newline();
+      w.key("end_of_life_legs");
+      w.begin_object();
+      for (const auto& [name, rs] : leg_results) {
+        w.key(name);
+        w.begin_array();
+        for (const core::RunResult& r : rs) {
+          w.begin_object();
+          w.kv("waf", r.overall_waf);
+          w.kv("iops", r.iops);
+          w.kv("latency_p99_us", r.raw.latency_p99_us);
+          w.kv("erases", r.erases);
+          w.kv("verify_failures", r.verify_failures);
+          w.end_object();
+        }
+        w.end_array();
+      }
+      w.end_object();
+    }
+    w.newline();
+    w.key("summary");
+    w.begin_object();
+    if (reference_windows > 0) {
+      w.kv("min_speedup", min_speedup);
+      w.kv("speedup_gate", 25.0);
+      w.kv("speedup_gate_enforced", !quick);
+      w.kv("speedup_pass", min_speedup >= 25.0);
+    }
+    w.end_object();
+    w.end_object();
+    os << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  // The 25x gate is calibrated for full-scale wear-out, where epochs absorb
+  // hundreds of represented window repetitions. --quick runs a shallow
+  // trajectory (a few dozen P/E) where the fixed window cost dominates, so
+  // the speedup there is reported but not enforced.
+  if (!quick && reference_windows > 0 && min_speedup < 25.0) {
+    std::fprintf(stderr, "FATAL: fast-forward speedup %.1fx below 25x gate\n",
+                 min_speedup);
+    return 1;
+  }
   return 0;
 }

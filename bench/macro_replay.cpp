@@ -511,6 +511,7 @@ int main(int argc, char** argv) {
   std::uint32_t forensics_top = 16;
   std::vector<unsigned> shard_counts;  // --shards 4,8: extra sharded modes
   unsigned shard_jobs = 0;             // 0 = hardware concurrency
+  std::uint64_t snapshot_every = 0;    // --snapshot-every N: restart gate
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -553,6 +554,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--forensics-top" && i + 1 < argc) {
       forensics_top =
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--snapshot-every" && i + 1 < argc) {
+      snapshot_every = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json PATH] [--jobs N] "
@@ -578,7 +581,12 @@ int main(int argc, char** argv) {
                    "forensics collector\n(per-request phase attribution + "
                    "top-K exemplars): a forensics mode cell\nplus a paired "
                    "duel per (geometry, FTL). --forensics-out/--forensics-"
-                   "top\nset the sidecar path and exemplar count.\n",
+                   "top\nset the sidecar path and exemplar count.\n"
+                   "--snapshot-every N adds a FATAL restartable-replay "
+                   "gate: a subFTL\njournal cell re-run as a chain of "
+                   "segments, each restoring the previous\ncheckpoint and "
+                   "replaying N more measured requests, must leave a\n"
+                   "byte-identical journal to the straight-through run.\n",
                    argv[0]);
       return 2;
     }
@@ -766,6 +774,76 @@ int main(int argc, char** argv) {
     std::printf("shard-invariance journal gate passed (alone == among "
                 "siblings)\n");
 
+  // Restartable-replay gate (--snapshot-every N): a replay interrupted at
+  // any checkpoint and restarted from it must be indistinguishable from an
+  // uninterrupted run. One subFTL journal cell per geometry runs straight
+  // through as the reference, then again as a chain of segments: segment i
+  // restores the previous checkpoint, replays N more measured requests,
+  // checkpoints and exits (the final segment runs to the end of the
+  // budget). Restores truncate the journal to the checkpoint offset and
+  // append, so the chain leaves ONE journal file -- it must byte-match the
+  // reference, and the cumulative simulated end state must agree.
+  std::map<std::string, unsigned> restart_segments;
+  if (snapshot_every > 0)
+    for (const auto& [geom, geo] : geometries) {
+      const Mode gate_mode{"restart-gate", false, false, 1};
+      const auto cell = make_cell(geom, geo, core::FtlKind::kSub, gate_mode,
+                                  budget_scale, /*measure_scale=*/0.25,
+                                  health_out, health_interval_s);
+
+      core::ExperimentSpec ref = cell.spec;
+      ref.journal_path = "replay_restart_" + geom + "_ref.jsonl";
+      ref.journal_max_events = 500000;
+      const core::RunResult straight = core::run_experiment(ref);
+
+      const std::string ckpt = "replay_restart_" + geom + ".snap";
+      const std::string chained_path =
+          "replay_restart_" + geom + "_chained.jsonl";
+      const std::uint64_t measured =
+          cell.spec.workload.request_count - cell.spec.warmup_requests;
+      std::uint64_t done = 0;
+      unsigned segments = 0;
+      core::RunResult last;
+      while (true) {
+        core::ExperimentSpec seg = cell.spec;
+        seg.journal_path = chained_path;
+        seg.journal_max_events = 500000;
+        if (done > 0) seg.snapshot_in = ckpt;
+        const bool final_segment = measured - done <= snapshot_every;
+        if (!final_segment) {
+          seg.snapshot_out = ckpt;
+          seg.snapshot_after_requests = snapshot_every;
+          // Exhaust the stream exactly at the cut: the checkpoint leg runs
+          // N requests and the post-checkpoint leg finds nothing left.
+          seg.workload.request_count =
+              cell.spec.warmup_requests + done + snapshot_every;
+          done += snapshot_every;
+        }
+        last = core::run_experiment(seg);
+        ++segments;
+        if (final_segment) break;
+      }
+
+      const std::string ref_journal = slurp(ref.journal_path);
+      const std::string chained_journal = slurp(chained_path);
+      if (ref_journal.empty() || ref_journal != chained_journal ||
+          last.raw.end_us != straight.raw.end_us ||
+          last.raw.device_erases != straight.raw.device_erases ||
+          last.verify_failures != 0 || straight.verify_failures != 0) {
+        std::fprintf(stderr,
+                     "FATAL: restart chain (%u segments of %llu) diverged "
+                     "from straight-through replay for %s\n",
+                     segments,
+                     static_cast<unsigned long long>(snapshot_every),
+                     geom.c_str());
+        return 1;
+      }
+      restart_segments[geom] = segments;
+      std::printf("restartable-replay gate passed for %s (%u segments, "
+                  "journal byte-identical)\n",
+                  geom.c_str(), segments);
+    }
+
   std::map<std::string, double> avg_speedup;
   for (const auto& [geom, geo] : geometries) {
     std::printf("\n%s geometry (%s)\n\n", geom.c_str(),
@@ -845,6 +923,10 @@ int main(int argc, char** argv) {
                     n, sums[n] / 4.0);
       }
     }
+    if (std::thread::hardware_concurrency() <= 1)
+      std::printf("single-core host: fork-to-join shard speedups are "
+                  "provenance only (the JSON records host_cores; CI skips "
+                  "the speedup comparison at 1 core)\n");
   }
 
   // Health-observability gate: one paired in-process duel per (geometry,
@@ -1004,6 +1086,10 @@ int main(int argc, char** argv) {
     w.kv("quick", quick);
     w.kv("wall_seconds", runner.manifest().wall_seconds);
     w.kv("identical_decisions", identical);
+    w.kv("snapshot_every", snapshot_every);
+    for (const auto& [geom, segments] : restart_segments)
+      w.kv("restart_gate_segments_" + geom,
+           static_cast<std::uint64_t>(segments));
     w.end_object();
     w.newline();
     w.key("geometries");

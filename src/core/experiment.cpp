@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "core/shard.h"
+#include "core/snapshot.h"
 #include "telemetry/auditor.h"
 #include "telemetry/forensics.h"
 #include "telemetry/health.h"
@@ -29,14 +31,67 @@ double thread_cpu_seconds() {
   return 0.0;
 }
 
+namespace {
+
+// Joins the two measured legs of a checkpointed run back into the metrics
+// the unsplit run would have reported: counters sum, histograms merge,
+// the window spans leg 1's start to leg 2's end, and cumulative end-of-run
+// snapshots (ftl_stats, device_erases) come from the later leg.
+sim::RunMetrics merge_legs(const sim::RunMetrics& a, const sim::RunMetrics& b) {
+  sim::RunMetrics m = b;
+  m.requests += a.requests;
+  m.write_requests += a.write_requests;
+  m.read_requests += a.read_requests;
+  m.start_us = a.start_us;
+  m.verify_failures += a.verify_failures;
+  m.io_errors += a.io_errors;
+  m.latency_hist = a.latency_hist;
+  m.latency_hist.merge(b.latency_hist);
+  m.response_hist = a.response_hist;
+  m.response_hist.merge(b.response_hist);
+  m.latency_p50_us = m.latency_hist.percentile(0.50);
+  m.latency_p99_us = m.latency_hist.percentile(0.99);
+  m.latency_p999_us = m.latency_hist.percentile(0.999);
+  m.response_p50_us = m.response_hist.percentile(0.50);
+  m.response_p99_us = m.response_hist.percentile(0.99);
+  m.response_p999_us = m.response_hist.percentile(0.999);
+  m.erases_during_run += a.erases_during_run;
+  return m;
+}
+
+// Truncates a sidecar back to its checkpoint-time byte offset so the
+// resumed sink appends exactly where the saved run left off.
+void truncate_sidecar(const std::string& path, std::uint64_t offset,
+                      const char* what) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, offset, ec);
+  if (ec)
+    throw std::runtime_error(std::string("run_experiment: cannot truncate ") +
+                             what + " sidecar for resume: " + path + ": " +
+                             ec.message());
+}
+
+}  // namespace
+
 RunResult run_experiment(const ExperimentSpec& spec) {
   // Sharded cells take the orchestrated path: N shared-nothing leaf runs
   // (each back through this function with shards == 1) merged in
   // shard-index order. See core/shard.h.
-  if (spec.shards > 1) return run_sharded_experiment(spec);
+  if (spec.shards > 1) {
+    if (!spec.snapshot_in.empty() || !spec.snapshot_out.empty())
+      throw std::invalid_argument(
+          "run_experiment: snapshots are unsharded-only (fan restored legs "
+          "out with ParallelRunner instead)");
+    return run_sharded_experiment(spec);
+  }
   if (spec.stream != nullptr && !spec.tenants.empty())
     throw std::invalid_argument(
         "run_experiment: stream override is single-tenant only");
+  const bool restoring = !spec.snapshot_in.empty();
+  const bool checkpointing = !spec.snapshot_out.empty();
+  if ((restoring || checkpointing) && !spec.tenants.empty())
+    throw std::invalid_argument(
+        "run_experiment: snapshots are single-tenant only");
 
   // Declared before the Ssd: the Ssd destructor materializes the telemetry
   // registry, so every sink it may reach must still be alive then.
@@ -50,7 +105,27 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   std::optional<telemetry::ForensicsCollector> forensics;
 
   Ssd ssd(spec.ssd);
-  ssd.precondition(spec.precondition_fraction);
+
+  // Restore path: validate the snapshot header up front (fingerprint gate)
+  // and skip preconditioning -- the restored state replaces it. The state
+  // itself loads after the telemetry facade and sinks exist.
+  std::ifstream snap_is;
+  SnapshotMeta snap_meta;
+  if (restoring) {
+    snap_is.open(spec.snapshot_in, std::ios::in | std::ios::binary);
+    if (!snap_is)
+      throw std::runtime_error("run_experiment: cannot open snapshot: " +
+                               spec.snapshot_in);
+    snap_meta = read_snapshot_meta(snap_is, spec.ssd);
+  } else {
+    ssd.precondition(spec.precondition_fraction);
+  }
+  // A matching workload seed continues the saved run: telemetry and the
+  // sidecar streams resume where they left off and the consumed request
+  // prefix is skip-replayed. A different seed is a fresh measurement leg
+  // over the restored device: fresh streams, fresh baselines, request 0.
+  const bool resume_stream =
+      restoring && spec.workload.seed == snap_meta.workload_seed;
 
   telemetry::Telemetry* tel = spec.telemetry;
   const bool want_journal = !spec.journal_path.empty();
@@ -71,9 +146,28 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   }
 
   const auto& geo = spec.ssd.geometry;
+  // Resume-mode sinks: the snapshot carried this sink's state and the
+  // restored run continues the saved stream, so the sidecar is truncated
+  // to its checkpoint offset and reopened for append, header suppressed.
+  const bool journal_resume = resume_stream && snap_meta.has_journal &&
+                              snap_meta.journal_offset !=
+                                  SnapshotMeta::kNoSidecar;
+  const bool health_resume = resume_stream && snap_meta.has_health &&
+                             snap_meta.health_offset !=
+                                 SnapshotMeta::kNoSidecar;
+  const bool forensics_resume = resume_stream && snap_meta.has_forensics &&
+                                snap_meta.forensics_offset !=
+                                    SnapshotMeta::kNoSidecar;
   if (tel && want_journal) {
-    journal_os.emplace(spec.journal_path,
-                       std::ios::out | std::ios::trunc | std::ios::binary);
+    if (journal_resume) {
+      truncate_sidecar(spec.journal_path, snap_meta.journal_offset,
+                       "journal");
+      journal_os.emplace(spec.journal_path,
+                         std::ios::out | std::ios::app | std::ios::binary);
+    } else {
+      journal_os.emplace(spec.journal_path,
+                         std::ios::out | std::ios::trunc | std::ios::binary);
+    }
     if (!*journal_os)
       throw std::runtime_error("run_experiment: cannot open journal file: " +
                                spec.journal_path);
@@ -87,7 +181,7 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     hdr.seed = spec.workload.seed;
     hdr.shard = spec.shard_index;
     hdr.shards = spec.shard_count;
-    journal.emplace(*journal_os, hdr, spec.journal_max_events);
+    journal.emplace(*journal_os, hdr, spec.journal_max_events, journal_resume);
     tel->set_journal(&*journal);
   }
   if (tel && spec.audit) {
@@ -100,8 +194,14 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     tel->set_auditor(&*auditor);
   }
   if (tel && want_health) {
-    health_os.emplace(spec.health_path,
-                      std::ios::out | std::ios::trunc | std::ios::binary);
+    if (health_resume) {
+      truncate_sidecar(spec.health_path, snap_meta.health_offset, "health");
+      health_os.emplace(spec.health_path,
+                        std::ios::out | std::ios::app | std::ios::binary);
+    } else {
+      health_os.emplace(spec.health_path,
+                        std::ios::out | std::ios::trunc | std::ios::binary);
+    }
     if (!*health_os)
       throw std::runtime_error("run_experiment: cannot open health file: " +
                                spec.health_path);
@@ -116,12 +216,19 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     hdr.rated_pe = spec.health_rated_pe;
     hdr.shard = spec.shard_index;
     hdr.shards = spec.shard_count;
-    health.emplace(*health_os, hdr);
+    health.emplace(*health_os, hdr, health_resume);
     tel->set_health(&*health);
   }
   if (tel && want_forensics) {
-    forensics_os.emplace(spec.forensics_path,
-                         std::ios::out | std::ios::trunc | std::ios::binary);
+    if (forensics_resume) {
+      truncate_sidecar(spec.forensics_path, snap_meta.forensics_offset,
+                       "forensics");
+      forensics_os.emplace(spec.forensics_path,
+                           std::ios::out | std::ios::app | std::ios::binary);
+    } else {
+      forensics_os.emplace(spec.forensics_path,
+                           std::ios::out | std::ios::trunc | std::ios::binary);
+    }
     if (!*forensics_os)
       throw std::runtime_error(
           "run_experiment: cannot open forensics file: " +
@@ -140,10 +247,31 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     cfg.top_k = spec.forensics_top;
     cfg.audit = spec.audit;
     cfg.tenant_hists = spec.tenants.size() > 1;
-    forensics.emplace(*forensics_os, hdr, cfg);
+    forensics.emplace(*forensics_os, hdr, cfg, forensics_resume);
     tel->set_forensics(&*forensics);
   }
-  if (tel) ssd.attach_telemetry(tel);
+  // Restoring attaches AFTER load_state below: a fresh attach baselines
+  // sampling cursors and the health epoch-0 from the restored (not blank)
+  // state, and a resume attach only needs the facade pointer wired.
+  if (tel && !restoring) ssd.attach_telemetry(tel);
+
+  if (restoring) {
+    SnapshotSinks sinks;
+    // The auditor's model mirrors device state, not stream position, so a
+    // fresh-seed leg still loads it for full-strictness checking.
+    if (auditor) sinks.auditor = &*auditor;
+    if (resume_stream) {
+      if (snap_meta.has_telemetry) sinks.telemetry = tel;
+      if (journal_resume) sinks.journal = &*journal;
+      if (health_resume) sinks.health = &*health;
+      if (forensics_resume) sinks.forensics = &*forensics;
+    }
+    read_snapshot_state(snap_is, snap_meta, ssd, sinks);
+    snap_is.close();
+    if (tel)
+      ssd.attach_telemetry(tel, /*resume=*/resume_stream &&
+                                    snap_meta.has_telemetry);
+  }
 
   const std::uint32_t subs = spec.ssd.geometry.subpages_per_page;
 
@@ -202,14 +330,68 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     if (tel) mux->set_registry(&tel->registry());
   }
 
-  if (spec.warmup_requests > 0) {
-    if (mux)
-      mux->run(/*verify=*/false, spec.warmup_requests);
-    else
-      ssd.driver().run(*source, /*verify=*/false, spec.warmup_requests);
+  // Requests pulled from the active source / completed in the measured
+  // window so far -- the checkpoint cursors a later restore resumes from.
+  std::uint64_t source_consumed = resume_stream ? snap_meta.source_consumed : 0;
+  std::uint64_t measured_done = resume_stream ? snap_meta.measured_done : 0;
+  if (resume_stream) {
+    // Fast-forward the deterministic generator past the prefix the saved
+    // run already consumed; the next next() continues the saved sequence.
+    for (std::uint64_t i = 0; i < snap_meta.source_consumed; ++i)
+      if (!source->next())
+        throw std::runtime_error(
+            "run_experiment: snapshot consumed more requests than the "
+            "stream provides -- wrong stream for this snapshot?");
   }
-  // End-of-warmup health epoch lands before the wall clock starts.
-  ssd.driver().close_health_epoch();
+
+  // A resumed stream restarts mid-measured-window: warmup already happened
+  // before the checkpoint and its closing health epoch is part of the
+  // restored state (repeating either would fork the sidecar bytes).
+  if (!resume_stream) {
+    if (spec.warmup_requests > 0) {
+      if (mux) {
+        mux->run(/*verify=*/false, spec.warmup_requests);
+      } else {
+        const sim::RunMetrics warm =
+            ssd.driver().run(*source, /*verify=*/false, spec.warmup_requests);
+        source_consumed += warm.requests;
+      }
+    }
+    // End-of-warmup health epoch lands before the wall clock starts.
+    ssd.driver().close_health_epoch();
+  }
+
+  // Measured-window-start checkpoint (snapshot_after_requests == 0): the
+  // shared aged-state anchor independent lifetime legs restore from.
+  // Written outside the measured wall-clock window, like other teardown
+  // I/O.
+  const auto write_checkpoint = [&] {
+    SnapshotMeta m;
+    m.workload_seed = spec.workload.seed;
+    m.source_consumed = source_consumed;
+    m.measured_done = measured_done;
+    m.saved_at_us = ssd.driver().now();
+    SnapshotSinks sinks;
+    sinks.telemetry = tel;
+    if (auditor) sinks.auditor = &*auditor;
+    if (journal) {
+      journal_os->flush();
+      m.journal_offset = static_cast<std::uint64_t>(journal_os->tellp());
+      sinks.journal = &*journal;
+    }
+    if (health) {
+      health_os->flush();
+      m.health_offset = static_cast<std::uint64_t>(health_os->tellp());
+      sinks.health = &*health;
+    }
+    if (forensics) {
+      forensics_os->flush();
+      m.forensics_offset = static_cast<std::uint64_t>(forensics_os->tellp());
+      sinks.forensics = &*forensics;
+    }
+    save_snapshot_file(spec.snapshot_out, m, ssd, sinks);
+  };
+  if (checkpointing && spec.snapshot_after_requests == 0) write_checkpoint();
 
   // Measure only the steady-state window: diff against a post-warmup
   // snapshot so preconditioning/warmup traffic is excluded.
@@ -255,6 +437,18 @@ RunResult run_experiment(const ExperimentSpec& spec) {
     metrics.ftl_stats = ssd.ftl().stats();
     metrics.device_erases = ssd.device().counters().erases;
     metrics.erases_during_run = metrics.device_erases - erases_before;
+  } else if (checkpointing && spec.snapshot_after_requests > 0) {
+    // Mid-window checkpoint: run up to the cut (leaving the sampling
+    // window open, exactly as the uninterrupted run would), snapshot, then
+    // finish the stream. The merged metrics match the unsplit run's.
+    const sim::RunMetrics leg1 =
+        ssd.driver().run(*source, spec.verify, spec.snapshot_after_requests,
+                         /*final_sample=*/false);
+    source_consumed += leg1.requests;
+    measured_done += leg1.requests;
+    write_checkpoint();
+    const sim::RunMetrics leg2 = ssd.driver().run(*source, spec.verify);
+    metrics = merge_legs(leg1, leg2);
   } else {
     metrics = ssd.driver().run(*source, spec.verify);
   }

@@ -179,6 +179,31 @@ struct ExperimentSpec {
   /// orchestrator on each leaf shard spec.
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+
+  // --- Snapshot / restore (core/snapshot.h; docs/LIFETIME.md) -----------
+  /// Restore path: when non-empty the run starts from this snapshot
+  /// instead of preconditioning + warming up (single-tenant, unsharded
+  /// only). The SsdConfig must be identical to the saving run's
+  /// (fingerprint-checked). When `workload.seed` matches the snapshot's,
+  /// the request stream resumes exactly where the saved run left off (the
+  /// consumed prefix is replayed and discarded) and any journal/health/
+  /// forensics sidecars at their spec'd paths are truncated to the
+  /// checkpoint offsets and appended to in resume mode -- the finished
+  /// files are byte-identical to an uninterrupted run's. A different seed
+  /// starts a fresh stream over the restored device: the lifetime
+  /// projection fans independent measurement legs out of one aged
+  /// snapshot this way.
+  std::string snapshot_in;
+  /// Checkpoint path: when non-empty a snapshot is written during the run
+  /// (single-tenant, unsharded only).
+  std::string snapshot_out;
+  /// Measured requests completed before the checkpoint is written. 0
+  /// takes the checkpoint at the start of the measured window, right
+  /// after warmup -- the shared aged-state anchor lifetime legs restore.
+  /// Non-zero splits the measured run into two legs around the
+  /// checkpoint; the merged RunResult is identical in every deterministic
+  /// field to the unsplit run's.
+  std::uint64_t snapshot_after_requests = 0;
 };
 
 /// Builds the SSD, preconditions it, runs the workload, returns metrics.

@@ -11,6 +11,7 @@
 #include "telemetry/json.h"
 #include "telemetry/telemetry.h"
 #include "util/logger.h"
+#include "util/rng.h"
 
 namespace esp::core {
 namespace {
@@ -159,6 +160,10 @@ std::vector<CellResult> ParallelRunner::run(
             cells[i].key + "#tenant" + std::to_string(t), config_.base_seed);
     }
     out.seed = spec.workload.seed;
+    out.stream_seeds.emplace_back("workload", spec.workload.seed);
+    for (std::size_t t = 0; t < spec.tenants.size(); ++t)
+      out.stream_seeds.emplace_back("tenant" + std::to_string(t),
+                                    spec.tenants[t].workload.seed);
     telemetry::Telemetry tel;
     if (config_.collect_telemetry) spec.telemetry = &tel;
     try {
@@ -197,8 +202,13 @@ std::vector<CellResult> ParallelRunner::run(
     }
     if (config_.collect_telemetry)
       merged_registry_.merge_from(cell_registries[i]);
-    RunManifest::Cell cell{r.key,  r.seed,         r.ok,
-                           r.error, r.wall_seconds, r.worker};
+    RunManifest::Cell cell;
+    cell.key = r.key;
+    cell.seed = r.seed;
+    cell.ok = r.ok;
+    cell.error = r.error;
+    cell.wall_seconds = r.wall_seconds;
+    cell.worker = r.worker;
     cell.trace_dropped = r.result.trace_dropped;
     cell.journal_events = r.result.journal_events;
     cell.journal_truncated = r.result.journal_truncated;
@@ -207,6 +217,7 @@ std::vector<CellResult> ParallelRunner::run(
     cell.forensics_requests = r.result.forensics_requests;
     cell.forensics_exemplars = r.result.forensics_exemplars;
     cell.forensics_truncated = r.result.forensics_truncated;
+    cell.stream_seeds = r.stream_seeds;
     manifest_.cells.push_back(std::move(cell));
   }
   return results;
@@ -237,6 +248,22 @@ void ParallelRunner::write_manifest_json(const RunManifest& manifest,
     if (!cell.error.empty()) w.kv("error", cell.error);
     w.kv("wall_seconds", cell.wall_seconds);
     w.kv("worker", static_cast<std::uint64_t>(cell.worker));
+    // RNG provenance: the exact starting engine state of every request
+    // stream. Redundant with the seed by construction (SplitMix64
+    // expansion), stamped so replay equivalence can be checked against
+    // an independent implementation without re-deriving the expansion.
+    if (!cell.stream_seeds.empty()) {
+      w.key("rng");
+      w.begin_object();
+      for (const auto& [name, seed] : cell.stream_seeds) {
+        w.key(name);
+        w.begin_object();
+        w.kv("seed", seed);
+        w.kv("xoshiro256ss_state", util::Xoshiro256(seed).describe_state());
+        w.end_object();
+      }
+      w.end_object();
+    }
     // Sidecar accounting appears uniformly whenever the cell ran with any
     // stream attached; stream-less sweeps keep the legacy cell bytes.
     if (cell.trace_dropped != 0 || cell.journal_events != 0 ||

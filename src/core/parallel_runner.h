@@ -50,6 +50,11 @@ struct CellResult {
   std::string error;
   double wall_seconds = 0.0;  ///< host wall-clock spent on this cell
   unsigned worker = 0;        ///< pool worker that executed the cell
+  /// Every independent request stream the cell drove, with the seed it
+  /// actually ran with: "workload" plus one "tenantN" entry per tenant
+  /// lane. RNG provenance for the manifest -- a stream's full initial
+  /// engine state is derivable from its seed alone (SplitMix64 expansion).
+  std::vector<std::pair<std::string, std::uint64_t>> stream_seeds;
   RunResult result;
 };
 
@@ -119,6 +124,11 @@ struct RunManifest {
     std::uint64_t forensics_requests = 0;
     std::uint64_t forensics_exemplars = 0;
     std::uint64_t forensics_truncated = 0;
+    /// Per-stream RNG provenance: (stream name, seed) for the workload
+    /// stream and every tenant lane. The manifest JSON stamps each with
+    /// the initial Xoshiro256** engine state so an exact replay can be
+    /// asserted against a foreign implementation, not just a seed match.
+    std::vector<std::pair<std::string, std::uint64_t>> stream_seeds;
   };
   std::vector<Cell> cells;  ///< input order
 };

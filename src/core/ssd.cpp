@@ -115,11 +115,25 @@ Ssd::~Ssd() {
   if (telemetry_) telemetry_->registry().materialize();
 }
 
-void Ssd::attach_telemetry(telemetry::Telemetry* telemetry) {
+void Ssd::attach_telemetry(telemetry::Telemetry* telemetry, bool resume) {
   telemetry_ = telemetry;
   device_->set_telemetry(telemetry);
   ftl_->set_telemetry(telemetry);
-  driver_->set_telemetry(telemetry);
+  driver_->set_telemetry(telemetry, resume);
+}
+
+void Ssd::save_state(util::StateWriter& w) const {
+  w.tag("SSD0");
+  device_->save_state(w);
+  ftl_->save_state(w);
+  driver_->save_state(w);
+}
+
+void Ssd::load_state(util::StateReader& r) {
+  r.tag("SSD0");
+  device_->load_state(r);
+  ftl_->load_state(r);
+  driver_->load_state(r);
 }
 
 void Ssd::precondition(double fraction) {

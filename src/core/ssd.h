@@ -21,6 +21,7 @@
 #include "nand/timing.h"
 #include "sim/driver.h"
 #include "telemetry/telemetry.h"
+#include "util/serialize.h"
 
 namespace esp::core {
 
@@ -111,7 +112,18 @@ class Ssd {
   /// detach. The facade must outlive the Ssd OR outlive it gracefully: the
   /// destructor materializes the registry, so metric exports remain valid
   /// after this Ssd is gone.
-  void attach_telemetry(telemetry::Telemetry* telemetry);
+  ///
+  /// With `resume` set, the driver attaches WITHOUT re-baselining its
+  /// sampling cursors and without the epoch-0 health snapshot -- used when
+  /// restoring from a snapshot, where the cursors arrive via load_state.
+  void attach_telemetry(telemetry::Telemetry* telemetry, bool resume = false);
+
+  /// Snapshot support (core/snapshot.h): archives device -> FTL -> driver
+  /// under one "SSD0" section. Restore order: construct from the identical
+  /// SsdConfig, attach_telemetry(tel, /*resume=*/true) if telemetry is
+  /// wanted, then load_state. Must be called between host requests.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   SsdConfig config_;

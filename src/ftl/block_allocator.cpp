@@ -38,4 +38,21 @@ std::size_t BlockAllocator::free_on_chip(std::uint32_t chip) const {
   return per_chip_[chip].size();
 }
 
+void BlockAllocator::save_state(util::StateWriter& w) const {
+  w.tag("ALOC");
+  w.u64(per_chip_.size());
+  for (const MinHeap& heap : per_chip_)
+    w.pod_vec(util::heap_container(heap));
+  w.u64(total_free_);
+}
+
+void BlockAllocator::load_state(util::StateReader& r) {
+  r.tag("ALOC");
+  if (r.u64() != per_chip_.size())
+    throw std::runtime_error("BlockAllocator::load_state: chip count mismatch");
+  for (MinHeap& heap : per_chip_)
+    r.pod_vec(util::heap_container(heap));
+  total_free_ = r.u64();
+}
+
 }  // namespace esp::ftl

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nand/geometry.h"
+#include "util/serialize.h"
 
 namespace esp::ftl {
 
@@ -35,6 +36,11 @@ class BlockAllocator {
   std::uint32_t chips() const {
     return static_cast<std::uint32_t>(per_chip_.size());
   }
+
+  /// Snapshot support: preserves the exact heap array layout per chip so a
+  /// restored allocator hands out blocks in the identical order.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   struct Entry {

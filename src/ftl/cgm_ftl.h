@@ -62,6 +62,8 @@ class CgmFtl : public Ftl {
   std::uint64_t free_blocks() const override {
     return allocator_.total_free();
   }
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
 
  private:
   /// Services one logical page's worth of the request; returns completion.

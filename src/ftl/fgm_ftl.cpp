@@ -196,4 +196,26 @@ void FgmFtl::set_telemetry(telemetry::Sink* sink) {
   });
 }
 
+void FgmFtl::save_state(util::StateWriter& w) const {
+  w.tag("FGMF");
+  save_stats(w, stats_);
+  allocator_.save_state(w);
+  pool_.save_state(w);
+  buffer_.save_state(w);
+  w.pod_vec(l2p_);
+  w.pod_vec(version_);
+  w.u32(writes_since_wl_);
+}
+
+void FgmFtl::load_state(util::StateReader& r) {
+  r.tag("FGMF");
+  load_stats(r, stats_);
+  allocator_.load_state(r);
+  pool_.load_state(r);
+  buffer_.load_state(r);
+  r.pod_vec(l2p_);
+  r.pod_vec(version_);
+  writes_since_wl_ = r.u32();
+}
+
 }  // namespace esp::ftl

@@ -60,6 +60,8 @@ class FgmFtl : public Ftl {
   std::uint64_t free_blocks() const override {
     return allocator_.total_free();
   }
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
 
  private:
   /// Writes one extracted buffer run to flash as dense page programs.

@@ -311,4 +311,55 @@ void FinePool::fill_health(std::span<telemetry::BlockHealth> out) const {
   }
 }
 
+void FinePool::save_state(util::StateWriter& w) const {
+  w.tag("FPOL");
+  w.u64(meta_.size());
+  for (const BlockMeta& m : meta_) {
+    w.b(m.owned);
+    w.b(m.active);
+    w.u32(m.next_page);
+    w.u32(m.valid_count);
+    w.pod_vec(m.sector_of_slot);
+    w.bool_vec(m.valid);
+  }
+  w.u64(active_block_.size());
+  for (const auto& ab : active_block_) {
+    w.b(ab.has_value());
+    w.u32(ab.value_or(0));
+  }
+  w.pair_vec(util::heap_container(victim_heap_));
+  wear_index_.save_state(w);
+  w.u32(rr_chip_);
+  w.u64(blocks_in_use_);
+  w.u64(valid_sectors_);
+}
+
+void FinePool::load_state(util::StateReader& r) {
+  r.tag("FPOL");
+  if (r.u64() != meta_.size())
+    throw std::runtime_error("FinePool::load_state: block count mismatch");
+  for (BlockMeta& m : meta_) {
+    m.owned = r.b();
+    m.active = r.b();
+    m.next_page = r.u32();
+    m.valid_count = r.u32();
+    r.pod_vec(m.sector_of_slot);
+    r.bool_vec(m.valid);
+  }
+  if (r.u64() != active_block_.size())
+    throw std::runtime_error("FinePool::load_state: chip count mismatch");
+  for (auto& ab : active_block_) {
+    const bool has = r.b();
+    const std::uint32_t blk = r.u32();
+    ab = has ? std::optional<std::uint32_t>(blk) : std::nullopt;
+  }
+  r.pair_vec(util::heap_container(victim_heap_));
+  wear_index_.load_state(r);
+  rr_chip_ = r.u32();
+  blocks_in_use_ = r.u64();
+  valid_sectors_ = r.u64();
+  spare_meta_.clear();
+  in_gc_ = false;
+}
+
 }  // namespace esp::ftl

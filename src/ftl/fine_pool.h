@@ -78,6 +78,10 @@ class FinePool {
   /// block collections are recorded as mechanism-lane op events.
   void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }
 
+  /// Snapshot support (see FullPagePool::save_state).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   struct BlockMeta {
     bool owned = false;

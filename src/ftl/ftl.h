@@ -80,6 +80,17 @@ class Ftl {
   /// Current free-block count of the shared allocator (the health stream's
   /// spare-block SMART attribute). Default: 0 for FTLs without one.
   virtual std::uint64_t free_blocks() const { return 0; }
+
+  /// Whole-FTL snapshot: mapping tables, pools, write buffer, allocator,
+  /// stats and maintenance clocks. Must be called between host requests
+  /// (no in-flight GC). A restored FTL continues bit-identically to the
+  /// saved one. Default: unsupported (fails loudly).
+  virtual void save_state(util::StateWriter& /*w*/) const {
+    throw std::runtime_error(name() + ": snapshot not supported");
+  }
+  virtual void load_state(util::StateReader& /*r*/) {
+    throw std::runtime_error(name() + ": snapshot not supported");
+  }
 };
 
 }  // namespace esp::ftl

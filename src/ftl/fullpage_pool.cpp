@@ -344,4 +344,60 @@ void FullPagePool::fill_health(
   }
 }
 
+void FullPagePool::save_state(util::StateWriter& w) const {
+  w.tag("POOL");
+  w.u64(meta_.size());
+  for (const BlockMeta& m : meta_) {
+    w.b(m.owned);
+    w.b(m.active);
+    w.u32(m.next_page);
+    w.u32(m.valid_count);
+    w.pod_vec(m.lpn_of_page);
+    w.bool_vec(m.valid);
+  }
+  w.u64(owned_by_chip_.size());
+  for (const auto& owned : owned_by_chip_) w.pod_vec(owned);
+  w.u64(active_block_.size());
+  for (const auto& ab : active_block_) {
+    w.b(ab.has_value());
+    w.u32(ab.value_or(0));
+  }
+  w.pair_vec(util::heap_container(victim_heap_));
+  wear_index_.save_state(w);
+  w.u32(rr_chip_);
+  w.u64(blocks_in_use_);
+  w.u64(valid_pages_);
+}
+
+void FullPagePool::load_state(util::StateReader& r) {
+  r.tag("POOL");
+  if (r.u64() != meta_.size())
+    throw std::runtime_error("FullPagePool::load_state: block count mismatch");
+  for (BlockMeta& m : meta_) {
+    m.owned = r.b();
+    m.active = r.b();
+    m.next_page = r.u32();
+    m.valid_count = r.u32();
+    r.pod_vec(m.lpn_of_page);
+    r.bool_vec(m.valid);
+  }
+  if (r.u64() != owned_by_chip_.size())
+    throw std::runtime_error("FullPagePool::load_state: chip count mismatch");
+  for (auto& owned : owned_by_chip_) r.pod_vec(owned);
+  if (r.u64() != active_block_.size())
+    throw std::runtime_error("FullPagePool::load_state: chip count mismatch");
+  for (auto& ab : active_block_) {
+    const bool has = r.b();
+    const std::uint32_t blk = r.u32();
+    ab = has ? std::optional<std::uint32_t>(blk) : std::nullopt;
+  }
+  r.pair_vec(util::heap_container(victim_heap_));
+  wear_index_.load_state(r);
+  rr_chip_ = r.u32();
+  blocks_in_use_ = r.u64();
+  valid_pages_ = r.u64();
+  spare_meta_.clear();
+  in_gc_ = false;
+}
+
 }  // namespace esp::ftl

@@ -85,6 +85,12 @@ class FullPagePool {
   /// block collections are recorded as mechanism-lane op events.
   void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }
 
+  /// Snapshot support: per-block metadata, owned-block index, active
+  /// blocks, and the exact victim/wear heap layouts. Recycled spare arrays
+  /// are NOT archived (pure allocation reuse, no behavior).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   struct BlockMeta {
     bool owned = false;

@@ -28,6 +28,7 @@
 #include <map>
 #include <vector>
 
+#include "util/serialize.h"
 #include "util/sim_time.h"
 
 namespace esp::ftl {
@@ -92,6 +93,36 @@ class RetentionQueue {
   void clear() {
     buckets_.clear();
     size_ = 0;
+  }
+
+  /// Snapshot support: bucket keys and per-bucket entry order are
+  /// preserved exactly (std::map iteration is key-ordered, so the on-disk
+  /// layout is canonical).
+  void save_state(util::StateWriter& w) const {
+    w.tag("RETQ");
+    w.f64(width_);
+    w.u64(buckets_.size());
+    for (const auto& [key, entries] : buckets_) {
+      w.i64(key);
+      w.pod_vec(entries);
+    }
+    w.u64(size_);
+  }
+  void load_state(util::StateReader& r) {
+    r.tag("RETQ");
+    const SimTime width = r.f64();
+    if (width != width_)
+      throw std::runtime_error(
+          "RetentionQueue::load_state: bucket width mismatch");
+    const std::uint64_t n = r.u64();
+    buckets_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t key = r.i64();
+      std::vector<Entry> entries;
+      r.pod_vec(entries);
+      buckets_.emplace(key, std::move(entries));
+    }
+    size_ = r.u64();
   }
 
  private:

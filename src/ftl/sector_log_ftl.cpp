@@ -334,4 +334,41 @@ void SectorLogFtl::set_telemetry(telemetry::Sink* sink) {
   });
 }
 
+void SectorLogFtl::save_state(util::StateWriter& w) const {
+  w.tag("SLOG");
+  save_stats(w, stats_);
+  allocator_.save_state(w);
+  pool_data_.save_state(w);
+  pool_log_.save_state(w);
+  buffer_.save_state(w);
+  w.pod_vec(l2p_);
+  // The log map is only ever probed by key; sorted order makes the archive
+  // canonical (see WriteBuffer::save_state).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+      log_map_.begin(), log_map_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.pair_vec(sorted);
+  w.pod_vec(version_);
+  w.u32(writes_since_wl_);
+  w.b(wl_toggle_);
+}
+
+void SectorLogFtl::load_state(util::StateReader& r) {
+  r.tag("SLOG");
+  load_stats(r, stats_);
+  allocator_.load_state(r);
+  pool_data_.load_state(r);
+  pool_log_.load_state(r);
+  buffer_.load_state(r);
+  r.pod_vec(l2p_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted;
+  r.pair_vec(sorted);
+  log_map_.clear();
+  log_map_.reserve(sorted.size());
+  for (const auto& [sector, sub] : sorted) log_map_.emplace(sector, sub);
+  r.pod_vec(version_);
+  writes_since_wl_ = r.u32();
+  wl_toggle_ = r.b();
+}
+
 }  // namespace esp::ftl

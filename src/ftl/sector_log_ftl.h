@@ -74,6 +74,9 @@ class SectorLogFtl : public Ftl {
 
   std::size_t log_mapping_entries() const { return log_map_.size(); }
 
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
+
  private:
   SimTime flush_run(const std::vector<BufferedSector>& run, SimTime now);
   SimTime write_full_lpn(std::uint64_t lpn, const BufferedSector* group,

@@ -103,6 +103,55 @@ MaintenanceTimer::~MaintenanceTimer() {
           .count());
 }
 
+namespace {
+
+/// Applies fn(field) to every FtlStats counter in declaration order, so the
+/// save and load sides cannot drift apart.
+template <typename Stats, typename Fn>
+void for_each_stat(Stats& s, Fn&& fn) {
+  fn(s.host_write_requests);
+  fn(s.host_read_requests);
+  fn(s.host_write_sectors);
+  fn(s.host_read_sectors);
+  fn(s.flash_prog_full);
+  fn(s.flash_prog_sub);
+  fn(s.flash_reads);
+  fn(s.flash_erases);
+  fn(s.rmw_ops);
+  fn(s.gc_invocations);
+  fn(s.gc_copy_sectors);
+  fn(s.forward_migrations);
+  fn(s.cold_evictions);
+  fn(s.retention_evictions);
+  fn(s.wear_level_relocations);
+  fn(s.buffer_hits);
+  fn(s.read_failures);
+  fn(s.small_write_requests);
+  fn(s.small_write_bytes);
+  fn(s.small_service_flash_bytes);
+  fn(s.small_extra_flash_bytes);
+  fn(s.maint_retention_calls);
+  fn(s.maint_retention_ns);
+  fn(s.maint_wear_level_calls);
+  fn(s.maint_wear_level_ns);
+  fn(s.maint_release_idle_calls);
+  fn(s.maint_release_idle_ns);
+  fn(s.maint_gc_ns);
+}
+
+}  // namespace
+
+void save_stats(util::StateWriter& w, const FtlStats& s) {
+  w.tag("STAT");
+  for_each_stat(s, [&](const std::uint64_t& f) { w.u64(f); });
+}
+
+void load_stats(util::StateReader& r, FtlStats& s) {
+  r.tag("STAT");
+  for_each_stat(s, [&](std::uint64_t& f) { f = r.u64(); });
+  s.maint_timer_depth = 0;
+}
+
 void bind_stats(telemetry::MetricsRegistry& registry, const std::string& scope,
                 const FtlStats& stats) {
   const auto bind = [&](const char* field, const std::uint64_t& src) {

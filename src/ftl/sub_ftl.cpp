@@ -453,4 +453,38 @@ void SubFtl::set_telemetry(telemetry::Sink* sink) {
   });
 }
 
+void SubFtl::save_state(util::StateWriter& w) const {
+  w.tag("SUBF");
+  save_stats(w, stats_);
+  allocator_.save_state(w);
+  pool_full_.save_state(w);
+  pool_sub_.save_state(w);
+  buffer_.save_state(w);
+  w.pod_vec(l2p_);
+  w.pod_vec(sub_lin_);
+  w.bool_vec(sub_hot_);
+  w.u64(sub_entries_);
+  w.pod_vec(version_);
+  w.f64(last_retention_scan_);
+  w.u32(writes_since_wl_);
+  w.b(wl_toggle_);
+}
+
+void SubFtl::load_state(util::StateReader& r) {
+  r.tag("SUBF");
+  load_stats(r, stats_);
+  allocator_.load_state(r);
+  pool_full_.load_state(r);
+  pool_sub_.load_state(r);
+  buffer_.load_state(r);
+  r.pod_vec(l2p_);
+  r.pod_vec(sub_lin_);
+  r.bool_vec(sub_hot_);
+  sub_entries_ = r.u64();
+  r.pod_vec(version_);
+  last_retention_scan_ = r.f64();
+  writes_since_wl_ = r.u32();
+  wl_toggle_ = r.b();
+}
+
 }  // namespace esp::ftl

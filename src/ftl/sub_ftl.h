@@ -85,6 +85,9 @@ class SubFtl : public Ftl {
     return allocator_.total_free();
   }
 
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
+
   // Introspection for tests and wear metrics.
   const SubpagePool& subpage_pool() const { return pool_sub_; }
   const FullPagePool& fullpage_pool() const { return pool_full_; }

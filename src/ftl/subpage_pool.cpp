@@ -642,4 +642,67 @@ void SubpagePool::fill_health(
   }
 }
 
+void SubpagePool::save_state(util::StateWriter& w) const {
+  w.tag("SPOL");
+  w.u64(meta_.size());
+  for (const BlockMeta& m : meta_) {
+    w.b(m.owned);
+    w.b(m.active);
+    w.u8(m.level);
+    w.u32(m.cursor);
+    w.u32(m.valid_count);
+    w.pod_vec(m.sector_of_page);
+    w.bool_vec(m.valid);
+    w.pod_vec(m.written_at);
+  }
+  w.u64(owned_by_chip_.size());
+  for (const auto& owned : owned_by_chip_) w.pod_vec(owned);
+  w.u64(active_block_.size());
+  for (const auto& ab : active_block_) {
+    w.b(ab.has_value());
+    w.u32(ab.value_or(0));
+  }
+  retention_queue_.save_state(w);
+  wear_index_.save_state(w);
+  w.pod_vec(idle_candidates_);
+  w.u32(rr_chip_);
+  w.u64(blocks_in_use_);
+  w.u64(valid_sectors_);
+}
+
+void SubpagePool::load_state(util::StateReader& r) {
+  r.tag("SPOL");
+  if (r.u64() != meta_.size())
+    throw std::runtime_error("SubpagePool::load_state: block count mismatch");
+  for (BlockMeta& m : meta_) {
+    m.owned = r.b();
+    m.active = r.b();
+    m.level = r.u8();
+    m.cursor = r.u32();
+    m.valid_count = r.u32();
+    r.pod_vec(m.sector_of_page);
+    r.bool_vec(m.valid);
+    r.pod_vec(m.written_at);
+  }
+  if (r.u64() != owned_by_chip_.size())
+    throw std::runtime_error("SubpagePool::load_state: chip count mismatch");
+  for (auto& owned : owned_by_chip_) r.pod_vec(owned);
+  if (r.u64() != active_block_.size())
+    throw std::runtime_error("SubpagePool::load_state: chip count mismatch");
+  for (auto& ab : active_block_) {
+    const bool has = r.b();
+    const std::uint32_t blk = r.u32();
+    ab = has ? std::optional<std::uint32_t>(blk) : std::nullopt;
+  }
+  retention_queue_.load_state(r);
+  wear_index_.load_state(r);
+  r.pod_vec(idle_candidates_);
+  rr_chip_ = r.u32();
+  blocks_in_use_ = r.u64();
+  valid_sectors_ = r.u64();
+  spare_meta_.clear();
+  in_gc_ = false;
+  gc_dest_allocs_ = 0;
+}
+
 }  // namespace esp::ftl

@@ -134,6 +134,13 @@ class SubpagePool {
   /// GC collections and retention evictions become mechanism-lane events.
   void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }
 
+  /// Snapshot support: per-block metadata (level, cursor, live subpages
+  /// and their program times), owned-block index, retention queue, wear
+  /// index and idle candidates. Spare arrays and pooled scratch are NOT
+  /// archived (pure allocation reuse, no behavior).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   struct BlockMeta {
     bool owned = false;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/serialize.h"
 #include "util/sim_time.h"
 
 namespace esp::telemetry {
@@ -125,6 +126,12 @@ struct FtlStats {
 /// of a longer run. Requires `after` to be a later snapshot of the same
 /// FTL than `before`.
 FtlStats stats_delta(const FtlStats& after, const FtlStats& before);
+
+/// Snapshot archive of every FtlStats field, the measured maint_* wall
+/// clocks included (they resume accumulating; exports never bind them, so
+/// restore-equivalence of exported metric sets is unaffected).
+void save_stats(util::StateWriter& w, const FtlStats& s);
+void load_stats(util::StateReader& r, FtlStats& s);
 
 /// Counter-wise sum: aggregate stats of independent FTL instances (the
 /// shard-merge reconciliation -- merged counters are BY CONSTRUCTION the

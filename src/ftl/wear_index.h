@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace esp::ftl {
 
 class WearIndex {
@@ -57,6 +59,17 @@ class WearIndex {
   std::size_t size() const { return heap_.size(); }
 
   void clear() { heap_ = {}; }
+
+  /// Snapshot support: the exact heap array, stale entries included, so a
+  /// restored index yields identical peek()/pop sequences.
+  void save_state(util::StateWriter& w) const {
+    w.tag("WIDX");
+    w.pair_vec(util::heap_container(heap_));
+  }
+  void load_state(util::StateReader& r) {
+    r.tag("WIDX");
+    r.pair_vec(util::heap_container(heap_));
+  }
 
  private:
   std::priority_queue<std::pair<std::uint32_t, std::size_t>,

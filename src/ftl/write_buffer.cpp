@@ -123,4 +123,44 @@ std::vector<BufferedSector> WriteBuffer::drain() {
   return all;
 }
 
+namespace {
+struct ArchivedEntry {
+  std::uint64_t sector;
+  std::uint64_t token;
+  std::uint64_t seq;
+  std::uint8_t small;
+};
+}  // namespace
+
+void WriteBuffer::save_state(util::StateWriter& w) const {
+  w.tag("WBUF");
+  w.u64(capacity_);
+  w.u64(next_seq_);
+  std::vector<ArchivedEntry> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& [sector, e] : entries_)
+    sorted.push_back({sector, e.token, e.seq, e.small ? std::uint8_t{1}
+                                                      : std::uint8_t{0}});
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ArchivedEntry& a, const ArchivedEntry& b) {
+              return a.sector < b.sector;
+            });
+  w.pod_vec(sorted);
+  w.pair_deque(age_log_);
+}
+
+void WriteBuffer::load_state(util::StateReader& r) {
+  r.tag("WBUF");
+  if (r.u64() != capacity_)
+    throw std::runtime_error("WriteBuffer::load_state: capacity mismatch");
+  next_seq_ = r.u64();
+  std::vector<ArchivedEntry> sorted;
+  r.pod_vec(sorted);
+  entries_.clear();
+  entries_.reserve(sorted.size());
+  for (const ArchivedEntry& e : sorted)
+    entries_.emplace(e.sector, Entry{e.token, e.seq, e.small != 0});
+  r.pair_deque(age_log_);
+}
+
 }  // namespace esp::ftl

@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace esp::ftl {
 
 struct BufferedSector {
@@ -71,6 +73,13 @@ class WriteBuffer {
   /// Length of the insertion log, stale entries included (bounded-memory
   /// regression tests).
   std::size_t age_log_size() const { return age_log_.size(); }
+
+  /// Snapshot support. Entries are archived in sorted-sector order (the
+  /// hash map is only ever probed by key, so insertion order is not
+  /// behavior; sorting makes the archive canonical). The age log is saved
+  /// verbatim, stale entries included, so LRU eviction order is exact.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   /// Drops stale age-log entries (overwritten or extracted sectors). Called

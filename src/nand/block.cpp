@@ -99,4 +99,41 @@ SlotView Block::slot(std::uint32_t page, std::uint32_t slot) const {
 
 bool Block::is_erased() const { return programmed_pages_ == 0; }
 
+void Block::save_state(util::StateWriter& w) const {
+  w.tag("BLK0");
+  w.u32(pages_);
+  w.u32(subs_);
+  w.u32(pe_cycles_);
+  w.u32(programmed_pages_);
+  w.f64(first_program_us_);
+  w.pod_vec(mode_);
+  w.pod_vec(programmed_);
+  w.pod_vec(state_);
+  w.pod_vec(npp_);
+  w.pod_vec(token_);
+  w.pod_vec(written_at_);
+}
+
+void Block::load_state(util::StateReader& r) {
+  r.tag("BLK0");
+  const std::uint32_t pages = r.u32();
+  const std::uint32_t subs = r.u32();
+  if (pages != pages_ || subs != subs_)
+    throw std::runtime_error("Block::load_state: geometry mismatch");
+  pe_cycles_ = r.u32();
+  programmed_pages_ = r.u32();
+  first_program_us_ = r.f64();
+  r.pod_vec(mode_);
+  r.pod_vec(programmed_);
+  r.pod_vec(state_);
+  r.pod_vec(npp_);
+  r.pod_vec(token_);
+  r.pod_vec(written_at_);
+  if (mode_.size() != pages_ || programmed_.size() != pages_ ||
+      state_.size() != static_cast<std::size_t>(pages_) * subs_ ||
+      npp_.size() != state_.size() || token_.size() != state_.size() ||
+      written_at_.size() != state_.size())
+    throw std::runtime_error("Block::load_state: corrupt slot arrays");
+}
+
 }  // namespace esp::nand

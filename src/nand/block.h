@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "nand/geometry.h"
+#include "util/serialize.h"
 #include "util/sim_time.h"
 
 namespace esp::nand {
@@ -86,6 +87,17 @@ class Block {
   SimTime first_program_us() const { return first_program_us_; }
   /// True when no page has been programmed since the last erase.
   bool is_erased() const;
+
+  /// Epoch fast-forward support: accrues `cycles` P/E cycles without an
+  /// erase command, modeling wear accumulated during a compressed aging
+  /// epoch. Page contents and program state are untouched -- the resident
+  /// data stands in for the last rewrite of the epoch.
+  void add_wear(std::uint32_t cycles) noexcept { pe_cycles_ += cycles; }
+
+  /// Snapshot support: full per-slot state. Shape (pages, subpages) must
+  /// match the constructed block on load.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   std::size_t idx(std::uint32_t page, std::uint32_t slot) const {

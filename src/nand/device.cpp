@@ -225,6 +225,68 @@ void NandDevice::fill_block_health(
   }
 }
 
+void NandDevice::apply_synthetic_wear(std::uint32_t chip, std::uint32_t block,
+                                      std::uint32_t cycles) {
+  if (cycles == 0) return;
+  Block& blk = block_ref(chip, block);
+  blk.add_wear(cycles);
+  synthetic_erases_ += cycles;
+  max_pe_cycles_ = std::max(max_pe_cycles_, blk.pe_cycles());
+}
+
+void NandDevice::save_state(util::StateWriter& w) const {
+  w.tag("NAND");
+  w.u64(blocks_.size());
+  for (const Block& blk : blocks_) blk.save_state(w);
+  w.pod_vec(channel_busy_until_);
+  w.pod_vec(chip_busy_until_);
+  w.pod_vec(chip_busy_accum_);
+  w.pod_vec(channel_busy_accum_);
+  w.u64(counters_.reads_full);
+  w.u64(counters_.reads_sub);
+  w.u64(counters_.progs_full);
+  w.u64(counters_.progs_sub);
+  w.u64(counters_.erases);
+  w.u64(counters_.uncorrectable_reads);
+  w.u64(counters_.corrupted_reads);
+  w.u64(synthetic_erases_);
+  w.u32(max_pe_cycles_);
+  w.f64(fault_prob_);
+  const util::Xoshiro256::State rs = fault_rng_.state();
+  w.raw(&rs, sizeof rs);
+  w.u8(static_cast<std::uint8_t>(reliability_mode_));
+}
+
+void NandDevice::load_state(util::StateReader& r) {
+  r.tag("NAND");
+  if (r.u64() != blocks_.size())
+    throw std::runtime_error("NandDevice::load_state: geometry mismatch");
+  for (Block& blk : blocks_) blk.load_state(r);
+  r.pod_vec(channel_busy_until_);
+  r.pod_vec(chip_busy_until_);
+  r.pod_vec(chip_busy_accum_);
+  r.pod_vec(channel_busy_accum_);
+  if (channel_busy_until_.size() != geo_.channels ||
+      chip_busy_until_.size() != geo_.total_chips() ||
+      chip_busy_accum_.size() != geo_.total_chips() ||
+      channel_busy_accum_.size() != geo_.channels)
+    throw std::runtime_error("NandDevice::load_state: corrupt busy clocks");
+  counters_.reads_full = r.u64();
+  counters_.reads_sub = r.u64();
+  counters_.progs_full = r.u64();
+  counters_.progs_sub = r.u64();
+  counters_.erases = r.u64();
+  counters_.uncorrectable_reads = r.u64();
+  counters_.corrupted_reads = r.u64();
+  synthetic_erases_ = r.u64();
+  max_pe_cycles_ = r.u32();
+  fault_prob_ = r.f64();
+  util::Xoshiro256::State rs;
+  r.raw(&rs, sizeof rs);
+  fault_rng_.set_state(rs);
+  reliability_mode_ = static_cast<ReliabilityMode>(r.u8());
+}
+
 void NandDevice::set_read_fault_injection(double probability,
                                           std::uint64_t seed) {
   fault_prob_ = std::clamp(probability, 0.0, 1.0);

@@ -27,6 +27,7 @@
 #include "telemetry/health.h"
 #include "telemetry/sink.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/sim_time.h"
 
 namespace esp::nand {
@@ -151,6 +152,22 @@ class NandDevice {
   /// FTL's to fill.
   void fill_block_health(std::span<telemetry::BlockHealth> out) const;
 
+  /// Epoch fast-forward support: accrues `cycles` P/E cycles on one block
+  /// without issuing erase commands or touching page contents. The cycles
+  /// are tracked in `synthetic_erases()` (NOT in counters().erases, which
+  /// stays a faithful command count so delta-based WAF sampling in the
+  /// next measurement window is undistorted).
+  void apply_synthetic_wear(std::uint32_t chip, std::uint32_t block,
+                            std::uint32_t cycles);
+
+  /// Total P/E cycles accrued via apply_synthetic_wear across all blocks.
+  std::uint64_t synthetic_erases() const { return synthetic_erases_; }
+
+  /// Snapshot support: all block state, timing-reservation clocks, op
+  /// counters, and the fault-injection RNG. Geometry must match on load.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   Block& block_ref(std::uint32_t chip, std::uint32_t blk);
   ReadStatus verdict(const Block& blk, std::uint32_t page, std::uint32_t slot,
@@ -169,6 +186,7 @@ class NandDevice {
   std::vector<SimTime> chip_busy_accum_;
   std::vector<SimTime> channel_busy_accum_;
   DeviceCounters counters_;
+  std::uint64_t synthetic_erases_ = 0;
   std::uint32_t max_pe_cycles_ = 0;
   double fault_prob_ = 0.0;
   util::Xoshiro256 fault_rng_{1};

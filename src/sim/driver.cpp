@@ -165,7 +165,7 @@ void Driver::flush() {
 }
 
 RunMetrics Driver::run(workload::RequestSource& source, bool verify,
-                       std::uint64_t max_requests) {
+                       std::uint64_t max_requests, bool final_sample) {
   RunMetrics metrics;
   metrics.start_us = now_;
   const std::uint64_t failures_before = verify_failures_;
@@ -192,7 +192,8 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
   // The health stream's final epoch is NOT closed here: the harness calls
   // close_health_epoch() explicitly, outside its wall-clock measurement,
   // because the end-of-run snapshot is teardown I/O, not steady-state work.
-  if (tel_ && tel_->sampler().enabled() && now_ > tel_last_sample_us_)
+  if (final_sample && tel_ && tel_->sampler().enabled() &&
+      now_ > tel_last_sample_us_)
     take_sample();
 
   metrics.end_us = now_;
@@ -212,9 +213,10 @@ RunMetrics Driver::run(workload::RequestSource& source, bool verify,
   return metrics;
 }
 
-void Driver::set_telemetry(telemetry::Telemetry* telemetry) {
+void Driver::set_telemetry(telemetry::Telemetry* telemetry, bool resume) {
   tel_ = telemetry;
   if (!tel_) return;
+  if (resume) return;  // clocks + cursors arrive via load_state
   tel_last_stats_ = ftl_.stats();
   tel_last_erases_ = dev_.counters().erases;
   tel_last_requests_ = requests_submitted_;
@@ -248,6 +250,45 @@ void Driver::take_health() {
   dev_.fill_block_health(rows);
   ftl_.collect_health(rows);
   hm->commit_epoch(now_, ftl_.free_blocks());
+}
+
+void Driver::save_state(util::StateWriter& w) const {
+  w.tag("DRVR");
+  w.f64(now_);
+  w.f64(arrival_);
+  w.pod_vec(util::heap_container(inflight_));
+  w.pod_vec(shadow_version_);
+  w.bool_vec(shadow_trimmed_);
+  w.u64(verify_failures_);
+  w.u64(io_errors_);
+  latency_.save_state(w);
+  response_.save_state(w);
+  w.u64(requests_submitted_);
+  ftl::save_stats(w, tel_last_stats_);
+  w.u64(tel_last_erases_);
+  w.u64(tel_last_requests_);
+  w.f64(tel_last_sample_us_);
+}
+
+void Driver::load_state(util::StateReader& r) {
+  r.tag("DRVR");
+  now_ = r.f64();
+  arrival_ = r.f64();
+  r.pod_vec(util::heap_container(inflight_));
+  r.pod_vec(shadow_version_);
+  r.bool_vec(shadow_trimmed_);
+  if (shadow_version_.size() != ftl_.logical_sectors() ||
+      shadow_trimmed_.size() != ftl_.logical_sectors())
+    throw std::runtime_error("Driver::load_state: logical space mismatch");
+  verify_failures_ = r.u64();
+  io_errors_ = r.u64();
+  latency_.load_state(r);
+  response_.load_state(r);
+  requests_submitted_ = r.u64();
+  ftl::load_stats(r, tel_last_stats_);
+  tel_last_erases_ = r.u64();
+  tel_last_requests_ = r.u64();
+  tel_last_sample_us_ = r.f64();
 }
 
 void Driver::take_sample() {

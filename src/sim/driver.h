@@ -89,8 +89,14 @@ class Driver {
   /// @param verify        check every read's tokens against the shadow map
   /// @param max_requests  stop after this many requests (0 = to exhaustion);
   ///                      lets callers split one stream into warmup+measure
+  /// @param final_sample  flush the final partial sampling window at the
+  ///                      end of the run. Pass false when stopping early to
+  ///                      take a snapshot: the uninterrupted run would not
+  ///                      have closed a window here, and restore-equivalence
+  ///                      requires the resumed run's sample series to match
+  ///                      it byte for byte.
   RunMetrics run(workload::RequestSource& source, bool verify = true,
-                 std::uint64_t max_requests = 0);
+                 std::uint64_t max_requests = 0, bool final_sample = true);
 
   /// Issues one request; advances the internal clock to its completion.
   ftl::IoResult submit(const workload::Request& request, bool verify = true);
@@ -149,7 +155,21 @@ class Driver {
   /// epoch-0 baseline snapshot is committed immediately at attach, epochs
   /// follow the monitor's sim-time cadence, and a closing epoch is taken at
   /// the end of each run().
-  void set_telemetry(telemetry::Telemetry* telemetry);
+  ///
+  /// With `resume` set, the facade is attached WITHOUT re-baselining: no
+  /// sampling-window reset, no epoch-0 health snapshot. Used when restoring
+  /// from a snapshot -- the facade's clocks arrive via its own load_state
+  /// and the driver's window cursors via Driver::load_state, so the resumed
+  /// telemetry streams continue exactly where the saved run left off.
+  void set_telemetry(telemetry::Telemetry* telemetry, bool resume = false);
+
+  /// Snapshot support (see core/snapshot.h). Must be called between
+  /// requests: the in-flight window, shadow maps, cumulative histograms and
+  /// telemetry sampling cursors are archived; a restored driver continues
+  /// bit-identically. Restore order: construct, set_telemetry(tel, true),
+  /// then load_state.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   /// One bounds check per request: rejects [sector, sector+count) ranges

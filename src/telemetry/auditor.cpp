@@ -225,4 +225,53 @@ void Auditor::on_block(const BlockLifecycleEvent& event,
   }
 }
 
+void Auditor::save_state(util::StateWriter& w) const {
+  w.tag("AUDT");
+  w.u64(blocks_.size());
+  for (const BlockState& bs : blocks_) {
+    w.b(bs.synced);
+    w.b(bs.allocated);
+    w.u8(bs.mode);
+    w.u8(bs.pool);
+    w.u32(bs.level);
+    w.u32(bs.next_page);
+    w.u32(bs.pages_programmed);
+    w.pod_vec(bs.next_slot);
+  }
+  w.u64(pool_names_.size());
+  for (const std::string& name : pool_names_) w.str(name);
+  w.u8(sub_pool_id_);
+  w.u64(ops_checked_);
+  w.u64(violation_count_);
+  w.u64(violations_.size());
+  for (const std::string& v : violations_) w.str(v);
+}
+
+void Auditor::load_state(util::StateReader& r) {
+  r.tag("AUDT");
+  if (r.u64() != blocks_.size())
+    throw std::runtime_error("Auditor::load_state: geometry mismatch");
+  for (BlockState& bs : blocks_) {
+    bs.synced = r.b();
+    bs.allocated = r.b();
+    bs.mode = r.u8();
+    bs.pool = r.u8();
+    bs.level = r.u32();
+    bs.next_page = r.u32();
+    bs.pages_programmed = r.u32();
+    r.pod_vec(bs.next_slot);
+  }
+  pool_names_.clear();
+  const std::uint64_t n_pools = r.u64();
+  for (std::uint64_t i = 0; i < n_pools; ++i)
+    pool_names_.push_back(r.str());
+  sub_pool_id_ = r.u8();
+  ops_checked_ = r.u64();
+  violation_count_ = r.u64();
+  violations_.clear();
+  const std::uint64_t n_violations = r.u64();
+  for (std::uint64_t i = 0; i < n_violations; ++i)
+    violations_.push_back(r.str());
+}
+
 }  // namespace esp::telemetry

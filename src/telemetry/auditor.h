@@ -34,6 +34,7 @@
 
 #include "telemetry/causes.h"
 #include "telemetry/sink.h"
+#include "util/serialize.h"
 
 namespace esp::telemetry {
 
@@ -60,6 +61,13 @@ class Auditor {
   std::uint64_t ops_checked() const { return ops_checked_; }
   std::uint64_t violation_count() const { return violation_count_; }
   const std::vector<std::string>& violations() const { return violations_; }
+
+  /// Snapshot support: the per-block erase-cycle models (sync state,
+  /// frontiers, per-page slot expectations) and the pool-name table, so a
+  /// restored auditor keeps checking with full strictness instead of
+  /// re-syncing block by block.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   // Per-block model of the current erase cycle.

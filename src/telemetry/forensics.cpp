@@ -52,7 +52,7 @@ int fmt_phases(char* out, std::size_t cap,
 
 ForensicsCollector::ForensicsCollector(std::ostream& os,
                                        const ForensicsHeader& header,
-                                       const Config& config)
+                                       const Config& config, bool resume)
     : os_(os), config_(config) {
   if (config_.top_k == 0) config_.top_k = 1;
   segments_.reserve(256);
@@ -61,6 +61,7 @@ ForensicsCollector::ForensicsCollector(std::ostream& os,
   heap_.reserve(config_.top_k);
   window_tail_cap_ = (config_.window_requests + 99) / 100;
   if (config_.window_requests > 0) window_.reserve(window_tail_cap_);
+  if (resume) return;  // appending after a restore; hdr already on disk
 
   char shard_tag[64] = "";
   if (header.shards > 1)
@@ -505,5 +506,99 @@ void ForensicsCollector::finish() {
 }
 
 void ForensicsCollector::write_line(const char* buf) { os_ << buf << '\n'; }
+
+void ForensicsCollector::save_exemplar(util::StateWriter& w,
+                                       const Exemplar& ex) const {
+  w.u32(ex.id);
+  w.u32(ex.tenant);
+  w.u8(static_cast<std::uint8_t>(ex.kind));
+  w.f64(ex.arrival);
+  w.f64(ex.issue);
+  w.f64(ex.done);
+  w.f64(ex.response);
+  w.raw(ex.phases.us.data(), sizeof(double) * kPhaseCount);
+  w.u64(ex.chains.size());
+  for (const std::string& c : ex.chains) w.str(c);
+  w.u32(ex.chains_dropped);
+  w.pair_vec(ex.blocks);
+  w.u64(ex.blocks_touched);
+}
+
+ForensicsCollector::Exemplar ForensicsCollector::load_exemplar(
+    util::StateReader& r) const {
+  Exemplar ex;
+  ex.id = r.u32();
+  ex.tenant = static_cast<std::uint16_t>(r.u32());
+  ex.kind = static_cast<OpKind>(r.u8());
+  ex.arrival = r.f64();
+  ex.issue = r.f64();
+  ex.done = r.f64();
+  ex.response = r.f64();
+  r.raw(ex.phases.us.data(), sizeof(double) * kPhaseCount);
+  const std::uint64_t n_chains = r.u64();
+  ex.chains.reserve(n_chains);
+  for (std::uint64_t i = 0; i < n_chains; ++i) ex.chains.push_back(r.str());
+  ex.chains_dropped = r.u32();
+  r.pair_vec(ex.blocks);
+  ex.blocks_touched = r.u64();
+  return ex;
+}
+
+void ForensicsCollector::save_state(util::StateWriter& w) const {
+  if (open_)
+    throw std::runtime_error("ForensicsCollector::save_state: open request");
+  w.tag("FRNS");
+  w.u32(config_.top_k);
+  w.u32(config_.window_requests);
+  w.u64(requests_);
+  w.u64(windows_);
+  w.u64(reconcile_failures_);
+  w.u64(heap_.size());
+  for (const Exemplar& ex : heap_) save_exemplar(w, ex);
+  w.pod_vec(window_);
+  w.u64(window_count_);
+  w.f64(window_start_);
+  w.f64(window_end_);
+  w.u64(tenants_.size());
+  for (const TenantState& t : tenants_) {
+    w.u64(t.requests);
+    w.raw(t.phase_us.data(), sizeof(double) * kPhaseCount);
+    w.u64(t.heap.size());
+    for (const Exemplar& ex : t.heap) save_exemplar(w, ex);
+  }
+}
+
+void ForensicsCollector::load_state(util::StateReader& r) {
+  r.tag("FRNS");
+  if (r.u32() != config_.top_k || r.u32() != config_.window_requests)
+    throw std::runtime_error(
+        "ForensicsCollector::load_state: config mismatch");
+  requests_ = r.u64();
+  windows_ = r.u64();
+  reconcile_failures_ = r.u64();
+  heap_.clear();
+  const std::uint64_t n_heap = r.u64();
+  for (std::uint64_t i = 0; i < n_heap; ++i)
+    heap_.push_back(load_exemplar(r));
+  r.pod_vec(window_);
+  window_count_ = r.u64();
+  window_start_ = r.f64();
+  window_end_ = r.f64();
+  const std::uint64_t n_tenants = r.u64();
+  tenants_.clear();
+  for (std::uint64_t i = 0; i < n_tenants; ++i) {
+    // tenant_state() lazily re-binds the per-tenant histogram family when
+    // configured -- the registry restored them by name already, so the
+    // bind resolves to the loaded histograms.
+    TenantState& t = tenant_state(static_cast<std::uint16_t>(i));
+    t.requests = r.u64();
+    r.raw(t.phase_us.data(), sizeof(double) * kPhaseCount);
+    t.heap.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t j = 0; j < n; ++j) t.heap.push_back(load_exemplar(r));
+  }
+  open_ = false;
+  finished_ = false;
+}
 
 }  // namespace esp::telemetry

@@ -176,9 +176,11 @@ class ForensicsCollector {
   };
 
   /// Writes the hdr line immediately; the stream must outlive the
-  /// collector.
+  /// collector. With `resume` set, no hdr line is written (appending to an
+  /// existing stream after a snapshot restore; stream state arrives via
+  /// load_state).
   ForensicsCollector(std::ostream& os, const ForensicsHeader& header,
-                     const Config& config);
+                     const Config& config, bool resume = false);
 
   /// Binds the phase histograms into `registry` (lazily per tenant).
   /// Call once, before the first request; nullptr detaches.
@@ -245,6 +247,14 @@ class ForensicsCollector {
   /// run; single-tenant runs report one entry for tenant 0.
   std::vector<TenantBlame> tenant_blame() const;
 
+  /// Snapshot support. Taken between requests (save throws on an open
+  /// request, like the facade): stream counters, the exemplar and blame
+  /// heaps (exact array layout) and per-tenant state are archived. Call
+  /// load after bind_registry so restored tenants re-bind their
+  /// histograms.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   struct Segment {
     SimTime start = 0.0;
@@ -304,6 +314,8 @@ class ForensicsCollector {
                     const Exemplar& ex);
 
   TenantState& tenant_state(std::uint16_t tenant);
+  void save_exemplar(util::StateWriter& w, const Exemplar& ex) const;
+  Exemplar load_exemplar(util::StateReader& r) const;
   /// Slow halves of on_op: dedup-and-record a cause chain / a touched
   /// block after the inline fast checks miss.
   void note_chain(std::span<const CauseFrame> chain);

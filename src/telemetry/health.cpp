@@ -31,7 +31,8 @@ void append_u(std::string& s, std::uint64_t v) {
 
 }  // namespace
 
-HealthMonitor::HealthMonitor(std::ostream& os, const HealthHeader& header)
+HealthMonitor::HealthMonitor(std::ostream& os, const HealthHeader& header,
+                             bool resume)
     : os_(os),
       header_(header),
       total_blocks_(static_cast<std::size_t>(header.chips) *
@@ -40,6 +41,7 @@ HealthMonitor::HealthMonitor(std::ostream& os, const HealthHeader& header)
       emitted_(total_blocks_),
       gc_victims_(total_blocks_, 0),
       pe_scratch_(total_blocks_, 0) {
+  if (resume) return;  // appending after a restore; hdr already on disk
   char interval_s[32];
   fmt_time(interval_s, sizeof interval_s, header_.interval_us);
   char shard_tag[64] = "";
@@ -286,6 +288,44 @@ void HealthMonitor::finish() {
   write_line(buf);
   os_.flush();
   finished_ = true;
+}
+
+void HealthMonitor::save_state(util::StateWriter& w) const {
+  w.tag("HLTH");
+  w.f64(next_due_us_);
+  w.f64(last_epoch_us_);
+  w.u64(epochs_);
+  w.u64(lines_);
+  w.pod_vec(emitted_);
+  w.pod_vec(gc_victims_);
+  w.raw(win_cause_prog_full_, sizeof win_cause_prog_full_);
+  w.raw(win_cause_prog_sub_, sizeof win_cause_prog_sub_);
+  w.raw(win_cause_erases_, sizeof win_cause_erases_);
+  w.u64(win_host_sectors_);
+  w.u64(win_retention_evict_sectors_);
+}
+
+void HealthMonitor::load_state(util::StateReader& r) {
+  r.tag("HLTH");
+  next_due_us_ = r.f64();
+  last_epoch_us_ = r.f64();
+  epochs_ = r.u64();
+  lines_ = r.u64();
+  std::vector<BlockHealth> emitted;
+  r.pod_vec(emitted);
+  if (emitted.size() != total_blocks_)
+    throw std::runtime_error("HealthMonitor::load_state: geometry mismatch");
+  emitted_ = std::move(emitted);
+  std::vector<std::uint32_t> victims;
+  r.pod_vec(victims);
+  if (victims.size() != total_blocks_)
+    throw std::runtime_error("HealthMonitor::load_state: geometry mismatch");
+  gc_victims_ = std::move(victims);
+  r.raw(win_cause_prog_full_, sizeof win_cause_prog_full_);
+  r.raw(win_cause_prog_sub_, sizeof win_cause_prog_sub_);
+  r.raw(win_cause_erases_, sizeof win_cause_erases_);
+  win_host_sectors_ = r.u64();
+  win_retention_evict_sectors_ = r.u64();
 }
 
 }  // namespace esp::telemetry

@@ -39,6 +39,7 @@
 
 #include "telemetry/causes.h"
 #include "telemetry/sink.h"
+#include "util/serialize.h"
 
 namespace esp::telemetry {
 
@@ -101,7 +102,10 @@ class HealthMonitor {
   static constexpr int kSchemaVersion = 1;
 
   /// Writes the hdr line immediately. The stream must outlive the monitor.
-  HealthMonitor(std::ostream& os, const HealthHeader& header);
+  /// With `resume` set, no hdr line is written (appending to an existing
+  /// stream after a snapshot restore; cursors arrive via load_state).
+  HealthMonitor(std::ostream& os, const HealthHeader& header,
+                bool resume = false);
 
   // --- event feed (Telemetry facade) --------------------------------
   /// Folds one op event into the per-block and windowed counters.
@@ -164,6 +168,12 @@ class HealthMonitor {
 
   std::uint64_t epochs_written() const { return epochs_; }
   std::uint64_t lines_written() const { return lines_; }
+
+  /// Snapshot support: epoch cadence cursors, line counters, the
+  /// delta-encoding reference tuples, per-block GC-victim counts and the
+  /// open window's per-cause counters.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   void write_line(const char* buf);

@@ -17,12 +17,13 @@ void fmt_time(char* out, std::size_t cap, SimTime t) {
 }  // namespace
 
 Journal::Journal(std::ostream& os, const JournalHeader& header,
-                 std::uint64_t max_events)
+                 std::uint64_t max_events, bool resume)
     : os_(os),
       blocks_per_chip_(header.blocks_per_chip),
       max_events_(max_events),
       last_pool_(static_cast<std::size_t>(header.chips) *
                  header.blocks_per_chip) {
+  if (resume) return;  // appending after a restore; hdr already on disk
   char shard_tag[64] = "";
   if (header.shards > 1)
     std::snprintf(shard_tag, sizeof shard_tag, ",\"shard\":%u,\"shards\":%u",
@@ -206,6 +207,31 @@ void Journal::finish() {
   write_line(buf);
   os_.flush();
   finished_ = true;
+}
+
+void Journal::save_state(util::StateWriter& w) const {
+  w.tag("JRNL");
+  w.u64(events_);
+  w.u64(truncated_);
+  w.f64(last_time_);
+  w.pod_vec(last_pool_);
+  w.u64(pool_names_.size());
+  for (const std::string& name : pool_names_) w.str(name);
+}
+
+void Journal::load_state(util::StateReader& r) {
+  r.tag("JRNL");
+  events_ = r.u64();
+  truncated_ = r.u64();
+  last_time_ = r.f64();
+  std::vector<std::uint8_t> pools;
+  r.pod_vec(pools);
+  if (pools.size() != last_pool_.size())
+    throw std::runtime_error("Journal::load_state: geometry mismatch");
+  last_pool_ = std::move(pools);
+  pool_names_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) pool_names_.push_back(r.str());
 }
 
 }  // namespace esp::telemetry

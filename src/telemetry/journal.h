@@ -36,6 +36,7 @@
 
 #include "telemetry/causes.h"
 #include "telemetry/sink.h"
+#include "util/serialize.h"
 
 namespace esp::telemetry {
 
@@ -60,9 +61,13 @@ class Journal {
   static constexpr int kSchemaVersion = 1;
 
   /// Writes the hdr line immediately. The stream must outlive the Journal.
-  /// `max_events` caps event lines (0 = unbounded).
+  /// `max_events` caps event lines (0 = unbounded). With `resume` set, no
+  /// hdr line is written: the caller is appending to an existing stream
+  /// after a snapshot restore, and the journal's cursors arrive via
+  /// load_state -- the resumed file stays byte-identical to an
+  /// uninterrupted run's.
   Journal(std::ostream& os, const JournalHeader& header,
-          std::uint64_t max_events = 0);
+          std::uint64_t max_events = 0, bool resume = false);
 
   /// Records one op event with its attributed cause and the full cause
   /// chain (outermost first). Flash ops become `op` lines, host-lane ops
@@ -83,6 +88,11 @@ class Journal {
 
   std::uint64_t events_written() const { return events_; }
   std::uint64_t truncated() const { return truncated_; }
+
+  /// Snapshot support: line counters, the scope-close time high-water mark
+  /// and the per-block last-owner table (conversion-event derivation).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   /// Returns true if the next event line may be written; otherwise counts

@@ -118,4 +118,61 @@ void MetricsRegistry::reset() {
   for (auto& [name, histogram] : histograms_) histogram.reset();
 }
 
+void MetricsRegistry::save_state(util::StateWriter& w) const {
+  w.tag("MREG");
+  w.u64(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    w.str(name);
+    w.u64(counter.value());
+  }
+  std::uint64_t plain_gauges = 0;
+  for (const auto& [name, gauge] : gauges_)
+    if (!gauge.has_provider()) ++plain_gauges;
+  w.u64(plain_gauges);
+  for (const auto& [name, gauge] : gauges_) {
+    if (gauge.has_provider()) continue;
+    w.str(name);
+    w.f64(gauge.value());
+  }
+  w.u64(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    w.str(name);
+    // Shape ahead of the payload so load can find-or-create before the
+    // shape-checked Histogram::load_state runs.
+    w.f64(hist.lo());
+    w.f64(hist.hi());
+    w.u64(hist.bucket_count());
+    hist.save_state(w);
+  }
+}
+
+void MetricsRegistry::load_state(util::StateReader& r) {
+  r.tag("MREG");
+  const std::uint64_t n_counters = r.u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    Counter& c = counters_[name];
+    c.reset();
+    c.inc(value);
+  }
+  const std::uint64_t n_gauges = r.u64();
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    const std::string name = r.str();
+    const double value = r.f64();
+    // A provider re-registered before load wins: it reads live component
+    // state the components themselves restored.
+    Gauge& g = gauges_[name];
+    if (!g.has_provider()) g.set(value);
+  }
+  const std::uint64_t n_hists = r.u64();
+  for (std::uint64_t i = 0; i < n_hists; ++i) {
+    const std::string name = r.str();
+    const double lo = r.f64();
+    const double hi = r.f64();
+    const std::uint64_t buckets = r.u64();
+    histogram(name, lo, hi, static_cast<std::size_t>(buckets)).load_state(r);
+  }
+}
+
 }  // namespace esp::telemetry

@@ -121,6 +121,16 @@ class MetricsRegistry {
   /// Zeroes owned counters/gauges/histograms and drops bindings.
   void reset();
 
+  /// Snapshot support (core/snapshot.h). Owned counters, plain-value
+  /// gauges and every histogram are archived by name; bound counters and
+  /// provider gauges are skipped -- they read component fields the
+  /// components archive themselves and re-bind at attach. Loading
+  /// find-or-creates each entry, so histograms registered lazily after the
+  /// snapshot point (e.g. per-tenant forensics families) restore before
+  /// their component re-binds them.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   // std::map: reference stability + ordered export.
   std::map<std::string, Counter> counters_;

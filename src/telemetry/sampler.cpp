@@ -82,6 +82,24 @@ void TimeSeriesSampler::write_csv(std::ostream& os) const {
   }
 }
 
+void TimeSeriesSampler::save_state(util::StateWriter& w) const {
+  w.tag("SMPL");
+  w.f64(interval_us_);
+  w.f64(next_due_us_);
+  w.f64(last_sample_us_);
+  w.pod_vec(samples_);
+}
+
+void TimeSeriesSampler::load_state(util::StateReader& r) {
+  r.tag("SMPL");
+  if (r.f64() != interval_us_)
+    throw std::runtime_error(
+        "TimeSeriesSampler::load_state: interval mismatch");
+  next_due_us_ = r.f64();
+  last_sample_us_ = r.f64();
+  r.pod_vec(samples_);
+}
+
 void TimeSeriesSampler::write_json(std::ostream& os) const {
   JsonWriter w(os);
   w.begin_array();

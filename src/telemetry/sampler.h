@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "telemetry/sink.h"
+#include "util/serialize.h"
 
 namespace esp::telemetry {
 
@@ -70,6 +71,13 @@ class TimeSeriesSampler {
   void write_csv(std::ostream& os) const;
   /// JSON array of row objects (same fields as the CSV columns).
   void write_json(std::ostream& os) const;
+
+  /// Snapshot support: cadence cursors + every closed window, so a
+  /// restored run's sample series continues (and finally exports)
+  /// byte-identically. The interval is part of the run's identity and
+  /// must match.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   SimTime interval_us_;

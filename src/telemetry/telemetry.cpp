@@ -169,6 +169,41 @@ void Telemetry::set_forensics(ForensicsCollector* forensics) {
   recompute_op_mask();
 }
 
+void Telemetry::save_state(util::StateWriter& w) const {
+  if (!cause_stack_.empty())
+    throw std::runtime_error("Telemetry::save_state: open cause scope");
+  if (current_request_ != 0)
+    throw std::runtime_error("Telemetry::save_state: open host request");
+  w.tag("TELM");
+  w.b(op_detail_);
+  registry_.save_state(w);
+  trace_.save_state(w);
+  sampler_.save_state(w);
+  w.u32(next_request_id_);
+  w.f64(current_arrival_);
+  for (const util::Histogram& h : window_) h.save_state(w);
+  w.raw(cause_progs_full_, sizeof cause_progs_full_);
+  w.raw(cause_progs_sub_, sizeof cause_progs_sub_);
+  w.raw(cause_erases_, sizeof cause_erases_);
+}
+
+void Telemetry::load_state(util::StateReader& r) {
+  r.tag("TELM");
+  if (r.b() != op_detail_)
+    throw std::runtime_error("Telemetry::load_state: op_detail mismatch");
+  registry_.load_state(r);
+  trace_.load_state(r);
+  sampler_.load_state(r);
+  next_request_id_ = r.u32();
+  current_arrival_ = r.f64();
+  for (util::Histogram& h : window_) h.load_state(r);
+  r.raw(cause_progs_full_, sizeof cause_progs_full_);
+  r.raw(cause_progs_sub_, sizeof cause_progs_sub_);
+  r.raw(cause_erases_, sizeof cause_erases_);
+  current_request_ = 0;
+  cause_stack_.clear();
+}
+
 void Telemetry::harvest_window(Sample& sample) {
   util::Histogram all(kLatLoUs, kLatHiUs, kLatBuckets);
   for (std::size_t k = 0; k < kOpKindCount; ++k) {

@@ -119,6 +119,17 @@ class Telemetry : public Sink {
   /// current window histograms, then resets the windows.
   void harvest_window(Sample& sample);
 
+  // --- Snapshot support (core/snapshot.h) ---------------------------
+  /// Checkpoints are taken between host requests with no open cause
+  /// scope, so the per-request scratch is idle by construction (save
+  /// throws otherwise). Archives the registry (cumulative, cause and
+  /// downstream-bound histograms live there), trace ring, sampler,
+  /// request-id cursor, per-window histograms and cause counters.
+  /// Downstream sinks (journal/health/forensics/auditor) archive their
+  /// own state; restore them before or after this call, order-free.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   util::Histogram& window(OpKind kind) {
     return window_[static_cast<std::size_t>(kind)];

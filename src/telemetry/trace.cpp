@@ -194,4 +194,20 @@ void TraceRing::dump_chrome(std::ostream& os) const {
   os << "\n]\n";
 }
 
+void TraceRing::save_state(util::StateWriter& w) const {
+  w.tag("TRNG");
+  w.pod_vec(ring_);
+  w.u64(pushed_);
+}
+
+void TraceRing::load_state(util::StateReader& r) {
+  r.tag("TRNG");
+  std::vector<TraceEvent> ring;
+  r.pod_vec(ring);
+  if (ring.size() != ring_.size())
+    throw std::runtime_error("TraceRing::load_state: capacity mismatch");
+  ring_ = std::move(ring);
+  pushed_ = r.u64();
+}
+
 }  // namespace esp::telemetry

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "telemetry/sink.h"
+#include "util/serialize.h"
 
 namespace esp::telemetry {
 
@@ -73,6 +74,11 @@ class TraceRing {
   void dump_jsonl(std::ostream& os) const;
   /// Chrome trace_event format (JSON array of complete events).
   void dump_chrome(std::ostream& os) const;
+
+  /// Snapshot support: ring contents + push cursor, so a restored ring
+  /// dumps exactly what the saved one would have. Capacity must match.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   std::vector<TraceEvent> ring_;

@@ -101,4 +101,28 @@ void Histogram::reset() noexcept {
   overflow_ = 0;
 }
 
+void Histogram::save_state(StateWriter& w) const {
+  w.tag("HIST");
+  w.f64(lo_);
+  w.f64(hi_);
+  w.pod_vec(counts_);
+  w.u64(total_);
+  w.u64(underflow_);
+  w.u64(overflow_);
+}
+
+void Histogram::load_state(StateReader& r) {
+  r.tag("HIST");
+  const double lo = r.f64();
+  const double hi = r.f64();
+  std::vector<std::uint64_t> counts;
+  r.pod_vec(counts);
+  if (lo != lo_ || hi != hi_ || counts.size() != counts_.size())
+    throw std::runtime_error("Histogram::load_state: shape mismatch");
+  counts_ = std::move(counts);
+  total_ = r.u64();
+  underflow_ = r.u64();
+  overflow_ = r.u64();
+}
+
 }  // namespace esp::util

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.h"
+
 namespace esp::util {
 
 /// Linear-bucket histogram over [lo, hi); out-of-range samples clamp into
@@ -54,6 +56,12 @@ class Histogram {
   std::string summary() const;
 
   void reset() noexcept;
+
+  /// Snapshot support. Shape (lo, hi, bucket count) is saved and checked
+  /// on load so a histogram restored into a differently configured owner
+  /// fails loudly.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   double lo_;

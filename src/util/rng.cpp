@@ -1,6 +1,8 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 namespace esp::util {
 namespace {
@@ -76,5 +78,35 @@ double Xoshiro256::gaussian(double mean, double stddev) noexcept {
 }
 
 Xoshiro256 Xoshiro256::fork() noexcept { return Xoshiro256((*this)()); }
+
+Xoshiro256::State Xoshiro256::state() const noexcept {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof spare_);
+  std::memcpy(&bits, &spare_, sizeof bits);
+  st.spare_bits = bits;
+  st.has_spare = has_spare_ ? 1 : 0;
+  return st;
+}
+
+void Xoshiro256::set_state(const State& st) noexcept {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  std::memcpy(&spare_, &st.spare_bits, sizeof spare_);
+  has_spare_ = st.has_spare != 0;
+}
+
+std::string Xoshiro256::describe_state() const {
+  const State st = state();
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%016llx:%016llx:%016llx:%016llx:%016llx:%llu",
+                static_cast<unsigned long long>(st.s[0]),
+                static_cast<unsigned long long>(st.s[1]),
+                static_cast<unsigned long long>(st.s[2]),
+                static_cast<unsigned long long>(st.s[3]),
+                static_cast<unsigned long long>(st.spare_bits),
+                static_cast<unsigned long long>(st.has_spare));
+  return buf;
+}
 
 }  // namespace esp::util

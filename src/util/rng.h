@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 
 namespace esp::util {
 
@@ -66,6 +67,22 @@ class Xoshiro256 {
   /// Forks an independent sub-stream: hashes this stream's next output into
   /// a fresh engine. Used to give each workload component its own stream.
   Xoshiro256 fork() noexcept;
+
+  /// Full serialized engine state: the four 256-bit state words plus the
+  /// Marsaglia spare cache, so a restored stream continues bit-identically
+  /// even mid-gaussian-pair. Order: s[0..3], bit-cast spare, has_spare.
+  struct State {
+    std::uint64_t s[4];
+    std::uint64_t spare_bits;
+    std::uint64_t has_spare;
+  };
+
+  State state() const noexcept;
+  void set_state(const State& st) noexcept;
+
+  /// Compact provenance string ("s0:s1:s2:s3:spare:has", hex) for RNG
+  /// stream stamping in run manifests.
+  std::string describe_state() const;
 
  private:
   static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {

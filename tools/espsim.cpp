@@ -129,6 +129,18 @@ void usage(const char* argv0) {
       "                                each cell writes PATH with its cell\n"
       "                                key spliced in\n"
       "  --forensics-top N             slowest-N exemplars retained (16)\n"
+      "  --snapshot-out PATH           write a deterministic whole-simulator\n"
+      "                                snapshot during the run (see\n"
+      "                                docs/LIFETIME.md; single runs only)\n"
+      "  --snapshot-after N            measured requests completed before\n"
+      "                                the snapshot is taken (default 0 =\n"
+      "                                at the start of the measured window)\n"
+      "  --snapshot-in PATH            restore from a snapshot instead of\n"
+      "                                preconditioning + warmup; with the\n"
+      "                                saving run's --seed the run continues\n"
+      "                                it bit-identically, with a different\n"
+      "                                --seed it starts a fresh measurement\n"
+      "                                leg over the restored device\n"
       "  --version                     print build provenance and exit\n",
       argv0);
 }
@@ -215,6 +227,9 @@ int main(int argc, char** argv) {
   std::uint32_t health_rated_pe = 3000;
   std::string forensics_out;
   std::uint32_t forensics_top = 16;
+  std::string snapshot_in;
+  std::string snapshot_out;
+  std::uint64_t snapshot_after = 0;
   unsigned shards = 1;
   std::uint32_t shard_stripe_pages = 64;
   std::size_t tenants = 0;
@@ -339,6 +354,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--forensics-top") {
       forensics_top =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--snapshot-in") {
+      snapshot_in = next();
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next();
+    } else if (arg == "--snapshot-after") {
+      snapshot_after = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--shards") {
       shards = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
       if (shards == 0) {
@@ -492,6 +513,12 @@ int main(int argc, char** argv) {
       kinds.size() * std::max<std::size_t>(profiles.size(), 1);
   if (cell_count > 1) {
     // ---- sweep mode: cross product of profiles x FTLs on the runner ----
+    if (!snapshot_in.empty() || !snapshot_out.empty()) {
+      std::fprintf(stderr,
+                   "--snapshot-in/--snapshot-out only apply to single runs, "
+                   "not sweeps\n");
+      return 2;
+    }
     if (!metrics_out.empty() || !trace_out.empty() || !samples_out.empty() ||
         sample_interval_s > 0.0) {
       std::fprintf(stderr,
@@ -606,6 +633,9 @@ int main(int argc, char** argv) {
   spec.health_rated_pe = health_rated_pe;
   spec.forensics_path = forensics_out;
   spec.forensics_top = forensics_top;
+  spec.snapshot_in = snapshot_in;
+  spec.snapshot_out = snapshot_out;
+  spec.snapshot_after_requests = snapshot_after;
   const std::optional<workload::Benchmark> profile =
       profiles.empty() ? std::nullopt
                        : std::optional<workload::Benchmark>(profiles.front());
@@ -653,6 +683,12 @@ int main(int argc, char** argv) {
   }
   const auto& stats = result.raw.ftl_stats;
 
+  if (!snapshot_in.empty())
+    std::printf("snapshot : restored %s\n", snapshot_in.c_str());
+  if (!snapshot_out.empty())
+    std::printf("snapshot : wrote %s (after %llu measured requests)\n",
+                snapshot_out.c_str(),
+                static_cast<unsigned long long>(snapshot_after));
   if (!journal_out.empty())
     std::printf("journal  : wrote %s (%llu events, %llu truncated)\n",
                 journal_out.c_str(),
